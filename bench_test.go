@@ -1,0 +1,183 @@
+// Package main's bench suite regenerates every experiment in the
+// reproduction index (DESIGN.md §2) under `go test -bench`. Each bench
+// runs its experiment b.N times, reports experiment-specific metrics via
+// b.ReportMetric, and fails if any of the experiment's shape checks —
+// the "does the paper's claim hold" assertions — regress.
+//
+//	go test -bench=. -benchmem
+package main
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/netsim"
+	"repro/internal/router"
+	"repro/internal/sim"
+	"repro/internal/viper"
+)
+
+// benchExperiment runs one experiment per iteration and fails the bench
+// if any shape check fails.
+func benchExperiment(b *testing.B, id string) *experiments.Table {
+	b.Helper()
+	var last *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Run(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if failed := t.Failed(); len(failed) > 0 {
+			b.Fatalf("%s failed checks: %v", id, failed)
+		}
+		last = t
+	}
+	return last
+}
+
+// cell parses a numeric prefix out of a table cell ("1.725ms" -> 1.725).
+func cell(t *experiments.Table, row, col int) float64 {
+	s := t.Rows[row][col]
+	s = strings.TrimRight(s, "msu%x ")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return -1
+	}
+	return v
+}
+
+func BenchmarkE01HeaderCodec(b *testing.B) {
+	benchExperiment(b, "E01")
+}
+
+func BenchmarkE02SwitchingDelay(b *testing.B) {
+	t := benchExperiment(b, "E02")
+	// Row for rho=0.7: wait in packet times.
+	b.ReportMetric(cell(t, 2, 1), "waitPkts@70%")
+}
+
+func BenchmarkE03HopLatency(b *testing.B) {
+	t := benchExperiment(b, "E03")
+	b.ReportMetric(cell(t, 3, 5), "ip/sirpent@8hops")
+}
+
+func BenchmarkE04HeaderOverhead(b *testing.B) {
+	benchExperiment(b, "E04")
+}
+
+func BenchmarkE05RateControl(b *testing.B) {
+	benchExperiment(b, "E05")
+}
+
+func BenchmarkE06FailureReroute(b *testing.B) {
+	t := benchExperiment(b, "E06")
+	b.ReportMetric(cell(t, 0, 1), "sirpent-recovery-ms")
+	b.ReportMetric(cell(t, 1, 1), "ip-recovery-ms")
+}
+
+func BenchmarkE07TokenAuth(b *testing.B) {
+	benchExperiment(b, "E07")
+}
+
+func BenchmarkE08LogicalLinks(b *testing.B) {
+	benchExperiment(b, "E08")
+}
+
+func BenchmarkE09CVCComparison(b *testing.B) {
+	benchExperiment(b, "E09")
+}
+
+func BenchmarkE10MPL(b *testing.B) {
+	benchExperiment(b, "E10")
+}
+
+func BenchmarkE11Multicast(b *testing.B) {
+	benchExperiment(b, "E11")
+}
+
+func BenchmarkE12SelectiveRetx(b *testing.B) {
+	benchExperiment(b, "E12")
+}
+
+func BenchmarkE13ReturnRoute(b *testing.B) {
+	benchExperiment(b, "E13")
+}
+
+func BenchmarkE14SirpentOverIP(b *testing.B) {
+	benchExperiment(b, "E14")
+}
+
+func BenchmarkE15HeaderCorruption(b *testing.B) {
+	benchExperiment(b, "E15")
+}
+
+func BenchmarkE16RealtimePriority(b *testing.B) {
+	t := benchExperiment(b, "E16")
+	b.ReportMetric(cell(t, 0, 2), "jitter-us@prio0")
+	b.ReportMetric(cell(t, 1, 2), "jitter-us@prio7")
+}
+
+func BenchmarkE17DecisionTimeAblation(b *testing.B) {
+	benchExperiment(b, "E17")
+}
+
+func BenchmarkE18BufferAblation(b *testing.B) {
+	benchExperiment(b, "E18")
+}
+
+func BenchmarkE19Scalability(b *testing.B) {
+	benchExperiment(b, "E19")
+}
+
+// BenchmarkSimulatorThroughput measures the harness itself: how many
+// simulated packet-hops per wall-clock second the event engine + router
+// sustain (useful for sizing bigger experiments).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	eng := sim.NewEngine(1)
+	src := router.NewHost(eng, "src")
+	dst := router.NewHost(eng, "dst")
+	r1 := router.New(eng, "R1", router.Config{QueueLimit: 1 << 16})
+	r2 := router.New(eng, "R2", router.Config{QueueLimit: 1 << 16})
+	mk := func(a netsim.Node, ap uint8, c netsim.Node, cp uint8) {
+		l := netsim.NewP2PLink(eng, 1e9, 0)
+		pa, pb := l.Attach(a, ap, c, cp)
+		switch v := a.(type) {
+		case *router.Host:
+			v.AttachPort(pa)
+		case *router.Router:
+			v.AttachPort(pa)
+		}
+		switch v := c.(type) {
+		case *router.Host:
+			v.AttachPort(pb)
+		case *router.Router:
+			v.AttachPort(pb)
+		}
+	}
+	mk(src, 1, r1, 1)
+	mk(r1, 2, r2, 1)
+	mk(r2, 2, dst, 1)
+	n := 0
+	dst.Handle(0, func(d *router.Delivery) { n++ })
+	route := []viper.Segment{
+		{Port: 1, Flags: viper.FlagVNT},
+		{Port: 2, Flags: viper.FlagVNT},
+		{Port: 2, Flags: viper.FlagVNT},
+		{Port: viper.PortLocal},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cp := make([]viper.Segment, len(route))
+		copy(cp, route)
+		eng.Schedule(0, func() { src.Send(cp, make([]byte, 512)) })
+		eng.Run()
+	}
+	b.StopTimer()
+	if n != b.N {
+		b.Fatalf("delivered %d of %d", n, b.N)
+	}
+	b.ReportMetric(float64(3*b.N)/b.Elapsed().Seconds(), "hops/s")
+}

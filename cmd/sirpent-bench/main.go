@@ -1,0 +1,52 @@
+// Command sirpent-bench regenerates the paper's evaluation: every
+// experiment table in the reproduction index (DESIGN.md §2), printed with
+// its paper claim and shape checks.
+//
+// Usage:
+//
+//	sirpent-bench            # run everything
+//	sirpent-bench -run E03   # one experiment
+//	sirpent-bench -list      # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	runID := flag.String("run", "", "comma-separated experiment IDs (default: all)")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	ids := experiments.IDs()
+	if *runID != "" {
+		ids = strings.Split(*runID, ",")
+	}
+
+	failed := 0
+	for _, id := range ids {
+		t, err := experiments.Run(strings.TrimSpace(id))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(2)
+		}
+		t.Fprint(os.Stdout)
+		failed += len(t.Failed())
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d shape checks FAILED\n", failed)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,126 @@
+// Command viperfmt is a VIPER packet inspector: it builds a demonstration
+// packet for the paper's running example (two Ethernets joined by a
+// router, §2), prints its wire encoding, then traces the per-hop
+// transformation — segment stripped, return segment appended — and the
+// receiver's return-route construction.
+//
+// With -hex, it instead decodes a hex-encoded packet from the argument or
+// stdin.
+package main
+
+import (
+	"bufio"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/ethernet"
+	"repro/internal/viper"
+)
+
+func main() {
+	hexIn := flag.Bool("hex", false, "decode a hex packet from args or stdin instead of running the demo")
+	flag.Parse()
+
+	if *hexIn {
+		decodeHex()
+		return
+	}
+	demo()
+}
+
+func decodeHex() {
+	var in string
+	if flag.NArg() > 0 {
+		in = strings.Join(flag.Args(), "")
+	} else {
+		sc := bufio.NewScanner(os.Stdin)
+		for sc.Scan() {
+			in += strings.TrimSpace(sc.Text())
+		}
+	}
+	b, err := hex.DecodeString(strings.ReplaceAll(in, " ", ""))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "viperfmt: bad hex:", err)
+		os.Exit(1)
+	}
+	pkt, err := viper.Decode(b)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "viperfmt: decode:", err)
+		os.Exit(1)
+	}
+	fmt.Println(pkt)
+}
+
+func demo() {
+	// The paper's §2 walk-through: host S on Ethernet 1 sends through
+	// router R to host D on Ethernet 2.
+	sAddr := ethernet.AddrFromUint64(0x5)
+	dAddr := ethernet.AddrFromUint64(0xD)
+	r1Addr := ethernet.AddrFromUint64(0xA1) // router on net1
+	r2Addr := ethernet.AddrFromUint64(0xA2) // router on net2
+
+	route := []viper.Segment{
+		{ // sender's directive: enetHdr1 in the paper
+			Port:     1,
+			PortInfo: ethernet.Header{Dst: r1Addr, Src: sAddr, Type: viper.EtherTypeVIPER}.Encode(),
+		},
+		{ // router R's segment: [port,tos,enetHdr2]
+			Port:     2,
+			Priority: 2,
+			PortInfo: ethernet.Header{Dst: dAddr, Src: r2Addr, Type: viper.EtherTypeVIPER}.Encode(),
+		},
+		{Port: viper.PortLocal}, // destination host segment
+	}
+	if err := viper.SealRoute(route); err != nil {
+		panic(err)
+	}
+
+	fmt.Println("=== Route as constructed by the directory ===")
+	for i, s := range route {
+		fmt.Printf("  [%d] %v\n", i, &s)
+	}
+
+	// The sender consumes its directive: transmit on port 1 with the
+	// first header, packet holds the remaining segments.
+	pkt := viper.NewPacket(cloneSegs(route[1:]), []byte("data"))
+	pkt.Trailer = append(pkt.Trailer, viper.Segment{Port: viper.PortLocal})
+	dump("On the wire, S -> R (after enetHdr1)", pkt)
+
+	// Router R: strip head, append return segment with swapped header.
+	arrivalHdr := ethernet.Header{Dst: r1Addr, Src: sAddr, Type: viper.EtherTypeVIPER}
+	seg := *pkt.Current()
+	ret := viper.Segment{Port: 1, Priority: seg.Priority, PortInfo: arrivalHdr.Swapped().Encode()}
+	pkt.ConsumeHead(ret)
+	dump("On the wire, R -> D (after enetHdr2)", pkt)
+
+	// Destination host: consume final segment, build the return route.
+	arrival2 := ethernet.Header{Dst: dAddr, Src: r2Addr, Type: viper.EtherTypeVIPER}
+	final := *pkt.Current()
+	pkt.ConsumeHead(viper.Segment{Port: 1, Priority: final.Priority, PortInfo: arrival2.Swapped().Encode()})
+
+	fmt.Println("=== Return route constructed from the trailer alone ===")
+	for i, s := range pkt.ReturnRoute() {
+		fmt.Printf("  [%d] %v\n", i, &s)
+	}
+}
+
+func cloneSegs(in []viper.Segment) []viper.Segment {
+	out := make([]viper.Segment, len(in))
+	for i := range in {
+		out[i] = in[i].Clone()
+	}
+	return out
+}
+
+func dump(title string, pkt *viper.Packet) {
+	b, err := pkt.Encode()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("=== %s (%d bytes) ===\n%s\n", title, len(b), hex.Dump(b))
+	fmt.Println(pkt)
+	fmt.Println()
+}

@@ -1,0 +1,82 @@
+// Congestion control: three sources overload a shared 10 Mb/s trunk 6x.
+// The congested output port identifies its feeders from the source routes
+// of queued packets and pushes rate-limit signals upstream until the
+// queue drains; once the overload ends the soft state decays away (§2.2).
+//
+//	go run ./examples/congestion
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/directory"
+	"repro/internal/router"
+	"repro/internal/sim"
+)
+
+func main() {
+	rc := &router.RateControlConfig{Interval: sim.Millisecond, HighWater: 4}
+	net := core.New(11)
+	for i := 1; i <= 3; i++ {
+		net.AddHost(fmt.Sprintf("s%d", i))
+	}
+	net.AddHost("sink")
+	net.AddRouter("R1", router.Config{QueueLimit: 16, RateControl: rc})
+	net.AddRouter("R2", router.Config{QueueLimit: 16, RateControl: rc})
+	for i := 1; i <= 3; i++ {
+		net.Connect(fmt.Sprintf("s%d", i), 1, "R1", uint8(i), 100e6, 10*sim.Microsecond)
+	}
+	net.Connect("R1", 100, "R2", 1, 10e6, 50*sim.Microsecond) // bottleneck
+	net.Connect("R2", 2, "sink", 1, 100e6, 10*sim.Microsecond)
+
+	delivered := 0
+	net.Host("sink").Handle(0, func(d *router.Delivery) { delivered++ })
+
+	// Each source offers 20 Mb/s for 100 ms.
+	for i := 1; i <= 3; i++ {
+		name := fmt.Sprintf("s%d", i)
+		routes, err := net.Routes(directory.Query{From: name, To: "sink"})
+		if err != nil {
+			panic(err)
+		}
+		src := net.Host(name)
+		segs := routes[0].Segments
+		var pump func()
+		pump = func() {
+			if net.Eng.Now() > 100*sim.Millisecond {
+				return
+			}
+			src.Send(segs, make([]byte, 1000))
+			net.Eng.Schedule(400*sim.Microsecond, pump)
+		}
+		net.Eng.Schedule(0, pump)
+	}
+
+	// Narrate queue length and source rate limits over time.
+	fmt.Println("  time      queue@R1  s1 limit (bps)   drops")
+	var watch func()
+	watch = func() {
+		if net.Eng.Now() > 200*sim.Millisecond {
+			return
+		}
+		r1 := net.Router("R1")
+		fmt.Printf("  %-8v  %-8d  %-14.0f  %d\n",
+			net.Eng.Now(), r1.QueueLen(100),
+			net.Host("s1").SendRate(1, 100),
+			r1.Stats.DropCount(router.DropQueueFull))
+		net.Eng.Schedule(20*sim.Millisecond, watch)
+	}
+	net.Eng.Schedule(sim.Millisecond, watch)
+	net.RunUntil(2 * sim.Second)
+
+	r1 := net.Router("R1")
+	var signals uint64
+	for i := 1; i <= 3; i++ {
+		signals += net.Host(fmt.Sprintf("s%d", i)).Stats.RateSignals
+	}
+	fmt.Printf("\ndelivered=%d, queue-full drops=%d, rate signals to sources=%d\n",
+		delivered, r1.Stats.DropCount(router.DropQueueFull), signals)
+	fmt.Printf("soft state after idle period: limits at R1 = %v, s1 limit = %.0f (0 = expired)\n",
+		r1.Limits(100), net.Host("s1").SendRate(1, 100))
+}

@@ -1,0 +1,100 @@
+// Globalnet: a three-region internetwork (LAN -> campus -> region ->
+// full-mesh backbone) built by the topo generator, exercised with the
+// paper's traffic locality model (§6.2). Prints the hop-count
+// distribution — most traffic local, the global tail telephone-like —
+// and runs a transaction sample end to end.
+//
+//	go run ./examples/globalnet
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/directory"
+	"repro/internal/router"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/workload"
+)
+
+func main() {
+	res := topo.BuildHierarchy(9, topo.Hierarchy{Regions: 3, Campuses: 2, Lans: 2, Hosts: 2}, topo.Params{})
+	n := res.Net
+	fmt.Printf("built %s: %d hosts, %d routers\n", n, len(res.Hosts), res.Routers)
+
+	// Sample host pairs under the paper's locality model: a hop-count
+	// target is drawn from PaperLocality, then a pair at that distance
+	// is used (same LAN for 0 hops, etc.).
+	r := rand.New(rand.NewSource(2))
+	loc := workload.PaperLocality()
+	hopHist := map[int]int{}
+	replies := 0
+	sent := 0
+
+	for _, h := range res.Hosts {
+		host := n.Host(h)
+		host.Handle(0, func(d *router.Delivery) {
+			if len(d.Data) > 0 && d.Data[0] == 'p' {
+				host.Send(d.ReturnRoute, []byte("r"))
+				return
+			}
+			replies++
+		})
+	}
+
+	for i := 0; i < 200; i++ {
+		want := loc.Sample(r)
+		a, b := pickPair(r, res, want)
+		if a == "" {
+			continue
+		}
+		routes, err := n.Routes(directory.Query{From: a, To: b, Pref: directory.MinHops})
+		if err != nil {
+			continue
+		}
+		hopHist[routes[0].Hops]++
+		sent++
+		src := n.Host(a)
+		seg := routes[0].Segments
+		n.Eng.Schedule(sim.Time(sent)*sim.Millisecond, func() { src.Send(seg, []byte("p")) })
+	}
+	n.RunUntil(10 * sim.Second)
+
+	fmt.Println("\nhop-count distribution of sampled transactions:")
+	total := 0
+	for _, c := range hopHist {
+		total += c
+	}
+	for h := 0; h <= 6; h++ {
+		if c, ok := hopHist[h]; ok {
+			fmt.Printf("  %d routers: %4d  (%.0f%%)\n", h, c, 100*float64(c)/float64(total))
+		}
+	}
+	fmt.Printf("\ntransactions: %d sent, %d round trips completed\n", sent, replies)
+	fmt.Printf("paper's locality model mean: %.2f hops (§6.2)\n", loc.Mean())
+}
+
+// pickPair finds a host pair whose route length approximates the wanted
+// hop count: same LAN (0), same campus (1), same region (3) or global
+// (4+).
+func pickPair(r *rand.Rand, res *topo.HierarchyResult, want int) (string, string) {
+	hosts := res.Hosts
+	for tries := 0; tries < 50; tries++ {
+		a := hosts[r.Intn(len(hosts))]
+		b := hosts[r.Intn(len(hosts))]
+		if a == b {
+			continue
+		}
+		sameLan := res.HostLan[a] == res.HostLan[b]
+		switch {
+		case want == 0 && sameLan:
+			return a, b
+		case want >= 1 && want <= 2 && !sameLan && a[1] == b[1] && a[3] == b[3]: // same region+campus digit
+			return a, b
+		case want >= 3 && a[1] != b[1]:
+			return a, b
+		}
+	}
+	return "", ""
+}

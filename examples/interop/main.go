@@ -1,0 +1,92 @@
+// Interop: two Sirpent campuses joined across an IP internetwork (§2.3).
+// The IP cloud is one logical Sirpent hop: the near gateway encapsulates
+// VIPER packets in IP datagrams, the IP core routes (and fragments) them,
+// and the far gateway re-injects them. Replies reverse the logical hop
+// like any other.
+//
+//	go run ./examples/interop
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/clock"
+	"repro/internal/ethernet"
+	"repro/internal/ipnet"
+	"repro/internal/netsim"
+	"repro/internal/overlay"
+	"repro/internal/router"
+	"repro/internal/sim"
+	"repro/internal/viper"
+	"repro/internal/vmtp"
+)
+
+func main() {
+	eng := sim.NewEngine(1)
+
+	// Sirpent campus A: hA -- RA.
+	hA := router.NewHost(eng, "hA")
+	ra := router.New(eng, "RA", router.Config{})
+	l1 := netsim.NewP2PLink(eng, 10e6, 50*sim.Microsecond)
+	pa, pb := l1.Attach(hA, 1, ra, 1)
+	hA.AttachPort(pa)
+	ra.AttachPort(pb)
+
+	// Sirpent campus B: RB -- hB.
+	hB := router.NewHost(eng, "hB")
+	rb := router.New(eng, "RB", router.Config{})
+	l2 := netsim.NewP2PLink(eng, 10e6, 50*sim.Microsecond)
+	qa, qb := l2.Attach(rb, 1, hB, 1)
+	rb.AttachPort(qa)
+	hB.AttachPort(qb)
+
+	// The IP internetwork in the middle: gwA -- ipR -- gwB, MTU 576 on
+	// the far hop so large VIPER packets get fragmented in transit.
+	gwA := ipnet.NewHost(eng, "gwA", ipnet.MakeAddr(1, 1), ipnet.HostConfig{})
+	gwB := ipnet.NewHost(eng, "gwB", ipnet.MakeAddr(2, 1), ipnet.HostConfig{})
+	ipR := ipnet.NewRouter(eng, "ipR", ipnet.RouterConfig{})
+	la := netsim.NewP2PLink(eng, 10e6, 500*sim.Microsecond)
+	xa, xb := la.Attach(gwA, 1, ipR, 1)
+	gwA.AttachPort(xa)
+	ipR.AttachIface(xb, ipnet.MakeAddr(1, 254))
+	gwA.SetGateway(ipnet.MakeAddr(1, 254), ethernet.Addr{})
+	lb := netsim.NewP2PLink(eng, 10e6, 500*sim.Microsecond)
+	ya, yb := lb.Attach(ipR, 2, gwB, 1)
+	ipR.AttachIface(ya, ipnet.MakeAddr(2, 254))
+	gwB.AttachPort(yb)
+	gwB.SetGateway(ipnet.MakeAddr(2, 254), ethernet.Addr{})
+	lb.AB.SetMTU(576)
+	lb.BA.SetMTU(576)
+
+	// The tunnel: RA port 9 <-> RB port 9 through the IP cloud.
+	tun := overlay.New(eng, ra, 9, gwA, rb, 9, gwB, overlay.Config{})
+
+	// A VMTP transaction across campuses. The route treats the whole IP
+	// internetwork as the single segment {Port: 9}.
+	ckA, ckB := clock.New(eng, 0, 0), clock.New(eng, 0, 0)
+	client := vmtp.NewEndpoint(eng, hA, ckA, 0xA, 1, vmtp.Config{})
+	server := vmtp.NewEndpoint(eng, hB, ckB, 0xB, 1, vmtp.Config{})
+	server.SetHandler(func(from uint64, data []byte) []byte {
+		return append([]byte("crossed the internet: "), data...)
+	})
+	route := []viper.Segment{
+		{Port: 1, Flags: viper.FlagVNT}, // hA -> RA
+		{Port: 9, Flags: viper.FlagVNT}, // RA: the IP internetwork, one logical hop
+		{Port: 1, Flags: viper.FlagVNT}, // RB -> hB
+		{Port: 1},                       // hB endpoint
+	}
+	eng.Schedule(0, func() {
+		client.Call(server.ID(), [][]viper.Segment{route}, make([]byte, 1400), func(resp []byte, err error) {
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("t=%v response: %q... (%d bytes)\n", eng.Now(), resp[:30], len(resp))
+		})
+	})
+	eng.Run()
+
+	fmt.Printf("tunnel A: encapsulated=%d decapsulated=%d\n", tun.A.Stats.Encapsulated, tun.A.Stats.Decapsulated)
+	fmt.Printf("tunnel B: encapsulated=%d decapsulated=%d\n", tun.B.Stats.Encapsulated, tun.B.Stats.Decapsulated)
+	fmt.Printf("IP core:  forwarded=%d datagrams, fragmented=%d (MTU 576)\n", ipR.Stats.Forwarded, ipR.Stats.Fragmented)
+}

@@ -1,0 +1,102 @@
+// Multicast three ways (§2): reserved port values at a router,
+// tree-structured routes with per-branch sub-routes, and multicast agents
+// that "explode" packets to a member list. All three deliver the same
+// payload to all three members of a group.
+//
+//	go run ./examples/multicast
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/multicast"
+	"repro/internal/netsim"
+	"repro/internal/router"
+	"repro/internal/sim"
+	"repro/internal/viper"
+)
+
+// star builds src -- R -- {d1,d2,d3} and returns the pieces.
+func star() (*sim.Engine, *router.Host, *router.Router, []*router.Host, *[]string) {
+	eng := sim.NewEngine(13)
+	src := router.NewHost(eng, "src")
+	r := router.New(eng, "R", router.Config{})
+	l := netsim.NewP2PLink(eng, 10e6, 10*sim.Microsecond)
+	pa, pb := l.Attach(src, 1, r, 1)
+	src.AttachPort(pa)
+	r.AttachPort(pb)
+	var leaves []*router.Host
+	got := &[]string{}
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("d%d", i+1)
+		d := router.NewHost(eng, name)
+		lk := netsim.NewP2PLink(eng, 10e6, 10*sim.Microsecond)
+		qa, qb := lk.Attach(r, uint8(2+i), d, 1)
+		r.AttachPort(qa)
+		d.AttachPort(qb)
+		d.Handle(0, func(dl *router.Delivery) {
+			*got = append(*got, fmt.Sprintf("%s@%v", name, dl.At))
+		})
+		leaves = append(leaves, d)
+	}
+	return eng, src, r, leaves, got
+}
+
+func main() {
+	// Mechanism 1: a reserved port value fans out onto ports 2,3,4.
+	{
+		eng, src, r, _, got := star()
+		r.SetMulticastGroup(200, []uint8{2, 3, 4})
+		eng.Schedule(0, func() {
+			src.Send([]viper.Segment{
+				{Port: 1, Flags: viper.FlagVNT},
+				{Port: 200, Flags: viper.FlagVNT},
+				{Port: viper.PortLocal},
+			}, []byte("announcement"))
+		})
+		eng.Run()
+		fmt.Printf("reserved port:   %v\n", *got)
+	}
+
+	// Mechanism 2: a tree segment carries one sub-route per branch.
+	{
+		eng, src, _, _, got := star()
+		var branches [][]viper.Segment
+		for p := uint8(2); p <= 4; p++ {
+			branches = append(branches, []viper.Segment{
+				{Port: p, Flags: viper.FlagVNT},
+				{Port: viper.PortLocal},
+			})
+		}
+		route, err := multicast.BuildTreeRoute(
+			[]viper.Segment{{Port: 1, Flags: viper.FlagVNT}, {}}, branches, 0)
+		if err != nil {
+			panic(err)
+		}
+		eng.Schedule(0, func() { src.Send(route, []byte("announcement")) })
+		eng.Run()
+		fmt.Printf("tree segments:   %v\n", *got)
+	}
+
+	// Mechanism 3: an agent on d1 explodes to d2 and d3.
+	{
+		eng, src, _, leaves, got := star()
+		agent := multicast.NewAgent(eng, leaves[0], 7)
+		agent.AddMember([]viper.Segment{
+			{Port: 1, Flags: viper.FlagVNT}, {Port: 3, Flags: viper.FlagVNT}, {Port: viper.PortLocal},
+		})
+		agent.AddMember([]viper.Segment{
+			{Port: 1, Flags: viper.FlagVNT}, {Port: 4, Flags: viper.FlagVNT}, {Port: viper.PortLocal},
+		})
+		eng.Schedule(0, func() {
+			src.Send([]viper.Segment{
+				{Port: 1, Flags: viper.FlagVNT},
+				{Port: 2, Flags: viper.FlagVNT},
+				{Port: 7}, // the agent's endpoint on d1
+			}, []byte("announcement"))
+		})
+		eng.Run()
+		fmt.Printf("agent explosion: %v (agent received=%d exploded=%d)\n",
+			*got, agent.Stats.Received, agent.Stats.Exploded)
+	}
+}

@@ -1,0 +1,75 @@
+// Quickstart: build a small Sirpent internetwork, ask the directory for
+// a source route, and run a VMTP request/response transaction over it.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/directory"
+	"repro/internal/router"
+	"repro/internal/sim"
+	"repro/internal/vmtp"
+)
+
+func main() {
+	// 1. Assemble the internetwork: two Ethernets joined by a router —
+	//    the paper's §2 running example.
+	net := core.New(1)
+	net.AddEthernet("net1", 10e6, 5*sim.Microsecond)
+	net.AddEthernet("net2", 10e6, 5*sim.Microsecond)
+	net.AddHost("argus")
+	net.AddHost("pescadero")
+	net.AddRouter("gateway", router.Config{})
+	net.Attach("argus", "net1", 1)
+	net.Attach("gateway", "net1", 1)
+	net.Attach("gateway", "net2", 2)
+	net.Attach("pescadero", "net2", 1)
+
+	// 2. Hierarchical names, as the directory serves them (§3).
+	must(net.Register("argus.cs.stanford.edu", "argus"))
+	must(net.Register("pescadero.cs.stanford.edu", "pescadero"))
+
+	// 3. VMTP endpoints: 64-bit entities independent of any network
+	//    address (§4.1).
+	client := net.NewEndpoint("argus", 0xA517, 1, vmtp.Config{})
+	server := net.NewEndpoint("pescadero", 0x9E5C, 1, vmtp.Config{})
+	server.SetHandler(func(from uint64, data []byte) []byte {
+		return append([]byte("pescadero says: got "), data...)
+	})
+
+	// 4. Ask the directory for routes — they come back with MTU, base
+	//    RTT and bandwidth attributes (§3).
+	routes, err := net.Routes(directory.Query{
+		From:     "argus.cs.stanford.edu",
+		To:       "pescadero.cs.stanford.edu",
+		Pref:     directory.MinDelay,
+		Endpoint: 1,
+	})
+	must(err)
+	r := routes[0]
+	fmt.Printf("route: %v\n  hops=%d mtu=%d baseRTT=%v bottleneck=%.0f bps\n",
+		r.Path, r.Hops, r.MTU, r.BaseRTT(), r.BottleneckBps)
+
+	// 5. Run the transaction on virtual time.
+	net.Eng.Schedule(0, func() {
+		client.Call(server.ID(), core.SegmentsOf(routes), []byte("hello"), func(resp []byte, err error) {
+			must(err)
+			fmt.Printf("response at t=%v: %q\n", net.Eng.Now(), resp)
+		})
+	})
+	net.Run()
+
+	g := net.Router("gateway")
+	fmt.Printf("gateway: %d arrivals, %d cut-through, %d store-and-forward\n",
+		g.Stats.Arrivals, g.Stats.CutThrough, g.Stats.StoreForward)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

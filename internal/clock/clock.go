@@ -1,0 +1,108 @@
+// Package clock provides the approximately synchronized clocks that the
+// transport layer's creation-timestamp mechanism depends on (§4.2): each
+// host has a clock with bounded offset and drift from simulated true
+// time, a Cristian-style synchronization exchange to re-bound the offset,
+// and the 32-bit millisecond timestamp format of (revised) VMTP.
+package clock
+
+import (
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// Timestamp is VMTP's 32-bit creation timestamp: "the time in
+// milliseconds since January 1, 1970, modulo 2^32" — here, milliseconds
+// of virtual time since the simulation epoch, modulo 2^32. "A timestamp
+// value of 0 is reserved to mean that the timestamp is invalid" (§4.2).
+type Timestamp uint32
+
+// InvalidTimestamp marks a sender that does not yet know the time.
+const InvalidTimestamp Timestamp = 0
+
+// Wraparound is the timestamp modulus in milliseconds ("wrap-around
+// occurs in roughly one month", §4.2).
+const Wraparound = uint64(1) << 32
+
+// Age returns how much older ts is than ref, in milliseconds, handling
+// wraparound: the difference is interpreted modulo 2^32 as a signed
+// 32-bit quantity, so timestamps slightly "in the future" (receiver clock
+// behind sender) yield a negative age.
+func Age(ref, ts Timestamp) int64 {
+	return int64(int32(uint32(ref) - uint32(ts)))
+}
+
+// Clock is one host's view of time: true virtual time plus an offset and
+// drift. Offsets model imperfect synchronization; drift models crystal
+// error in parts per million.
+type Clock struct {
+	eng      *sim.Engine
+	offset   sim.Time
+	driftPPM float64
+	// base anchors drift accumulation.
+	base sim.Time
+}
+
+// New creates a clock with the given initial offset and drift.
+func New(eng *sim.Engine, offset sim.Time, driftPPM float64) *Clock {
+	return &Clock{eng: eng, offset: offset, driftPPM: driftPPM}
+}
+
+// NewRandom creates a clock with offset uniform in ±maxOffset and drift
+// uniform in ±maxDriftPPM.
+func NewRandom(eng *sim.Engine, r *rand.Rand, maxOffset sim.Time, maxDriftPPM float64) *Clock {
+	off := sim.Time(r.Int63n(int64(2*maxOffset+1))) - maxOffset
+	drift := (r.Float64()*2 - 1) * maxDriftPPM
+	return New(eng, off, drift)
+}
+
+// Now returns the host's local virtual time.
+func (c *Clock) Now() sim.Time {
+	t := c.eng.Now()
+	skew := sim.Time(float64(t-c.base) * c.driftPPM / 1e6)
+	return t + c.offset + skew
+}
+
+// Timestamp returns the current local time as a VMTP timestamp; it never
+// returns the reserved invalid value.
+func (c *Clock) Timestamp() Timestamp {
+	ms := uint64(c.Now()/sim.Millisecond) % Wraparound
+	if ms == 0 {
+		ms = 1
+	}
+	return Timestamp(ms)
+}
+
+// Offset reports the clock's current total error versus true time.
+func (c *Clock) Offset() sim.Time { return c.Now() - c.eng.Now() }
+
+// Step adjusts the clock by delta (positive = forward).
+func (c *Clock) Step(delta sim.Time) {
+	// Fold accumulated drift into the offset so future drift restarts
+	// from now.
+	c.offset = c.Offset() + delta
+	c.base = c.eng.Now()
+}
+
+// SyncResult reports one synchronization exchange.
+type SyncResult struct {
+	RTT        sim.Time
+	Adjustment sim.Time
+	// Bound is Cristian's error bound: |error| <= RTT/2 after sync.
+	Bound sim.Time
+}
+
+// SyncTo performs a Cristian-style exchange against a reference clock
+// (e.g. a WWV-disciplined server, §4.2) with the given one-way network
+// delays: the client reads the server's time and sets its clock to
+// serverTime + RTT/2.
+func (c *Clock) SyncTo(server *Clock, reqDelay, respDelay sim.Time) SyncResult {
+	rtt := reqDelay + respDelay
+	// The server's time when it answered, as seen at the client now:
+	// server stamped at (now - respDelay) in true time.
+	serverStamp := server.Now() - respDelay // approximation: server drift over respDelay is negligible
+	target := serverStamp + rtt/2
+	adj := target - c.Now()
+	c.Step(adj)
+	return SyncResult{RTT: rtt, Adjustment: adj, Bound: rtt / 2}
+}

@@ -1,0 +1,99 @@
+package clock
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestAgeWraparound(t *testing.T) {
+	cases := []struct {
+		ref, ts Timestamp
+		want    int64
+	}{
+		{1000, 900, 100},
+		{900, 1000, -100},
+		{5, Timestamp(^uint32(0) - 4), 10}, // ts just before wrap, ref just after
+		{Timestamp(^uint32(0) - 4), 5, -10},
+	}
+	for i, c := range cases {
+		if got := Age(c.ref, c.ts); got != c.want {
+			t.Errorf("case %d: Age(%d,%d) = %d, want %d", i, c.ref, c.ts, got, c.want)
+		}
+	}
+}
+
+func TestClockOffsetAndDrift(t *testing.T) {
+	eng := sim.NewEngine(1)
+	c := New(eng, 5*sim.Millisecond, 100) // +5ms offset, +100ppm drift
+	if got := c.Now() - eng.Now(); got != 5*sim.Millisecond {
+		t.Fatalf("initial offset = %v", got)
+	}
+	eng.RunUntil(10 * sim.Second)
+	// After 10s at +100ppm, drift adds 1ms.
+	want := 6 * sim.Millisecond
+	got := c.Offset()
+	if got < want-10*sim.Microsecond || got > want+10*sim.Microsecond {
+		t.Fatalf("offset after drift = %v, want ~%v", got, want)
+	}
+}
+
+func TestTimestampNeverInvalid(t *testing.T) {
+	eng := sim.NewEngine(1)
+	c := New(eng, 0, 0)
+	if ts := c.Timestamp(); ts == InvalidTimestamp {
+		t.Fatal("Timestamp returned the reserved invalid value at epoch")
+	}
+}
+
+func TestStep(t *testing.T) {
+	eng := sim.NewEngine(1)
+	c := New(eng, 10*sim.Millisecond, 0)
+	c.Step(-10 * sim.Millisecond)
+	if got := c.Offset(); got != 0 {
+		t.Fatalf("offset after Step = %v", got)
+	}
+}
+
+func TestSyncToBoundsError(t *testing.T) {
+	eng := sim.NewEngine(1)
+	r := rand.New(rand.NewSource(2))
+	server := New(eng, 0, 0) // reference
+	for i := 0; i < 50; i++ {
+		c := NewRandom(eng, r, 500*sim.Millisecond, 200)
+		req := sim.Time(r.Int63n(int64(5 * sim.Millisecond)))
+		resp := sim.Time(r.Int63n(int64(5 * sim.Millisecond)))
+		res := c.SyncTo(server, req, resp)
+		if err := c.Now() - server.Now(); err > res.Bound || err < -res.Bound {
+			t.Fatalf("iter %d: post-sync error %v exceeds bound %v", i, err, res.Bound)
+		}
+	}
+}
+
+func TestSyncAdequateForVMTP(t *testing.T) {
+	// §4.2: "clock synchronization need not be more accurate than
+	// multiple seconds". Even a badly skewed clock synced over a slow
+	// WAN lands well within that.
+	eng := sim.NewEngine(1)
+	server := New(eng, 0, 0)
+	c := New(eng, -20*sim.Second, 500)
+	res := c.SyncTo(server, 200*sim.Millisecond, 300*sim.Millisecond)
+	if res.Bound > sim.Second {
+		t.Fatalf("bound = %v", res.Bound)
+	}
+	if err := c.Offset(); err > sim.Second || err < -sim.Second {
+		t.Fatalf("post-sync offset = %v, not within VMTP's multi-second need", err)
+	}
+}
+
+func TestRandomClockWithinBounds(t *testing.T) {
+	eng := sim.NewEngine(1)
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		c := NewRandom(eng, r, 100*sim.Millisecond, 50)
+		if off := c.Offset(); off > 100*sim.Millisecond || off < -100*sim.Millisecond {
+			t.Fatalf("offset %v out of bounds", off)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/directory"
+	"repro/internal/router"
+	"repro/internal/sim"
+	"repro/internal/vmtp"
+)
+
+// TestAccountingCollection checks §3's merged routing+accounting story:
+// two clients with different accounts cross a token-guarded transit
+// router; the directory's billing sweep attributes usage to each.
+func TestAccountingCollection(t *testing.T) {
+	n := buildCampus(21, router.Config{})
+	n.GuardRouter("R1", []byte("k1"), 2)
+	n.GuardRouter("R2", []byte("k2"), 2)
+
+	server := n.NewEndpoint("hB", 0xB, 1, vmtp.Config{})
+	server.SetHandler(func(from uint64, data []byte) []byte { return data })
+
+	mkClient := func(host string, id uint64, account uint32, calls int) {
+		c := n.NewEndpoint(host, id, 1, vmtp.Config{})
+		routes, err := n.Routes(directory.Query{
+			From: host, To: "hB", Pref: directory.MinDelay, Endpoint: 1, Account: account,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < calls; i++ {
+			i := i
+			n.Eng.Schedule(sim.Time(i*5)*sim.Millisecond, func() {
+				c.Call(server.ID(), SegmentsOf(routes[:1]), make([]byte, 400), func([]byte, error) {})
+			})
+		}
+	}
+	mkClient("hA", 0xA, 100, 4)
+	mkClient("hC", 0xC, 200, 2)
+	n.RunUntil(2 * sim.Second)
+
+	bill := n.CollectAccounting()
+	a, b := bill[100], bill[200]
+	if a.Packets == 0 || b.Packets == 0 {
+		t.Fatalf("missing usage: %+v", bill)
+	}
+	if a.Packets <= b.Packets {
+		t.Fatalf("account 100 (%d pkts) should exceed account 200 (%d pkts)", a.Packets, b.Packets)
+	}
+	if a.Bytes == 0 || b.Bytes == 0 {
+		t.Fatal("byte accounting missing")
+	}
+	// A second sweep replaces, not double-counts.
+	bill2 := n.CollectAccounting()
+	if bill2[100] != a || bill2[200] != b {
+		t.Fatalf("resweep changed totals: %+v vs %+v/%+v", bill2, a, b)
+	}
+}

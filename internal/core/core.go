@@ -1,0 +1,333 @@
+// Package core assembles complete Sirpent internetworks: simulated
+// Ethernets and point-to-point trunks (netsim), Sirpent routers and hosts
+// (router), the routing directory fed from the topology as it is built
+// (directory), per-host clocks (clock), and VMTP endpoints (vmtp).
+//
+// It is the package applications use:
+//
+//	net := core.New(1)
+//	net.AddEthernet("net1", 10e6, 5*sim.Microsecond)
+//	r := net.AddRouter("R", router.Config{})
+//	...
+//	routes, _ := net.Routes(directory.Query{From: "hA", To: "hB"})
+//	client.Call(server.ID(), core.SegmentsOf(routes), data, done)
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/clock"
+	"repro/internal/directory"
+	"repro/internal/ethernet"
+	"repro/internal/netsim"
+	"repro/internal/router"
+	"repro/internal/sim"
+	"repro/internal/token"
+	"repro/internal/viper"
+	"repro/internal/vmtp"
+)
+
+// LinkOption tunes the directory attributes of a link or segment.
+type LinkOption func(*directory.EdgeAttrs)
+
+// Secure marks the link acceptable for secure routes.
+func Secure() LinkOption { return func(a *directory.EdgeAttrs) { a.Secure = true } }
+
+// Insecure marks the link unacceptable for secure routes (links default
+// to secure).
+func Insecure() LinkOption { return func(a *directory.EdgeAttrs) { a.Secure = false } }
+
+// Cost sets the administrative cost per kilobyte.
+func Cost(perKB float64) LinkOption { return func(a *directory.EdgeAttrs) { a.CostPerKB = perKB } }
+
+// MTU sets the link MTU in bytes.
+func MTU(n int) LinkOption { return func(a *directory.EdgeAttrs) { a.MTU = n } }
+
+// Internetwork is a complete simulated Sirpent internetwork.
+type Internetwork struct {
+	Eng *sim.Engine
+
+	routers  map[string]*router.Router
+	hosts    map[string]*router.Host
+	segments map[string]*netsim.EthernetSegment
+	segAttrs map[string]directory.EdgeAttrs
+	segSta   map[string][]station
+	clocks   map[string]*clock.Clock
+	links    []*netsim.P2PLink
+	linkIdx  map[string]*netsim.P2PLink
+
+	graph *directory.Graph
+	dir   *directory.Service
+
+	nextAddr uint64
+}
+
+type station struct {
+	node string
+	port uint8
+	addr ethernet.Addr
+}
+
+// New creates an empty internetwork with a deterministic seed.
+func New(seed int64) *Internetwork {
+	eng := sim.NewEngine(seed)
+	g := directory.NewGraph()
+	return &Internetwork{
+		Eng:      eng,
+		routers:  make(map[string]*router.Router),
+		hosts:    make(map[string]*router.Host),
+		segments: make(map[string]*netsim.EthernetSegment),
+		segAttrs: make(map[string]directory.EdgeAttrs),
+		segSta:   make(map[string][]station),
+		clocks:   make(map[string]*clock.Clock),
+		linkIdx:  make(map[string]*netsim.P2PLink),
+		graph:    g,
+		dir:      directory.NewService(eng, g),
+	}
+}
+
+// Directory returns the routing directory service.
+func (n *Internetwork) Directory() *directory.Service { return n.dir }
+
+// Graph returns the topology graph (for experiment harnesses).
+func (n *Internetwork) Graph() *directory.Graph { return n.graph }
+
+// AddRouter creates and registers a Sirpent router.
+func (n *Internetwork) AddRouter(name string, cfg router.Config) *router.Router {
+	if _, dup := n.routers[name]; dup {
+		panic("core: duplicate router " + name)
+	}
+	r := router.New(n.Eng, name, cfg)
+	n.routers[name] = r
+	n.graph.AddNode(name, directory.KindRouter)
+	return r
+}
+
+// AddHost creates and registers a host with its own (slightly skewed)
+// clock.
+func (n *Internetwork) AddHost(name string) *router.Host {
+	if _, dup := n.hosts[name]; dup {
+		panic("core: duplicate host " + name)
+	}
+	h := router.NewHost(n.Eng, name)
+	n.hosts[name] = h
+	n.graph.AddNode(name, directory.KindHost)
+	n.clocks[name] = clock.NewRandom(n.Eng, n.Eng.Rand(), 200*sim.Millisecond, 100)
+	return h
+}
+
+// Router returns a router by name.
+func (n *Internetwork) Router(name string) *router.Router { return n.routers[name] }
+
+// Host returns a host by name.
+func (n *Internetwork) Host(name string) *router.Host { return n.hosts[name] }
+
+// HostClock returns a host's clock.
+func (n *Internetwork) HostClock(name string) *clock.Clock { return n.clocks[name] }
+
+// AddEthernet creates a shared multi-access segment.
+func (n *Internetwork) AddEthernet(name string, rateBps float64, prop sim.Time, opts ...LinkOption) *netsim.EthernetSegment {
+	if _, dup := n.segments[name]; dup {
+		panic("core: duplicate segment " + name)
+	}
+	seg := netsim.NewEthernetSegment(n.Eng, name, rateBps, prop)
+	attrs := attrsFor(rateBps, prop, 0, opts)
+	if attrs.MTU > 0 {
+		seg.SetMTU(attrs.MTU)
+	}
+	n.segments[name] = seg
+	n.segAttrs[name] = attrs
+	return seg
+}
+
+// newAddr mints a unique station address.
+func (n *Internetwork) newAddr() ethernet.Addr {
+	n.nextAddr++
+	return ethernet.AddrFromUint64(n.nextAddr)
+}
+
+// attrsFor builds directory attributes for a medium.
+func attrsFor(rate float64, prop sim.Time, mtu int, opts []LinkOption) directory.EdgeAttrs {
+	a := directory.EdgeAttrs{RateBps: rate, Prop: prop, MTU: mtu, Secure: true}
+	for _, o := range opts {
+		o(&a)
+	}
+	return a
+}
+
+// Attach connects a node (host or router) to an Ethernet segment with
+// the given port/interface ID, recording topology edges to every other
+// station on the segment. Link properties come from AddEthernet.
+func (n *Internetwork) Attach(node, segment string, port uint8) {
+	seg, ok := n.segments[segment]
+	if !ok {
+		panic("core: unknown segment " + segment)
+	}
+	addr := n.newAddr()
+	var p *netsim.Port
+	switch {
+	case n.routers[node] != nil:
+		p = seg.AttachStation(n.routers[node], port, addr)
+		n.routers[node].AttachPort(p)
+	case n.hosts[node] != nil:
+		p = seg.AttachStation(n.hosts[node], port, addr)
+		n.hosts[node].AttachPort(p)
+	default:
+		panic("core: unknown node " + node)
+	}
+	attrs := n.segAttrs[segment]
+	st := station{node: node, port: port, addr: addr}
+	for _, other := range n.segSta[segment] {
+		if err := n.graph.AddEdge(directory.Edge{
+			From: st.node, To: other.node, FromPort: st.port,
+			FromStation: st.addr, ToStation: other.addr, Attrs: attrs,
+		}); err != nil {
+			panic(err)
+		}
+		if err := n.graph.AddEdge(directory.Edge{
+			From: other.node, To: st.node, FromPort: other.port,
+			FromStation: other.addr, ToStation: st.addr, Attrs: attrs,
+		}); err != nil {
+			panic(err)
+		}
+	}
+	n.segSta[segment] = append(n.segSta[segment], st)
+}
+
+// Connect joins two nodes with a full-duplex point-to-point link.
+func (n *Internetwork) Connect(a string, portA uint8, b string, portB uint8, rateBps float64, prop sim.Time, opts ...LinkOption) *netsim.P2PLink {
+	na := n.node(a)
+	nb := n.node(b)
+	link := netsim.NewP2PLink(n.Eng, rateBps, prop)
+	pa, pb := link.Attach(na, portA, nb, portB)
+	n.attachPort(a, pa)
+	n.attachPort(b, pb)
+	attrs := attrsFor(rateBps, prop, 0, opts)
+	if attrs.MTU > 0 {
+		link.AB.SetMTU(attrs.MTU)
+		link.BA.SetMTU(attrs.MTU)
+	}
+	if err := n.graph.AddEdge(directory.Edge{From: a, To: b, FromPort: portA, Attrs: attrs}); err != nil {
+		panic(err)
+	}
+	if err := n.graph.AddEdge(directory.Edge{From: b, To: a, FromPort: portB, Attrs: attrs}); err != nil {
+		panic(err)
+	}
+	n.links = append(n.links, link)
+	n.linkIdx[linkKey(a, b)] = link
+	n.linkIdx[linkKey(b, a)] = link
+	return link
+}
+
+func linkKey(a, b string) string { return a + "\x00" + b }
+
+// Link returns the p2p link between two nodes, if any.
+func (n *Internetwork) Link(a, b string) (*netsim.P2PLink, bool) {
+	l, ok := n.linkIdx[linkKey(a, b)]
+	return l, ok
+}
+
+// FailLink takes the a<->b link down and records the failure in the
+// directory (as a monitoring report would, §3).
+func (n *Internetwork) FailLink(a, b string) {
+	if l, ok := n.Link(a, b); ok {
+		l.SetDown(true)
+	}
+	n.dir.ReportDown(a, b)
+}
+
+// RestoreLink brings the a<->b link back.
+func (n *Internetwork) RestoreLink(a, b string) {
+	if l, ok := n.Link(a, b); ok {
+		l.SetDown(false)
+	}
+	n.dir.ReportUp(a, b)
+}
+
+func (n *Internetwork) node(name string) netsim.Node {
+	if r, ok := n.routers[name]; ok {
+		return r
+	}
+	if h, ok := n.hosts[name]; ok {
+		return h
+	}
+	panic("core: unknown node " + name)
+}
+
+func (n *Internetwork) attachPort(name string, p *netsim.Port) {
+	if r, ok := n.routers[name]; ok {
+		r.AttachPort(p)
+		return
+	}
+	n.hosts[name].AttachPort(p)
+}
+
+// GuardRouter installs a token authority on a router, requires tokens on
+// the given ports, and registers the authority with the directory so
+// routes through the router carry tokens (§2.2 + §3).
+func (n *Internetwork) GuardRouter(name string, key []byte, ports ...uint8) *token.Authority {
+	r, ok := n.routers[name]
+	if !ok {
+		panic("core: unknown router " + name)
+	}
+	auth := token.NewAuthority(key)
+	r.SetTokenAuthority(auth)
+	for _, p := range ports {
+		r.RequireToken(p)
+	}
+	n.dir.RegisterAuthority(name, auth)
+	return auth
+}
+
+// CollectAccounting sweeps every token-guarded router's accounting cache
+// into the directory's billing database (§3: authorization, accounting
+// and routing share the directory's mechanisms). Returns the aggregated
+// per-account totals.
+func (n *Internetwork) CollectAccounting() map[uint32]token.Usage {
+	for name, r := range n.routers {
+		if c := r.TokenCache(); c != nil {
+			n.dir.ReportUsage(name, c.AccountTotals())
+		}
+	}
+	return n.dir.Bill()
+}
+
+// Register binds a hierarchical name to a node in the directory.
+func (n *Internetwork) Register(name, node string) error {
+	return n.dir.Register(name, node)
+}
+
+// Routes queries the directory.
+func (n *Internetwork) Routes(q directory.Query) ([]directory.Route, error) {
+	return n.dir.Routes(q)
+}
+
+// SegmentsOf extracts the segment lists from directory routes, the form
+// vmtp.Endpoint.Call consumes.
+func SegmentsOf(routes []directory.Route) [][]viper.Segment {
+	out := make([][]viper.Segment, len(routes))
+	for i := range routes {
+		out[i] = routes[i].Segments
+	}
+	return out
+}
+
+// NewEndpoint creates a VMTP entity on a host, using the host's clock.
+func (n *Internetwork) NewEndpoint(host string, id uint64, hostEndpoint uint8, cfg vmtp.Config) *vmtp.Endpoint {
+	h, ok := n.hosts[host]
+	if !ok {
+		panic("core: unknown host " + host)
+	}
+	return vmtp.NewEndpoint(n.Eng, h, n.clocks[host], id, hostEndpoint, cfg)
+}
+
+// Run drains all events; RunFor / RunUntil bound virtual time.
+func (n *Internetwork) Run()                { n.Eng.Run() }
+func (n *Internetwork) RunFor(d sim.Time)   { n.Eng.RunFor(d) }
+func (n *Internetwork) RunUntil(t sim.Time) { n.Eng.RunUntil(t) }
+
+// String summarizes the internetwork.
+func (n *Internetwork) String() string {
+	return fmt.Sprintf("internetwork{%d hosts, %d routers, %d segments, %d links}",
+		len(n.hosts), len(n.routers), len(n.segments), len(n.links))
+}

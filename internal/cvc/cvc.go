@@ -1,0 +1,373 @@
+// Package cvc implements the concatenated-virtual-circuit baseline the
+// paper contrasts with (§1): X.75-style gateways that hold per-circuit
+// state, require a full round-trip circuit setup before data can flow,
+// and optionally reserve bandwidth per circuit. Data packets are
+// label-switched with small headers but store-and-forward per hop.
+//
+// Circuit setup is source-directed (the setup message carries the port
+// path) so the comparison isolates the data-plane and state costs of the
+// CVC architecture rather than its routing protocol.
+package cvc
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Kind discriminates circuit-protocol messages.
+type Kind uint8
+
+const (
+	KindSetup Kind = iota
+	KindAccept
+	KindReject
+	KindData
+	KindClear
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindSetup:
+		return "setup"
+	case KindAccept:
+		return "accept"
+	case KindReject:
+		return "reject"
+	case KindData:
+		return "data"
+	case KindClear:
+		return "clear"
+	}
+	return "?"
+}
+
+// headerLen is the data-packet header: GFI/LCN/type-style 4 bytes, as in
+// X.25.
+const headerLen = 4
+
+// setupLen is the size of a setup/accept/reject/clear message: header
+// plus addressing and facilities fields.
+const setupLen = 24
+
+// Packet is a CVC frame. It implements netsim.Payload.
+type Packet struct {
+	Kind Kind
+	VC   uint16 // logical channel on the link it is traversing
+	Data []byte
+
+	// Setup-only fields.
+	Path       []uint8 // remaining output ports, consumed hop by hop
+	ReserveBps float64
+	// setupID correlates accept/reject at the originating host.
+	SetupID uint32
+}
+
+// WireLen implements netsim.Payload.
+func (p *Packet) WireLen() int {
+	if p.Kind == KindData {
+		return headerLen + len(p.Data)
+	}
+	return setupLen + len(p.Path)
+}
+
+// CloneWire implements netsim.Payload.
+func (p *Packet) CloneWire() any {
+	c := *p
+	c.Data = append([]byte(nil), p.Data...)
+	c.Path = append([]uint8(nil), p.Path...)
+	return &c
+}
+
+// SwitchConfig parameterizes a CVC gateway.
+type SwitchConfig struct {
+	// SetupTime is the per-hop call-setup processing cost. Default 1ms
+	// (allocation, admission, accounting).
+	SetupTime sim.Time
+	// SwitchTime is the per-packet label-switch cost. Default 20µs —
+	// cheaper than IP's ProcessTime (small headers, table index) but
+	// still a store-and-forward architecture.
+	SwitchTime sim.Time
+	// MaxCircuits bounds the gateway's circuit table; 0 means 1024.
+	// "It also requires a significant amount of state in the gateways"
+	// (§1).
+	MaxCircuits int
+}
+
+func (c SwitchConfig) withDefaults() SwitchConfig {
+	if c.SetupTime == 0 {
+		c.SetupTime = sim.Millisecond
+	}
+	if c.SwitchTime == 0 {
+		c.SwitchTime = 20 * sim.Microsecond
+	}
+	if c.MaxCircuits == 0 {
+		c.MaxCircuits = 1024
+	}
+	return c
+}
+
+// circuit is one direction-pair of per-gateway circuit state.
+type circuit struct {
+	inPort, outPort *netsim.Port
+	inVC, outVC     uint16
+	reserve         float64
+}
+
+// SwitchStats counts gateway behavior.
+type SwitchStats struct {
+	Setups        uint64
+	Rejects       uint64
+	DataForwarded uint64
+	Clears        uint64
+	Drops         uint64
+	// ForwardDelay samples per-hop data-packet delay (arrival leading
+	// edge to onward transmission).
+	ForwardDelay stats.Sample
+}
+
+// Switch is a CVC gateway. It implements netsim.Node.
+type Switch struct {
+	eng  *sim.Engine
+	name string
+	cfg  SwitchConfig
+
+	ports map[uint8]*swPort
+	// in-circuit lookup: (inPort id, inVC) -> circuit
+	fwd map[vcKey]*circuit
+	// reverse lookup for packets flowing back: (outPort id, outVC) -> circuit
+	rev map[vcKey]*circuit
+
+	nextVC   map[uint8]uint16 // per-port VC allocator
+	reserved map[uint8]float64
+
+	Stats SwitchStats
+}
+
+type vcKey struct {
+	port uint8
+	vc   uint16
+}
+
+type swPort struct {
+	port     *netsim.Port
+	queue    []queuedPkt
+	draining bool
+}
+
+type queuedPkt struct {
+	pkt       *Packet
+	arrivedAt sim.Time
+}
+
+// NewSwitch creates a CVC gateway.
+func NewSwitch(eng *sim.Engine, name string, cfg SwitchConfig) *Switch {
+	return &Switch{
+		eng:      eng,
+		name:     name,
+		cfg:      cfg.withDefaults(),
+		ports:    make(map[uint8]*swPort),
+		fwd:      make(map[vcKey]*circuit),
+		rev:      make(map[vcKey]*circuit),
+		nextVC:   make(map[uint8]uint16),
+		reserved: make(map[uint8]float64),
+	}
+}
+
+// Name implements netsim.Node.
+func (s *Switch) Name() string { return s.name }
+
+// AttachPort registers a port. CVC runs over point-to-point trunks.
+func (s *Switch) AttachPort(p *netsim.Port) {
+	if p.Node != netsim.Node(s) {
+		panic(fmt.Sprintf("cvc: port %v belongs to another node", p))
+	}
+	s.ports[p.ID] = &swPort{port: p}
+}
+
+// Circuits reports the number of circuit-table entries held — the state
+// cost §1 highlights.
+func (s *Switch) Circuits() int { return len(s.fwd) }
+
+// ReservedBps reports the bandwidth reserved on a port.
+func (s *Switch) ReservedBps(port uint8) float64 { return s.reserved[port] }
+
+// Arrive implements netsim.Node (store-and-forward).
+func (s *Switch) Arrive(arr *netsim.Arrival) {
+	wait := arr.End() - s.eng.Now()
+	s.eng.Schedule(wait, func() {
+		if arr.Tx.Aborted() {
+			s.Stats.Drops++
+			return
+		}
+		pkt, ok := arr.Pkt.(*Packet)
+		if !ok {
+			s.Stats.Drops++
+			return
+		}
+		switch pkt.Kind {
+		case KindSetup:
+			s.eng.Schedule(s.cfg.SetupTime, func() { s.handleSetup(pkt, arr) })
+		case KindData, KindAccept, KindReject, KindClear:
+			s.eng.Schedule(s.cfg.SwitchTime, func() { s.handleSwitched(pkt, arr) })
+		}
+	})
+}
+
+func (s *Switch) handleSetup(pkt *Packet, arr *netsim.Arrival) {
+	if len(pkt.Path) == 0 {
+		// Malformed: setup must terminate at a host, not a switch.
+		s.Stats.Drops++
+		return
+	}
+	outID := pkt.Path[0]
+	op, ok := s.ports[outID]
+	inPort := s.ports[arr.In.ID]
+	if !ok || inPort == nil {
+		s.rejectBack(pkt, arr)
+		return
+	}
+	// Admission: circuit-table capacity and bandwidth reservation (§1:
+	// "the costs of switch state and bandwidth reservation associated
+	// with a circuit").
+	if len(s.fwd) >= s.cfg.MaxCircuits {
+		s.rejectBack(pkt, arr)
+		return
+	}
+	if pkt.ReserveBps > 0 && s.reserved[outID]+pkt.ReserveBps > op.port.Medium.RateBps() {
+		s.rejectBack(pkt, arr)
+		return
+	}
+	outVC := s.allocVC(outID)
+	c := &circuit{
+		inPort:  inPort.port,
+		outPort: op.port,
+		inVC:    pkt.VC,
+		outVC:   outVC,
+		reserve: pkt.ReserveBps,
+	}
+	s.fwd[vcKey{arr.In.ID, pkt.VC}] = c
+	s.rev[vcKey{outID, outVC}] = c
+	s.reserved[outID] += pkt.ReserveBps
+	s.Stats.Setups++
+
+	next := &Packet{
+		Kind:       KindSetup,
+		VC:         outVC,
+		Path:       pkt.Path[1:],
+		ReserveBps: pkt.ReserveBps,
+		SetupID:    pkt.SetupID,
+	}
+	s.enqueue(op, next, arr.Start)
+}
+
+func (s *Switch) rejectBack(pkt *Packet, arr *netsim.Arrival) {
+	s.Stats.Rejects++
+	ip := s.ports[arr.In.ID]
+	if ip == nil {
+		return
+	}
+	s.enqueue(ip, &Packet{Kind: KindReject, VC: pkt.VC, SetupID: pkt.SetupID}, arr.Start)
+}
+
+// handleSwitched forwards data/accept/reject/clear along established
+// state. Data flows forward via fwd; accept/reject/clear flow backward
+// via rev.
+func (s *Switch) handleSwitched(pkt *Packet, arr *netsim.Arrival) {
+	switch pkt.Kind {
+	case KindData:
+		// Circuits are bidirectional: data arriving on the caller side
+		// follows fwd; data flowing back from the callee follows rev.
+		if c, ok := s.fwd[vcKey{arr.In.ID, pkt.VC}]; ok {
+			out := s.ports[c.outPort.ID]
+			s.Stats.DataForwarded++
+			s.enqueue(out, &Packet{Kind: KindData, VC: c.outVC, Data: pkt.Data}, arr.Start)
+			return
+		}
+		if c, ok := s.rev[vcKey{arr.In.ID, pkt.VC}]; ok {
+			in := s.ports[c.inPort.ID]
+			s.Stats.DataForwarded++
+			s.enqueue(in, &Packet{Kind: KindData, VC: c.inVC, Data: pkt.Data}, arr.Start)
+			return
+		}
+		s.Stats.Drops++
+	case KindAccept, KindReject:
+		c, ok := s.rev[vcKey{arr.In.ID, pkt.VC}]
+		if !ok {
+			s.Stats.Drops++
+			return
+		}
+		if pkt.Kind == KindReject {
+			s.teardown(c)
+		}
+		in := s.ports[c.inPort.ID]
+		s.enqueue(in, &Packet{Kind: pkt.Kind, VC: c.inVC, SetupID: pkt.SetupID}, arr.Start)
+	case KindClear:
+		if c, ok := s.fwd[vcKey{arr.In.ID, pkt.VC}]; ok {
+			out := s.ports[c.outPort.ID]
+			outVC := c.outVC
+			s.teardown(c)
+			s.Stats.Clears++
+			s.enqueue(out, &Packet{Kind: KindClear, VC: outVC}, arr.Start)
+			return
+		}
+		if c, ok := s.rev[vcKey{arr.In.ID, pkt.VC}]; ok {
+			in := s.ports[c.inPort.ID]
+			inVC := c.inVC
+			s.teardown(c)
+			s.Stats.Clears++
+			s.enqueue(in, &Packet{Kind: KindClear, VC: inVC}, arr.Start)
+			return
+		}
+		s.Stats.Drops++
+	}
+}
+
+func (s *Switch) teardown(c *circuit) {
+	delete(s.fwd, vcKey{c.inPort.ID, c.inVC})
+	delete(s.rev, vcKey{c.outPort.ID, c.outVC})
+	s.reserved[c.outPort.ID] -= c.reserve
+}
+
+func (s *Switch) allocVC(port uint8) uint16 {
+	s.nextVC[port]++
+	return s.nextVC[port]
+}
+
+func (s *Switch) enqueue(op *swPort, pkt *Packet, arrivedAt sim.Time) {
+	op.queue = append(op.queue, queuedPkt{pkt: pkt, arrivedAt: arrivedAt})
+	s.drain(op)
+}
+
+func (s *Switch) drain(op *swPort) {
+	if op.draining || len(op.queue) == 0 {
+		return
+	}
+	now := s.eng.Now()
+	if free := op.port.Medium.FreeAt(now); free > now {
+		op.draining = true
+		s.eng.At(free, func() {
+			op.draining = false
+			s.drain(op)
+		})
+		return
+	}
+	it := op.queue[0]
+	op.queue = op.queue[1:]
+	tx, err := op.port.Medium.Transmit(op.port, it.pkt, nil, 0)
+	if err != nil {
+		s.Stats.Drops++
+		s.drain(op)
+		return
+	}
+	if it.pkt.Kind == KindData && it.arrivedAt >= 0 {
+		s.Stats.ForwardDelay.Add(float64(now - it.arrivedAt))
+	}
+	op.draining = true
+	s.eng.At(tx.End(), func() {
+		op.draining = false
+		s.drain(op)
+	})
+}

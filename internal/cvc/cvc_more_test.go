@@ -1,0 +1,122 @@
+package cvc
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestBidirectionalDataOnCircuit(t *testing.T) {
+	eng := sim.NewEngine(19)
+	hA, hB, sws, path := chain(eng, 2, 10e6, 10*sim.Microsecond, SwitchConfig{})
+	var atA, atB []byte
+	hB.OnData(func(vc uint16, data []byte) {
+		atB = append([]byte(nil), data...)
+		if c := hB.Circuit(vc); c != nil {
+			hB.Send(c, []byte("southbound"))
+		} else {
+			t.Error("callee has no circuit handle")
+		}
+	})
+	hA.OnData(func(vc uint16, data []byte) { atA = append([]byte(nil), data...) })
+	eng.Schedule(0, func() {
+		hA.Open(path, 0, func(c *Circuit, err error) {
+			if err != nil {
+				t.Errorf("Open: %v", err)
+				return
+			}
+			hA.Send(c, []byte("northbound"))
+		})
+	})
+	eng.Run()
+	if !bytes.Equal(atB, []byte("northbound")) {
+		t.Fatalf("callee got %q", atB)
+	}
+	if !bytes.Equal(atA, []byte("southbound")) {
+		t.Fatalf("caller got %q (reverse data path broken)", atA)
+	}
+	// Data crossed each switch twice.
+	for _, s := range sws {
+		if s.Stats.DataForwarded != 2 {
+			t.Errorf("%s forwarded %d data packets, want 2", s.Name(), s.Stats.DataForwarded)
+		}
+	}
+}
+
+func TestClearFromCalleeSide(t *testing.T) {
+	eng := sim.NewEngine(19)
+	hA, hB, sws, path := chain(eng, 2, 10e6, 0, SwitchConfig{})
+	eng.Schedule(0, func() {
+		hA.Open(path, 0, func(c *Circuit, err error) {
+			if err != nil {
+				t.Errorf("Open: %v", err)
+			}
+		})
+	})
+	eng.Run()
+	if hB.OpenCount() != 1 {
+		t.Fatalf("callee OpenCount = %d", hB.OpenCount())
+	}
+	// The callee tears the circuit down; switch state drains hop by hop.
+	var callee *Circuit
+	for vc := uint16(1); vc < 10; vc++ {
+		if c := hB.Circuit(vc); c != nil {
+			callee = c
+			break
+		}
+	}
+	if callee == nil {
+		t.Fatal("no callee circuit")
+	}
+	eng.Schedule(0, func() { hB.Close(callee) })
+	eng.Run()
+	for _, s := range sws {
+		if s.Circuits() != 0 {
+			t.Fatalf("%s retains %d circuits after callee clear", s.Name(), s.Circuits())
+		}
+	}
+}
+
+func TestPacketCloneWire(t *testing.T) {
+	p := &Packet{Kind: KindSetup, VC: 3, Data: []byte{1}, Path: []uint8{2, 2}}
+	c := p.CloneWire().(*Packet)
+	c.Data[0] = 9
+	c.Path[0] = 9
+	if p.Data[0] == 9 || p.Path[0] == 9 {
+		t.Fatal("CloneWire aliases original")
+	}
+}
+
+func TestWireLens(t *testing.T) {
+	data := &Packet{Kind: KindData, Data: make([]byte, 100)}
+	if data.WireLen() != headerLen+100 {
+		t.Fatalf("data WireLen = %d", data.WireLen())
+	}
+	setup := &Packet{Kind: KindSetup, Path: []uint8{1, 2, 3}}
+	if setup.WireLen() != setupLen+3 {
+		t.Fatalf("setup WireLen = %d", setup.WireLen())
+	}
+}
+
+func TestSendOnClosedCircuit(t *testing.T) {
+	eng := sim.NewEngine(19)
+	hA, _, _, path := chain(eng, 1, 10e6, 0, SwitchConfig{})
+	eng.Schedule(0, func() {
+		hA.Open(path, 0, func(c *Circuit, err error) {
+			if err != nil {
+				t.Errorf("Open: %v", err)
+				return
+			}
+			hA.Close(c)
+			if err := hA.Send(c, []byte("late")); err == nil {
+				t.Error("Send on closed circuit succeeded")
+			}
+			hA.Close(c) // double close is a no-op
+		})
+	})
+	eng.Run()
+	if hA.OpenCount() != 0 {
+		t.Fatalf("OpenCount = %d", hA.OpenCount())
+	}
+}

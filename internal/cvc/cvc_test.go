@@ -1,0 +1,216 @@
+package cvc
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// chain builds hA -- S1 -- S2 -- ... -- Sn -- hB over p2p links.
+// Path from hA to hB: every switch forwards out port 2.
+func chain(eng *sim.Engine, n int, rate float64, prop sim.Time, cfg SwitchConfig) (hA, hB *Host, sws []*Switch, path []uint8) {
+	hA = NewHost(eng, "hA")
+	hB = NewHost(eng, "hB")
+	sws = make([]*Switch, n)
+	for i := range sws {
+		sws[i] = NewSwitch(eng, "S"+string(rune('1'+i)), cfg)
+	}
+	l := netsim.NewP2PLink(eng, rate, prop)
+	pa, pb := l.Attach(hA, 1, sws[0], 1)
+	hA.AttachPort(pa)
+	sws[0].AttachPort(pb)
+	for i := 0; i < n-1; i++ {
+		lk := netsim.NewP2PLink(eng, rate, prop)
+		qa, qb := lk.Attach(sws[i], 2, sws[i+1], 1)
+		sws[i].AttachPort(qa)
+		sws[i+1].AttachPort(qb)
+		path = append(path, 2)
+	}
+	lk := netsim.NewP2PLink(eng, rate, prop)
+	qa, qb := lk.Attach(sws[n-1], 2, hB, 1)
+	sws[n-1].AttachPort(qa)
+	hB.AttachPort(qb)
+	path = append(path, 2)
+	return
+}
+
+func TestCircuitSetupAndData(t *testing.T) {
+	eng := sim.NewEngine(13)
+	hA, hB, sws, path := chain(eng, 3, 10e6, 10*sim.Microsecond, SwitchConfig{})
+	var got []byte
+	hB.OnData(func(vc uint16, data []byte) { got = append([]byte(nil), data...) })
+	var circuit *Circuit
+	eng.Schedule(0, func() {
+		hA.Open(path, 0, func(c *Circuit, err error) {
+			if err != nil {
+				t.Errorf("Open: %v", err)
+				return
+			}
+			circuit = c
+			hA.Send(c, []byte("on the wire"))
+		})
+	})
+	eng.Run()
+	if circuit == nil {
+		t.Fatal("circuit never opened")
+	}
+	if !bytes.Equal(got, []byte("on the wire")) {
+		t.Fatalf("got %q", got)
+	}
+	// Setup must cost at least a full round trip: 2 * (3 hops of setup
+	// processing) plus transit.
+	if circuit.SetupRTT < 3*sim.Millisecond {
+		t.Fatalf("SetupRTT = %v, implausibly fast", circuit.SetupRTT)
+	}
+	for _, s := range sws {
+		if s.Circuits() != 1 {
+			t.Errorf("%s holds %d circuits, want 1", s.Name(), s.Circuits())
+		}
+	}
+}
+
+func TestCircuitTeardownReleasesState(t *testing.T) {
+	eng := sim.NewEngine(13)
+	hA, _, sws, path := chain(eng, 2, 10e6, 0, SwitchConfig{})
+	eng.Schedule(0, func() {
+		hA.Open(path, 0, func(c *Circuit, err error) {
+			if err != nil {
+				t.Errorf("Open: %v", err)
+				return
+			}
+			hA.Close(c)
+		})
+	})
+	eng.Run()
+	for _, s := range sws {
+		if s.Circuits() != 0 {
+			t.Errorf("%s still holds %d circuits after clear", s.Name(), s.Circuits())
+		}
+	}
+}
+
+func TestCircuitTableCapacityRejects(t *testing.T) {
+	eng := sim.NewEngine(13)
+	hA, _, sws, path := chain(eng, 1, 10e6, 0, SwitchConfig{MaxCircuits: 2})
+	accepted, rejected := 0, 0
+	eng.Schedule(0, func() {
+		for i := 0; i < 4; i++ {
+			hA.Open(path, 0, func(c *Circuit, err error) {
+				if err != nil {
+					rejected++
+				} else {
+					accepted++
+				}
+			})
+		}
+	})
+	eng.Run()
+	if accepted != 2 || rejected != 2 {
+		t.Fatalf("accepted=%d rejected=%d, want 2/2", accepted, rejected)
+	}
+	if sws[0].Stats.Rejects != 2 {
+		t.Fatalf("switch rejects = %d", sws[0].Stats.Rejects)
+	}
+}
+
+func TestBandwidthReservationAdmission(t *testing.T) {
+	eng := sim.NewEngine(13)
+	hA, _, _, path := chain(eng, 1, 10e6, 0, SwitchConfig{})
+	results := []error{}
+	eng.Schedule(0, func() {
+		for i := 0; i < 3; i++ {
+			hA.Open(path, 4e6, func(c *Circuit, err error) { results = append(results, err) })
+		}
+	})
+	eng.Run()
+	// 3 x 4 Mb/s into a 10 Mb/s trunk: only 2 fit.
+	ok, fail := 0, 0
+	for _, e := range results {
+		if e == nil {
+			ok++
+		} else {
+			fail++
+		}
+	}
+	if ok != 2 || fail != 1 {
+		t.Fatalf("ok=%d fail=%d, want 2/1", ok, fail)
+	}
+}
+
+func TestReservationReleasedOnClear(t *testing.T) {
+	eng := sim.NewEngine(13)
+	hA, _, sws, path := chain(eng, 1, 10e6, 0, SwitchConfig{})
+	eng.Schedule(0, func() {
+		hA.Open(path, 8e6, func(c *Circuit, err error) {
+			if err != nil {
+				t.Errorf("Open: %v", err)
+				return
+			}
+			hA.Close(c)
+		})
+	})
+	eng.Run()
+	if r := sws[0].ReservedBps(2); r != 0 {
+		t.Fatalf("reservation leak: %v bps", r)
+	}
+}
+
+func TestDataBeforeSetupDropped(t *testing.T) {
+	eng := sim.NewEngine(13)
+	hA, hB, sws, _ := chain(eng, 1, 10e6, 0, SwitchConfig{})
+	hB.OnData(func(vc uint16, data []byte) { t.Error("unrouted data delivered") })
+	eng.Schedule(0, func() {
+		hA.transmit(&Packet{Kind: KindData, VC: 99, Data: []byte("orphan")})
+	})
+	eng.Run()
+	if sws[0].Stats.Drops != 1 {
+		t.Fatalf("drops = %d", sws[0].Stats.Drops)
+	}
+}
+
+func TestSetupRTTGrowsWithHops(t *testing.T) {
+	rtt := func(hops int) sim.Time {
+		eng := sim.NewEngine(13)
+		hA, _, _, path := chain(eng, hops, 10e6, 100*sim.Microsecond, SwitchConfig{})
+		var got sim.Time
+		eng.Schedule(0, func() {
+			hA.Open(path, 0, func(c *Circuit, err error) {
+				if err != nil {
+					t.Errorf("Open: %v", err)
+					return
+				}
+				got = c.SetupRTT
+			})
+		})
+		eng.Run()
+		return got
+	}
+	r2, r6 := rtt(2), rtt(6)
+	if r6 <= r2*2 {
+		t.Fatalf("setup RTT at 6 hops (%v) should be > 2x RTT at 2 hops (%v)", r6, r2)
+	}
+}
+
+func TestIncomingCallScreening(t *testing.T) {
+	eng := sim.NewEngine(13)
+	hA, hB, _, path := chain(eng, 1, 10e6, 0, SwitchConfig{})
+	hB.onSetup = func(vc uint16) bool { return false }
+	refused := false
+	eng.Schedule(0, func() {
+		hA.Open(path, 0, func(c *Circuit, err error) { refused = err != nil })
+	})
+	eng.Run()
+	if !refused {
+		t.Fatal("callee screening did not reject the call")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{KindSetup: "setup", KindAccept: "accept", KindReject: "reject", KindData: "data", KindClear: "clear", Kind(9): "?"} {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q", k, k.String())
+		}
+	}
+}

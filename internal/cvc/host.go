@@ -1,0 +1,231 @@
+package cvc
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// HostStats counts a CVC host's behavior.
+type HostStats struct {
+	CircuitsOpened   uint64
+	CircuitsRejected uint64
+	DataSent         uint64
+	DataReceived     uint64
+	Drops            uint64
+}
+
+// Circuit is a host's handle on an established virtual circuit.
+type Circuit struct {
+	VC       uint16
+	OpenedAt sim.Time
+	// SetupRTT is the observed circuit-establishment latency — the
+	// "full roundtrip delay" cost of §1.
+	SetupRTT sim.Time
+	closed   bool
+}
+
+// Host is a CVC endpoint with one point-to-point attachment to its local
+// gateway. It implements netsim.Node.
+type Host struct {
+	eng  *sim.Engine
+	name string
+
+	port *netsim.Port
+
+	nextVC  uint16
+	nextID  uint32
+	pending map[uint32]*setupWait // SetupID -> waiter
+	open    map[uint16]*Circuit   // our VC -> circuit
+	onData  func(vc uint16, data []byte)
+	onSetup func(vc uint16) bool // incoming call admission; nil accepts
+
+	queue    []*Packet
+	draining bool
+
+	Stats HostStats
+}
+
+type setupWait struct {
+	vc      uint16
+	started sim.Time
+	done    func(*Circuit, error)
+	reserve float64
+}
+
+// NewHost creates a CVC host.
+func NewHost(eng *sim.Engine, name string) *Host {
+	return &Host{
+		eng:     eng,
+		name:    name,
+		pending: make(map[uint32]*setupWait),
+		open:    make(map[uint16]*Circuit),
+	}
+}
+
+// Name implements netsim.Node.
+func (h *Host) Name() string { return h.name }
+
+// AttachPort registers the host's attachment.
+func (h *Host) AttachPort(p *netsim.Port) {
+	if p.Node != netsim.Node(h) {
+		panic(fmt.Sprintf("cvc: port %v belongs to another node", p))
+	}
+	h.port = p
+}
+
+// OnData registers the data consumer.
+func (h *Host) OnData(fn func(vc uint16, data []byte)) { h.onData = fn }
+
+// Open initiates circuit setup along the given path of gateway output
+// ports, invoking done when the circuit is accepted or rejected. The
+// setup costs a full round trip before any data can flow (§1).
+func (h *Host) Open(path []uint8, reserveBps float64, done func(*Circuit, error)) {
+	h.nextVC++
+	h.nextID++
+	vc := h.nextVC
+	h.pending[h.nextID] = &setupWait{vc: vc, started: h.eng.Now(), done: done, reserve: reserveBps}
+	h.transmit(&Packet{
+		Kind:       KindSetup,
+		VC:         vc,
+		Path:       append([]uint8(nil), path...),
+		ReserveBps: reserveBps,
+		SetupID:    h.nextID,
+	})
+}
+
+// Send transmits data on an open circuit. No addressing is needed — the
+// label is the address.
+func (h *Host) Send(c *Circuit, data []byte) error {
+	if c.closed {
+		return fmt.Errorf("cvc: circuit %d closed", c.VC)
+	}
+	h.Stats.DataSent++
+	h.transmit(&Packet{Kind: KindData, VC: c.VC, Data: append([]byte(nil), data...)})
+	return nil
+}
+
+// Close tears the circuit down, releasing gateway state hop by hop.
+func (h *Host) Close(c *Circuit) {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	delete(h.open, c.VC)
+	h.transmit(&Packet{Kind: KindClear, VC: c.VC})
+}
+
+// OpenCount reports currently open circuits at this host.
+func (h *Host) OpenCount() int { return len(h.open) }
+
+// Circuit returns the open circuit with the given logical channel, or
+// nil. The called party uses it to reply on an incoming circuit.
+func (h *Host) Circuit(vc uint16) *Circuit { return h.open[vc] }
+
+func (h *Host) transmit(pkt *Packet) {
+	h.queue = append(h.queue, pkt)
+	h.drain()
+}
+
+func (h *Host) drain() {
+	if h.draining || len(h.queue) == 0 {
+		return
+	}
+	now := h.eng.Now()
+	if free := h.port.Medium.FreeAt(now); free > now {
+		h.draining = true
+		h.eng.At(free, func() {
+			h.draining = false
+			h.drain()
+		})
+		return
+	}
+	pkt := h.queue[0]
+	h.queue = h.queue[1:]
+	tx, err := h.port.Medium.Transmit(h.port, pkt, nil, 0)
+	if err != nil {
+		h.Stats.Drops++
+		h.drain()
+		return
+	}
+	h.draining = true
+	h.eng.At(tx.End(), func() {
+		h.draining = false
+		h.drain()
+	})
+}
+
+// Arrive implements netsim.Node.
+func (h *Host) Arrive(arr *netsim.Arrival) {
+	wait := arr.End() - h.eng.Now()
+	h.eng.Schedule(wait, func() {
+		if arr.Tx.Aborted() {
+			h.Stats.Drops++
+			return
+		}
+		pkt, ok := arr.Pkt.(*Packet)
+		if !ok {
+			h.Stats.Drops++
+			return
+		}
+		h.receive(pkt)
+	})
+}
+
+func (h *Host) receive(pkt *Packet) {
+	switch pkt.Kind {
+	case KindSetup:
+		// We are the called party: the path must be exhausted.
+		if len(pkt.Path) != 0 || (h.onSetup != nil && !h.onSetup(pkt.VC)) {
+			h.transmit(&Packet{Kind: KindReject, VC: pkt.VC, SetupID: pkt.SetupID})
+			return
+		}
+		c := &Circuit{VC: pkt.VC, OpenedAt: h.eng.Now()}
+		h.open[pkt.VC] = c
+		h.Stats.CircuitsOpened++
+		h.transmit(&Packet{Kind: KindAccept, VC: pkt.VC, SetupID: pkt.SetupID})
+	case KindAccept:
+		w, ok := h.pending[pkt.SetupID]
+		if !ok {
+			h.Stats.Drops++
+			return
+		}
+		delete(h.pending, pkt.SetupID)
+		c := &Circuit{
+			VC:       w.vc,
+			OpenedAt: h.eng.Now(),
+			SetupRTT: h.eng.Now() - w.started,
+		}
+		h.open[w.vc] = c
+		h.Stats.CircuitsOpened++
+		if w.done != nil {
+			w.done(c, nil)
+		}
+	case KindReject:
+		w, ok := h.pending[pkt.SetupID]
+		if !ok {
+			h.Stats.Drops++
+			return
+		}
+		delete(h.pending, pkt.SetupID)
+		h.Stats.CircuitsRejected++
+		if w.done != nil {
+			w.done(nil, fmt.Errorf("cvc: call rejected"))
+		}
+	case KindData:
+		if _, ok := h.open[pkt.VC]; !ok {
+			h.Stats.Drops++
+			return
+		}
+		h.Stats.DataReceived++
+		if h.onData != nil {
+			h.onData(pkt.VC, pkt.Data)
+		}
+	case KindClear:
+		if c, ok := h.open[pkt.VC]; ok {
+			c.closed = true
+			delete(h.open, pkt.VC)
+		}
+	}
+}

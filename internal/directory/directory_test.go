@@ -1,0 +1,379 @@
+package directory
+
+import (
+	"testing"
+
+	"repro/internal/ethernet"
+	"repro/internal/sim"
+	"repro/internal/token"
+	"repro/internal/viper"
+)
+
+// diamond builds:
+//
+//	      R1 ---fast/insecure--- R2
+//	     /                         \
+//	hA--+                           +--hB
+//	     \                         /
+//	      R3 ---slow/secure------ R4
+//
+// hA reaches both R1 and R3 over one Ethernet; hB likewise.
+func diamond() *Graph {
+	g := NewGraph()
+	for _, n := range []string{"hA", "hB"} {
+		g.AddNode(n, KindHost)
+	}
+	for _, n := range []string{"R1", "R2", "R3", "R4"} {
+		g.AddNode(n, KindRouter)
+	}
+	st := func(v uint64) ethernet.Addr { return ethernet.AddrFromUint64(v) }
+	eth := func(from, to string, fp uint8, fs, ts uint64, a EdgeAttrs) {
+		g.AddEdge(Edge{From: from, To: to, FromPort: fp, FromStation: st(fs), ToStation: st(ts), Attrs: a})
+	}
+	p2p := func(from, to string, fp uint8, a EdgeAttrs) {
+		g.AddEdge(Edge{From: from, To: to, FromPort: fp, Attrs: a})
+	}
+	lan := EdgeAttrs{RateBps: 10e6, Prop: 5 * sim.Microsecond, Secure: true, CostPerKB: 0}
+	// hA's LAN: hA(1), R1(1 in), R3(1 in)
+	eth("hA", "R1", 1, 0xA, 0x11, lan)
+	eth("hA", "R3", 1, 0xA, 0x31, lan)
+	eth("R1", "hA", 1, 0x11, 0xA, lan)
+	eth("R3", "hA", 1, 0x31, 0xA, lan)
+	// hB's LAN
+	eth("hB", "R2", 1, 0xB, 0x22, lan)
+	eth("hB", "R4", 1, 0xB, 0x42, lan)
+	eth("R2", "hB", 2, 0x22, 0xB, lan)
+	eth("R4", "hB", 2, 0x42, 0xB, lan)
+	// Trunks.
+	fast := EdgeAttrs{RateBps: 45e6, Prop: 2 * sim.Millisecond, Secure: false, CostPerKB: 5}
+	slow := EdgeAttrs{RateBps: 1.5e6, Prop: 2 * sim.Millisecond, Secure: true, CostPerKB: 1}
+	p2p("R1", "R2", 2, fast)
+	p2p("R2", "R1", 1, fast)
+	p2p("R3", "R4", 2, slow)
+	p2p("R4", "R3", 1, slow)
+	return g
+}
+
+func TestMinDelayPicksFastTrunk(t *testing.T) {
+	g := diamond()
+	routes, err := g.routesBetween(Query{From: "hA", To: "hB", Pref: MinDelay}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := routes[0]
+	if r.Path[1] != "R1" || r.Path[2] != "R2" {
+		t.Fatalf("path = %v, want via R1-R2", r.Path)
+	}
+	// The paper counts hops as routers traversed (§6.2 footnote).
+	if r.Hops != 2 {
+		t.Fatalf("Hops = %d, want 2 routers traversed; path %v", r.Hops, r.Path)
+	}
+	if r.Secure {
+		t.Error("fast trunk is insecure; route must say so")
+	}
+	if r.BottleneckBps != 10e6 {
+		t.Errorf("Bottleneck = %v, want LAN-limited 10e6", r.BottleneckBps)
+	}
+}
+
+func TestSecureOnlyAvoidsInsecureTrunk(t *testing.T) {
+	g := diamond()
+	routes, err := g.routesBetween(Query{From: "hA", To: "hB", Pref: SecureOnly}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := routes[0]
+	if r.Path[1] != "R3" || r.Path[2] != "R4" {
+		t.Fatalf("path = %v, want via secure R3-R4", r.Path)
+	}
+	if !r.Secure {
+		t.Error("secure route not marked secure")
+	}
+}
+
+func TestMinCostPrefersCheapTrunk(t *testing.T) {
+	g := diamond()
+	routes, err := g.routesBetween(Query{From: "hA", To: "hB", Pref: MinCost}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if routes[0].Path[1] != "R3" {
+		t.Fatalf("path = %v, want via cheap R3-R4", routes[0].Path)
+	}
+}
+
+func TestMaxBandwidthIgnoresDelay(t *testing.T) {
+	g := diamond()
+	routes, err := g.routesBetween(Query{From: "hA", To: "hB", Pref: MaxBandwidth}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if routes[0].Path[1] != "R1" {
+		t.Fatalf("path = %v, want via 45Mb trunk", routes[0].Path)
+	}
+}
+
+func TestMultipleRoutesAreDiverse(t *testing.T) {
+	g := diamond()
+	routes, err := g.routesBetween(Query{From: "hA", To: "hB", Pref: MinDelay, Count: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(routes) != 2 {
+		t.Fatalf("got %d routes, want 2", len(routes))
+	}
+	if routes[0].Path[1] == routes[1].Path[1] {
+		t.Fatalf("both routes share first router: %v vs %v", routes[0].Path, routes[1].Path)
+	}
+}
+
+func TestSegmentsAreWellFormed(t *testing.T) {
+	g := diamond()
+	routes, err := g.routesBetween(Query{From: "hA", To: "hB", Pref: MinDelay, Endpoint: 3, Priority: 5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := routes[0].Segments
+	// hA directive, R1, R2, host segment = 4.
+	if len(segs) != 4 {
+		t.Fatalf("%d segments, want 4", len(segs))
+	}
+	// Sender's directive names port 1 with an Ethernet header to R1.
+	if segs[0].Port != 1 || len(segs[0].PortInfo) != ethernet.HeaderLen {
+		t.Fatalf("directive segment = %+v", segs[0])
+	}
+	h, err := ethernet.Decode(segs[0].PortInfo)
+	if err != nil || h.Type != viper.EtherTypeVIPER {
+		t.Fatalf("directive header = %v err=%v", h, err)
+	}
+	// R1's segment: p2p trunk, so no portInfo, VNT for continuation.
+	if len(segs[1].PortInfo) != 0 || !segs[1].Continues() {
+		t.Fatalf("R1 segment = %+v", segs[1])
+	}
+	// Final host segment: endpoint 3, no continuation.
+	last := segs[len(segs)-1]
+	if last.Port != 3 || last.Continues() {
+		t.Fatalf("host segment = %+v", last)
+	}
+	for _, s := range segs {
+		if s.Priority != 5 {
+			t.Fatalf("segment priority %d, want 5", s.Priority)
+		}
+	}
+}
+
+func TestDownEdgeAvoided(t *testing.T) {
+	g := diamond()
+	g.SetDown("R1", "R2", true)
+	routes, err := g.routesBetween(Query{From: "hA", To: "hB", Pref: MinDelay}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if routes[0].Path[1] != "R3" {
+		t.Fatalf("path = %v, want detour via R3", routes[0].Path)
+	}
+	g.SetDown("R3", "R4", true)
+	if _, err := g.routesBetween(Query{From: "hA", To: "hB", Pref: MinDelay}, nil); err != ErrNoRoute {
+		t.Fatalf("err = %v, want ErrNoRoute", err)
+	}
+}
+
+func TestLoadReportSteersRoutes(t *testing.T) {
+	g := diamond()
+	// Saturate the fast trunk: MinDelay should now prefer the slow one
+	// for small packets (45e6 at 95% inflation ~ 20x).
+	g.ReportLoad("R1", "R2", 44e6)
+	routes, err := g.routesBetween(Query{From: "hA", To: "hB", Pref: MinDelay, EstimateSize: 64}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if routes[0].Path[1] != "R3" {
+		t.Fatalf("path = %v, want steering away from loaded trunk", routes[0].Path)
+	}
+}
+
+func TestRouteAttributes(t *testing.T) {
+	g := diamond()
+	routes, err := g.routesBetween(Query{From: "hA", To: "hB", Pref: MinDelay, EstimateSize: 1000}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := routes[0]
+	// One-way: 2 LAN hops (5us prop + 0.8ms tx) + trunk (2ms prop +
+	// 0.18ms tx) = about 3.8ms.
+	if r.BaseOneWay < 3*sim.Millisecond || r.BaseOneWay > 5*sim.Millisecond {
+		t.Fatalf("BaseOneWay = %v", r.BaseOneWay)
+	}
+	if r.BaseRTT() != 2*r.BaseOneWay {
+		t.Fatal("BaseRTT != 2x one way")
+	}
+	if r.MTU != viper.MTU {
+		t.Fatalf("MTU = %d, want VIPER default with unlimited links", r.MTU)
+	}
+}
+
+func TestMTUFromEdges(t *testing.T) {
+	g := diamond()
+	e, _ := g.FindEdge("R1", "R2")
+	e.Attrs.MTU = 576
+	routes, err := g.routesBetween(Query{From: "hA", To: "hB", Pref: MinHops}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MinHops may pick either trunk; force the fast one via delay.
+	routes, err = g.routesBetween(Query{From: "hA", To: "hB", Pref: MinDelay}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if routes[0].Path[1] == "R1" && routes[0].MTU != 576 {
+		t.Fatalf("MTU = %d, want 576", routes[0].MTU)
+	}
+}
+
+func TestHostsAreNotTransit(t *testing.T) {
+	g := NewGraph()
+	g.AddNode("hA", KindHost)
+	g.AddNode("hMid", KindHost)
+	g.AddNode("hB", KindHost)
+	attrs := EdgeAttrs{RateBps: 10e6}
+	g.AddEdge(Edge{From: "hA", To: "hMid", FromPort: 1, Attrs: attrs})
+	g.AddEdge(Edge{From: "hMid", To: "hB", FromPort: 2, Attrs: attrs})
+	if _, err := g.routesBetween(Query{From: "hA", To: "hB", Pref: MinDelay}, nil); err != ErrNoRoute {
+		t.Fatalf("routed through a host: err = %v", err)
+	}
+}
+
+func TestTokensIssuedForGuardedRouters(t *testing.T) {
+	g := diamond()
+	auth := token.NewAuthority([]byte("r1-domain"))
+	withAuth := func(r string) (*token.Authority, bool) {
+		if r == "R1" {
+			return auth, true
+		}
+		return nil, false
+	}
+	routes, err := g.routesBetween(Query{From: "hA", To: "hB", Pref: MinDelay, Account: 42}, withAuth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := routes[0].Segments
+	if len(segs[1].PortToken) == 0 {
+		t.Fatal("R1's segment lacks a token")
+	}
+	spec, err := auth.Verify(segs[1].PortToken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Account != 42 || !spec.ReverseOK {
+		t.Fatalf("token spec = %+v", spec)
+	}
+	if len(segs[2].PortToken) != 0 {
+		t.Fatal("R2's segment has a token but R2 has no authority")
+	}
+}
+
+func TestServiceNamingAndRoutes(t *testing.T) {
+	eng := sim.NewEngine(1)
+	g := diamond()
+	svc := NewService(eng, g)
+	if err := svc.Register("alpha.cs.stanford.edu", "hA"); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Register("beta.ee.stanford.edu", "hB"); err != nil {
+		t.Fatal(err)
+	}
+	routes, err := svc.Routes(Query{From: "alpha.cs.stanford.edu", To: "beta.ee.stanford.edu", Pref: MinDelay})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if routes[0].Path[0] != "hA" || routes[0].Path[len(routes[0].Path)-1] != "hB" {
+		t.Fatalf("path = %v", routes[0].Path)
+	}
+	if _, err := svc.Routes(Query{From: "alpha.cs.stanford.edu", To: "nonesuch.mit.edu"}); err == nil {
+		t.Fatal("unknown name resolved")
+	}
+	if err := svc.Register("x.y", "noSuchNode"); err == nil {
+		t.Fatal("registered a name for an unknown node")
+	}
+}
+
+func TestResolutionLatencyHierarchy(t *testing.T) {
+	eng := sim.NewEngine(1)
+	svc := NewService(eng, diamond())
+	// Same region: 1 hop. Sibling region under stanford.edu: up 1 down 1
+	// -> 3 hops. Different university: up 2 down 2 -> 5 hops.
+	same := svc.ResolutionLatency("cs.stanford.edu", "other.cs.stanford.edu")
+	sibling := svc.ResolutionLatency("cs.stanford.edu", "host.ee.stanford.edu")
+	far := svc.ResolutionLatency("cs.stanford.edu", "host.lcs.mit.edu")
+	if !(same < sibling && sibling < far) {
+		t.Fatalf("latencies: same=%v sibling=%v far=%v", same, sibling, far)
+	}
+	if same != svc.PerLevelLatency {
+		t.Fatalf("same-region latency = %v, want one hop", same)
+	}
+}
+
+func TestAdvise(t *testing.T) {
+	eng := sim.NewEngine(1)
+	g := diamond()
+	svc := NewService(eng, g)
+	routes, err := svc.Routes(Query{From: "hA", To: "hB", Pref: MinDelay})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !svc.Advise(&routes[0]) {
+		t.Fatal("fresh route advised stale")
+	}
+	svc.ReportDown("R1", "R2")
+	if svc.Advise(&routes[0]) {
+		t.Fatal("route over failed trunk advised healthy")
+	}
+	svc.ReportUp("R1", "R2")
+	if !svc.Advise(&routes[0]) {
+		t.Fatal("restored route still advised stale")
+	}
+}
+
+func TestResolverCaching(t *testing.T) {
+	eng := sim.NewEngine(1)
+	svc := NewService(eng, diamond())
+	res := NewResolver(eng, svc, 100*sim.Millisecond)
+	q := Query{From: "hA", To: "hB", Pref: MinDelay}
+	_, lat1, err := res.Routes(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat1 == 0 {
+		t.Fatal("cold query should have latency")
+	}
+	_, lat2, err := res.Routes(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat2 != 0 {
+		t.Fatal("cache hit should be free")
+	}
+	if res.Hits != 1 || res.Misses != 1 {
+		t.Fatalf("hits/misses = %d/%d", res.Hits, res.Misses)
+	}
+	// TTL expiry forces a re-query.
+	eng.RunUntil(200 * sim.Millisecond)
+	_, lat3, _ := res.Routes(q)
+	if lat3 == 0 {
+		t.Fatal("expired entry served from cache")
+	}
+	// Invalidate drops the entry.
+	res.Invalidate(q)
+	_, lat4, _ := res.Routes(q)
+	if lat4 == 0 {
+		t.Fatal("invalidated entry served from cache")
+	}
+}
+
+func TestPrefString(t *testing.T) {
+	for p, want := range map[Pref]string{MinDelay: "min-delay", MinHops: "min-hops", MaxBandwidth: "max-bandwidth", MinCost: "min-cost", SecureOnly: "secure-only", Pref(99): "unknown"} {
+		if p.String() != want {
+			t.Errorf("Pref(%d) = %q", p, p.String())
+		}
+	}
+}

@@ -1,0 +1,369 @@
+package directory
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/ethernet"
+	"repro/internal/sim"
+	"repro/internal/token"
+	"repro/internal/viper"
+)
+
+// Pref selects the route metric (§3: "a route with particular properties,
+// such as low delay, high bandwidth, low cost and security").
+type Pref int
+
+const (
+	MinDelay Pref = iota
+	MinHops
+	MaxBandwidth
+	MinCost
+	SecureOnly // minimize delay over secure links only
+)
+
+func (p Pref) String() string {
+	switch p {
+	case MinDelay:
+		return "min-delay"
+	case MinHops:
+		return "min-hops"
+	case MaxBandwidth:
+		return "max-bandwidth"
+	case MinCost:
+		return "min-cost"
+	case SecureOnly:
+		return "secure-only"
+	}
+	return "unknown"
+}
+
+// Route is a computed source route with the attributes §3 says the
+// directory returns alongside it.
+type Route struct {
+	// Segments is ready for Host.Send: the sender's own directive
+	// first, one segment per router, and the destination host segment
+	// last.
+	Segments []viper.Segment
+	// Path is the node names traversed, including both hosts.
+	Path []string
+	// Hops is the number of routers traversed (the paper counts
+	// routers, not networks; §6.2 footnote).
+	Hops int
+	// MTU is the smallest frame budget along the path, so "there is no
+	// need to do MTU discovery" (§2).
+	MTU int
+	// BaseOneWay is the zero-queueing one-way latency for a packet of
+	// EstimateSize bytes; BaseRTT doubles it. "a client can determine
+	// (up to variations in queuing delay) the roundtrip time" (§3).
+	BaseOneWay sim.Time
+	// BottleneckBps is the lowest link rate on the path.
+	BottleneckBps float64
+	// CostPerKB is the summed administrative cost.
+	CostPerKB float64
+	// Secure reports whether every link on the path is secure.
+	Secure bool
+}
+
+// BaseRTT returns twice the one-way base latency.
+func (r *Route) BaseRTT() sim.Time { return 2 * r.BaseOneWay }
+
+// Query asks for routes between named hosts.
+type Query struct {
+	From, To string
+	Pref     Pref
+	// Count is the number of alternate routes wanted; 0 means 1. "A
+	// client can request and receive multiple routes to a service"
+	// (§3).
+	Count int
+	// Endpoint is the destination endpoint within the host (intra-host
+	// addressing, §2.2); 0 is the default endpoint.
+	Endpoint uint8
+	// Priority is the type of service stamped on every segment.
+	Priority viper.Priority
+	// Account identifies who pays; used when tokens are issued.
+	Account uint32
+	// EstimateSize is the packet size used for delay estimates;
+	// 0 means 576.
+	EstimateSize int
+}
+
+// Errors.
+var (
+	ErrNoRoute     = errors.New("directory: no route satisfies the query")
+	ErrUnknownNode = errors.New("directory: unknown node")
+)
+
+// edgeMetric returns the additive cost of an edge under a preference.
+// Load reports inflate delay metrics so advisories steer new routes away
+// from hot links.
+func edgeMetric(e *Edge, p Pref, size int) float64 {
+	switch p {
+	case MinHops:
+		return 1
+	case MinCost:
+		return e.Attrs.CostPerKB + 1e-6 // epsilon keeps paths finite-length
+	case MaxBandwidth:
+		// Handled separately (widest path); unused here.
+		return 1
+	default: // MinDelay, SecureOnly
+		delay := float64(e.Attrs.Prop) + float64(size)*8/e.Attrs.RateBps*float64(sim.Second)
+		if e.Attrs.RateBps > 0 {
+			util := e.LoadBps / e.Attrs.RateBps
+			if util > 0.95 {
+				util = 0.95
+			}
+			if util > 0 {
+				delay *= 1 / (1 - util)
+			}
+		}
+		return delay
+	}
+}
+
+type pqItem struct {
+	node string
+	dist float64
+	idx  int
+}
+
+type pq []*pqItem
+
+func (q pq) Len() int           { return len(q) }
+func (q pq) Less(i, j int) bool { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)      { q[i], q[j] = q[j], q[i]; q[i].idx = i; q[j].idx = j }
+func (q *pq) Push(x any)        { it := x.(*pqItem); it.idx = len(*q); *q = append(*q, it) }
+func (q *pq) Pop() any          { old := *q; it := old[len(old)-1]; *q = old[:len(old)-1]; return it }
+
+// shortestPath runs Dijkstra from src to dst under pref, with per-edge
+// multiplicative penalties (for alternate-route diversity). It returns
+// the edge sequence, or nil.
+func (g *Graph) shortestPath(src, dst string, pref Pref, size int, penalty map[*Edge]float64) []*Edge {
+	dist := map[string]float64{src: 0}
+	prev := map[string]*Edge{}
+	visited := map[string]bool{}
+	q := &pq{{node: src, dist: 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(*pqItem)
+		if visited[it.node] {
+			continue
+		}
+		visited[it.node] = true
+		if it.node == dst {
+			break
+		}
+		// Only hosts at the endpoints: transit must go through routers.
+		if it.node != src {
+			if k, _ := g.NodeKind(it.node); k == KindHost {
+				continue
+			}
+		}
+		for _, e := range g.out[it.node] {
+			if e.Down {
+				continue
+			}
+			if pref == SecureOnly && !e.Attrs.Secure {
+				continue
+			}
+			m := edgeMetric(e, pref, size)
+			if f, ok := penalty[e]; ok {
+				m *= f
+			}
+			nd := it.dist + m
+			if old, ok := dist[e.To]; !ok || nd < old {
+				dist[e.To] = nd
+				prev[e.To] = e
+				heap.Push(q, &pqItem{node: e.To, dist: nd})
+			}
+		}
+	}
+	if _, ok := dist[dst]; !ok {
+		return nil
+	}
+	var edges []*Edge
+	for at := dst; at != src; {
+		e := prev[at]
+		edges = append([]*Edge{e}, edges...)
+		at = e.From
+	}
+	return edges
+}
+
+// widestPath finds the maximum-bottleneck path (for MaxBandwidth).
+func (g *Graph) widestPath(src, dst string, penalty map[*Edge]float64) []*Edge {
+	width := map[string]float64{src: math.Inf(1)}
+	prev := map[string]*Edge{}
+	visited := map[string]bool{}
+	for {
+		// Pick the unvisited node with the greatest width.
+		best := ""
+		bw := -1.0
+		for n, w := range width {
+			if !visited[n] && w > bw {
+				best, bw = n, w
+			}
+		}
+		if best == "" {
+			break
+		}
+		visited[best] = true
+		if best == dst {
+			break
+		}
+		if best != src {
+			if k, _ := g.NodeKind(best); k == KindHost {
+				continue
+			}
+		}
+		for _, e := range g.out[best] {
+			if e.Down {
+				continue
+			}
+			r := e.Attrs.RateBps
+			if f, ok := penalty[e]; ok {
+				r /= f
+			}
+			w := math.Min(bw, r)
+			if w > width[e.To] {
+				width[e.To] = w
+				prev[e.To] = e
+			}
+		}
+	}
+	if _, ok := prev[dst]; !ok {
+		return nil
+	}
+	var edges []*Edge
+	for at := dst; at != src; {
+		e := prev[at]
+		edges = append([]*Edge{e}, edges...)
+		at = e.From
+	}
+	return edges
+}
+
+// buildRoute turns an edge path into a Route with segments and
+// attributes. tokens, if non-nil, supplies port tokens per router.
+func (g *Graph) buildRoute(edges []*Edge, q Query, tokens func(router string, port uint8, prio viper.Priority, account uint32) []byte) (Route, error) {
+	size := q.EstimateSize
+	if size == 0 {
+		size = 576
+	}
+	rt := Route{Secure: true, BottleneckBps: math.Inf(1), MTU: viper.MTU}
+	rt.Path = append(rt.Path, edges[0].From)
+	var segs []viper.Segment
+	for i, e := range edges {
+		rt.Path = append(rt.Path, e.To)
+		seg := viper.Segment{Port: e.FromPort, Priority: q.Priority}
+		if e.multiAccess() {
+			seg.PortInfo = ethernet.Header{
+				Dst:  e.ToStation,
+				Src:  e.FromStation,
+				Type: viper.EtherTypeVIPER,
+			}.Encode()
+		}
+		if i > 0 && tokens != nil {
+			// The segment executes at edges[i].From, a router.
+			if tok := tokens(e.From, e.FromPort, q.Priority, q.Account); tok != nil {
+				seg.PortToken = tok
+			}
+		}
+		segs = append(segs, seg)
+
+		rt.BaseOneWay += e.Attrs.Prop + sim.Time(float64(size)*8/e.Attrs.RateBps*float64(sim.Second))
+		if e.Attrs.RateBps < rt.BottleneckBps {
+			rt.BottleneckBps = e.Attrs.RateBps
+		}
+		if e.Attrs.MTU > 0 && e.Attrs.MTU < rt.MTU {
+			rt.MTU = e.Attrs.MTU
+		}
+		rt.CostPerKB += e.Attrs.CostPerKB
+		if !e.Attrs.Secure {
+			rt.Secure = false
+		}
+	}
+	// Destination host segment (intra-host addressing).
+	segs = append(segs, viper.Segment{Port: q.Endpoint, Priority: q.Priority})
+	if err := viper.SealRoute(segs); err != nil {
+		return Route{}, fmt.Errorf("directory: %w", err)
+	}
+	rt.Segments = segs
+	rt.Hops = len(edges) - 1 // routers traversed
+	return rt, nil
+}
+
+// routesBetween computes up to count diverse routes.
+func (g *Graph) routesBetween(q Query, auth func(string) (*token.Authority, bool)) ([]Route, error) {
+	if _, ok := g.nodes[q.From]; !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownNode, q.From)
+	}
+	if _, ok := g.nodes[q.To]; !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownNode, q.To)
+	}
+	count := q.Count
+	if count <= 0 {
+		count = 1
+	}
+	size := q.EstimateSize
+	if size == 0 {
+		size = 576
+	}
+	tokens := func(rtr string, port uint8, prio viper.Priority, account uint32) []byte {
+		if auth == nil {
+			return nil
+		}
+		a, ok := auth(rtr)
+		if !ok {
+			return nil
+		}
+		return a.Issue(token.Spec{
+			Account:     account,
+			Port:        port,
+			MaxPriority: prio,
+			ReverseOK:   true,
+		})
+	}
+
+	penalty := map[*Edge]float64{}
+	var out []Route
+	seen := map[string]bool{}
+	for len(out) < count {
+		var edges []*Edge
+		if q.Pref == MaxBandwidth {
+			edges = g.widestPath(q.From, q.To, penalty)
+		} else {
+			edges = g.shortestPath(q.From, q.To, q.Pref, size, penalty)
+		}
+		if edges == nil {
+			break
+		}
+		key := ""
+		for _, e := range edges {
+			key += e.From + ">"
+			penalty[e] = penaltyFactor(penalty[e])
+		}
+		if seen[key] {
+			// Penalties no longer produce new paths.
+			break
+		}
+		seen[key] = true
+		rt, err := g.buildRoute(edges, q, tokens)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rt)
+	}
+	if len(out) == 0 {
+		return nil, ErrNoRoute
+	}
+	return out, nil
+}
+
+func penaltyFactor(cur float64) float64 {
+	if cur == 0 {
+		return 4
+	}
+	return cur * 4
+}

@@ -1,0 +1,116 @@
+package directory
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ethernet"
+	"repro/internal/sim"
+)
+
+// randomGraph builds a random connected host+router graph.
+func randomGraph(r *rand.Rand) (*Graph, []string) {
+	g := NewGraph()
+	nRouters := 2 + r.Intn(6)
+	for i := 0; i < nRouters; i++ {
+		g.AddNode(rname(i), KindRouter)
+	}
+	addr := uint64(1)
+	st := func() ethernet.Addr { addr++; return ethernet.AddrFromUint64(addr) }
+	attrs := func() EdgeAttrs {
+		return EdgeAttrs{
+			RateBps:   []float64{1.5e6, 10e6, 45e6}[r.Intn(3)],
+			Prop:      sim.Time(r.Intn(2000)) * sim.Microsecond,
+			Secure:    r.Intn(2) == 0,
+			CostPerKB: float64(r.Intn(10)),
+		}
+	}
+	bi := func(a, b string, pa, pb uint8) {
+		att := attrs()
+		if r.Intn(2) == 0 {
+			sa, sb := st(), st()
+			g.AddEdge(Edge{From: a, To: b, FromPort: pa, FromStation: sa, ToStation: sb, Attrs: att})
+			g.AddEdge(Edge{From: b, To: a, FromPort: pb, FromStation: sb, ToStation: sa, Attrs: att})
+		} else {
+			g.AddEdge(Edge{From: a, To: b, FromPort: pa, Attrs: att})
+			g.AddEdge(Edge{From: b, To: a, FromPort: pb, Attrs: att})
+		}
+	}
+	// Ring of routers plus chords.
+	for i := 0; i < nRouters; i++ {
+		bi(rname(i), rname((i+1)%nRouters), uint8(10+i), uint8(20+i))
+	}
+	for c := 0; c < nRouters/2; c++ {
+		a, b := r.Intn(nRouters), r.Intn(nRouters)
+		if a != b {
+			bi(rname(a), rname(b), uint8(30+c), uint8(40+c))
+		}
+	}
+	// Hosts on random routers.
+	nHosts := 2 + r.Intn(4)
+	var hosts []string
+	for i := 0; i < nHosts; i++ {
+		h := hname(i)
+		g.AddNode(h, KindHost)
+		bi(h, rname(r.Intn(nRouters)), 1, uint8(50+i))
+		hosts = append(hosts, h)
+	}
+	return g, hosts
+}
+
+func rname(i int) string { return string(rune('A'+i)) + "r" }
+func hname(i int) string { return string(rune('a'+i)) + "h" }
+
+// TestPropertyRoutesWellFormed checks invariants over random graphs and
+// preferences: paths connect the endpoints, never repeat a node, never
+// transit a host, have one segment per edge plus the host segment, and
+// secure-only routes use only secure edges.
+func TestPropertyRoutesWellFormed(t *testing.T) {
+	r := rand.New(rand.NewSource(59))
+	for trial := 0; trial < 150; trial++ {
+		g, hosts := randomGraph(r)
+		from := hosts[r.Intn(len(hosts))]
+		to := hosts[r.Intn(len(hosts))]
+		if from == to {
+			continue
+		}
+		pref := Pref(r.Intn(5))
+		count := 1 + r.Intn(3)
+		routes, err := g.routesBetween(Query{From: from, To: to, Pref: pref, Count: count}, nil)
+		if err == ErrNoRoute {
+			continue // secure-only may legitimately find nothing
+		}
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for ri, rt := range routes {
+			if rt.Path[0] != from || rt.Path[len(rt.Path)-1] != to {
+				t.Fatalf("trial %d route %d: path %v does not connect %s->%s", trial, ri, rt.Path, from, to)
+			}
+			seen := map[string]bool{}
+			for i, nd := range rt.Path {
+				if seen[nd] {
+					t.Fatalf("trial %d route %d: node %s repeated in %v", trial, ri, nd, rt.Path)
+				}
+				seen[nd] = true
+				if i != 0 && i != len(rt.Path)-1 {
+					if k, _ := g.NodeKind(nd); k == KindHost {
+						t.Fatalf("trial %d route %d: host %s used as transit", trial, ri, nd)
+					}
+				}
+			}
+			if len(rt.Segments) != len(rt.Path) {
+				t.Fatalf("trial %d route %d: %d segments for path of %d nodes", trial, ri, len(rt.Segments), len(rt.Path))
+			}
+			if rt.Hops != len(rt.Path)-2 {
+				t.Fatalf("trial %d route %d: Hops=%d path=%v", trial, ri, rt.Hops, rt.Path)
+			}
+			if pref == SecureOnly && !rt.Secure {
+				t.Fatalf("trial %d route %d: insecure route from SecureOnly query", trial, ri)
+			}
+			if rt.BaseOneWay <= 0 || rt.BottleneckBps <= 0 {
+				t.Fatalf("trial %d route %d: degenerate attributes %+v", trial, ri, rt)
+			}
+		}
+	}
+}

@@ -1,0 +1,106 @@
+// Package ethernet implements the Ethernet-specific portInfo format used
+// by Sirpent segments on multi-access networks, including the
+// source/destination swap rule a router applies when turning an arrival
+// header into a return-hop header (§2 of the paper).
+package ethernet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// AddrLen is the length of an Ethernet address in bytes.
+const AddrLen = 6
+
+// HeaderLen is the length of an encoded Ethernet header: two 48-bit
+// addresses plus a 16-bit protocol type field (§2: "a standard Ethernet
+// header consisting of two 48-bit addresses, for source and destination,
+// and a 16 bit protocol type field").
+const HeaderLen = 2*AddrLen + 2
+
+// Addr is a 48-bit Ethernet address.
+type Addr [AddrLen]byte
+
+// Broadcast is the all-ones broadcast address.
+var Broadcast = Addr{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}
+
+func (a Addr) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", a[0], a[1], a[2], a[3], a[4], a[5])
+}
+
+// IsBroadcast reports whether the address is the broadcast address.
+func (a Addr) IsBroadcast() bool { return a == Broadcast }
+
+// AddrFromUint64 derives a deterministic unicast address from an integer;
+// the simulator assigns host and router interface addresses this way.
+func AddrFromUint64(v uint64) Addr {
+	var a Addr
+	a[0] = 0x02 // locally administered, unicast
+	a[1] = byte(v >> 32)
+	a[2] = byte(v >> 24)
+	a[3] = byte(v >> 16)
+	a[4] = byte(v >> 8)
+	a[5] = byte(v)
+	return a
+}
+
+// Header is a parsed Ethernet header. When used as the portInfo of a VIPER
+// segment, Dst names the next recipient on the Ethernet attached to the
+// segment's output port, and Type tags the format of the rest of the
+// packet (the paper's "tag field").
+type Header struct {
+	Dst, Src Addr
+	Type     uint16
+}
+
+// ErrShortHeader is returned when decoding fewer than HeaderLen bytes.
+var ErrShortHeader = errors.New("ethernet: short header")
+
+// Encode appends the wire form of h: destination, source, type. The type
+// field lands in the final two bytes, satisfying the VIPER convention that
+// portInfo ends with its tag field.
+func (h Header) Encode() []byte {
+	b := make([]byte, HeaderLen)
+	copy(b[0:6], h.Dst[:])
+	copy(b[6:12], h.Src[:])
+	binary.BigEndian.PutUint16(b[12:14], h.Type)
+	return b
+}
+
+// Decode parses an Ethernet header from the front of b.
+func Decode(b []byte) (Header, error) {
+	if len(b) < HeaderLen {
+		return Header{}, ErrShortHeader
+	}
+	var h Header
+	copy(h.Dst[:], b[0:6])
+	copy(h.Src[:], b[6:12])
+	h.Type = binary.BigEndian.Uint16(b[12:14])
+	return h, nil
+}
+
+// Swapped returns the header revised to constitute a correct return hop:
+// source and destination are exchanged (§2: "with an Ethernet header, the
+// destination and source addresses are swapped").
+func (h Header) Swapped() Header {
+	return Header{Dst: h.Src, Src: h.Dst, Type: h.Type}
+}
+
+// SwapInPlace exchanges the source and destination addresses of an encoded
+// header without reparsing — the operation a cut-through router performs
+// in its loopback register as the header streams past. It returns an error
+// if b is too short.
+func SwapInPlace(b []byte) error {
+	if len(b) < HeaderLen {
+		return ErrShortHeader
+	}
+	for i := 0; i < AddrLen; i++ {
+		b[i], b[AddrLen+i] = b[AddrLen+i], b[i]
+	}
+	return nil
+}
+
+func (h Header) String() string {
+	return fmt.Sprintf("eth{%s->%s type=%#04x}", h.Src, h.Dst, h.Type)
+}

@@ -1,0 +1,107 @@
+package ethernet
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	h := Header{
+		Dst:  Addr{1, 2, 3, 4, 5, 6},
+		Src:  Addr{7, 8, 9, 10, 11, 12},
+		Type: 0x88B5,
+	}
+	b := h.Encode()
+	if len(b) != HeaderLen {
+		t.Fatalf("encoded %d bytes, want %d", len(b), HeaderLen)
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("round trip mismatch: %v vs %v", got, h)
+	}
+}
+
+func TestTypeFieldIsTrailing(t *testing.T) {
+	// The VIPER continuation convention requires the type tag in the
+	// final two bytes of the portInfo.
+	h := Header{Type: 0xABCD}
+	b := h.Encode()
+	if b[12] != 0xAB || b[13] != 0xCD {
+		t.Fatalf("type bytes = %x %x", b[12], b[13])
+	}
+}
+
+func TestDecodeShort(t *testing.T) {
+	if _, err := Decode(make([]byte, HeaderLen-1)); err != ErrShortHeader {
+		t.Fatalf("err = %v, want ErrShortHeader", err)
+	}
+}
+
+func TestSwapped(t *testing.T) {
+	h := Header{Dst: Addr{1}, Src: Addr{2}, Type: 7}
+	s := h.Swapped()
+	if s.Dst != h.Src || s.Src != h.Dst || s.Type != h.Type {
+		t.Fatalf("Swapped = %v", s)
+	}
+	if s.Swapped() != h {
+		t.Fatal("double swap is not identity")
+	}
+}
+
+func TestSwapInPlace(t *testing.T) {
+	h := Header{Dst: Addr{1, 1, 1, 1, 1, 1}, Src: Addr{2, 2, 2, 2, 2, 2}, Type: 0x1234}
+	b := h.Encode()
+	if err := SwapInPlace(b); err != nil {
+		t.Fatal(err)
+	}
+	want := h.Swapped().Encode()
+	if !bytes.Equal(b, want) {
+		t.Fatalf("SwapInPlace = %x, want %x", b, want)
+	}
+	if err := SwapInPlace(make([]byte, 3)); err != ErrShortHeader {
+		t.Fatalf("short swap err = %v", err)
+	}
+}
+
+func TestPropertySwapInPlaceMatchesSwapped(t *testing.T) {
+	f := func(dst, src [AddrLen]byte, typ uint16) bool {
+		h := Header{Dst: dst, Src: src, Type: typ}
+		b := h.Encode()
+		if err := SwapInPlace(b); err != nil {
+			return false
+		}
+		got, err := Decode(b)
+		return err == nil && got == h.Swapped()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddrFromUint64(t *testing.T) {
+	a := AddrFromUint64(0x0102030405)
+	if a != (Addr{0x02, 0x01, 0x02, 0x03, 0x04, 0x05}) {
+		t.Fatalf("AddrFromUint64 = %v", a)
+	}
+	if a.IsBroadcast() {
+		t.Fatal("derived address should not be broadcast")
+	}
+	if !Broadcast.IsBroadcast() {
+		t.Fatal("Broadcast should be broadcast")
+	}
+	if AddrFromUint64(1) == AddrFromUint64(2) {
+		t.Fatal("distinct inputs must give distinct addresses")
+	}
+}
+
+func TestAddrString(t *testing.T) {
+	a := Addr{0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0x01}
+	if got := a.String(); got != "de:ad:be:ef:00:01" {
+		t.Fatalf("String = %q", got)
+	}
+}

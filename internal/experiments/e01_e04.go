@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"repro/internal/ethernet"
+	"repro/internal/router"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/viper"
+	"repro/internal/workload"
+)
+
+func init() {
+	register("E01", E01HeaderCodec)
+	register("E02", E02SwitchingDelay)
+	register("E04", E04HeaderOverhead)
+}
+
+// E01HeaderCodec reproduces Figure 1 and §5's sizing claims: the minimum
+// 32-bit segment, the 18-byte Ethernet hop, token-bearing segments, and
+// the "48 header segments ... under 500 bytes" route bound.
+func E01HeaderCodec() *Table {
+	t := &Table{
+		ID:    "E01",
+		Title: "VIPER header segment sizes (Figure 1, §5)",
+		Claim: "smallest segment 32 bits; Ethernet portInfo length 14 (18B segment); 48 minimal segments under 500 bytes",
+		Columns: []string{
+			"segment", "portToken", "portInfo", "wire bytes", "roundtrip",
+		},
+	}
+	cases := []struct {
+		name string
+		seg  viper.Segment
+	}{
+		{"minimal p2p", viper.Segment{Port: 1, Flags: viper.FlagVNT}},
+		{"ethernet hop", viper.Segment{Port: 2, PortInfo: make([]byte, ethernet.HeaderLen)}},
+		{"tokened ethernet", viper.Segment{Port: 2, PortToken: make([]byte, 44), PortInfo: make([]byte, ethernet.HeaderLen)}},
+		{"long-escape info", viper.Segment{Port: 2, PortInfo: make([]byte, 300)}},
+	}
+	for _, c := range cases {
+		b, err := viper.AppendSegment(nil, &c.seg)
+		ok := err == nil
+		if ok {
+			got, rest, derr := viper.DecodeSegment(b)
+			ok = derr == nil && len(rest) == 0 && got.Equal(&c.seg)
+		}
+		rt := "ok"
+		if !ok {
+			rt = "FAIL"
+		}
+		t.AddRow(c.name, fi(len(c.seg.PortToken)), fi(len(c.seg.PortInfo)), fi(c.seg.WireLen()), rt)
+	}
+	minimal := viper.Segment{Port: 1, Flags: viper.FlagVNT}
+	t.AddCheck("min segment is 32 bits", minimal.WireLen() == 4, "%d bytes", minimal.WireLen())
+	ethSeg := viper.Segment{Port: 1, PortInfo: make([]byte, ethernet.HeaderLen)}
+	t.AddCheck("ethernet segment is 18 bytes", ethSeg.WireLen() == 18, "%d bytes", ethSeg.WireLen())
+
+	// Route-size rows: header bytes vs hop count for p2p and Ethernet
+	// hops.
+	t.Rows = append(t.Rows, []string{"---", "", "", "", ""})
+	for _, hops := range []int{1, 2, 6, 24, 48} {
+		p2p := hops * 4
+		eth := hops * 18
+		t.AddRow(fmt48(hops), "-", "-", fi(p2p), fi(eth))
+	}
+	t.AddCheck("48 minimal segments under 500B", 48*4 < 500, "%d bytes", 48*4)
+	return t
+}
+
+func fmt48(h int) string { return fi(h) + " hops (p2p/eth)" }
+
+// E02SwitchingDelay validates §6.1's queueing analysis: Poisson arrivals
+// into a deterministic-service output port behave as M/D/1 — "with
+// reasonable load (up to about 70 percent utilization) ... an average
+// queue length of approximately one packet or less" and "average queuing
+// delay ... approximately the transmission time for half of an average
+// packet".
+func E02SwitchingDelay() *Table {
+	t := &Table{
+		ID:    "E02",
+		Title: "Output-port queueing vs M/D/1 (§6.1)",
+		Claim: "at <=70% utilization mean queue ~1 packet or less; mean wait ~ half a packet time",
+		Columns: []string{
+			"util", "wait (pkt times)", "M/D/1 Wq", "mean queue", "M/D/1 Lq", "drops",
+		},
+	}
+	const (
+		pktSize  = 1000
+		outRate  = 10e6
+		nSources = 8
+	)
+	pktTime := float64(pktSize+8) * 8 / outRate // seconds, incl. min viper framing
+	okAll := true
+	for _, rho := range []float64{0.3, 0.5, 0.7, 0.9} {
+		wait, qlen, drops := runMD1(rho, pktSize, outRate, nSources)
+		pred := stats.MD1Metrics(rho)
+		waitPkts := wait / pktTime
+		t.AddRow(f2(rho), f2(waitPkts), f2(pred.Wq), f2(qlen), f2(pred.Lq), fu(drops))
+		// Shape: measured within a factor band of M/D/1 (finite-run,
+		// finite-buffer effects allowed).
+		if rho <= 0.7 {
+			if waitPkts > pred.Wq*2+0.3 || qlen > pred.Lq*2+0.5 {
+				okAll = false
+			}
+		}
+	}
+	t.AddCheck("<=70% util stays near M/D/1 bound", okAll, "see rows")
+	return t
+}
+
+// runMD1 drives one bottleneck port at utilization rho and returns mean
+// queue wait (seconds), time-averaged queue length, and drops.
+func runMD1(rho float64, pktSize int, outRate float64, nSources int) (wait, qlen float64, drops uint64) {
+	b := newBottleneck(nSources, outRate, router.Config{QueueLimit: 256})
+	framed := float64(pktSize + 8) // data + minimal segment + descriptor
+	lambda := rho * outRate / (framed * 8)
+	perSource := workload.Poisson{RatePerSec: lambda / float64(nSources)}
+	r := rand.New(rand.NewSource(99))
+	const horizon = 4 * sim.Second
+	for i := range b.srcs {
+		src := b.srcs[i]
+		var tick func()
+		tick = func() {
+			if b.eng.Now() >= horizon {
+				return
+			}
+			src.Send(b.route(), make([]byte, pktSize-8))
+			b.eng.Schedule(perSource.Next(r), tick)
+		}
+		b.eng.Schedule(perSource.Next(r), tick)
+	}
+	// Sample queue length periodically.
+	var qacc stats.Accumulator
+	var sample func()
+	sample = func() {
+		if b.eng.Now() >= horizon {
+			return
+		}
+		qacc.Add(float64(b.r1.QueueLen(100)))
+		b.eng.Schedule(sim.Millisecond, sample)
+	}
+	b.eng.Schedule(sim.Millisecond, sample)
+	b.eng.RunUntil(horizon + sim.Second)
+	return b.r1.Stats.QueueDelay.Mean() / 1e9, qacc.Mean(), b.r1.Stats.TotalDrops()
+}
+
+// E04HeaderOverhead reproduces §6.2's estimate: with the measured packet
+// size distribution the average packet is ~3/8 of the maximum; with 18
+// bytes of VIPER+Ethernet header per hop and 0.2 average hops the header
+// overhead is ~0.5%.
+func E04HeaderOverhead() *Table {
+	t := &Table{
+		ID:    "E04",
+		Title: "Header overhead under the §6.2 traffic model",
+		Claim: "avg packet ~3/8 max (~633B of 2KB); 18B/hop * 0.2 hops => ~0.5% overhead",
+		Columns: []string{
+			"max pkt", "avg pkt (meas)", "avg pkt (3/8 max)", "hops(avg)", "hdr bytes/pkt", "overhead",
+		},
+	}
+	r := rand.New(rand.NewSource(7))
+	hops := workload.PaperLocality()
+	const perHop = 18.0 // VIPER segment + Ethernet header, §6.2
+	var got2KOverhead float64
+	for _, maxPkt := range []int{576, 1500, 2048, 4500} {
+		dist := workload.SizeDist{Min: 40, Max: maxPkt}
+		var sizeAcc, hdrAcc stats.Accumulator
+		const n = 100000
+		for i := 0; i < n; i++ {
+			sizeAcc.Add(float64(dist.Sample(r)))
+			hdrAcc.Add(perHop * float64(hops.Sample(r)))
+		}
+		overhead := hdrAcc.Mean() / sizeAcc.Mean()
+		if maxPkt == 2048 {
+			got2KOverhead = overhead
+		}
+		t.AddRow(fi(maxPkt), f1(sizeAcc.Mean()), f1(3.0/8.0*float64(maxPkt)),
+			f2(hops.Mean()), f2(hdrAcc.Mean()), pct(overhead))
+	}
+	t.AddCheck("2KB-max overhead ~0.5%", got2KOverhead > 0.002 && got2KOverhead < 0.01, "%s", pct(got2KOverhead))
+	// The paper's exact arithmetic: 18B/hop, 0.2 hops, 633B average.
+	paper := 18.0 * 0.2 / 633.0
+	t.AddCheck("paper arithmetic ~0.57%", paper > 0.004 && paper < 0.008, "%s", pct(paper))
+	return t
+}

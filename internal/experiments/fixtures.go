@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"repro/internal/netsim"
+	"repro/internal/router"
+	"repro/internal/sim"
+	"repro/internal/viper"
+)
+
+// bottleneck is the shared congestion fixture: nSrc sources on fast
+// access links feeding router R1, whose port 100 is the bottleneck trunk
+// to R2, which delivers to one sink host.
+type bottleneck struct {
+	eng    *sim.Engine
+	srcs   []*router.Host
+	r1, r2 *router.Router
+	dst    *router.Host
+	trunk  *netsim.P2PLink
+	deliv  int
+}
+
+func newBottleneck(nSrc int, trunkRate float64, cfg router.Config) *bottleneck {
+	eng := sim.NewEngine(41)
+	b := &bottleneck{eng: eng}
+	b.r1 = router.New(eng, "R1", cfg)
+	b.r2 = router.New(eng, "R2", cfg)
+	b.dst = router.NewHost(eng, "sink")
+
+	for i := 0; i < nSrc; i++ {
+		s := router.NewHost(eng, "src")
+		link := netsim.NewP2PLink(eng, trunkRate*10, 10*sim.Microsecond)
+		pa, pb := link.Attach(s, 1, b.r1, uint8(1+i))
+		s.AttachPort(pa)
+		b.r1.AttachPort(pb)
+		b.srcs = append(b.srcs, s)
+	}
+	b.trunk = netsim.NewP2PLink(eng, trunkRate, 50*sim.Microsecond)
+	qa, qb := b.trunk.Attach(b.r1, 100, b.r2, 1)
+	b.r1.AttachPort(qa)
+	b.r2.AttachPort(qb)
+
+	out := netsim.NewP2PLink(eng, trunkRate*10, 10*sim.Microsecond)
+	oa, ob := out.Attach(b.r2, 2, b.dst, 1)
+	b.r2.AttachPort(oa)
+	b.dst.AttachPort(ob)
+
+	b.dst.Handle(0, func(d *router.Delivery) { b.deliv++ })
+	return b
+}
+
+func (b *bottleneck) route() []viper.Segment {
+	return []viper.Segment{
+		{Port: 1, Flags: viper.FlagVNT},
+		{Port: 100, Flags: viper.FlagVNT},
+		{Port: 2, Flags: viper.FlagVNT},
+		{Port: viper.PortLocal},
+	}
+}

@@ -1,0 +1,125 @@
+package ipnet
+
+import (
+	"repro/internal/sim"
+)
+
+// The distance-vector routing protocol: periodic full-table advertisements
+// to neighbors with split horizon, route expiry by timeout, RIP-style
+// infinity at 16. This is the "(inter)network distributed routing" whose
+// slow reconvergence §6.3 contrasts with client-driven rerouting.
+//
+// Advertisements are modeled as control-plane messages delivered with the
+// link's propagation delay but without consuming link bandwidth (their
+// bandwidth is negligible next to data traffic at the experiment scales).
+// Advertisements are NOT delivered over failed links, which is what makes
+// reconvergence happen at all.
+
+// dvNeighbor is a registered routing adjacency.
+type dvNeighbor struct {
+	viaPort  uint8   // our port toward the neighbor
+	peer     *Router // the neighbor
+	peerPort uint8   // the neighbor's port toward us
+	ourAddr  Addr    // our address on the shared network (their nextHop)
+}
+
+// ConnectDV registers a symmetric routing adjacency between two routers:
+// a's port aPort faces b's port bPort, with the given addresses on the
+// shared network.
+func ConnectDV(a *Router, aPort uint8, aAddr Addr, b *Router, bPort uint8, bAddr Addr) {
+	a.dvNeighbors = append(a.dvNeighbors, dvNeighbor{viaPort: aPort, peer: b, peerPort: bPort, ourAddr: aAddr})
+	b.dvNeighbors = append(b.dvNeighbors, dvNeighbor{viaPort: bPort, peer: a, peerPort: aPort, ourAddr: bAddr})
+	a.AddARP(aPort, bAddr, b.ifaces[bPort].port.Addr)
+	b.AddARP(bPort, aAddr, a.ifaces[aPort].port.Addr)
+}
+
+// StartDV begins periodic advertisement. The router must have been
+// configured with a nonzero DVPeriod.
+func (r *Router) StartDV() {
+	if r.cfg.DVPeriod <= 0 {
+		panic("ipnet: StartDV requires DVPeriod > 0")
+	}
+	if r.dvRunning {
+		return
+	}
+	r.dvRunning = true
+	var tick func()
+	tick = func() {
+		if !r.dvRunning {
+			return
+		}
+		r.expireRoutes()
+		r.advertise()
+		r.eng.Schedule(r.cfg.DVPeriod, tick)
+	}
+	// Desynchronize the first advertisement slightly per router so the
+	// whole network doesn't advertise in lockstep.
+	r.eng.Schedule(sim.Time(r.eng.Rand().Int63n(int64(r.cfg.DVPeriod))), tick)
+}
+
+// StopDV halts advertisement at the next tick.
+func (r *Router) StopDV() { r.dvRunning = false }
+
+func (r *Router) expireRoutes() {
+	now := r.eng.Now()
+	for _, e := range r.table {
+		if e.learned > 0 && e.metric < Infinity && now-e.learned > r.cfg.DVTimeout {
+			e.metric = Infinity
+			r.Stats.RouteExpiries++
+		}
+	}
+}
+
+func (r *Router) advertise() {
+	if !r.dvRunning {
+		return
+	}
+	for _, nb := range r.dvNeighbors {
+		ifc, ok := r.ifaces[nb.viaPort]
+		if !ok || ifc.port.Medium.IsDown() {
+			continue
+		}
+		// Split horizon: do not advertise a route back onto the port it
+		// was learned from.
+		vector := make(map[uint16]int)
+		for net, e := range r.table {
+			if e.learned > 0 && e.port == nb.viaPort {
+				continue
+			}
+			vector[net] = e.metric
+		}
+		peer, peerPort, ourAddr := nb.peer, nb.peerPort, nb.ourAddr
+		r.eng.Schedule(ifc.port.Medium.PropDelay(), func() {
+			peer.receiveDV(peerPort, ourAddr, vector)
+		})
+		r.Stats.DVUpdatesSent++
+	}
+}
+
+func (r *Router) receiveDV(viaPort uint8, from Addr, vector map[uint16]int) {
+	now := r.eng.Now()
+	r.Stats.DVUpdatesRecv++
+	for net, m := range vector {
+		nm := m + 1
+		if nm > Infinity {
+			nm = Infinity
+		}
+		cur, ok := r.table[net]
+		switch {
+		case !ok:
+			r.table[net] = &routeEntry{port: viaPort, nextHop: from, metric: nm, learned: now}
+		case cur.learned == 0:
+			// Static/direct routes are never overridden.
+		case cur.port == viaPort && cur.nextHop == from:
+			// Update from the current next hop is authoritative, even
+			// if worse.
+			cur.metric = nm
+			cur.learned = now
+		case nm < cur.metric:
+			cur.port = viaPort
+			cur.nextHop = from
+			cur.metric = nm
+			cur.learned = now
+		}
+	}
+}

@@ -1,0 +1,265 @@
+package ipnet
+
+import (
+	"fmt"
+
+	"repro/internal/ethernet"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// HostConfig parameterizes an IP host.
+type HostConfig struct {
+	// ReassemblyTimeout is how long a partially reassembled datagram is
+	// held before being discarded whole — the "all-or-nothing behavior
+	// of IP in the reassembly of packets" of §4.3. Default 1s.
+	ReassemblyTimeout sim.Time
+}
+
+func (c HostConfig) withDefaults() HostConfig {
+	if c.ReassemblyTimeout == 0 {
+		c.ReassemblyTimeout = sim.Second
+	}
+	return c
+}
+
+// HostStats counts an IP host's behavior.
+type HostStats struct {
+	Sent               uint64
+	Delivered          uint64 // complete datagrams handed to the handler
+	FragmentsReceived  uint64
+	ReassemblyTimeouts uint64 // datagrams lost whole to a missing fragment
+	Drops              uint64
+}
+
+// Host is an IP endpoint with a single network attachment, a default
+// gateway, and datagram reassembly. It implements netsim.Node.
+type Host struct {
+	eng  *sim.Engine
+	name string
+	cfg  HostConfig
+
+	port    *netsim.Port
+	addr    Addr
+	gwIP    Addr
+	arp     map[Addr]ethernet.Addr
+	queue   []outItem
+	drainng bool
+
+	nextID  uint16
+	partial map[fragKey]*reassembly
+
+	handler func(src Addr, proto uint8, data []byte)
+
+	Stats HostStats
+}
+
+type fragKey struct {
+	src Addr
+	id  uint16
+}
+
+type reassembly struct {
+	data     []byte
+	have     []bool // 8-byte-unit coverage
+	total    int
+	deadline sim.Time
+	proto    uint8
+}
+
+// NewHost creates an IP host with the given address.
+func NewHost(eng *sim.Engine, name string, addr Addr, cfg HostConfig) *Host {
+	return &Host{
+		eng:     eng,
+		name:    name,
+		cfg:     cfg.withDefaults(),
+		addr:    addr,
+		arp:     make(map[Addr]ethernet.Addr),
+		partial: make(map[fragKey]*reassembly),
+	}
+}
+
+// Name implements netsim.Node.
+func (h *Host) Name() string { return h.name }
+
+// Addr returns the host's internetwork address.
+func (h *Host) Addr() Addr { return h.addr }
+
+// AttachPort registers the host's network attachment.
+func (h *Host) AttachPort(p *netsim.Port) {
+	if p.Node != netsim.Node(h) {
+		panic(fmt.Sprintf("ipnet: port %v belongs to another node", p))
+	}
+	h.port = p
+}
+
+// SetGateway installs the default gateway's address and, for multi-access
+// networks, its station address.
+func (h *Host) SetGateway(ip Addr, mac ethernet.Addr) {
+	h.gwIP = ip
+	h.arp[ip] = mac
+}
+
+// AddARP maps an on-link internetwork address to its station address.
+func (h *Host) AddARP(ip Addr, mac ethernet.Addr) { h.arp[ip] = mac }
+
+// SetHandler registers the datagram consumer.
+func (h *Host) SetHandler(fn func(src Addr, proto uint8, data []byte)) { h.handler = fn }
+
+// Send transmits a datagram, fragmenting for the local MTU if needed.
+func (h *Host) Send(dst Addr, proto uint8, data []byte, tos uint8) error {
+	if h.port == nil {
+		return fmt.Errorf("ipnet: host %s has no attachment", h.name)
+	}
+	h.nextID++
+	pkt := &Packet{
+		Header: Header{
+			TOS:   tos,
+			ID:    h.nextID,
+			TTL:   DefaultTTL,
+			Proto: proto,
+			Src:   h.addr,
+			Dst:   dst,
+		},
+		Payload:  append([]byte(nil), data...),
+		TotalLen: len(data),
+	}
+	var hdr *ethernet.Header
+	if h.port.Addr != (ethernet.Addr{}) {
+		hopIP := dst
+		if dst.Network() != h.addr.Network() {
+			hopIP = h.gwIP
+		}
+		mac, ok := h.arp[hopIP]
+		if !ok {
+			return fmt.Errorf("ipnet: no ARP entry for %v", hopIP)
+		}
+		hdr = &ethernet.Header{Dst: mac, Src: h.port.Addr, Type: 0x0800}
+	}
+	frags := []*Packet{pkt}
+	if mtu := h.port.Medium.MTU(); mtu > 0 {
+		budget := mtu - HeaderLen
+		if hdr != nil {
+			budget -= ethernet.HeaderLen
+		}
+		var err error
+		frags, err = Fragment(pkt, budget)
+		if err != nil {
+			return err
+		}
+	}
+	h.Stats.Sent++
+	for _, f := range frags {
+		h.queue = append(h.queue, outItem{pkt: f, hdr: hdr, arrivedAt: -1})
+	}
+	h.drain()
+	return nil
+}
+
+func (h *Host) drain() {
+	if h.drainng || len(h.queue) == 0 {
+		return
+	}
+	now := h.eng.Now()
+	if free := h.port.Medium.FreeAt(now); free > now {
+		h.drainng = true
+		h.eng.At(free, func() {
+			h.drainng = false
+			h.drain()
+		})
+		return
+	}
+	it := h.queue[0]
+	h.queue = h.queue[1:]
+	tx, err := h.port.Medium.Transmit(h.port, it.pkt, it.hdr, 0)
+	if err != nil {
+		if err == netsim.ErrMediumBusy {
+			h.queue = append([]outItem{it}, h.queue...)
+			h.drainng = true
+			h.eng.At(h.port.Medium.FreeAt(now), func() {
+				h.drainng = false
+				h.drain()
+			})
+			return
+		}
+		h.Stats.Drops++
+		h.drain()
+		return
+	}
+	h.drainng = true
+	h.eng.At(tx.End(), func() {
+		h.drainng = false
+		h.drain()
+	})
+}
+
+// Arrive implements netsim.Node.
+func (h *Host) Arrive(arr *netsim.Arrival) {
+	wait := arr.End() - h.eng.Now()
+	h.eng.Schedule(wait, func() {
+		if arr.Tx.Aborted() {
+			h.Stats.Drops++
+			return
+		}
+		pkt, ok := arr.Pkt.(*Packet)
+		if !ok || pkt.Dst != h.addr {
+			h.Stats.Drops++
+			return
+		}
+		if pkt.BadChecksum {
+			h.Stats.Drops++
+			return
+		}
+		h.receive(pkt)
+	})
+}
+
+func (h *Host) receive(pkt *Packet) {
+	if !pkt.MoreFrags && pkt.FragOffset == 0 {
+		h.deliver(pkt.Src, pkt.Proto, pkt.Payload)
+		return
+	}
+	// Fragment: reassemble all-or-nothing with a timeout (§4.3).
+	h.Stats.FragmentsReceived++
+	key := fragKey{src: pkt.Src, id: pkt.ID}
+	ra, ok := h.partial[key]
+	if !ok {
+		ra = &reassembly{
+			data:     make([]byte, pkt.TotalLen),
+			have:     make([]bool, (pkt.TotalLen+7)/8),
+			total:    pkt.TotalLen,
+			deadline: h.eng.Now() + h.cfg.ReassemblyTimeout,
+			proto:    pkt.Proto,
+		}
+		h.partial[key] = ra
+		h.eng.Schedule(h.cfg.ReassemblyTimeout, func() {
+			if cur, still := h.partial[key]; still && cur == ra {
+				delete(h.partial, key)
+				h.Stats.ReassemblyTimeouts++
+			}
+		})
+	}
+	off := int(pkt.FragOffset) * 8
+	if off+len(pkt.Payload) > ra.total {
+		h.Stats.Drops++
+		return
+	}
+	copy(ra.data[off:], pkt.Payload)
+	for u := off / 8; u < (off+len(pkt.Payload)+7)/8 && u < len(ra.have); u++ {
+		ra.have[u] = true
+	}
+	for _, got := range ra.have {
+		if !got {
+			return
+		}
+	}
+	delete(h.partial, key)
+	h.deliver(pkt.Src, ra.proto, ra.data)
+}
+
+func (h *Host) deliver(src Addr, proto uint8, data []byte) {
+	h.Stats.Delivered++
+	if h.handler != nil {
+		h.handler(src, proto, data)
+	}
+}

@@ -1,0 +1,106 @@
+package ipnet
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestRouterLocalDelivery(t *testing.T) {
+	f := newIPFixture(RouterConfig{}, HostConfig{})
+	var got *Packet
+	f.r1.SetLocalHandler(func(p *Packet) { got = p })
+	f.eng.Schedule(0, func() {
+		// Address R1's net1 interface directly.
+		f.hA.Send(MakeAddr(1, 1), ProtoRaw, []byte("for the router"), 0)
+	})
+	f.eng.Run()
+	if got == nil {
+		t.Fatal("router local delivery failed")
+	}
+	if !bytes.Equal(got.Payload, []byte("for the router")) {
+		t.Fatalf("payload = %q", got.Payload)
+	}
+	if f.r1.Name() != "R1" {
+		t.Fatal("Name broken")
+	}
+}
+
+func TestHostIgnoresForeignAndCorrupt(t *testing.T) {
+	f := newIPFixture(RouterConfig{}, HostConfig{})
+	f.hB.SetHandler(func(src Addr, proto uint8, data []byte) {
+		t.Error("should not deliver")
+	})
+	// A corrupt-header packet dies at the first router.
+	f.eng.Schedule(0, func() {
+		pkt := &Packet{Header: Header{TTL: 3, Src: f.hA.Addr(), Dst: f.hB.Addr()}, Payload: []byte("x"), BadChecksum: true, TotalLen: 1}
+		f.hA.queue = append(f.hA.queue, outItem{pkt: pkt, hdr: nil, arrivedAt: -1})
+	})
+	f.eng.Run()
+}
+
+func TestIPPacketCloneWire(t *testing.T) {
+	p := &Packet{Header: Header{TTL: 3}, Payload: []byte{1, 2}}
+	c := p.CloneWire().(*Packet)
+	c.Payload[0] = 9
+	if p.Payload[0] == 9 {
+		t.Fatal("CloneWire aliases original")
+	}
+	if p.WireLen() != HeaderLen+2 {
+		t.Fatalf("WireLen = %d", p.WireLen())
+	}
+}
+
+func TestHostARPMissing(t *testing.T) {
+	eng := sim.NewEngine(1)
+	h := NewHost(eng, "h", MakeAddr(1, 1), HostConfig{})
+	if err := h.Send(MakeAddr(2, 1), ProtoRaw, nil, 0); err == nil {
+		t.Fatal("send with no attachment should fail")
+	}
+}
+
+func TestFragmentTooSmallMTU(t *testing.T) {
+	p := &Packet{Payload: make([]byte, 100), TotalLen: 100}
+	if _, err := Fragment(p, 4); err == nil {
+		t.Fatal("sub-8-byte fragment budget should fail")
+	}
+}
+
+func TestDVRouteExpiryCounter(t *testing.T) {
+	eng := sim.NewEngine(11)
+	cfg := RouterConfig{DVPeriod: 100 * sim.Millisecond}
+	r1, r2, r3, l12 := dvRing(eng, cfg)
+	r1.StartDV()
+	r2.StartDV()
+	r3.StartDV()
+	eng.RunUntil(sim.Second)
+	eng.Schedule(0, func() { l12.SetDown(true) })
+	eng.RunUntil(3 * sim.Second)
+	r1.StopDV()
+	r2.StopDV()
+	r3.StopDV()
+	if r1.Stats.RouteExpiries == 0 {
+		t.Fatal("no routes expired after the link died")
+	}
+	if r1.Stats.DVUpdatesSent == 0 || r1.Stats.DVUpdatesRecv == 0 {
+		t.Fatal("DV counters silent")
+	}
+	if r1.DebugRoute(2) == "none" {
+		t.Fatal("DebugRoute lost the entry")
+	}
+	if r1.DebugRoute(9999) != "none" {
+		t.Fatal("DebugRoute invented an entry")
+	}
+}
+
+func TestStartDVRequiresPeriod(t *testing.T) {
+	eng := sim.NewEngine(1)
+	r := NewRouter(eng, "r", RouterConfig{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("StartDV without period should panic")
+		}
+	}()
+	r.StartDV()
+}

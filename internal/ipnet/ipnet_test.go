@@ -1,0 +1,367 @@
+package ipnet
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ethernet"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+func TestAddr(t *testing.T) {
+	a := MakeAddr(5, 77)
+	if a.Network() != 5 || a.Host() != 77 {
+		t.Fatalf("addr parts = %d.%d", a.Network(), a.Host())
+	}
+	if a.String() != "5.77" {
+		t.Fatalf("String = %q", a.String())
+	}
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	p := &Packet{Header: Header{
+		TOS: 3, ID: 1234, MoreFrags: true, FragOffset: 185,
+		TTL: 17, Proto: ProtoRaw, Src: MakeAddr(1, 2), Dst: MakeAddr(3, 4),
+	}, Payload: []byte("hello")}
+	b := p.EncodeHeader()
+	if len(b) != HeaderLen {
+		t.Fatalf("header length %d", len(b))
+	}
+	h, err := DecodeHeader(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != p.Header {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", h, p.Header)
+	}
+}
+
+func TestChecksumDetectsCorruption(t *testing.T) {
+	p := &Packet{Header: Header{TTL: 5, Src: MakeAddr(1, 1), Dst: MakeAddr(2, 2)}}
+	b := p.EncodeHeader()
+	for i := 0; i < HeaderLen; i++ {
+		mut := append([]byte(nil), b...)
+		mut[i] ^= 0x04
+		if _, err := DecodeHeader(mut); err == nil {
+			t.Errorf("corruption at byte %d undetected", i)
+		}
+	}
+}
+
+func TestPropertyHeaderRoundTrip(t *testing.T) {
+	f := func(tos uint8, id uint16, mf bool, fo uint16, ttl, proto uint8, src, dst uint32) bool {
+		h := Header{
+			TOS: tos, ID: id, MoreFrags: mf, FragOffset: fo & fragOffsetMask,
+			TTL: ttl, Proto: proto, Src: Addr(src), Dst: Addr(dst),
+		}
+		p := &Packet{Header: h}
+		got, err := DecodeHeader(p.EncodeHeader())
+		return err == nil && got == h
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(6))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFragment(t *testing.T) {
+	p := &Packet{Header: Header{ID: 9, Src: 1, Dst: 2}, Payload: make([]byte, 1000), TotalLen: 1000}
+	for i := range p.Payload {
+		p.Payload[i] = byte(i)
+	}
+	frags, err := Fragment(p, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) != 4 {
+		t.Fatalf("%d fragments, want 4 (296*3 + 112)", len(frags))
+	}
+	var rebuilt []byte
+	for i, f := range frags {
+		if int(f.FragOffset)*8 != len(rebuilt) {
+			t.Fatalf("fragment %d offset %d, rebuilt %d", i, f.FragOffset*8, len(rebuilt))
+		}
+		rebuilt = append(rebuilt, f.Payload...)
+		wantMore := i < len(frags)-1
+		if f.MoreFrags != wantMore {
+			t.Errorf("fragment %d MoreFrags = %v", i, f.MoreFrags)
+		}
+	}
+	if !bytes.Equal(rebuilt, p.Payload) {
+		t.Fatal("fragments do not reassemble to the original payload")
+	}
+}
+
+func TestFragmentFitsUnchanged(t *testing.T) {
+	p := &Packet{Payload: make([]byte, 100)}
+	frags, err := Fragment(p, 100)
+	if err != nil || len(frags) != 1 || frags[0] != p {
+		t.Fatalf("frags=%v err=%v", frags, err)
+	}
+}
+
+// ipFixture: two hosts on Ethernets joined by two routers over a p2p link.
+//
+//	hA (net 1) -- R1 ==p2p (net 3)== R2 -- (net 2) hB
+type ipFixture struct {
+	eng    *sim.Engine
+	hA, hB *Host
+	r1, r2 *Router
+	link   *netsim.P2PLink
+}
+
+func newIPFixture(cfg RouterConfig, hcfg HostConfig) *ipFixture {
+	f := &ipFixture{eng: sim.NewEngine(9)}
+	net1 := netsim.NewEthernetSegment(f.eng, "net1", 10e6, 5*sim.Microsecond)
+	net2 := netsim.NewEthernetSegment(f.eng, "net2", 10e6, 5*sim.Microsecond)
+	f.link = netsim.NewP2PLink(f.eng, 10e6, 20*sim.Microsecond)
+
+	f.hA = NewHost(f.eng, "hA", MakeAddr(1, 10), hcfg)
+	f.hB = NewHost(f.eng, "hB", MakeAddr(2, 10), hcfg)
+	f.r1 = NewRouter(f.eng, "R1", cfg)
+	f.r2 = NewRouter(f.eng, "R2", cfg)
+
+	maA := ethernet.AddrFromUint64(0xA)
+	maB := ethernet.AddrFromUint64(0xB)
+	ma1 := ethernet.AddrFromUint64(0x11)
+	ma2 := ethernet.AddrFromUint64(0x22)
+
+	f.hA.AttachPort(net1.AttachStation(f.hA, 1, maA))
+	f.r1.AttachIface(net1.AttachStation(f.r1, 1, ma1), MakeAddr(1, 1))
+	pa, pb := f.link.Attach(f.r1, 2, f.r2, 1)
+	f.r1.AttachIface(pa, MakeAddr(3, 1))
+	f.r2.AttachIface(pb, MakeAddr(3, 2))
+	f.r2.AttachIface(net2.AttachStation(f.r2, 2, ma2), MakeAddr(2, 1))
+	f.hB.AttachPort(net2.AttachStation(f.hB, 1, maB))
+
+	f.hA.SetGateway(MakeAddr(1, 1), ma1)
+	f.hB.SetGateway(MakeAddr(2, 1), ma2)
+	f.r1.AddARP(1, MakeAddr(1, 10), maA)
+	f.r2.AddARP(2, MakeAddr(2, 10), maB)
+
+	// Static routes across the p2p link.
+	f.r1.AddStaticRoute(2, 2, MakeAddr(3, 2), 2)
+	f.r2.AddStaticRoute(1, 1, MakeAddr(3, 1), 2)
+	return f
+}
+
+func TestIPEndToEnd(t *testing.T) {
+	f := newIPFixture(RouterConfig{}, HostConfig{})
+	var got []byte
+	var from Addr
+	f.hB.SetHandler(func(src Addr, proto uint8, data []byte) {
+		got = append([]byte(nil), data...)
+		from = src
+	})
+	f.eng.Schedule(0, func() {
+		if err := f.hA.Send(f.hB.Addr(), ProtoRaw, []byte("over the top"), 0); err != nil {
+			t.Errorf("Send: %v", err)
+		}
+	})
+	f.eng.Run()
+	if !bytes.Equal(got, []byte("over the top")) {
+		t.Fatalf("got %q", got)
+	}
+	if from != f.hA.Addr() {
+		t.Fatalf("src = %v", from)
+	}
+	if f.r1.Stats.Forwarded != 1 || f.r2.Stats.Forwarded != 1 {
+		t.Fatalf("forwarded = %d/%d", f.r1.Stats.Forwarded, f.r2.Stats.Forwarded)
+	}
+}
+
+func TestIPTTLExpires(t *testing.T) {
+	f := newIPFixture(RouterConfig{}, HostConfig{})
+	f.hB.SetHandler(func(src Addr, proto uint8, data []byte) {
+		t.Error("TTL-1 packet should die at the second router")
+	})
+	f.eng.Schedule(0, func() {
+		// Hand-craft a packet with TTL 2: R1 decrements to 1, R2 drops.
+		f.hA.nextID++
+		pkt := &Packet{Header: Header{ID: f.hA.nextID, TTL: 2, Proto: ProtoRaw, Src: f.hA.Addr(), Dst: f.hB.Addr()}, Payload: []byte("x"), TotalLen: 1}
+		hdr := &ethernet.Header{Dst: ethernet.AddrFromUint64(0x11), Src: f.hA.port.Addr, Type: 0x0800}
+		f.hA.queue = append(f.hA.queue, outItem{pkt: pkt, hdr: hdr, arrivedAt: -1})
+		f.hA.drain()
+	})
+	f.eng.Run()
+	if f.r2.Stats.TTLDrops != 1 {
+		t.Fatalf("TTLDrops = %d, want 1", f.r2.Stats.TTLDrops)
+	}
+}
+
+func TestIPFragmentationAndReassembly(t *testing.T) {
+	f := newIPFixture(RouterConfig{}, HostConfig{})
+	f.link.AB.SetMTU(500)
+	f.link.BA.SetMTU(500)
+	payload := make([]byte, 3000)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	var got []byte
+	f.hB.SetHandler(func(src Addr, proto uint8, data []byte) { got = append([]byte(nil), data...) })
+	f.eng.Schedule(0, func() { f.hA.Send(f.hB.Addr(), ProtoRaw, payload, 0) })
+	f.eng.Run()
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("reassembly failed: got %d bytes", len(got))
+	}
+	if f.r1.Stats.Fragmented == 0 {
+		t.Fatal("router never fragmented")
+	}
+	if f.hB.Stats.FragmentsReceived < 2 {
+		t.Fatalf("FragmentsReceived = %d", f.hB.Stats.FragmentsReceived)
+	}
+}
+
+func TestIPReassemblyAllOrNothing(t *testing.T) {
+	// Lose one fragment: the whole datagram dies at the reassembly
+	// timeout (§4.3's criticism).
+	f := newIPFixture(RouterConfig{QueueLimit: 3}, HostConfig{ReassemblyTimeout: 50 * sim.Millisecond})
+	f.link.AB.SetMTU(500)
+	delivered := false
+	f.hB.SetHandler(func(src Addr, proto uint8, data []byte) { delivered = true })
+	// 8 KB -> ~18 fragments; queue limit 3 at R1 forces drops.
+	f.eng.Schedule(0, func() { f.hA.Send(f.hB.Addr(), ProtoRaw, make([]byte, 8000), 0) })
+	f.eng.RunUntil(sim.Second)
+	if delivered {
+		t.Fatal("datagram delivered despite fragment loss")
+	}
+	if f.r1.Stats.QueueFull == 0 {
+		t.Fatal("expected fragment drops at R1")
+	}
+	if f.hB.Stats.ReassemblyTimeouts != 1 {
+		t.Fatalf("ReassemblyTimeouts = %d, want 1", f.hB.Stats.ReassemblyTimeouts)
+	}
+}
+
+func TestIPBadChecksumDroppedAtRouter(t *testing.T) {
+	f := newIPFixture(RouterConfig{}, HostConfig{})
+	f.hB.SetHandler(func(src Addr, proto uint8, data []byte) { t.Error("corrupt packet delivered") })
+	f.eng.Schedule(0, func() {
+		pkt := &Packet{Header: Header{TTL: 10, Src: f.hA.Addr(), Dst: f.hB.Addr()}, Payload: []byte("x"), BadChecksum: true, TotalLen: 1}
+		hdr := &ethernet.Header{Dst: ethernet.AddrFromUint64(0x11), Src: f.hA.port.Addr, Type: 0x0800}
+		f.hA.queue = append(f.hA.queue, outItem{pkt: pkt, hdr: hdr, arrivedAt: -1})
+		f.hA.drain()
+	})
+	f.eng.Run()
+	if f.r1.Stats.BadChecksum != 1 {
+		t.Fatalf("BadChecksum drops = %d", f.r1.Stats.BadChecksum)
+	}
+}
+
+func TestIPStoreForwardDelayExceedsPacketTime(t *testing.T) {
+	f := newIPFixture(RouterConfig{ProcessTime: 100 * sim.Microsecond}, HostConfig{})
+	f.hB.SetHandler(func(src Addr, proto uint8, data []byte) {})
+	f.eng.Schedule(0, func() { f.hA.Send(f.hB.Addr(), ProtoRaw, make([]byte, 1000), 0) })
+	f.eng.Run()
+	// Per-hop delay must include full reception (~0.8ms) plus processing
+	// (0.1ms) — the §6.1 contrast with cut-through.
+	pktTime := float64(netsim.TxTime(1000+HeaderLen+ethernet.HeaderLen, 10e6))
+	if d := f.r1.Stats.ForwardDelay.Mean(); d < pktTime {
+		t.Fatalf("IP per-hop delay %v < packet time %v; store-and-forward not modeled", d, pktTime)
+	}
+}
+
+// dvRing builds a triangle of routers for reconvergence tests:
+//
+//	R1 --- R2
+//	  \   /
+//	   R3
+//
+// with host networks 1 (at R1) and 2 (at R2). The direct R1-R2 link is
+// the primary path; R3 provides the detour.
+func dvRing(eng *sim.Engine, cfg RouterConfig) (r1, r2, r3 *Router, l12 *netsim.P2PLink) {
+	r1 = NewRouter(eng, "R1", cfg)
+	r2 = NewRouter(eng, "R2", cfg)
+	r3 = NewRouter(eng, "R3", cfg)
+
+	l12 = netsim.NewP2PLink(eng, 10e6, 10*sim.Microsecond)
+	p12a, p12b := l12.Attach(r1, 1, r2, 1)
+	r1.AttachIface(p12a, MakeAddr(12, 1))
+	r2.AttachIface(p12b, MakeAddr(12, 2))
+	ConnectDV(r1, 1, MakeAddr(12, 1), r2, 1, MakeAddr(12, 2))
+
+	l13 := netsim.NewP2PLink(eng, 10e6, 10*sim.Microsecond)
+	p13a, p13b := l13.Attach(r1, 2, r3, 1)
+	r1.AttachIface(p13a, MakeAddr(13, 1))
+	r3.AttachIface(p13b, MakeAddr(13, 3))
+	ConnectDV(r1, 2, MakeAddr(13, 1), r3, 1, MakeAddr(13, 3))
+
+	l23 := netsim.NewP2PLink(eng, 10e6, 10*sim.Microsecond)
+	p23a, p23b := l23.Attach(r2, 2, r3, 2)
+	r2.AttachIface(p23a, MakeAddr(23, 2))
+	r3.AttachIface(p23b, MakeAddr(23, 3))
+	ConnectDV(r2, 2, MakeAddr(23, 2), r3, 2, MakeAddr(23, 3))
+
+	// Host networks: net 1 on R1 port 10, net 2 on R2 port 10 — model
+	// as locally attached route entries only.
+	r1.AddStaticRoute(1, 10, 0, 1)
+	r2.AddStaticRoute(2, 10, 0, 1)
+	return
+}
+
+func TestDVConvergesInitially(t *testing.T) {
+	eng := sim.NewEngine(11)
+	cfg := RouterConfig{DVPeriod: 100 * sim.Millisecond}
+	r1, r2, r3, _ := dvRing(eng, cfg)
+	r1.StartDV()
+	r2.StartDV()
+	r3.StartDV()
+	eng.RunUntil(sim.Second)
+	r1.StopDV()
+	r2.StopDV()
+	r3.StopDV()
+	// R1 must know network 2 (via R2, metric 2) and R3 must know both
+	// host networks at metric 2.
+	if m := r1.Routes()[2]; m != 2 {
+		t.Fatalf("R1 metric to net2 = %d, want 2", m)
+	}
+	if m := r3.Routes()[1]; m != 2 {
+		t.Fatalf("R3 metric to net1 = %d, want 2", m)
+	}
+	if m := r3.Routes()[2]; m != 2 {
+		t.Fatalf("R3 metric to net2 = %d, want 2", m)
+	}
+}
+
+func TestDVReconvergesAroundFailure(t *testing.T) {
+	eng := sim.NewEngine(11)
+	cfg := RouterConfig{DVPeriod: 100 * sim.Millisecond}
+	r1, r2, r3, l12 := dvRing(eng, cfg)
+	r1.StartDV()
+	r2.StartDV()
+	r3.StartDV()
+	eng.RunUntil(sim.Second)
+	if m := r1.Routes()[2]; m != 2 {
+		t.Fatalf("precondition: R1 metric to net2 = %d", m)
+	}
+
+	// Fail the direct link; the route via R2 must expire and the detour
+	// via R3 (metric 3) take over. Track when.
+	eng.Schedule(0, func() { l12.SetDown(true) })
+	reconverged := sim.Time(-1)
+	var watch func()
+	watch = func() {
+		e := r1.table[2]
+		if e != nil && e.metric == 3 && e.port == 2 {
+			reconverged = eng.Now()
+			return
+		}
+		eng.Schedule(10*sim.Millisecond, watch)
+	}
+	eng.Schedule(0, watch)
+	eng.RunUntil(10 * sim.Second)
+	r1.StopDV()
+	r2.StopDV()
+	r3.StopDV()
+
+	if reconverged < 0 {
+		t.Fatalf("never reconverged; R1 routes: %v", r1.Routes())
+	}
+	// Reconvergence requires at least the route timeout (3.5 periods).
+	if reconverged < 300*sim.Millisecond {
+		t.Fatalf("reconverged suspiciously fast: %v", reconverged)
+	}
+	t.Logf("DV reconvergence took %v", reconverged)
+}

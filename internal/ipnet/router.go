@@ -1,0 +1,312 @@
+package ipnet
+
+import (
+	"fmt"
+
+	"repro/internal/ethernet"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// RouterConfig parameterizes an IP router.
+type RouterConfig struct {
+	// ProcessTime is the per-packet processing cost: routing table
+	// lookup, TTL decrement, checksum update — the "significant amount
+	// of per-packet processing in the routers" of §1. Default 100µs
+	// (a fast late-1980s software router).
+	ProcessTime sim.Time
+	// QueueLimit bounds the output queue per port; 0 means 64.
+	QueueLimit int
+	// DVPeriod is the distance-vector advertisement period; 0 disables
+	// the routing protocol (static routes only). Classic RIP uses 30s;
+	// experiments shrink it.
+	DVPeriod sim.Time
+	// DVTimeout is how long a learned route survives without being
+	// re-advertised; 0 means 3.5 periods.
+	DVTimeout sim.Time
+}
+
+func (c RouterConfig) withDefaults() RouterConfig {
+	if c.ProcessTime == 0 {
+		c.ProcessTime = 100 * sim.Microsecond
+	}
+	if c.QueueLimit == 0 {
+		c.QueueLimit = 64
+	}
+	if c.DVTimeout == 0 {
+		c.DVTimeout = c.DVPeriod*3 + c.DVPeriod/2
+	}
+	return c
+}
+
+// Infinity is the unreachable metric (as in RIP).
+const Infinity = 16
+
+// routeEntry is one routing-table row.
+type routeEntry struct {
+	port    uint8
+	nextHop Addr // for ARP resolution on multi-access ports; 0 if direct port
+	metric  int
+	learned sim.Time // when last advertised (for expiry); 0 for static/local
+}
+
+// iface is a router attachment: port, its own address on that network,
+// and the ARP table for the network.
+type iface struct {
+	port *netsim.Port
+	addr Addr
+	arp  map[Addr]ethernet.Addr
+	// queue of packets awaiting the output medium.
+	queue    []outItem
+	draining bool
+}
+
+// outItem is a queued output packet with its arrival time for delay
+// sampling (negative for locally originated packets).
+type outItem struct {
+	pkt       *Packet
+	hdr       *ethernet.Header
+	arrivedAt sim.Time
+}
+
+// RouterStats counts the IP router's behavior.
+type RouterStats struct {
+	Forwarded     uint64
+	Fragmented    uint64
+	Drops         uint64
+	TTLDrops      uint64
+	NoRoute       uint64
+	BadChecksum   uint64
+	QueueFull     uint64
+	DVUpdatesSent uint64
+	DVUpdatesRecv uint64
+	RouteExpiries uint64
+	// ForwardDelay samples leading-edge arrival to onward transmission
+	// start (directly comparable with the Sirpent router's sample).
+	ForwardDelay stats.Sample
+}
+
+// Router is a store-and-forward datagram router. It implements
+// netsim.Node.
+type Router struct {
+	eng  *sim.Engine
+	name string
+	cfg  RouterConfig
+
+	ifaces map[uint8]*iface
+	table  map[uint16]*routeEntry // network -> route
+
+	dvNeighbors []dvNeighbor
+	dvRunning   bool
+
+	local func(*Packet) // packets addressed to this router
+
+	Stats RouterStats
+}
+
+// NewRouter creates an IP router.
+func NewRouter(eng *sim.Engine, name string, cfg RouterConfig) *Router {
+	return &Router{
+		eng:    eng,
+		name:   name,
+		cfg:    cfg.withDefaults(),
+		ifaces: make(map[uint8]*iface),
+		table:  make(map[uint16]*routeEntry),
+	}
+}
+
+// Name implements netsim.Node.
+func (r *Router) Name() string { return r.name }
+
+// AttachIface registers a port with the router's address on that network.
+// Directly attached networks get metric-1 routes.
+func (r *Router) AttachIface(p *netsim.Port, addr Addr) {
+	if p.Node != netsim.Node(r) {
+		panic(fmt.Sprintf("ipnet: port %v belongs to another node", p))
+	}
+	r.ifaces[p.ID] = &iface{port: p, addr: addr, arp: make(map[Addr]ethernet.Addr)}
+	r.table[addr.Network()] = &routeEntry{port: p.ID, metric: 1}
+}
+
+// AddARP maps an internetwork address to a station address on the network
+// attached to port.
+func (r *Router) AddARP(port uint8, ip Addr, mac ethernet.Addr) {
+	r.ifaces[port].arp[ip] = mac
+}
+
+// AddStaticRoute installs a route to a network via a port and next hop
+// (next hop 0 means hosts on that network are directly reachable).
+func (r *Router) AddStaticRoute(network uint16, port uint8, nextHop Addr, metric int) {
+	r.table[network] = &routeEntry{port: port, nextHop: nextHop, metric: metric}
+}
+
+// Routes returns a snapshot of the routing table: network -> metric.
+func (r *Router) Routes() map[uint16]int {
+	out := make(map[uint16]int, len(r.table))
+	for n, e := range r.table {
+		out[n] = e.metric
+	}
+	return out
+}
+
+// DebugRoute exposes a route entry for diagnostics.
+func (r *Router) DebugRoute(net uint16) string {
+	e, ok := r.table[net]
+	if !ok {
+		return "none"
+	}
+	return fmt.Sprintf("port=%d nextHop=%v metric=%d learned=%v", e.port, e.nextHop, e.metric, e.learned)
+}
+
+// SetLocalHandler receives packets addressed to one of the router's own
+// interface addresses.
+func (r *Router) SetLocalHandler(h func(*Packet)) { r.local = h }
+
+// Arrive implements netsim.Node. IP routers are store-and-forward: the
+// whole packet is received, then processed, then queued for output (§1:
+// "each packet suffers a reception, storage and processing delay at each
+// router").
+func (r *Router) Arrive(arr *netsim.Arrival) {
+	wait := arr.End() - r.eng.Now()
+	r.eng.Schedule(wait, func() {
+		if arr.Tx.Aborted() {
+			r.Stats.Drops++
+			return
+		}
+		pkt, ok := arr.Pkt.(*Packet)
+		if !ok {
+			r.Stats.Drops++
+			return
+		}
+		r.eng.Schedule(r.cfg.ProcessTime, func() { r.process(pkt, arr) })
+	})
+}
+
+func (r *Router) process(pkt *Packet, arr *netsim.Arrival) {
+	// Header integrity: IP routers verify the checksum and drop
+	// corrupted packets immediately (§2 contrasts this with Sirpent).
+	if pkt.BadChecksum {
+		r.Stats.BadChecksum++
+		return
+	}
+	// Local delivery?
+	for _, ifc := range r.ifaces {
+		if ifc.addr == pkt.Dst {
+			if r.local != nil {
+				r.local(pkt)
+			}
+			return
+		}
+	}
+	// TTL: "each router must ... update the Time To Live field" (§1).
+	if pkt.TTL <= 1 {
+		r.Stats.TTLDrops++
+		return
+	}
+	pkt.TTL--
+	r.forward(pkt, arr.Start)
+}
+
+func (r *Router) forward(pkt *Packet, arrivedAt sim.Time) {
+	e, ok := r.table[pkt.Dst.Network()]
+	if !ok || e.metric >= Infinity {
+		r.Stats.NoRoute++
+		return
+	}
+	ifc, ok := r.ifaces[e.port]
+	if !ok {
+		r.Stats.NoRoute++
+		return
+	}
+	// Resolve the next-hop station address on multi-access networks.
+	var hdr *ethernet.Header
+	if ifc.port.Addr != (ethernet.Addr{}) {
+		hopIP := pkt.Dst
+		if e.nextHop != 0 {
+			hopIP = e.nextHop
+		}
+		mac, ok := ifc.arp[hopIP]
+		if !ok {
+			r.Stats.NoRoute++
+			return
+		}
+		hdr = &ethernet.Header{Dst: mac, Src: ifc.port.Addr, Type: 0x0800}
+	}
+	// Fragment if needed for the output MTU.
+	frags := []*Packet{pkt}
+	if mtu := ifc.port.Medium.MTU(); mtu > 0 {
+		budget := mtu - HeaderLen
+		if hdr != nil {
+			budget -= ethernet.HeaderLen
+		}
+		var err error
+		frags, err = Fragment(pkt, budget)
+		if err != nil {
+			r.Stats.Drops++
+			return
+		}
+		if len(frags) > 1 {
+			r.Stats.Fragmented++
+		}
+	}
+	for _, f := range frags {
+		r.enqueue(ifc, f, hdr, arrivedAt)
+	}
+}
+
+func (r *Router) enqueue(ifc *iface, pkt *Packet, hdr *ethernet.Header, arrivedAt sim.Time) {
+	if len(ifc.queue) >= r.cfg.QueueLimit {
+		r.Stats.QueueFull++
+		return
+	}
+	ifc.queue = append(ifc.queue, outItem{pkt: pkt, hdr: hdr, arrivedAt: arrivedAt})
+	r.drain(ifc)
+}
+
+func (r *Router) drain(ifc *iface) {
+	if ifc.draining {
+		return
+	}
+	now := r.eng.Now()
+	if len(ifc.queue) == 0 {
+		return
+	}
+	free := ifc.port.Medium.FreeAt(now)
+	if free > now {
+		ifc.draining = true
+		r.eng.At(free, func() {
+			ifc.draining = false
+			r.drain(ifc)
+		})
+		return
+	}
+	it := ifc.queue[0]
+	ifc.queue = ifc.queue[1:]
+	tx, err := ifc.port.Medium.Transmit(ifc.port, it.pkt, it.hdr, 0)
+	if err != nil {
+		// A busy medium retries; a failed link drops the packet (the
+		// routing protocol reconverges eventually).
+		if err == netsim.ErrMediumBusy {
+			ifc.queue = append([]outItem{it}, ifc.queue...)
+			ifc.draining = true
+			r.eng.At(ifc.port.Medium.FreeAt(now), func() {
+				ifc.draining = false
+				r.drain(ifc)
+			})
+			return
+		}
+		r.Stats.Drops++
+		r.drain(ifc)
+		return
+	}
+	r.Stats.Forwarded++
+	if it.arrivedAt >= 0 {
+		r.Stats.ForwardDelay.Add(float64(now - it.arrivedAt))
+	}
+	ifc.draining = true
+	r.eng.At(tx.End(), func() {
+		ifc.draining = false
+		r.drain(ifc)
+	})
+}

@@ -1,0 +1,383 @@
+// Package livenet is a goroutine realization of the Sirpent forwarding
+// algorithm: hosts and routers are goroutines, links are channels, and
+// every hop operates on real wire bytes. Where netsim proves the timing
+// claims on virtual time, livenet proves the byte-level protocol — the
+// per-hop segment strip, the trailer surgery, the return-route reversal —
+// under true concurrency.
+//
+// Routers use the software-router procedure of §6.2: "after fully
+// receiving the packet, copying the first header segment to the end of
+// the trailer (with suitable modification) and then transmitting the
+// packet starting at the following header segment" — implemented as byte
+// surgery without decoding the rest of the packet.
+package livenet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ethernet"
+	"repro/internal/viper"
+)
+
+// Frame is what travels on a link: an optional network header (Ethernet
+// on multi-access hops, nil on point-to-point) and the encoded VIPER
+// packet.
+type Frame struct {
+	Hdr []byte // nil or 14-byte Ethernet header
+	Pkt []byte
+}
+
+// inFrame tags a frame with its arrival port.
+type inFrame struct {
+	port  uint8
+	frame Frame
+}
+
+// Network owns the nodes and coordinates shutdown.
+type Network struct {
+	wg      sync.WaitGroup
+	stopped atomic.Bool
+	nodes   []interface{ close() }
+}
+
+// NewNetwork creates an empty live network.
+func NewNetwork() *Network { return &Network{} }
+
+// Stop shuts all nodes down and waits for their goroutines.
+func (n *Network) Stop() {
+	if n.stopped.Swap(true) {
+		return
+	}
+	for _, nd := range n.nodes {
+		nd.close()
+	}
+	n.wg.Wait()
+}
+
+// node is the common goroutine plumbing.
+type node struct {
+	name  string
+	inbox chan inFrame
+	done  chan struct{}
+	once  sync.Once
+	out   map[uint8]chan<- Frame
+	mu    sync.Mutex
+}
+
+func newNode(name string) *node {
+	return &node{
+		name:  name,
+		inbox: make(chan inFrame, 64),
+		done:  make(chan struct{}),
+		out:   make(map[uint8]chan<- Frame),
+	}
+}
+
+func (nd *node) close() { nd.once.Do(func() { close(nd.done) }) }
+
+// send transmits a frame on a port; it reports false if the port is
+// unknown or the network is shutting down.
+func (nd *node) send(port uint8, f Frame) bool {
+	nd.mu.Lock()
+	ch, ok := nd.out[port]
+	nd.mu.Unlock()
+	if !ok {
+		return false
+	}
+	select {
+	case ch <- f:
+		return true
+	case <-nd.done:
+		return false
+	}
+}
+
+// attach wires a port: out is the transmit channel, in the receive one.
+// A pump goroutine tags inbound frames with the port.
+func (n *Network) attach(nd *node, port uint8, out chan<- Frame, in <-chan Frame) {
+	nd.mu.Lock()
+	nd.out[port] = out
+	nd.mu.Unlock()
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		for {
+			select {
+			case f, ok := <-in:
+				if !ok {
+					return
+				}
+				select {
+				case nd.inbox <- inFrame{port: port, frame: f}:
+				case <-nd.done:
+					return
+				}
+			case <-nd.done:
+				return
+			}
+		}
+	}()
+}
+
+// Connect joins two nodes with a bidirectional link of the given channel
+// depth.
+func (n *Network) Connect(a Attachable, portA uint8, b Attachable, portB uint8, depth int) {
+	if depth <= 0 {
+		depth = 16
+	}
+	ab := make(chan Frame, depth)
+	ba := make(chan Frame, depth)
+	n.attach(a.base(), portA, ab, ba)
+	n.attach(b.base(), portB, ba, ab)
+}
+
+// Attachable is implemented by livenet hosts and routers.
+type Attachable interface{ base() *node }
+
+// RouterStats counts forwarding behavior.
+type RouterStats struct {
+	Forwarded uint64
+	Local     uint64
+	Drops     uint64
+}
+
+// Router is a goroutine Sirpent switch.
+type Router struct {
+	*node
+	stats RouterStats
+	local func([]byte)
+	netw  *Network
+}
+
+// SetLocalHandler receives encoded packets whose current segment is
+// port 0 (the router's own stack). It runs on the router goroutine.
+func (r *Router) SetLocalHandler(fn func(encoded []byte)) { r.local = fn }
+
+// NewRouter creates and starts a router goroutine.
+func (n *Network) NewRouter(name string) *Router {
+	r := &Router{node: newNode(name), netw: n}
+	n.nodes = append(n.nodes, r.node)
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		r.run()
+	}()
+	return r
+}
+
+func (r *Router) base() *node { return r.node }
+
+// Stats returns a snapshot of the router's counters.
+func (r *Router) Stats() RouterStats {
+	return RouterStats{
+		Forwarded: atomic.LoadUint64(&r.stats.Forwarded),
+		Local:     atomic.LoadUint64(&r.stats.Local),
+		Drops:     atomic.LoadUint64(&r.stats.Drops),
+	}
+}
+
+func (r *Router) run() {
+	for {
+		select {
+		case inf := <-r.inbox:
+			r.forward(inf)
+		case <-r.done:
+			return
+		}
+	}
+}
+
+// forward performs the §6.2 software-router byte surgery on one frame.
+func (r *Router) forward(inf inFrame) {
+	seg, rest, err := viper.DecodeSegment(inf.frame.Pkt)
+	if err != nil {
+		atomic.AddUint64(&r.stats.Drops, 1)
+		return
+	}
+	// Tree-structured multicast (§2): fan one copy down each branch by
+	// splicing the branch's segments in front of the remaining bytes.
+	if seg.Flags.Has(viper.FlagTRE) {
+		branches, err := viper.DecodeTree(seg.PortInfo)
+		if err != nil {
+			atomic.AddUint64(&r.stats.Drops, 1)
+			return
+		}
+		for _, br := range branches {
+			var head []byte
+			ok := true
+			for i := range br {
+				if head, err = viper.AppendSegment(head, &br[i]); err != nil {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				atomic.AddUint64(&r.stats.Drops, 1)
+				continue
+			}
+			copyPkt := append(head, rest...)
+			r.forward(inFrame{port: inf.port, frame: Frame{Hdr: inf.frame.Hdr, Pkt: copyPkt}})
+		}
+		return
+	}
+	// Build the return segment: arrival port, swapped arrival header.
+	ret := viper.Segment{Port: inf.port, Priority: seg.Priority, Flags: seg.Flags & viper.FlagDIB}
+	if inf.frame.Hdr != nil {
+		swapped := append([]byte(nil), inf.frame.Hdr...)
+		if err := ethernet.SwapInPlace(swapped); err != nil {
+			atomic.AddUint64(&r.stats.Drops, 1)
+			return
+		}
+		ret.PortInfo = swapped
+	}
+	if len(seg.PortToken) > 0 {
+		ret.PortToken = seg.PortToken
+	}
+	out, err := appendTrailerSegment(rest, &ret)
+	if err != nil {
+		atomic.AddUint64(&r.stats.Drops, 1)
+		return
+	}
+	if seg.Port == viper.PortLocal {
+		atomic.AddUint64(&r.stats.Local, 1)
+		if r.local != nil {
+			r.local(out)
+		}
+		return
+	}
+	f := Frame{Pkt: out}
+	if len(seg.PortInfo) > 0 {
+		f.Hdr = seg.PortInfo
+	}
+	if !r.send(seg.Port, f) {
+		atomic.AddUint64(&r.stats.Drops, 1)
+		return
+	}
+	atomic.AddUint64(&r.stats.Forwarded, 1)
+}
+
+// appendTrailerSegment inserts a mirrored segment before the trailer
+// descriptor of an encoded packet and bumps the count — pure byte
+// surgery on the tail, as a cut-through implementation would perform in
+// its loopback register.
+func appendTrailerSegment(pkt []byte, seg *viper.Segment) ([]byte, error) {
+	if len(pkt) < 4 {
+		return nil, fmt.Errorf("livenet: packet too short for trailer descriptor")
+	}
+	descOff := len(pkt) - 4
+	count := binary.BigEndian.Uint16(pkt[descOff : descOff+2])
+	out := make([]byte, 0, len(pkt)+seg.WireLen())
+	out = append(out, pkt[:descOff]...)
+	var err error
+	out, err = viper.AppendSegmentMirrored(out, seg)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, pkt[descOff:]...)
+	binary.BigEndian.PutUint16(out[len(out)-4:len(out)-2], count+1)
+	return out, nil
+}
+
+// Delivery is a packet received by a live host.
+type Delivery struct {
+	Data        []byte
+	ReturnRoute []viper.Segment
+	Endpoint    uint8
+}
+
+// Host is a goroutine Sirpent endpoint.
+type Host struct {
+	*node
+	netw     *Network
+	mu       sync.Mutex
+	handlers map[uint8]func(Delivery)
+}
+
+// NewHost creates and starts a host goroutine.
+func (n *Network) NewHost(name string) *Host {
+	h := &Host{node: newNode(name), netw: n, handlers: make(map[uint8]func(Delivery))}
+	n.nodes = append(n.nodes, h.node)
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		h.run()
+	}()
+	return h
+}
+
+func (h *Host) base() *node { return h.node }
+
+// Handle registers a delivery handler for a host endpoint. Handlers run
+// on the host's goroutine.
+func (h *Host) Handle(endpoint uint8, fn func(Delivery)) {
+	h.mu.Lock()
+	h.handlers[endpoint] = fn
+	h.mu.Unlock()
+}
+
+// Send originates a packet along a source route (sender directive
+// first, as in the simulator's Host).
+func (h *Host) Send(route []viper.Segment, data []byte) error {
+	if len(route) == 0 {
+		return fmt.Errorf("livenet: empty route")
+	}
+	own := route[0]
+	rest := make([]viper.Segment, len(route)-1)
+	for i := range rest {
+		rest[i] = route[i+1].Clone()
+	}
+	if err := viper.SealRoute(rest); err != nil {
+		return err
+	}
+	pkt := viper.NewPacket(rest, data)
+	pkt.Trailer = append(pkt.Trailer, viper.Segment{Port: viper.PortLocal, Priority: own.Priority})
+	b, err := pkt.Encode()
+	if err != nil {
+		return err
+	}
+	f := Frame{Pkt: b}
+	if len(own.PortInfo) > 0 {
+		f.Hdr = own.PortInfo
+	}
+	if !h.send(own.Port, f) {
+		return fmt.Errorf("livenet: no interface %d on %s", own.Port, h.name)
+	}
+	return nil
+}
+
+func (h *Host) run() {
+	for {
+		select {
+		case inf := <-h.inbox:
+			h.receive(inf)
+		case <-h.done:
+			return
+		}
+	}
+}
+
+func (h *Host) receive(inf inFrame) {
+	pkt, err := viper.Decode(inf.frame.Pkt)
+	if err != nil || len(pkt.Route) == 0 {
+		return
+	}
+	seg := pkt.Route[0]
+	ret := viper.Segment{Port: inf.port, Priority: seg.Priority}
+	if inf.frame.Hdr != nil {
+		swapped := append([]byte(nil), inf.frame.Hdr...)
+		if ethernet.SwapInPlace(swapped) == nil {
+			ret.PortInfo = swapped
+		}
+	}
+	pkt.ConsumeHead(ret)
+	h.mu.Lock()
+	fn := h.handlers[seg.Port]
+	h.mu.Unlock()
+	if fn == nil {
+		return
+	}
+	fn(Delivery{Data: pkt.Data, ReturnRoute: pkt.ReturnRoute(), Endpoint: seg.Port})
+}

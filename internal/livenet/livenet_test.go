@@ -1,0 +1,321 @@
+package livenet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/ethernet"
+	"repro/internal/viper"
+)
+
+func ethHdr(dst, src uint64, typ uint16) []byte {
+	return ethernet.Header{
+		Dst:  ethernet.AddrFromUint64(dst),
+		Src:  ethernet.AddrFromUint64(src),
+		Type: typ,
+	}.Encode()
+}
+
+// waitFor polls until f returns true or the deadline passes.
+func waitFor(t *testing.T, f func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if f() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached in time")
+}
+
+func TestLiveRequestResponseAcrossTwoRouters(t *testing.T) {
+	n := NewNetwork()
+	defer n.Stop()
+
+	src := n.NewHost("src")
+	r1 := n.NewRouter("r1")
+	r2 := n.NewRouter("r2")
+	dst := n.NewHost("dst")
+	n.Connect(src, 1, r1, 1, 0)
+	n.Connect(r1, 2, r2, 1, 0)
+	n.Connect(r2, 2, dst, 1, 0)
+
+	var replied atomic.Bool
+	var got atomic.Value
+	dst.Handle(0, func(d Delivery) {
+		got.Store(append([]byte(nil), d.Data...))
+		if err := dst.Send(d.ReturnRoute, []byte("pong")); err != nil {
+			t.Errorf("reply: %v", err)
+		}
+	})
+	src.Handle(0, func(d Delivery) {
+		if bytes.Equal(d.Data, []byte("pong")) {
+			replied.Store(true)
+		}
+	})
+
+	route := []viper.Segment{
+		{Port: 1}, // src directive (p2p)
+		{Port: 2}, // r1
+		{Port: 2}, // r2
+		{Port: viper.PortLocal},
+	}
+	if err := src.Send(route, []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, replied.Load)
+	if g, _ := got.Load().([]byte); !bytes.Equal(g, []byte("ping")) {
+		t.Fatalf("dst got %q", g)
+	}
+	if s := r1.Stats(); s.Forwarded != 2 {
+		t.Fatalf("r1 forwarded %d, want 2 (request + reply)", s.Forwarded)
+	}
+}
+
+func TestLiveEthernetHeaderSwap(t *testing.T) {
+	// Frames carry explicit Ethernet headers; the reply must come back
+	// with swapped addresses, proving the per-hop header surgery.
+	n := NewNetwork()
+	defer n.Stop()
+	src := n.NewHost("src")
+	r := n.NewRouter("r")
+	dst := n.NewHost("dst")
+	n.Connect(src, 1, r, 1, 0)
+	n.Connect(r, 2, dst, 1, 0)
+
+	var replied atomic.Bool
+	dst.Handle(0, func(d Delivery) {
+		// The return route's router segment must carry the swapped
+		// header for the first hop.
+		found := false
+		for _, s := range d.ReturnRoute {
+			if len(s.PortInfo) == ethernet.HeaderLen {
+				h, err := ethernet.Decode(s.PortInfo)
+				if err != nil {
+					t.Errorf("decode: %v", err)
+					continue
+				}
+				if h.Dst == ethernet.AddrFromUint64(0xA) && h.Src == ethernet.AddrFromUint64(0x1) {
+					found = true
+				}
+			}
+		}
+		if !found {
+			t.Errorf("return route lacks swapped arrival header: %+v", d.ReturnRoute)
+		}
+		dst.Send(d.ReturnRoute, []byte("ok"))
+	})
+	src.Handle(0, func(d Delivery) { replied.Store(true) })
+
+	route := []viper.Segment{
+		{Port: 1, PortInfo: ethHdr(0x1, 0xA, viper.EtherTypeVIPER)}, // src -> r
+		{Port: 2, PortInfo: ethHdr(0xB, 0x2, viper.EtherTypeVIPER)}, // r -> dst
+		{Port: viper.PortLocal},
+	}
+	if err := src.Send(route, []byte("with-headers")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, replied.Load)
+}
+
+func TestLiveByteSurgeryMatchesCodec(t *testing.T) {
+	// appendTrailerSegment must produce exactly what Encode would.
+	route := []viper.Segment{
+		{Port: 5, Flags: viper.FlagVNT},
+		{Port: viper.PortLocal},
+	}
+	pkt := viper.NewPacket(route, []byte("data data"))
+	pkt.Trailer = []viper.Segment{{Port: 9}}
+	b, err := pkt.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strip segment 1 and append a return segment, both ways.
+	seg, rest, err := viper.DecodeSegment(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seg.Port != 5 {
+		t.Fatalf("first segment port %d", seg.Port)
+	}
+	ret := viper.Segment{Port: 7, Priority: 3}
+	got, err := appendTrailerSegment(rest, &ret)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := pkt.Clone()
+	want.Route = want.Route[1:]
+	want.Trailer = append(want.Trailer, ret)
+	wantB, err := want.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, wantB) {
+		t.Fatalf("byte surgery diverges from codec:\n got %x\nwant %x", got, wantB)
+	}
+	// Count bumped.
+	if c := binary.BigEndian.Uint16(got[len(got)-4 : len(got)-2]); c != 2 {
+		t.Fatalf("trailer count = %d", c)
+	}
+}
+
+func TestLiveRouterLocalDelivery(t *testing.T) {
+	n := NewNetwork()
+	defer n.Stop()
+	src := n.NewHost("src")
+	r := n.NewRouter("r")
+	n.Connect(src, 1, r, 1, 0)
+	var got atomic.Bool
+	r.SetLocalHandler(func(b []byte) { got.Store(true) })
+	route := []viper.Segment{
+		{Port: 1},
+		{Port: viper.PortLocal}, // terminates at the router
+	}
+	if err := src.Send(route, []byte("to router")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, got.Load)
+	if s := r.Stats(); s.Local != 1 {
+		t.Fatalf("Local = %d", s.Local)
+	}
+}
+
+func TestLiveTreeMulticast(t *testing.T) {
+	// A tree segment fans out at the goroutine router, all on real wire
+	// bytes; every leaf gets an independent copy and an independent
+	// return route.
+	n := NewNetwork()
+	defer n.Stop()
+	src := n.NewHost("src")
+	r := n.NewRouter("r")
+	n.Connect(src, 1, r, 1, 0)
+	var got [3]atomic.Uint64
+	var echoed atomic.Uint64
+	for i := 0; i < 3; i++ {
+		i := i
+		d := n.NewHost("leaf")
+		n.Connect(r, uint8(2+i), d, 1, 0)
+		d.Handle(0, func(dl Delivery) {
+			if bytes.Equal(dl.Data, []byte("fanout")) {
+				got[i].Add(1)
+				d.Send(dl.ReturnRoute, []byte("echo"))
+			}
+		})
+	}
+	src.Handle(0, func(dl Delivery) {
+		if bytes.Equal(dl.Data, []byte("echo")) {
+			echoed.Add(1)
+		}
+	})
+	var branches [][]viper.Segment
+	for p := uint8(2); p <= 4; p++ {
+		branches = append(branches, []viper.Segment{
+			{Port: p, Flags: viper.FlagVNT},
+			{Port: viper.PortLocal},
+		})
+	}
+	tree, err := viper.TreeSegment(0, branches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Send([]viper.Segment{{Port: 1}, tree}, []byte("fanout")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		return got[0].Load() == 1 && got[1].Load() == 1 && got[2].Load() == 1 && echoed.Load() == 3
+	})
+}
+
+func TestLiveBadPortDropped(t *testing.T) {
+	n := NewNetwork()
+	defer n.Stop()
+	src := n.NewHost("src")
+	r := n.NewRouter("r")
+	n.Connect(src, 1, r, 1, 0)
+	route := []viper.Segment{
+		{Port: 1},
+		{Port: 99, Flags: viper.FlagVNT},
+		{Port: viper.PortLocal},
+	}
+	if err := src.Send(route, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return r.Stats().Drops == 1 })
+}
+
+func TestLiveConcurrentClients(t *testing.T) {
+	// Many goroutine hosts hammer one server through one router; every
+	// transaction must complete with intact data. Run with -race.
+	n := NewNetwork()
+	defer n.Stop()
+	r := n.NewRouter("r")
+	server := n.NewHost("server")
+	n.Connect(r, 100, server, 1, 64)
+
+	var served atomic.Uint64
+	server.Handle(0, func(d Delivery) {
+		resp := append([]byte("ack:"), d.Data...)
+		if err := server.Send(d.ReturnRoute, resp); err != nil {
+			t.Errorf("server send: %v", err)
+			return
+		}
+		served.Add(1)
+	})
+
+	const nClients = 8
+	const perClient = 50
+	var done atomic.Uint64
+	var wg sync.WaitGroup
+	for c := 0; c < nClients; c++ {
+		c := c
+		h := n.NewHost("client")
+		n.Connect(h, 1, r, uint8(1+c), 64)
+		route := []viper.Segment{
+			{Port: 1},
+			{Port: 100, Flags: viper.FlagVNT},
+			{Port: viper.PortLocal},
+		}
+		want := []byte{byte(c)}
+		resp := make(chan struct{}, perClient)
+		h.Handle(0, func(d Delivery) {
+			if bytes.Equal(d.Data, append([]byte("ack:"), want...)) {
+				done.Add(1)
+				resp <- struct{}{}
+			}
+		})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Transactional: one outstanding request per client, as a
+			// VMTP-style caller would behave.
+			for i := 0; i < perClient; i++ {
+				if err := h.Send(route, want); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+				select {
+				case <-resp:
+				case <-time.After(5 * time.Second):
+					t.Errorf("client %d: no response to request %d", c, i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	waitFor(t, func() bool { return done.Load() == nClients*perClient })
+}
+
+func TestNetworkStopIdempotent(t *testing.T) {
+	n := NewNetwork()
+	n.NewRouter("r")
+	n.NewHost("h")
+	n.Stop()
+	n.Stop()
+}

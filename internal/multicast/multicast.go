@@ -1,0 +1,90 @@
+// Package multicast implements the paper's three multicast mechanisms
+// (§2):
+//
+//  1. Reserved port values at a router fanning a packet onto several
+//     ports — provided by router.SetMulticastGroup.
+//  2. Tree-structured routes: a tree segment carries branch sub-routes
+//     and each branch gets a copy (Blazenet-style) — wire support in
+//     viper.EncodeTree/DecodeTree, dispatch in the router; this package
+//     provides builders.
+//  3. Multicast agents: packets are routed to agent hosts which
+//     "explode" them to the member list — the Agent type here.
+package multicast
+
+import (
+	"fmt"
+
+	"repro/internal/router"
+	"repro/internal/sim"
+	"repro/internal/viper"
+)
+
+// BuildTreeRoute assembles a source route that travels stem (ending at
+// the branch router) and then fans out over the branch sub-routes. Each
+// branch's first segment executes at the branch router. The stem must be
+// a full sender route whose final segment would have executed at the
+// branch router; it is replaced by the tree segment.
+func BuildTreeRoute(stemToBranchRouter []viper.Segment, branches [][]viper.Segment, prio viper.Priority) ([]viper.Segment, error) {
+	if len(stemToBranchRouter) == 0 {
+		return nil, fmt.Errorf("multicast: empty stem")
+	}
+	tree, err := viper.TreeSegment(prio, branches)
+	if err != nil {
+		return nil, err
+	}
+	route := make([]viper.Segment, 0, len(stemToBranchRouter))
+	for _, s := range stemToBranchRouter[:len(stemToBranchRouter)-1] {
+		route = append(route, s.Clone())
+	}
+	return append(route, tree), nil
+}
+
+// AgentStats counts agent activity.
+type AgentStats struct {
+	Received uint64
+	Exploded uint64
+	Failed   uint64
+}
+
+// Agent is a multicast agent: it registers as a host endpoint, and each
+// packet delivered to it is re-sent ("exploded", §2) along every member
+// route.
+type Agent struct {
+	eng     *sim.Engine
+	host    *router.Host
+	ep      uint8
+	members [][]viper.Segment
+
+	Stats AgentStats
+}
+
+// NewAgent installs an agent at the given host endpoint.
+func NewAgent(eng *sim.Engine, h *router.Host, endpoint uint8) *Agent {
+	a := &Agent{eng: eng, host: h, ep: endpoint}
+	h.Handle(endpoint, a.deliver)
+	return a
+}
+
+// AddMember registers a member route (a full sender route from the
+// agent's host to the member).
+func (a *Agent) AddMember(route []viper.Segment) {
+	cp := make([]viper.Segment, len(route))
+	for i := range route {
+		cp[i] = route[i].Clone()
+	}
+	a.members = append(a.members, cp)
+}
+
+// Members reports the current member count.
+func (a *Agent) Members() int { return len(a.members) }
+
+func (a *Agent) deliver(d *router.Delivery) {
+	a.Stats.Received++
+	for _, m := range a.members {
+		if err := a.host.SendFrom(a.ep, m, d.Data); err != nil {
+			a.Stats.Failed++
+			continue
+		}
+		a.Stats.Exploded++
+	}
+}

@@ -1,0 +1,235 @@
+package multicast
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/router"
+	"repro/internal/sim"
+	"repro/internal/viper"
+)
+
+// star builds src -- R -- {d1, d2, d3} over p2p links (R ports 2,3,4).
+type star struct {
+	eng  *sim.Engine
+	src  *router.Host
+	r    *router.Router
+	dsts []*router.Host
+	got  [][]byte
+}
+
+func newStar(nDst int) *star {
+	s := &star{eng: sim.NewEngine(31)}
+	s.src = router.NewHost(s.eng, "src")
+	s.r = router.New(s.eng, "R", router.Config{})
+	lin := netsim.NewP2PLink(s.eng, 10e6, 10*sim.Microsecond)
+	pa, pb := lin.Attach(s.src, 1, s.r, 1)
+	s.src.AttachPort(pa)
+	s.r.AttachPort(pb)
+	s.got = make([][]byte, nDst)
+	for i := 0; i < nDst; i++ {
+		i := i
+		d := router.NewHost(s.eng, "d"+string(rune('1'+i)))
+		l := netsim.NewP2PLink(s.eng, 10e6, 10*sim.Microsecond)
+		qa, qb := l.Attach(s.r, uint8(2+i), d, 1)
+		s.r.AttachPort(qa)
+		d.AttachPort(qb)
+		d.Handle(0, func(dl *router.Delivery) { s.got[i] = append([]byte(nil), dl.Data...) })
+		s.dsts = append(s.dsts, d)
+	}
+	return s
+}
+
+func TestTreeCodecRoundTrip(t *testing.T) {
+	branches := [][]viper.Segment{
+		{{Port: 2, Flags: viper.FlagVNT}, {Port: viper.PortLocal}},
+		{{Port: 3, Flags: viper.FlagVNT}, {Port: viper.PortLocal, Priority: 5}},
+		{{Port: 4, PortInfo: []byte{1, 2, 3}}},
+	}
+	b, err := viper.EncodeTree(branches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := viper.DecodeTree(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("%d branches", len(got))
+	}
+	for i := range branches {
+		if len(got[i]) != len(branches[i]) {
+			t.Fatalf("branch %d: %d segments, want %d", i, len(got[i]), len(branches[i]))
+		}
+		for j := range branches[i] {
+			if !got[i][j].Equal(&branches[i][j]) {
+				t.Fatalf("branch %d seg %d mismatch", i, j)
+			}
+		}
+	}
+	// A tree segment must never claim VIPER continuation.
+	seg, err := viper.TreeSegment(0, branches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seg.Continues() {
+		t.Fatal("tree segment claims continuation")
+	}
+}
+
+func TestTreeCodecErrors(t *testing.T) {
+	if _, err := viper.EncodeTree(nil); err != viper.ErrBadTree {
+		t.Fatalf("empty: %v", err)
+	}
+	if _, err := viper.EncodeTree([][]viper.Segment{{}}); err != viper.ErrBadTree {
+		t.Fatalf("empty branch: %v", err)
+	}
+	if _, err := viper.DecodeTree([]byte{5}); err != viper.ErrBadTree {
+		t.Fatalf("short: %v", err)
+	}
+	if _, err := viper.DecodeTree([]byte{1, 0, 99, 0, 0}); err == nil {
+		t.Fatal("truncated branch decoded")
+	}
+}
+
+func TestTreeMulticastDelivers(t *testing.T) {
+	s := newStar(3)
+	branches := [][]viper.Segment{
+		{{Port: 2, Flags: viper.FlagVNT}, {Port: viper.PortLocal}},
+		{{Port: 3, Flags: viper.FlagVNT}, {Port: viper.PortLocal}},
+		{{Port: 4, Flags: viper.FlagVNT}, {Port: viper.PortLocal}},
+	}
+	stem := []viper.Segment{
+		{Port: 1, Flags: viper.FlagVNT}, // src directive
+		{Port: 0},                       // placeholder executing at R, replaced by tree segment
+	}
+	route, err := BuildTreeRoute(stem, branches, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.eng.Schedule(0, func() {
+		if err := s.src.Send(route, []byte("tree!")); err != nil {
+			t.Errorf("Send: %v", err)
+		}
+	})
+	s.eng.Run()
+	for i := range s.got {
+		if !bytes.Equal(s.got[i], []byte("tree!")) {
+			t.Fatalf("dst %d got %q", i, s.got[i])
+		}
+	}
+}
+
+func TestTreeCopiesAreIndependent(t *testing.T) {
+	// Each copy must carry its own trailer: the return routes from two
+	// leaves must name the same router arrival port but be separate
+	// packets.
+	s := newStar(2)
+	var rr [][]viper.Segment
+	for i, d := range s.dsts {
+		i := i
+		d.Handle(0, func(dl *router.Delivery) {
+			s.got[i] = dl.Data
+			rr = append(rr, dl.ReturnRoute)
+		})
+	}
+	branches := [][]viper.Segment{
+		{{Port: 2, Flags: viper.FlagVNT}, {Port: viper.PortLocal}},
+		{{Port: 3, Flags: viper.FlagVNT}, {Port: viper.PortLocal}},
+	}
+	route, err := BuildTreeRoute([]viper.Segment{{Port: 1, Flags: viper.FlagVNT}, {}}, branches, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.eng.Schedule(0, func() { s.src.Send(route, []byte("x")) })
+	s.eng.Run()
+	if len(rr) != 2 {
+		t.Fatalf("%d return routes", len(rr))
+	}
+	// Both reply routes route back via R port 1 (the stem's arrival).
+	for i, r := range rr {
+		last := r[len(r)-1]
+		if last.Port != viper.PortLocal {
+			t.Fatalf("return route %d final segment = %+v", i, last)
+		}
+	}
+}
+
+func TestAgentExplodes(t *testing.T) {
+	// The agent lives on d1; members are d2 and d3 reached back through
+	// R. Route from src to the agent's endpoint 7.
+	s := newStar(3)
+	agent := NewAgent(s.eng, s.dsts[0], 7)
+	// Member routes from d1: out iface 1, into R (arrives port 2), then
+	// out ports 3 / 4.
+	agent.AddMember([]viper.Segment{
+		{Port: 1, Flags: viper.FlagVNT},
+		{Port: 3, Flags: viper.FlagVNT},
+		{Port: viper.PortLocal},
+	})
+	agent.AddMember([]viper.Segment{
+		{Port: 1, Flags: viper.FlagVNT},
+		{Port: 4, Flags: viper.FlagVNT},
+		{Port: viper.PortLocal},
+	})
+	if agent.Members() != 2 {
+		t.Fatal("member count")
+	}
+	route := []viper.Segment{
+		{Port: 1, Flags: viper.FlagVNT},
+		{Port: 2, Flags: viper.FlagVNT},
+		{Port: 7}, // agent endpoint at d1
+	}
+	s.eng.Schedule(0, func() { s.src.Send(route, []byte("explode")) })
+	s.eng.Run()
+	if agent.Stats.Received != 1 || agent.Stats.Exploded != 2 {
+		t.Fatalf("agent stats = %+v", agent.Stats)
+	}
+	if !bytes.Equal(s.got[1], []byte("explode")) || !bytes.Equal(s.got[2], []byte("explode")) {
+		t.Fatalf("members got %q / %q", s.got[1], s.got[2])
+	}
+}
+
+func TestAllThreeMechanismsAgree(t *testing.T) {
+	// Reserved ports, tree segments and an agent must each reach both
+	// leaves with the same payload.
+	payload := []byte("same everywhere")
+
+	// Mechanism 1: reserved port.
+	s1 := newStar(2)
+	s1.r.SetMulticastGroup(200, []uint8{2, 3})
+	s1.eng.Schedule(0, func() {
+		s1.src.Send([]viper.Segment{
+			{Port: 1, Flags: viper.FlagVNT},
+			{Port: 200, Flags: viper.FlagVNT},
+			{Port: viper.PortLocal},
+		}, payload)
+	})
+	s1.eng.Run()
+
+	// Mechanism 2: tree.
+	s2 := newStar(2)
+	route, err := BuildTreeRoute(
+		[]viper.Segment{{Port: 1, Flags: viper.FlagVNT}, {}},
+		[][]viper.Segment{
+			{{Port: 2, Flags: viper.FlagVNT}, {Port: viper.PortLocal}},
+			{{Port: 3, Flags: viper.FlagVNT}, {Port: viper.PortLocal}},
+		}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.eng.Schedule(0, func() { s2.src.Send(route, payload) })
+	s2.eng.Run()
+
+	// Mechanism 3: agent on leaf 1 exploding to leaf 2 plus itself is
+	// covered above; here compare 1 and 2.
+	for i := 0; i < 2; i++ {
+		if !bytes.Equal(s1.got[i], payload) {
+			t.Fatalf("reserved-port leaf %d got %q", i, s1.got[i])
+		}
+		if !bytes.Equal(s2.got[i], payload) {
+			t.Fatalf("tree leaf %d got %q", i, s2.got[i])
+		}
+	}
+}

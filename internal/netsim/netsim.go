@@ -1,0 +1,453 @@
+// Package netsim models networks on the discrete-event engine: media
+// (point-to-point links and shared Ethernet segments) with bandwidth and
+// propagation delay, ports binding nodes to media, and transmissions whose
+// leading edge is delivered separately from their trailing edge so that
+// routers can implement cut-through switching (§2.1 of the paper).
+//
+// A transmission of S bytes on a medium of rate R begins at time t,
+// occupies the medium until t+S·8/R, and its leading edge reaches each
+// receiver at t+prop. A cut-through router can begin forwarding as soon as
+// it has the leading header segment; a store-and-forward node waits for
+// the trailing edge at t+prop+S·8/R.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ethernet"
+	"repro/internal/sim"
+	"repro/internal/viper"
+)
+
+// Payload is what media carry: any packet type with a wire size. The
+// Sirpent stack sends *viper.Packet; the baseline stacks send their own
+// packet types over the same timed substrate, keeping comparisons fair.
+type Payload interface {
+	// WireLen is the encoded size of the payload in bytes (excluding
+	// any network framing header, which FrameSize adds).
+	WireLen() int
+	// CloneWire returns an independent deep copy, used when one
+	// transmission is delivered to several receivers (broadcast). The
+	// result must be the same concrete type (declared any only to keep
+	// payload packages independent of this one).
+	CloneWire() any
+}
+
+// Node is anything attached to a network: a Sirpent router, a host, a
+// baseline IP router.
+type Node interface {
+	// Name identifies the node in traces and errors.
+	Name() string
+	// Arrive is invoked when a packet's leading edge reaches the node.
+	Arrive(arr *Arrival)
+}
+
+// Port binds a node to a medium. For multi-access media the port has a
+// station address.
+type Port struct {
+	Node   Node
+	ID     uint8 // the Sirpent output-port number at this node
+	Medium Medium
+	Addr   ethernet.Addr // station address; zero on point-to-point links
+}
+
+func (p *Port) String() string {
+	if p == nil {
+		return "port(nil)"
+	}
+	return fmt.Sprintf("%s.%d", p.Node.Name(), p.ID)
+}
+
+// Arrival describes a packet whose leading edge has just reached a node.
+type Arrival struct {
+	Pkt Payload
+	// In is the port the packet arrived on.
+	In *Port
+	// Hdr is the network header the packet arrived with; nil on
+	// point-to-point links.
+	Hdr *ethernet.Header
+	// Start is the leading-edge arrival time; the trailing edge arrives
+	// at Start+TxTime.
+	Start  sim.Time
+	TxTime sim.Time
+	// Tx is the transmission carrying the packet; a cut-through receiver
+	// chains onward transmissions to it so aborts propagate.
+	Tx *Transmission
+}
+
+// End returns the trailing-edge arrival time.
+func (a *Arrival) End() sim.Time { return a.Start + a.TxTime }
+
+// Transmission is one packet occupying one medium.
+type Transmission struct {
+	Pkt     Payload
+	From    *Port
+	Hdr     *ethernet.Header
+	Start   sim.Time
+	TxTime  sim.Time
+	Prio    viper.Priority
+	aborted bool
+	onAbort []func(at sim.Time)
+	medium  Medium
+}
+
+// End returns when the medium becomes free (absent abort).
+func (t *Transmission) End() sim.Time { return t.Start + t.TxTime }
+
+// Aborted reports whether the transmission was preempted.
+func (t *Transmission) Aborted() bool { return t.aborted }
+
+// OnAbort registers a callback to run if the transmission is aborted; a
+// cut-through router uses this to abort its onward transmission when the
+// inbound one dies.
+func (t *Transmission) OnAbort(fn func(at sim.Time)) { t.onAbort = append(t.onAbort, fn) }
+
+// Medium is a transmission resource: a point-to-point link direction or a
+// shared Ethernet segment.
+type Medium interface {
+	// RateBps is the data rate in bits per second.
+	RateBps() float64
+	// PropDelay is the propagation delay to every receiver.
+	PropDelay() sim.Time
+	// FreeAt returns the earliest time >= now a new transmission can
+	// begin.
+	FreeAt(now sim.Time) sim.Time
+	// MTU is the maximum frame size in bytes; 0 means unlimited.
+	// Sirpent does not fragment: a router truncates oversize packets
+	// and marks them (§2).
+	MTU() int
+	// IsDown reports whether the medium has failed.
+	IsDown() bool
+	// Current returns the in-progress transmission, nil when idle.
+	Current() *Transmission
+	// Transmit begins sending pkt at the current engine time. hdr is
+	// required on multi-access media (it selects the receiver) and must
+	// be nil on point-to-point links. It fails with ErrMediumBusy if a
+	// transmission is in progress.
+	Transmit(from *Port, pkt Payload, hdr *ethernet.Header, prio viper.Priority) (*Transmission, error)
+	// Abort preempts the in-progress transmission (§2.1: a preemptive
+	// packet "may abort a packet already in transmission"). The partial
+	// packet is lost; receivers are notified through the transmission's
+	// abort chain. It is a no-op if tx is not current.
+	Abort(tx *Transmission)
+}
+
+// Errors.
+var (
+	ErrMediumBusy = errors.New("netsim: medium busy")
+	ErrNoStation  = errors.New("netsim: no station with destination address")
+	ErrNeedHeader = errors.New("netsim: multi-access medium requires a network header")
+	ErrLinkDown   = errors.New("netsim: link is down")
+)
+
+// TxTime returns the time to clock size bytes onto a medium of rate bps.
+func TxTime(size int, bps float64) sim.Time {
+	return sim.Time(float64(size) * 8 / bps * float64(sim.Second))
+}
+
+// FrameSize returns the on-wire size of pkt when carried with the given
+// network header (the header adds ethernet.HeaderLen bytes; point-to-point
+// links add nothing).
+func FrameSize(pkt Payload, hdr *ethernet.Header) int {
+	n := pkt.WireLen()
+	if hdr != nil {
+		n += ethernet.HeaderLen
+	}
+	return n
+}
+
+// base carries the bookkeeping shared by both medium kinds.
+type base struct {
+	eng       *sim.Engine
+	rate      float64
+	prop      sim.Time
+	mtu       int
+	down      bool
+	busyUntil sim.Time
+	current   *Transmission
+
+	lossRate float64
+
+	// Counters.
+	Transmissions uint64
+	Aborts        uint64
+	Lost          uint64
+	BytesCarried  uint64
+	// busyTime accumulates medium occupancy for utilization reporting.
+	busyTime  sim.Time
+	lastStart sim.Time
+}
+
+func (b *base) RateBps() float64       { return b.rate }
+func (b *base) PropDelay() sim.Time    { return b.prop }
+func (b *base) Current() *Transmission { return b.current }
+func (b *base) MTU() int               { return b.mtu }
+
+// SetMTU sets the maximum frame size in bytes; 0 means unlimited.
+func (b *base) SetMTU(n int) { b.mtu = n }
+
+// SetLossRate makes each delivery from this medium be silently lost with
+// probability p (0 disables). Losses model bit corruption that destroys a
+// frame; counters appear in Lost.
+func (b *base) SetLossRate(p float64) { b.lossRate = p }
+
+// lose draws the loss lottery for one delivery.
+func (b *base) lose() bool {
+	if b.lossRate <= 0 {
+		return false
+	}
+	if b.eng.Rand().Float64() < b.lossRate {
+		b.Lost++
+		return true
+	}
+	return false
+}
+
+// SetDown fails the medium (true) or restores it (false). A failing
+// medium aborts any transmission in progress — its partial frame is lost,
+// as on a real cut cable — and refuses new ones with ErrLinkDown.
+func (b *base) SetDown(m Medium, down bool) {
+	b.down = down
+	if down && b.current != nil {
+		m.Abort(b.current)
+	}
+}
+
+// IsDown reports whether the medium is failed.
+func (b *base) IsDown() bool { return b.down }
+
+func (b *base) FreeAt(now sim.Time) sim.Time {
+	if b.busyUntil > now {
+		return b.busyUntil
+	}
+	return now
+}
+
+// Utilization reports the fraction of time the medium has been busy since
+// the start of the simulation.
+func (b *base) Utilization(now sim.Time) float64 {
+	if now <= 0 {
+		return 0
+	}
+	busy := b.busyTime
+	if b.current != nil && now > b.lastStart {
+		busy += now - b.lastStart
+	}
+	return float64(busy) / float64(now)
+}
+
+func (b *base) begin(m Medium, from *Port, pkt Payload, hdr *ethernet.Header, prio viper.Priority) (*Transmission, error) {
+	now := b.eng.Now()
+	if b.down {
+		return nil, ErrLinkDown
+	}
+	if b.busyUntil > now {
+		return nil, ErrMediumBusy
+	}
+	size := FrameSize(pkt, hdr)
+	tx := &Transmission{
+		Pkt:    pkt,
+		From:   from,
+		Hdr:    hdr,
+		Start:  now,
+		TxTime: TxTime(size, b.rate),
+		Prio:   prio,
+		medium: m,
+	}
+	b.current = tx
+	b.busyUntil = tx.End()
+	b.lastStart = now
+	b.Transmissions++
+	b.BytesCarried += uint64(size)
+	b.eng.Schedule(tx.TxTime, func() {
+		if b.current == tx {
+			b.busyTime += tx.TxTime
+			b.current = nil
+		}
+	})
+	return tx, nil
+}
+
+func (b *base) abort(tx *Transmission) {
+	if tx == nil || tx.aborted || b.current != tx {
+		return
+	}
+	now := b.eng.Now()
+	tx.aborted = true
+	b.Aborts++
+	b.busyTime += now - tx.Start
+	b.current = nil
+	b.busyUntil = now
+	// Abort chains run as a fresh event so a preempting packet seizes
+	// the freed medium before the victim's retransmission logic can.
+	cbs := tx.onAbort
+	b.eng.Schedule(0, func() {
+		for _, fn := range cbs {
+			fn(now)
+		}
+	})
+}
+
+// P2PDirection is one direction of a full-duplex point-to-point link.
+type P2PDirection struct {
+	base
+	peer *Port
+}
+
+// P2PLink is a full-duplex point-to-point link between two ports. Create
+// with NewP2PLink, then attach the two endpoints.
+type P2PLink struct {
+	AB, BA *P2PDirection
+}
+
+// NewP2PLink creates a link with the given rate (bits/s) and propagation
+// delay. Attach connects the endpoints.
+func NewP2PLink(eng *sim.Engine, rateBps float64, prop sim.Time) *P2PLink {
+	if rateBps <= 0 {
+		panic("netsim: link rate must be positive")
+	}
+	return &P2PLink{
+		AB: &P2PDirection{base: base{eng: eng, rate: rateBps, prop: prop}},
+		BA: &P2PDirection{base: base{eng: eng, rate: rateBps, prop: prop}},
+	}
+}
+
+// SetDown fails (true) or restores (false) both directions of the link.
+func (l *P2PLink) SetDown(down bool) {
+	l.AB.SetDown(l.AB, down)
+	l.BA.SetDown(l.BA, down)
+}
+
+// Attach wires node a's port (ID portA) to node b's port (ID portB) and
+// returns the two ports. Transmissions on a's port arrive at b and vice
+// versa.
+func (l *P2PLink) Attach(a Node, portA uint8, b Node, portB uint8) (pa, pb *Port) {
+	pa = &Port{Node: a, ID: portA, Medium: l.AB}
+	pb = &Port{Node: b, ID: portB, Medium: l.BA}
+	l.AB.peer = pb
+	l.BA.peer = pa
+	return pa, pb
+}
+
+// Transmit implements Medium.
+func (d *P2PDirection) Transmit(from *Port, pkt Payload, hdr *ethernet.Header, prio viper.Priority) (*Transmission, error) {
+	if hdr != nil {
+		return nil, fmt.Errorf("netsim: point-to-point link carries no network header")
+	}
+	tx, err := d.begin(d, from, pkt, hdr, prio)
+	if err != nil {
+		return nil, err
+	}
+	peer := d.peer
+	lost := d.lose()
+	d.eng.Schedule(d.prop, func() {
+		if tx.aborted || lost {
+			return
+		}
+		peer.Node.Arrive(&Arrival{
+			Pkt:    pkt,
+			In:     peer,
+			Start:  d.eng.Now(),
+			TxTime: tx.TxTime,
+			Tx:     tx,
+		})
+	})
+	return tx, nil
+}
+
+// Abort implements Medium.
+func (d *P2PDirection) Abort(tx *Transmission) { d.abort(tx) }
+
+// EthernetSegment is a shared multi-access network. All stations hear the
+// medium; frames are delivered to the station whose address matches the
+// header's destination (or to all stations for broadcast). Transmissions
+// are serialized on the shared medium; contention is resolved by the
+// sender retrying when the medium frees (no collision modeling — the
+// paper's analysis is about switch behavior, not MAC behavior).
+type EthernetSegment struct {
+	base
+	name     string
+	stations map[ethernet.Addr]*Port
+}
+
+// NewEthernetSegment creates a segment with the given rate and propagation
+// delay.
+func NewEthernetSegment(eng *sim.Engine, name string, rateBps float64, prop sim.Time) *EthernetSegment {
+	if rateBps <= 0 {
+		panic("netsim: segment rate must be positive")
+	}
+	return &EthernetSegment{
+		base:     base{eng: eng, rate: rateBps, prop: prop},
+		name:     name,
+		stations: make(map[ethernet.Addr]*Port),
+	}
+}
+
+// Name returns the segment name.
+func (s *EthernetSegment) Name() string { return s.name }
+
+// AttachStation connects a node to the segment with the given port ID and
+// station address, returning the port.
+func (s *EthernetSegment) AttachStation(n Node, portID uint8, addr ethernet.Addr) *Port {
+	p := &Port{Node: n, ID: portID, Medium: s, Addr: addr}
+	s.stations[addr] = p
+	return p
+}
+
+// Lookup returns the port with the given station address.
+func (s *EthernetSegment) Lookup(addr ethernet.Addr) (*Port, bool) {
+	p, ok := s.stations[addr]
+	return p, ok
+}
+
+// Transmit implements Medium.
+func (s *EthernetSegment) Transmit(from *Port, pkt Payload, hdr *ethernet.Header, prio viper.Priority) (*Transmission, error) {
+	if hdr == nil {
+		return nil, ErrNeedHeader
+	}
+	var dsts []*Port
+	if hdr.Dst.IsBroadcast() {
+		for _, p := range s.stations {
+			if p != from {
+				dsts = append(dsts, p)
+			}
+		}
+	} else {
+		p, ok := s.stations[hdr.Dst]
+		if !ok {
+			return nil, ErrNoStation
+		}
+		dsts = append(dsts, p)
+	}
+	tx, err := s.begin(s, from, pkt, hdr, prio)
+	if err != nil {
+		return nil, err
+	}
+	h := *hdr
+	for _, dst := range dsts {
+		dst := dst
+		deliverTo := pkt
+		if len(dsts) > 1 {
+			deliverTo = pkt.CloneWire().(Payload)
+		}
+		lost := s.lose()
+		s.eng.Schedule(s.prop, func() {
+			if tx.aborted || lost {
+				return
+			}
+			dst.Node.Arrive(&Arrival{
+				Pkt:    deliverTo,
+				In:     dst,
+				Hdr:    &h,
+				Start:  s.eng.Now(),
+				TxTime: tx.TxTime,
+				Tx:     tx,
+			})
+		})
+	}
+	return tx, nil
+}
+
+// Abort implements Medium.
+func (s *EthernetSegment) Abort(tx *Transmission) { s.abort(tx) }

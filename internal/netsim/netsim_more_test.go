@@ -1,0 +1,118 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/ethernet"
+	"repro/internal/sim"
+	"repro/internal/viper"
+)
+
+func TestLinkDownRefusesAndAbortsInFlight(t *testing.T) {
+	eng := sim.NewEngine(1)
+	a, b := &sink{name: "a"}, &sink{name: "b"}
+	link := NewP2PLink(eng, 8e6, 500*sim.Microsecond)
+	pa, _ := link.Attach(a, 1, b, 1)
+	eng.Schedule(0, func() {
+		if _, err := pa.Medium.Transmit(pa, mkPacket(1000), nil, 0); err != nil {
+			t.Errorf("initial transmit: %v", err)
+		}
+	})
+	// Cut the cable mid-transmission: the partial frame dies.
+	eng.Schedule(200*sim.Microsecond, func() {
+		link.SetDown(true)
+		if !pa.Medium.IsDown() {
+			t.Error("IsDown false after SetDown")
+		}
+		if _, err := pa.Medium.Transmit(pa, mkPacket(100), nil, 0); err != ErrLinkDown {
+			t.Errorf("transmit on down link err = %v", err)
+		}
+	})
+	eng.Schedule(sim.Millisecond, func() {
+		link.SetDown(false)
+		if _, err := pa.Medium.Transmit(pa, mkPacket(100), nil, 0); err != nil {
+			t.Errorf("transmit after restore: %v", err)
+		}
+	})
+	eng.Run()
+	if len(b.arrivals) != 1 {
+		t.Fatalf("arrivals = %d, want only the post-restore frame", len(b.arrivals))
+	}
+	if link.AB.Aborts != 1 {
+		t.Fatalf("Aborts = %d, want 1 (the in-flight frame)", link.AB.Aborts)
+	}
+}
+
+func TestLossRateDropsDeliveries(t *testing.T) {
+	eng := sim.NewEngine(7)
+	a, b := &sink{name: "a"}, &sink{name: "b"}
+	link := NewP2PLink(eng, 100e6, 0)
+	pa, _ := link.Attach(a, 1, b, 1)
+	link.AB.SetLossRate(0.5)
+	const n = 400
+	for i := 0; i < n; i++ {
+		eng.Schedule(sim.Time(i)*sim.Millisecond, func() {
+			pa.Medium.Transmit(pa, mkPacket(64), nil, 0)
+		})
+	}
+	eng.Run()
+	got := len(b.arrivals)
+	if got < n/4 || got > 3*n/4 {
+		t.Fatalf("delivered %d of %d at 50%% loss", got, n)
+	}
+	if link.AB.Lost != uint64(n-got) {
+		t.Fatalf("Lost = %d, want %d", link.AB.Lost, n-got)
+	}
+}
+
+func TestEthernetLookupAndName(t *testing.T) {
+	eng := sim.NewEngine(1)
+	seg := NewEthernetSegment(eng, "backbone", 10e6, 0)
+	if seg.Name() != "backbone" {
+		t.Fatalf("Name = %q", seg.Name())
+	}
+	h := &sink{name: "h"}
+	addr := ethernet.AddrFromUint64(9)
+	p := seg.AttachStation(h, 1, addr)
+	got, ok := seg.Lookup(addr)
+	if !ok || got != p {
+		t.Fatal("Lookup failed for attached station")
+	}
+	if _, ok := seg.Lookup(ethernet.AddrFromUint64(10)); ok {
+		t.Fatal("Lookup found a ghost station")
+	}
+}
+
+func TestEthernetAbort(t *testing.T) {
+	eng := sim.NewEngine(1)
+	seg := NewEthernetSegment(eng, "n", 10e6, 100*sim.Microsecond)
+	h1, h2 := &sink{name: "h1"}, &sink{name: "h2"}
+	a1, a2 := ethernet.AddrFromUint64(1), ethernet.AddrFromUint64(2)
+	p1 := seg.AttachStation(h1, 1, a1)
+	seg.AttachStation(h2, 1, a2)
+	hdr := &ethernet.Header{Dst: a2, Src: a1, Type: viper.EtherTypeVIPER}
+	eng.Schedule(0, func() {
+		tx, err := seg.Transmit(p1, mkPacket(1000), hdr, 0)
+		if err != nil {
+			t.Errorf("Transmit: %v", err)
+			return
+		}
+		eng.Schedule(50*sim.Microsecond, func() { seg.Abort(tx) })
+	})
+	eng.Run()
+	if len(h2.arrivals) != 0 {
+		t.Fatal("aborted Ethernet frame delivered")
+	}
+}
+
+func TestMediumAccessors(t *testing.T) {
+	eng := sim.NewEngine(1)
+	link := NewP2PLink(eng, 42e6, 7*sim.Microsecond)
+	link.AB.SetMTU(900)
+	if link.AB.RateBps() != 42e6 || link.AB.PropDelay() != 7*sim.Microsecond || link.AB.MTU() != 900 {
+		t.Fatal("accessors broken")
+	}
+	if link.AB.Current() != nil {
+		t.Fatal("idle link has a current transmission")
+	}
+}

@@ -1,0 +1,337 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ethernet"
+	"repro/internal/sim"
+	"repro/internal/viper"
+)
+
+// sink records arrivals.
+type sink struct {
+	name     string
+	arrivals []*Arrival
+}
+
+func (s *sink) Name() string      { return s.name }
+func (s *sink) Arrive(a *Arrival) { s.arrivals = append(s.arrivals, a) }
+
+func mkPacket(size int) *viper.Packet {
+	// A single local segment (4 bytes) + trailer descriptor (4 bytes)
+	// leaves size-8 bytes of data.
+	if size < 8 {
+		panic("packet too small")
+	}
+	return viper.NewPacket([]viper.Segment{{Port: viper.PortLocal}}, make([]byte, size-8))
+}
+
+func TestTxTime(t *testing.T) {
+	// 1000 bytes at 8 Mbit/s is exactly 1 ms.
+	if got := TxTime(1000, 8e6); got != sim.Millisecond {
+		t.Fatalf("TxTime = %v, want 1ms", got)
+	}
+	// 1500 bytes at 10 Mbit/s is 1.2 ms.
+	if got := TxTime(1500, 10e6); got != 1200*sim.Microsecond {
+		t.Fatalf("TxTime = %v, want 1.2ms", got)
+	}
+}
+
+func TestP2PDelivery(t *testing.T) {
+	eng := sim.NewEngine(1)
+	a, b := &sink{name: "a"}, &sink{name: "b"}
+	link := NewP2PLink(eng, 8e6, 100*sim.Microsecond) // 8 Mb/s, 100us prop
+	pa, pb := link.Attach(a, 1, b, 1)
+
+	pkt := mkPacket(1000)
+	eng.Schedule(0, func() {
+		if _, err := pa.Medium.Transmit(pa, pkt, nil, 0); err != nil {
+			t.Errorf("Transmit: %v", err)
+		}
+	})
+	eng.Run()
+
+	if len(b.arrivals) != 1 {
+		t.Fatalf("b got %d arrivals, want 1", len(b.arrivals))
+	}
+	arr := b.arrivals[0]
+	if arr.Start != 100*sim.Microsecond {
+		t.Errorf("leading edge at %v, want 100us", arr.Start)
+	}
+	if arr.TxTime != sim.Millisecond {
+		t.Errorf("TxTime = %v, want 1ms", arr.TxTime)
+	}
+	if arr.End() != 1100*sim.Microsecond {
+		t.Errorf("trailing edge at %v, want 1.1ms", arr.End())
+	}
+	if arr.In != pb {
+		t.Errorf("arrived on %v, want %v", arr.In, pb)
+	}
+	if arr.Hdr != nil {
+		t.Errorf("p2p arrival has header %v", arr.Hdr)
+	}
+	if len(a.arrivals) != 0 {
+		t.Errorf("sender received its own packet")
+	}
+}
+
+func TestP2PFullDuplex(t *testing.T) {
+	eng := sim.NewEngine(1)
+	a, b := &sink{name: "a"}, &sink{name: "b"}
+	link := NewP2PLink(eng, 8e6, 0)
+	pa, pb := link.Attach(a, 1, b, 1)
+	eng.Schedule(0, func() {
+		if _, err := pa.Medium.Transmit(pa, mkPacket(1000), nil, 0); err != nil {
+			t.Errorf("a->b: %v", err)
+		}
+		if _, err := pb.Medium.Transmit(pb, mkPacket(1000), nil, 0); err != nil {
+			t.Errorf("b->a: %v (directions must be independent)", err)
+		}
+	})
+	eng.Run()
+	if len(a.arrivals) != 1 || len(b.arrivals) != 1 {
+		t.Fatalf("arrivals a=%d b=%d, want 1/1", len(a.arrivals), len(b.arrivals))
+	}
+}
+
+func TestMediumBusy(t *testing.T) {
+	eng := sim.NewEngine(1)
+	a, b := &sink{name: "a"}, &sink{name: "b"}
+	link := NewP2PLink(eng, 8e6, 0)
+	pa, _ := link.Attach(a, 1, b, 1)
+	eng.Schedule(0, func() {
+		if _, err := pa.Medium.Transmit(pa, mkPacket(1000), nil, 0); err != nil {
+			t.Errorf("first: %v", err)
+		}
+		if _, err := pa.Medium.Transmit(pa, mkPacket(1000), nil, 0); err != ErrMediumBusy {
+			t.Errorf("second err = %v, want ErrMediumBusy", err)
+		}
+	})
+	// After 1ms the medium frees.
+	eng.Schedule(sim.Millisecond, func() {
+		if _, err := pa.Medium.Transmit(pa, mkPacket(1000), nil, 0); err != nil {
+			t.Errorf("after free: %v", err)
+		}
+	})
+	eng.Run()
+	if len(b.arrivals) != 2 {
+		t.Fatalf("b got %d arrivals, want 2", len(b.arrivals))
+	}
+}
+
+func TestFreeAt(t *testing.T) {
+	eng := sim.NewEngine(1)
+	a, b := &sink{name: "a"}, &sink{name: "b"}
+	link := NewP2PLink(eng, 8e6, 0)
+	pa, _ := link.Attach(a, 1, b, 1)
+	eng.Schedule(0, func() {
+		pa.Medium.Transmit(pa, mkPacket(1000), nil, 0)
+		if got := pa.Medium.FreeAt(eng.Now()); got != sim.Millisecond {
+			t.Errorf("FreeAt = %v, want 1ms", got)
+		}
+	})
+	eng.Run()
+	if got := pa.Medium.FreeAt(eng.Now()); got != eng.Now() {
+		t.Errorf("idle FreeAt = %v, want now", got)
+	}
+}
+
+func TestEthernetUnicastDelivery(t *testing.T) {
+	eng := sim.NewEngine(1)
+	seg := NewEthernetSegment(eng, "net1", 10e6, 10*sim.Microsecond)
+	h1, h2, h3 := &sink{name: "h1"}, &sink{name: "h2"}, &sink{name: "h3"}
+	a1, a2, a3 := ethernet.AddrFromUint64(1), ethernet.AddrFromUint64(2), ethernet.AddrFromUint64(3)
+	p1 := seg.AttachStation(h1, 1, a1)
+	seg.AttachStation(h2, 1, a2)
+	seg.AttachStation(h3, 1, a3)
+
+	hdr := &ethernet.Header{Dst: a2, Src: a1, Type: viper.EtherTypeVIPER}
+	eng.Schedule(0, func() {
+		if _, err := p1.Medium.Transmit(p1, mkPacket(100), hdr, 0); err != nil {
+			t.Errorf("Transmit: %v", err)
+		}
+	})
+	eng.Run()
+	if len(h2.arrivals) != 1 {
+		t.Fatalf("h2 got %d arrivals, want 1", len(h2.arrivals))
+	}
+	if len(h3.arrivals) != 0 || len(h1.arrivals) != 0 {
+		t.Fatal("unicast leaked to other stations")
+	}
+	if h2.arrivals[0].Hdr == nil || h2.arrivals[0].Hdr.Dst != a2 {
+		t.Fatalf("arrival header = %v", h2.arrivals[0].Hdr)
+	}
+	// Frame size includes the 14-byte header.
+	wantTx := TxTime(100+ethernet.HeaderLen, 10e6)
+	if h2.arrivals[0].TxTime != wantTx {
+		t.Errorf("TxTime = %v, want %v", h2.arrivals[0].TxTime, wantTx)
+	}
+}
+
+func TestEthernetBroadcast(t *testing.T) {
+	eng := sim.NewEngine(1)
+	seg := NewEthernetSegment(eng, "net1", 10e6, 0)
+	h1, h2, h3 := &sink{name: "h1"}, &sink{name: "h2"}, &sink{name: "h3"}
+	p1 := seg.AttachStation(h1, 1, ethernet.AddrFromUint64(1))
+	seg.AttachStation(h2, 1, ethernet.AddrFromUint64(2))
+	seg.AttachStation(h3, 1, ethernet.AddrFromUint64(3))
+	hdr := &ethernet.Header{Dst: ethernet.Broadcast, Src: ethernet.AddrFromUint64(1), Type: viper.EtherTypeVIPER}
+	pkt := mkPacket(64)
+	eng.Schedule(0, func() {
+		if _, err := p1.Medium.Transmit(p1, pkt, hdr, 0); err != nil {
+			t.Errorf("Transmit: %v", err)
+		}
+	})
+	eng.Run()
+	if len(h1.arrivals) != 0 {
+		t.Error("sender heard its own broadcast")
+	}
+	if len(h2.arrivals) != 1 || len(h3.arrivals) != 1 {
+		t.Fatalf("broadcast arrivals: h2=%d h3=%d", len(h2.arrivals), len(h3.arrivals))
+	}
+	// Broadcast receivers get independent packet copies.
+	if h2.arrivals[0].Pkt == h3.arrivals[0].Pkt {
+		t.Error("broadcast receivers share one packet instance")
+	}
+}
+
+func TestEthernetNoStation(t *testing.T) {
+	eng := sim.NewEngine(1)
+	seg := NewEthernetSegment(eng, "net1", 10e6, 0)
+	h1 := &sink{name: "h1"}
+	p1 := seg.AttachStation(h1, 1, ethernet.AddrFromUint64(1))
+	hdr := &ethernet.Header{Dst: ethernet.AddrFromUint64(99), Src: ethernet.AddrFromUint64(1)}
+	var err error
+	eng.Schedule(0, func() {
+		_, err = p1.Medium.Transmit(p1, mkPacket(64), hdr, 0)
+	})
+	eng.Run()
+	if err != ErrNoStation {
+		t.Fatalf("err = %v, want ErrNoStation", err)
+	}
+}
+
+func TestEthernetRequiresHeader(t *testing.T) {
+	eng := sim.NewEngine(1)
+	seg := NewEthernetSegment(eng, "net1", 10e6, 0)
+	h1 := &sink{name: "h1"}
+	p1 := seg.AttachStation(h1, 1, ethernet.AddrFromUint64(1))
+	var err error
+	eng.Schedule(0, func() {
+		_, err = p1.Medium.Transmit(p1, mkPacket(64), nil, 0)
+	})
+	eng.Run()
+	if err != ErrNeedHeader {
+		t.Fatalf("err = %v, want ErrNeedHeader", err)
+	}
+}
+
+func TestAbortSuppressesDelivery(t *testing.T) {
+	eng := sim.NewEngine(1)
+	a, b := &sink{name: "a"}, &sink{name: "b"}
+	link := NewP2PLink(eng, 8e6, 500*sim.Microsecond) // leading edge at 500us
+	pa, _ := link.Attach(a, 1, b, 1)
+	var tx *Transmission
+	eng.Schedule(0, func() {
+		tx, _ = pa.Medium.Transmit(pa, mkPacket(1000), nil, 0)
+	})
+	// Abort at 200us, before the leading edge arrives.
+	eng.Schedule(200*sim.Microsecond, func() { pa.Medium.Abort(tx) })
+	eng.Run()
+	if len(b.arrivals) != 0 {
+		t.Fatal("aborted transmission was delivered")
+	}
+	if !tx.Aborted() {
+		t.Fatal("transmission not marked aborted")
+	}
+	// Medium freed immediately: a new transmission at 200us succeeds.
+	eng2 := sim.NewEngine(1)
+	_ = eng2
+}
+
+func TestAbortFreesMediumAndFiresChain(t *testing.T) {
+	eng := sim.NewEngine(1)
+	a, b := &sink{name: "a"}, &sink{name: "b"}
+	link := NewP2PLink(eng, 8e6, 0)
+	pa, _ := link.Attach(a, 1, b, 1)
+	var abortedAt sim.Time = -1
+	eng.Schedule(0, func() {
+		tx, _ := pa.Medium.Transmit(pa, mkPacket(1000), nil, 2)
+		tx.OnAbort(func(at sim.Time) { abortedAt = at })
+		eng.Schedule(300*sim.Microsecond, func() {
+			pa.Medium.Abort(tx)
+			// Medium must be free right away for the preempting packet.
+			if _, err := pa.Medium.Transmit(pa, mkPacket(500), nil, 7); err != nil {
+				t.Errorf("preempting transmit failed: %v", err)
+			}
+		})
+	})
+	eng.Run()
+	if abortedAt != 300*sim.Microsecond {
+		t.Fatalf("abort chain fired at %v, want 300us", abortedAt)
+	}
+	// The leading edge of the aborted packet was delivered at t=0 (prop
+	// 0) before the abort; only the preempting packet and the original
+	// leading edge show up. With prop=0 the original arrival fires at 0.
+	if len(b.arrivals) != 2 {
+		t.Fatalf("b arrivals = %d, want 2 (original leading edge + preemptor)", len(b.arrivals))
+	}
+}
+
+func TestAbortIdempotentAndStale(t *testing.T) {
+	eng := sim.NewEngine(1)
+	a, b := &sink{name: "a"}, &sink{name: "b"}
+	link := NewP2PLink(eng, 8e6, 0)
+	pa, _ := link.Attach(a, 1, b, 1)
+	eng.Schedule(0, func() {
+		tx, _ := pa.Medium.Transmit(pa, mkPacket(1000), nil, 0)
+		// Abort after completion is a no-op.
+		eng.Schedule(2*sim.Millisecond, func() {
+			pa.Medium.Abort(tx)
+			if tx.Aborted() {
+				t.Error("abort after completion marked the tx aborted")
+			}
+		})
+	})
+	eng.Run()
+	if len(b.arrivals) != 1 {
+		t.Fatalf("arrivals = %d", len(b.arrivals))
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	eng := sim.NewEngine(1)
+	a, b := &sink{name: "a"}, &sink{name: "b"}
+	link := NewP2PLink(eng, 8e6, 0)
+	pa, _ := link.Attach(a, 1, b, 1)
+	// One 1ms transmission in 2ms of simulated time = 50%.
+	eng.Schedule(0, func() { pa.Medium.Transmit(pa, mkPacket(1000), nil, 0) })
+	eng.RunUntil(2 * sim.Millisecond)
+	got := link.AB.Utilization(eng.Now())
+	if math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("Utilization = %v, want 0.5", got)
+	}
+}
+
+func TestFrameSize(t *testing.T) {
+	pkt := mkPacket(100)
+	if got := FrameSize(pkt, nil); got != 100 {
+		t.Fatalf("FrameSize p2p = %d", got)
+	}
+	if got := FrameSize(pkt, &ethernet.Header{}); got != 114 {
+		t.Fatalf("FrameSize eth = %d", got)
+	}
+}
+
+func TestPortString(t *testing.T) {
+	var p *Port
+	if p.String() != "port(nil)" {
+		t.Fatal("nil port string")
+	}
+	s := &sink{name: "r1"}
+	p = &Port{Node: s, ID: 3}
+	if p.String() != "r1.3" {
+		t.Fatalf("String = %q", p.String())
+	}
+}

@@ -1,0 +1,173 @@
+// Package overlay implements §2.3's compatibility story: "the Sirpent
+// approach can be viewed and implemented as an extended form of IP ...
+// A Sirpent packet can view the Internet as providing one logical hop
+// across its internetwork." A tunnel binds a port on a Sirpent router to
+// an IP host on a datagram internetwork; packets forwarded out that port
+// are encoded, carried as IP datagrams (fragmented and reassembled by
+// the IP substrate as needed), decoded at the far gateway and re-injected
+// into the remote Sirpent router — one logical hop, reversible like any
+// other: the return segment simply names the far tunnel port.
+package overlay
+
+import (
+	"fmt"
+
+	"repro/internal/ethernet"
+	"repro/internal/ipnet"
+	"repro/internal/netsim"
+	"repro/internal/router"
+	"repro/internal/sim"
+	"repro/internal/viper"
+)
+
+// ProtoVIPER is the IP protocol number carrying encapsulated VIPER
+// packets ("An IP protocol number is assigned to the Sirpent protocol",
+// §2.3).
+const ProtoVIPER uint8 = 94
+
+// Stats counts one tunnel endpoint's activity.
+type Stats struct {
+	Encapsulated uint64
+	Decapsulated uint64
+	DecodeErrors uint64
+	SendErrors   uint64
+}
+
+// Endpoint is one side of a tunnel: a medium attached to a Sirpent
+// router whose transmissions become IP datagrams.
+type Endpoint struct {
+	eng    *sim.Engine
+	ipHost *ipnet.Host
+	peerIP ipnet.Addr
+	local  *netsim.Port // the Sirpent router's tunnel port
+
+	// logical-hop parameters reported to the Sirpent side.
+	rateBps float64
+	prop    sim.Time
+
+	Stats Stats
+}
+
+// Tunnel joins two Sirpent routers across an IP internetwork.
+type Tunnel struct {
+	A, B *Endpoint
+}
+
+// Config sets the logical hop's advertised properties: the rate and
+// propagation delay the Sirpent side should assume for the IP crossing.
+// (The actual delay is whatever the IP substrate produces.)
+type Config struct {
+	RateBps float64  // default 10e6
+	Prop    sim.Time // default 1ms
+}
+
+func (c Config) withDefaults() Config {
+	if c.RateBps == 0 {
+		c.RateBps = 10e6
+	}
+	if c.Prop == 0 {
+		c.Prop = sim.Millisecond
+	}
+	return c
+}
+
+// New creates a tunnel between routerA's portA and routerB's portB,
+// carried between the two IP hosts (which must already be attached and
+// routed on the IP internetwork). The IP hosts' handlers are taken over
+// for ProtoVIPER traffic; other protocols are passed to any previously
+// installed handler.
+func New(eng *sim.Engine, ra *router.Router, portA uint8, ipA *ipnet.Host,
+	rb *router.Router, portB uint8, ipB *ipnet.Host, cfg Config) *Tunnel {
+	cfg = cfg.withDefaults()
+	a := &Endpoint{eng: eng, ipHost: ipA, peerIP: ipB.Addr(), rateBps: cfg.RateBps, prop: cfg.Prop}
+	b := &Endpoint{eng: eng, ipHost: ipB, peerIP: ipA.Addr(), rateBps: cfg.RateBps, prop: cfg.Prop}
+
+	a.local = &netsim.Port{Node: ra, ID: portA, Medium: a}
+	b.local = &netsim.Port{Node: rb, ID: portB, Medium: b}
+	ra.AttachPort(a.local)
+	rb.AttachPort(b.local)
+
+	ipA.SetHandler(func(src ipnet.Addr, proto uint8, data []byte) { a.receive(src, proto, data) })
+	ipB.SetHandler(func(src ipnet.Addr, proto uint8, data []byte) { b.receive(src, proto, data) })
+	return &Tunnel{A: a, B: b}
+}
+
+// --- netsim.Medium implementation (the Sirpent side of the endpoint) ---
+
+// RateBps implements netsim.Medium.
+func (e *Endpoint) RateBps() float64 { return e.rateBps }
+
+// PropDelay implements netsim.Medium.
+func (e *Endpoint) PropDelay() sim.Time { return e.prop }
+
+// FreeAt implements netsim.Medium: the tunnel itself never blocks — the
+// IP internetwork does its own queueing.
+func (e *Endpoint) FreeAt(now sim.Time) sim.Time { return now }
+
+// MTU implements netsim.Medium: the IP substrate fragments, so the
+// logical hop imposes only VIPER's own transmission unit.
+func (e *Endpoint) MTU() int { return 0 }
+
+// IsDown implements netsim.Medium.
+func (e *Endpoint) IsDown() bool { return false }
+
+// Current implements netsim.Medium; nothing is preemptible inside the
+// IP cloud.
+func (e *Endpoint) Current() *netsim.Transmission { return nil }
+
+// Abort implements netsim.Medium (no-op: the packet is already inside
+// the IP internetwork).
+func (e *Endpoint) Abort(tx *netsim.Transmission) {}
+
+// Transmit implements netsim.Medium: encapsulate and hand to IP.
+func (e *Endpoint) Transmit(from *netsim.Port, pkt netsim.Payload, hdr *ethernet.Header, prio viper.Priority) (*netsim.Transmission, error) {
+	if hdr != nil {
+		return nil, fmt.Errorf("overlay: tunnels carry no network header")
+	}
+	vp, ok := pkt.(*viper.Packet)
+	if !ok {
+		return nil, fmt.Errorf("overlay: tunnel carries only VIPER packets")
+	}
+	b, err := vp.Encode()
+	if err != nil {
+		return nil, fmt.Errorf("overlay: encode: %w", err)
+	}
+	if err := e.ipHost.Send(e.peerIP, ProtoVIPER, b, uint8(prio)); err != nil {
+		e.Stats.SendErrors++
+		return nil, fmt.Errorf("overlay: ip send: %w", err)
+	}
+	e.Stats.Encapsulated++
+	return &netsim.Transmission{
+		Pkt:    pkt,
+		From:   from,
+		Start:  e.eng.Now(),
+		TxTime: netsim.TxTime(len(b), e.rateBps),
+		Prio:   prio,
+	}, nil
+}
+
+// receive decapsulates an arriving IP datagram and injects the VIPER
+// packet into the local Sirpent router as a fully received arrival.
+func (e *Endpoint) receive(src ipnet.Addr, proto uint8, data []byte) {
+	if proto != ProtoVIPER {
+		return
+	}
+	pkt, err := viper.Decode(data)
+	if err != nil {
+		e.Stats.DecodeErrors++
+		return
+	}
+	e.Stats.Decapsulated++
+	e.local.Node.Arrive(&netsim.Arrival{
+		Pkt:   pkt,
+		In:    e.local,
+		Start: e.eng.Now(),
+		// The packet emerged whole from IP reassembly: its trailing
+		// edge is already here.
+		TxTime: 0,
+		Tx: &netsim.Transmission{
+			Pkt:   pkt,
+			Start: e.eng.Now(),
+		},
+	})
+}

@@ -1,0 +1,77 @@
+package router
+
+import (
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/viper"
+)
+
+// delayLineFixture: fast ingress, slow egress, tiny queue — overload that
+// would otherwise drop.
+func delayLineRun(t *testing.T, cfg Config, burst int) (delivered int, drops, loops uint64) {
+	t.Helper()
+	eng := sim.NewEngine(3)
+	r := New(eng, "R", cfg)
+	src := NewHost(eng, "s")
+	dst := NewHost(eng, "d")
+	l1 := netsim.NewP2PLink(eng, 100e6, 0)
+	pa, pb := l1.Attach(src, 1, r, 1)
+	src.AttachPort(pa)
+	r.AttachPort(pb)
+	l2 := netsim.NewP2PLink(eng, 10e6, 0)
+	qa, qb := l2.Attach(r, 2, dst, 1)
+	r.AttachPort(qa)
+	dst.AttachPort(qb)
+	dst.Handle(0, func(d *Delivery) { delivered++ })
+	route := []viper.Segment{
+		{Port: 1, Flags: viper.FlagVNT},
+		{Port: 2, Flags: viper.FlagVNT},
+		{Port: viper.PortLocal},
+	}
+	eng.Schedule(0, func() {
+		for i := 0; i < burst; i++ {
+			src.Send(cloneRoute(route), make([]byte, 1000))
+		}
+	})
+	eng.RunUntil(5 * sim.Second)
+	return delivered, r.Stats.DropCount(DropQueueFull), r.Stats.DelayLoops
+}
+
+func TestDelayLineSavesBurstOverflow(t *testing.T) {
+	const burst = 24
+	plainDeliv, plainDrops, _ := delayLineRun(t, Config{QueueLimit: 4}, burst)
+	dlDeliv, dlDrops, loops := delayLineRun(t, Config{
+		QueueLimit:   4,
+		DelayLine:    2 * sim.Millisecond,
+		DelayLineCap: 64,
+	}, burst)
+
+	if plainDrops == 0 {
+		t.Fatal("plain config should overflow")
+	}
+	if dlDrops != 0 {
+		t.Fatalf("delay line still dropped %d", dlDrops)
+	}
+	if dlDeliv != burst {
+		t.Fatalf("delay line delivered %d of %d", dlDeliv, burst)
+	}
+	if loops == 0 {
+		t.Fatal("no delay-line circulation recorded")
+	}
+	if plainDeliv >= dlDeliv {
+		t.Fatalf("delay line (%d) should beat dropping (%d)", dlDeliv, plainDeliv)
+	}
+}
+
+func TestDelayLineCapStillDrops(t *testing.T) {
+	_, drops, _ := delayLineRun(t, Config{
+		QueueLimit:   2,
+		DelayLine:    2 * sim.Millisecond,
+		DelayLineCap: 2,
+	}, 40)
+	if drops == 0 {
+		t.Fatal("a full delay line must still drop")
+	}
+}

@@ -1,0 +1,107 @@
+package router
+
+import (
+	"container/heap"
+
+	"repro/internal/ethernet"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/viper"
+)
+
+// queued is a packet waiting for an output port.
+type queued struct {
+	frame *frame
+	// upstream is the port the packet arrived on (used to identify the
+	// feeder for rate-control feedback); nil for locally originated
+	// packets.
+	upstream *netsim.Port
+	prio     viper.Priority
+	enqueued sim.Time
+	seq      uint64
+	index    int
+}
+
+// frame is a packet resolved for its next hop: the (already consumed-head)
+// packet plus the network header to transmit with, nil for point-to-point
+// output.
+type frame struct {
+	pkt  *viper.Packet
+	hdr  *ethernet.Header
+	prio viper.Priority
+}
+
+// pktQueue is a priority queue ordered by priority rank (descending), then
+// FIFO. "The type of service field determines ... the order of
+// transmission of the currently blocked packets. That is, higher priority
+// packets are retransmitted first" (§2.1).
+type pktQueue struct {
+	items []*queued
+	seq   uint64
+}
+
+func (q *pktQueue) Len() int { return len(q.items) }
+
+func (q *pktQueue) Less(i, j int) bool {
+	a, b := q.items[i], q.items[j]
+	if ra, rb := a.prio.Rank(), b.prio.Rank(); ra != rb {
+		return ra > rb
+	}
+	return a.seq < b.seq
+}
+
+func (q *pktQueue) Swap(i, j int) {
+	q.items[i], q.items[j] = q.items[j], q.items[i]
+	q.items[i].index = i
+	q.items[j].index = j
+}
+
+func (q *pktQueue) Push(x any) {
+	it := x.(*queued)
+	it.index = len(q.items)
+	q.items = append(q.items, it)
+}
+
+func (q *pktQueue) Pop() any {
+	old := q.items
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	it.index = -1
+	q.items = old[:n-1]
+	return it
+}
+
+func (q *pktQueue) push(it *queued) {
+	it.seq = q.seq
+	q.seq++
+	heap.Push(q, it)
+}
+
+// peekEligible returns the highest-priority item for which eligible
+// returns true, or nil. It does not remove the item.
+func (q *pktQueue) peekEligible(eligible func(*queued) bool) *queued {
+	// The heap is not fully sorted; scan for the best eligible item.
+	var best *queued
+	for _, it := range q.items {
+		if !eligible(it) {
+			continue
+		}
+		if best == nil {
+			best = it
+			continue
+		}
+		if it.prio.Rank() > best.prio.Rank() ||
+			(it.prio.Rank() == best.prio.Rank() && it.seq < best.seq) {
+			best = it
+		}
+	}
+	return best
+}
+
+// remove deletes a specific item from the queue.
+func (q *pktQueue) remove(it *queued) {
+	if it.index >= 0 {
+		heap.Remove(q, it.index)
+	}
+}

@@ -1,0 +1,273 @@
+package router
+
+import (
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/viper"
+)
+
+// RateControlConfig tunes the §2.2 rate-based congestion control: "If the
+// arrival rate to this port exceeds the output rate, the router signals to
+// those 'upstream' routers feeding this queue to reduce their rate of
+// packets being transmitted to this queue."
+type RateControlConfig struct {
+	// Interval is the control-loop period. Default 1ms.
+	Interval sim.Time
+	// HighWater is the queue length at which the port signals its
+	// feeders. Default 4 packets.
+	HighWater int
+	// Decrease is the multiplicative rate reduction applied when the
+	// queue stays above HighWater. Default 0.7.
+	Decrease float64
+	// Increase is the multiplicative ramp applied at the limited router
+	// once signals stop — the network-layer analogue of Jacobson's
+	// slow-start the paper cites. Default 1.25.
+	Increase float64
+	// HoldIntervals is how many quiet control intervals pass before a
+	// limit starts ramping back up. Default 4.
+	HoldIntervals int
+}
+
+func (c RateControlConfig) withDefaults() RateControlConfig {
+	if c.Interval == 0 {
+		c.Interval = sim.Millisecond
+	}
+	if c.HighWater == 0 {
+		c.HighWater = 4
+	}
+	if c.Decrease == 0 {
+		c.Decrease = 0.7
+	}
+	if c.Increase == 0 {
+		c.Increase = 1.25
+	}
+	if c.HoldIntervals == 0 {
+		c.HoldIntervals = 4
+	}
+	return c
+}
+
+// RateSignal asks an upstream node to limit the rate of traffic it sends
+// toward a congested output queue. The congested queue is identified by
+// the port number its feeder packets name in their source routes, which is
+// exactly the information both ends share (§2.2: "Because the congested
+// router has access to the source route, it can easily determine the
+// upstream routers feeding the queue").
+type RateSignal struct {
+	CongestedNode string
+	CongestedPort uint8
+	AllowedBps    float64
+}
+
+// RateSignalReceiver is implemented by nodes that participate in
+// rate-based congestion control: Sirpent routers and hosts (sources).
+type RateSignalReceiver interface {
+	// RateSignal applies a limit to traffic leaving via onPort whose
+	// next-hop segment names sig.CongestedPort.
+	RateSignal(onPort *netsim.Port, sig RateSignal)
+}
+
+// rateLimit is the soft state installed at a limited node: "the
+// rate-limiting information builds up back from the point of congestion
+// to the sources, dynamically generating soft state on flows" (§2.2).
+type rateLimit struct {
+	bps        float64
+	nextFree   sim.Time // earliest time the next matched packet may go
+	lastSignal sim.Time
+}
+
+// RateSignal implements RateSignalReceiver for Router.
+func (r *Router) RateSignal(onPort *netsim.Port, sig RateSignal) {
+	op, ok := r.ports[onPort.ID]
+	if !ok || op.port != onPort {
+		return
+	}
+	now := r.eng.Now()
+	l := op.limits[sig.CongestedPort]
+	if l == nil {
+		l = &rateLimit{bps: sig.AllowedBps, nextFree: now}
+		op.limits[sig.CongestedPort] = l
+	} else if sig.AllowedBps < l.bps {
+		l.bps = sig.AllowedBps
+	}
+	l.lastSignal = now
+	if op.ctl != nil {
+		op.ctl.start()
+	}
+}
+
+// Limits reports the active rate limits on a port (for tests/harness).
+func (r *Router) Limits(port uint8) map[uint8]float64 {
+	op, ok := r.ports[port]
+	if !ok {
+		return nil
+	}
+	out := make(map[uint8]float64, len(op.limits))
+	for k, l := range op.limits {
+		out[k] = l.bps
+	}
+	return out
+}
+
+// nextHopPort returns the port number the packet will ask for at the NEXT
+// node — the key rate limits match on. Zero (local) when the route is
+// exhausted.
+func nextHopPort(pkt *viper.Packet) (uint8, bool) {
+	if len(pkt.Route) == 0 {
+		return 0, false
+	}
+	return pkt.Route[0].Port, true
+}
+
+// eligibleNow reports whether a frame may be transmitted at time now under
+// the port's active rate limits.
+func (op *outPort) eligibleNow(f *frame, now sim.Time) bool {
+	if len(op.limits) == 0 {
+		return true
+	}
+	p, ok := nextHopPort(f.pkt)
+	if !ok {
+		return true
+	}
+	l := op.limits[p]
+	if l == nil {
+		return true
+	}
+	return now >= l.nextFree
+}
+
+// chargeLimit advances the gate for the limit matching a transmitted
+// frame.
+func (op *outPort) chargeLimit(f *frame, now sim.Time) {
+	if len(op.limits) == 0 {
+		return
+	}
+	p, ok := nextHopPort(f.pkt)
+	if !ok {
+		return
+	}
+	l := op.limits[p]
+	if l == nil {
+		return
+	}
+	base := l.nextFree
+	if now > base {
+		base = now
+	}
+	l.nextFree = base + netsim.TxTime(netsim.FrameSize(f.pkt, f.hdr), l.bps)
+}
+
+// earliestGate returns the earliest gate-expiry among active limits.
+func (op *outPort) earliestGate(now sim.Time) (sim.Time, bool) {
+	var best sim.Time
+	found := false
+	for _, l := range op.limits {
+		if l.nextFree > now && (!found || l.nextFree < best) {
+			best = l.nextFree
+			found = true
+		}
+	}
+	return best, found
+}
+
+// portController is an output port's congestion detector and soft-state
+// manager. It runs a periodic control loop while there is anything to do
+// and stops itself when the port is quiet, so simulations that run to
+// quiescence terminate.
+type portController struct {
+	op      *outPort
+	cfg     RateControlConfig
+	running bool
+
+	// Signals counts rate signals emitted (for the harness).
+	Signals uint64
+}
+
+func newPortController(op *outPort, cfg RateControlConfig) *portController {
+	return &portController{op: op, cfg: cfg.withDefaults()}
+}
+
+// noteArrival is called when a packet is queued on the port.
+func (pc *portController) noteArrival(it *queued, now sim.Time) { pc.start() }
+
+// noteDeparture is called when a packet is transmitted.
+func (pc *portController) noteDeparture(f *frame, now sim.Time) {}
+
+// start launches the control loop if idle.
+func (pc *portController) start() {
+	if pc.running {
+		return
+	}
+	pc.running = true
+	pc.op.r.eng.Schedule(pc.cfg.Interval, pc.tick)
+}
+
+func (pc *portController) tick() {
+	op := pc.op
+	now := op.r.eng.Now()
+
+	// Congestion detection: queue above high water -> signal feeders.
+	if op.queue.Len() >= pc.cfg.HighWater {
+		pc.signalFeeders(now)
+	}
+
+	// Soft-state ramp: limits that have not been refreshed recently
+	// push their authorized rate back up and eventually expire (§2.2:
+	// "links ... must progressively push the authorized rate up").
+	line := op.port.Medium.RateBps()
+	hold := sim.Time(pc.cfg.HoldIntervals) * pc.cfg.Interval
+	for key, l := range op.limits {
+		if now-l.lastSignal < hold {
+			continue
+		}
+		l.bps *= pc.cfg.Increase
+		if l.bps >= line {
+			delete(op.limits, key)
+		}
+	}
+
+	// Keep running while there is state to manage; otherwise stop.
+	if op.queue.Len() > 0 || len(op.limits) > 0 {
+		op.r.eng.Schedule(pc.cfg.Interval, pc.tick)
+		op.drain()
+	} else {
+		pc.running = false
+	}
+}
+
+// signalFeeders identifies the distinct upstream feeders of this queue
+// from the queued packets and tells each to slow down. The share each
+// feeder is granted is the drain rate split evenly — feeders not using
+// their share simply stay below it.
+func (pc *portController) signalFeeders(now sim.Time) {
+	op := pc.op
+	feeders := make(map[*netsim.Port]bool)
+	for _, it := range op.queue.items {
+		if it.upstream != nil {
+			feeders[it.upstream] = true
+		}
+	}
+	if len(feeders) == 0 {
+		return
+	}
+	allowed := op.port.Medium.RateBps() * pc.cfg.Decrease / float64(len(feeders))
+	sig := RateSignal{
+		CongestedNode: op.r.name,
+		CongestedPort: op.port.ID,
+		AllowedBps:    allowed,
+	}
+	for up := range feeders {
+		up := up
+		// The signal travels back over the arrival medium; charge its
+		// propagation delay. (Control traffic is modeled out-of-band:
+		// the paper's feedback is piggybacked or link-level, and its
+		// bandwidth is negligible next to data traffic.)
+		delay := up.Medium.PropDelay()
+		pc.Signals++
+		op.r.eng.Schedule(delay, func() {
+			if rc, ok := up.Node.(RateSignalReceiver); ok {
+				rc.RateSignal(up, sig)
+			}
+		})
+	}
+}

@@ -1,0 +1,274 @@
+package router
+
+import (
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/viper"
+)
+
+// bottleneckNet builds nSrc source hosts, each on its own fast p2p link
+// into router R1, whose port 100 is a slow bottleneck link to router R2,
+// which delivers to one destination host over a fast link.
+//
+//	s1 --100M--\
+//	s2 --100M-- R1 ==10M== R2 --100M-- d
+//	s3 --100M--/
+type bottleneckNet struct {
+	eng    *sim.Engine
+	srcs   []*Host
+	r1, r2 *Router
+	dst    *Host
+	bottle *netsim.P2PLink
+	nDeliv int
+}
+
+func newBottleneckNet(nSrc int, cfg Config) *bottleneckNet {
+	eng := sim.NewEngine(3)
+	b := &bottleneckNet{eng: eng}
+	b.r1 = New(eng, "R1", cfg)
+	b.r2 = New(eng, "R2", cfg)
+	b.dst = NewHost(eng, "d")
+
+	for i := 0; i < nSrc; i++ {
+		s := NewHost(eng, "s"+string(rune('1'+i)))
+		link := netsim.NewP2PLink(eng, 100e6, 10*sim.Microsecond)
+		pa, pb := link.Attach(s, 1, b.r1, uint8(1+i))
+		s.AttachPort(pa)
+		b.r1.AttachPort(pb)
+		b.srcs = append(b.srcs, s)
+	}
+
+	b.bottle = netsim.NewP2PLink(eng, 10e6, 50*sim.Microsecond)
+	qa, qb := b.bottle.Attach(b.r1, 100, b.r2, 1)
+	b.r1.AttachPort(qa)
+	b.r2.AttachPort(qb)
+
+	out := netsim.NewP2PLink(eng, 100e6, 10*sim.Microsecond)
+	oa, ob := out.Attach(b.r2, 2, b.dst, 1)
+	b.r2.AttachPort(oa)
+	b.dst.AttachPort(ob)
+
+	b.dst.Handle(0, func(d *Delivery) { b.nDeliv++ })
+	return b
+}
+
+func (b *bottleneckNet) route() []viper.Segment {
+	return []viper.Segment{
+		{Port: 1, Flags: viper.FlagVNT},   // source interface
+		{Port: 100, Flags: viper.FlagVNT}, // R1 -> bottleneck
+		{Port: 2, Flags: viper.FlagVNT},   // R2 -> dst
+		{Port: viper.PortLocal},
+	}
+}
+
+// blast has every source send pktSize-byte packets every interval for dur.
+func (b *bottleneckNet) blast(pktSize int, interval, dur sim.Time) {
+	for _, s := range b.srcs {
+		s := s
+		var tick func()
+		tick = func() {
+			if b.eng.Now() >= dur {
+				return
+			}
+			s.Send(b.route(), make([]byte, pktSize))
+			b.eng.Schedule(interval, tick)
+		}
+		b.eng.Schedule(0, tick)
+	}
+}
+
+func TestRateControlBoundsQueueAndLoss(t *testing.T) {
+	rc := &RateControlConfig{Interval: sim.Millisecond, HighWater: 4}
+	run := func(cfg Config) (*bottleneckNet, uint64) {
+		b := newBottleneckNet(3, cfg)
+		// 3 sources * 1000B / 400us = 60 Mb/s offered into a 10 Mb/s
+		// bottleneck: 6x overload.
+		b.blast(1000, 400*sim.Microsecond, 200*sim.Millisecond)
+		b.eng.RunUntil(400 * sim.Millisecond)
+		return b, b.r1.Stats.DropCount(DropQueueFull)
+	}
+
+	bOff, dropsOff := run(Config{QueueLimit: 16})
+	bOn, dropsOn := run(Config{QueueLimit: 16, RateControl: rc})
+
+	if dropsOff == 0 {
+		t.Fatal("uncontrolled overload should overflow the queue")
+	}
+	if dropsOn*5 > dropsOff {
+		t.Fatalf("rate control barely helped: drops %d (on) vs %d (off)", dropsOn, dropsOff)
+	}
+	// The back pressure must actually have reached the sources.
+	var signals uint64
+	for _, s := range bOn.srcs {
+		signals += s.Stats.RateSignals
+	}
+	if signals == 0 {
+		t.Fatal("no rate signals reached the sources")
+	}
+	if bOn.nDeliv == 0 || bOff.nDeliv == 0 {
+		t.Fatal("no deliveries")
+	}
+	_ = bOff
+}
+
+func TestRateControlSignalsCarryCongestedPort(t *testing.T) {
+	rc := &RateControlConfig{Interval: sim.Millisecond, HighWater: 2}
+	b := newBottleneckNet(2, Config{QueueLimit: 32, RateControl: rc})
+	b.blast(1000, 300*sim.Microsecond, 50*sim.Millisecond)
+	b.eng.RunUntil(60 * sim.Millisecond)
+	// Sources should hold a limit keyed by the congested router port
+	// named in their source routes: port 100 at R1.
+	limited := 0
+	for _, s := range b.srcs {
+		if s.SendRate(1, 100) > 0 {
+			limited++
+		}
+	}
+	if limited == 0 {
+		t.Fatal("no source holds a limit for congested port 100")
+	}
+}
+
+func TestRateControlSoftStateDecays(t *testing.T) {
+	rc := &RateControlConfig{Interval: sim.Millisecond, HighWater: 2, HoldIntervals: 2}
+	b := newBottleneckNet(2, Config{QueueLimit: 32, RateControl: rc})
+	b.blast(1000, 300*sim.Microsecond, 30*sim.Millisecond)
+	// Run long after the burst: limits must ramp out (soft state, §2.2).
+	b.eng.RunUntil(2 * sim.Second)
+	for i, s := range b.srcs {
+		if r := s.SendRate(1, 100); r != 0 {
+			t.Errorf("source %d still limited to %.0f bps long after congestion ended", i, r)
+		}
+	}
+	if got := b.r1.Limits(100); len(got) != 0 {
+		t.Errorf("R1 retains limits %v", got)
+	}
+}
+
+func TestRateControlTerminates(t *testing.T) {
+	// The control loop must stop itself so Run() terminates.
+	rc := &RateControlConfig{Interval: sim.Millisecond, HighWater: 2}
+	b := newBottleneckNet(2, Config{QueueLimit: 32, RateControl: rc})
+	b.blast(800, 500*sim.Microsecond, 20*sim.Millisecond)
+	done := make(chan struct{})
+	go func() {
+		b.eng.Run() // would hang forever if ticks self-perpetuate
+		close(done)
+	}()
+	<-done
+	if b.nDeliv == 0 {
+		t.Fatal("no deliveries")
+	}
+}
+
+// TestPropertyRateControlConvergence randomizes the overload scenario —
+// source count, per-source rate, packet size, buffer, control interval —
+// and asserts the §2.2 invariants: with control on, the bottleneck queue
+// ends bounded near the high-water mark, loss never exceeds the
+// uncontrolled run, and every surviving limit is below line rate.
+func TestPropertyRateControlConvergence(t *testing.T) {
+	for trial := 0; trial < 6; trial++ {
+		seed := int64(100 + trial)
+		eng0 := sim.NewEngine(seed)
+		rnd := eng0.Rand()
+		nSrc := 2 + rnd.Intn(4)
+		pktSize := 400 + rnd.Intn(1100)
+		// Per-source interval chosen to overload the 10 Mb/s trunk
+		// 2-8x in aggregate.
+		aggregate := (2 + rnd.Float64()*6) * 10e6
+		interval := sim.Time(float64(pktSize*8) / (aggregate / float64(nSrc)) * float64(sim.Second))
+		qlim := 8 << rnd.Intn(3)
+		ctlInterval := sim.Time(1+rnd.Intn(3)) * sim.Millisecond
+
+		run := func(rc *RateControlConfig) (*bottleneckNet, uint64) {
+			b := newBottleneckNet(nSrc, Config{QueueLimit: qlim, RateControl: rc})
+			b.blast(pktSize, interval, 150*sim.Millisecond)
+			b.eng.RunUntil(400 * sim.Millisecond)
+			return b, b.r1.Stats.DropCount(DropQueueFull)
+		}
+		_, dropsOff := run(nil)
+		rc := &RateControlConfig{Interval: ctlInterval, HighWater: 4}
+		bOn, dropsOn := run(rc)
+
+		if dropsOn > dropsOff {
+			t.Fatalf("trial %d (src=%d pkt=%d q=%d): control increased loss %d > %d",
+				trial, nSrc, pktSize, qlim, dropsOn, dropsOff)
+		}
+		if q := bOn.r1.QueueLen(100); q > qlim {
+			t.Fatalf("trial %d: queue %d exceeds limit %d", trial, q, qlim)
+		}
+		for port, bps := range bOn.r1.Limits(100) {
+			if bps > 10e6 {
+				t.Fatalf("trial %d: residual limit %d at %.0f bps above line rate", trial, port, bps)
+			}
+		}
+	}
+}
+
+func TestRateControlCascadesUpstream(t *testing.T) {
+	// Chain: s -> R0 -> R1 ==bottleneck== R2 -> d. Congestion at R1
+	// limits R0; R0's queue then grows and it limits the source (§2.2:
+	// "Each router rate-controlled by such a congestion point can
+	// further feed back rate control information to routers feeding its
+	// queues").
+	eng := sim.NewEngine(5)
+	rc := &RateControlConfig{Interval: sim.Millisecond, HighWater: 3}
+	cfg := Config{QueueLimit: 64, RateControl: rc}
+	r0 := New(eng, "R0", cfg)
+	r1 := New(eng, "R1", cfg)
+	r2 := New(eng, "R2", cfg)
+	s := NewHost(eng, "s")
+	d := NewHost(eng, "d")
+
+	l0 := netsim.NewP2PLink(eng, 100e6, 10*sim.Microsecond)
+	pa, pb := l0.Attach(s, 1, r0, 1)
+	s.AttachPort(pa)
+	r0.AttachPort(pb)
+
+	l1 := netsim.NewP2PLink(eng, 100e6, 10*sim.Microsecond)
+	qa, qb := l1.Attach(r0, 2, r1, 1)
+	r0.AttachPort(qa)
+	r1.AttachPort(qb)
+
+	l2 := netsim.NewP2PLink(eng, 10e6, 50*sim.Microsecond) // bottleneck
+	ba, bb := l2.Attach(r1, 2, r2, 1)
+	r1.AttachPort(ba)
+	r2.AttachPort(bb)
+
+	l3 := netsim.NewP2PLink(eng, 100e6, 10*sim.Microsecond)
+	oa, ob := l3.Attach(r2, 2, d, 1)
+	r2.AttachPort(oa)
+	d.AttachPort(ob)
+
+	n := 0
+	d.Handle(0, func(dl *Delivery) { n++ })
+	route := []viper.Segment{
+		{Port: 1, Flags: viper.FlagVNT},
+		{Port: 2, Flags: viper.FlagVNT},
+		{Port: 2, Flags: viper.FlagVNT},
+		{Port: 2, Flags: viper.FlagVNT},
+		{Port: viper.PortLocal},
+	}
+	var tick func()
+	tick = func() {
+		if eng.Now() >= 100*sim.Millisecond {
+			return
+		}
+		s.Send(cloneRoute(route), make([]byte, 1000))
+		eng.Schedule(200*sim.Microsecond, tick) // 40 Mb/s into 10 Mb/s
+	}
+	eng.Schedule(0, tick)
+	eng.RunUntil(150 * sim.Millisecond)
+
+	if n == 0 {
+		t.Fatal("no deliveries")
+	}
+	// R0 must have been limited by R1 at some point, and the source by
+	// R0. Soft state may have decayed by the end, so assert via the
+	// signal counters.
+	if s.Stats.RateSignals == 0 {
+		t.Fatal("back pressure never cascaded to the source")
+	}
+}

@@ -1,0 +1,154 @@
+package router
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/token"
+	"repro/internal/viper"
+)
+
+// TestRouterHostileInputs throws randomized, malformed and adversarial
+// packets at a router and requires that nothing panics, the engine
+// drains, and every packet is accounted as forwarded, delivered or
+// dropped.
+func TestRouterHostileInputs(t *testing.T) {
+	eng := sim.NewEngine(97)
+	r := New(eng, "R", Config{TokenMode: token.Optimistic})
+	auth := token.NewAuthority([]byte("k"))
+	r.SetTokenAuthority(auth)
+	r.RequireToken(2)
+
+	src := NewHost(eng, "src")
+	dst := NewHost(eng, "dst")
+	l1 := netsim.NewP2PLink(eng, 10e6, 0)
+	pa, pb := l1.Attach(src, 1, r, 1)
+	src.AttachPort(pa)
+	r.AttachPort(pb)
+	l2 := netsim.NewP2PLink(eng, 10e6, 0)
+	qa, qb := l2.Attach(r, 2, dst, 1)
+	r.AttachPort(qa)
+	dst.AttachPort(qb)
+	r.SetMulticastGroup(200, []uint8{2})
+	delivered := 0
+	dst.Handle(0, func(d *Delivery) { delivered++ })
+
+	rng := rand.New(rand.NewSource(101))
+	const n = 300
+	sent := 0
+	for i := 0; i < n; i++ {
+		i := i
+		eng.Schedule(sim.Time(i)*2*sim.Millisecond, func() {
+			route := hostileRoute(rng, auth)
+			data := make([]byte, rng.Intn(1500))
+			if err := src.Send(route, data); err == nil {
+				sent++
+			}
+		})
+	}
+	eng.RunUntil(10 * sim.Second)
+
+	handled := delivered + int(r.Stats.TotalDrops()) + int(dst.Stats.Misdeliver) + int(r.Stats.LocalDeliver)
+	// Multicast fanout may create extra copies; every original must be
+	// at least accounted once.
+	if handled < sent-int(r.Stats.CutThrough+r.Stats.StoreForward) && handled == 0 {
+		t.Fatalf("packets vanished: sent=%d delivered=%d drops=%d", sent, delivered, r.Stats.TotalDrops())
+	}
+	if eng.Pending() != 0 {
+		t.Fatalf("engine left %d events pending", eng.Pending())
+	}
+	t.Logf("sent=%d delivered=%d drops=%v misdeliver=%d", sent, delivered, r.Stats.Drops, dst.Stats.Misdeliver)
+}
+
+// hostileRoute builds a random route of questionable validity: bad
+// ports, random priorities and flags, forged or valid or oversized
+// tokens, garbage portInfo, random tree segments.
+func hostileRoute(r *rand.Rand, auth *token.Authority) []viper.Segment {
+	n := 1 + r.Intn(4)
+	route := make([]viper.Segment, 0, n+1)
+	route = append(route, viper.Segment{Port: 1}) // valid directive so Send accepts
+	for i := 0; i < n; i++ {
+		seg := viper.Segment{
+			Port:     uint8(r.Intn(256)),
+			Priority: viper.Priority(r.Intn(16)),
+			Flags:    viper.Flags(r.Intn(16)),
+		}
+		switch r.Intn(4) {
+		case 0:
+			seg.PortToken = auth.Issue(token.Spec{Account: 1, Port: 2, MaxPriority: 7})
+		case 1:
+			seg.PortToken = make([]byte, r.Intn(100)) // forged/garbage
+		}
+		if r.Intn(3) == 0 {
+			seg.PortInfo = make([]byte, r.Intn(30))
+			r.Read(seg.PortInfo)
+		}
+		if r.Intn(10) == 0 {
+			// A random tree segment with garbage branches.
+			seg.Flags |= viper.FlagTRE
+		}
+		route = append(route, seg)
+	}
+	return route
+}
+
+func TestRebootClearsQueuesAndLimits(t *testing.T) {
+	eng := sim.NewEngine(3)
+	r := New(eng, "R", Config{QueueLimit: 32, RateControl: &RateControlConfig{}})
+	src := NewHost(eng, "s")
+	dst := NewHost(eng, "d")
+	l1 := netsim.NewP2PLink(eng, 100e6, 0)
+	pa, pb := l1.Attach(src, 1, r, 1)
+	src.AttachPort(pa)
+	r.AttachPort(pb)
+	l2 := netsim.NewP2PLink(eng, 10e6, 0) // slow egress builds a queue
+	qa, qb := l2.Attach(r, 2, dst, 1)
+	r.AttachPort(qa)
+	dst.AttachPort(qb)
+	dst.Handle(0, func(d *Delivery) {})
+	route := []viper.Segment{
+		{Port: 1, Flags: viper.FlagVNT},
+		{Port: 2, Flags: viper.FlagVNT},
+		{Port: viper.PortLocal},
+	}
+	eng.Schedule(0, func() {
+		for i := 0; i < 10; i++ {
+			src.Send(cloneRoute(route), make([]byte, 1000))
+		}
+	})
+	// Crash mid-burst.
+	eng.Schedule(2*sim.Millisecond, func() {
+		if r.QueueLen(2) == 0 {
+			t.Error("no queue built before crash")
+		}
+		r.Reboot()
+		if r.QueueLen(2) != 0 {
+			t.Error("Reboot left queued packets")
+		}
+		if len(r.Limits(2)) != 0 {
+			t.Error("Reboot left rate limits")
+		}
+	})
+	eng.Run()
+}
+
+func TestRateSignalUnknownPortIgnored(t *testing.T) {
+	eng := sim.NewEngine(3)
+	r := New(eng, "R", Config{})
+	h := NewHost(eng, "h")
+	l := netsim.NewP2PLink(eng, 10e6, 0)
+	pa, pb := l.Attach(h, 1, r, 1)
+	h.AttachPort(pa)
+	r.AttachPort(pb)
+	ghost := &netsim.Port{Node: r, ID: 99}
+	r.RateSignal(ghost, RateSignal{CongestedNode: "X", CongestedPort: 1, AllowedBps: 1})
+	if len(r.Limits(99)) != 0 {
+		t.Fatal("signal for unattached port installed a limit")
+	}
+	h.RateSignal(ghost, RateSignal{CongestedPort: 1, AllowedBps: 1})
+	if h.Stats.RateSignals != 0 {
+		t.Fatal("host accepted a signal for a foreign port")
+	}
+}

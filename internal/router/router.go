@@ -1,0 +1,559 @@
+// Package router implements the Sirpent router of §2 of the paper: a
+// source-routed switch that strips the leading header segment of each
+// packet, authorizes it against a cached port token, appends the reversed
+// segment to the packet trailer, and forwards the remainder with
+// cut-through switching. Blocked packets are queued by priority, dropped
+// if they ask for it, or preempt lower-priority traffic in transmission.
+// Output ports run the paper's rate-based congestion control, pushing
+// rate-limit signals to the upstream routers identified from the source
+// routes of queued packets (§2.2).
+package router
+
+import (
+	"fmt"
+
+	"repro/internal/ethernet"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/token"
+	"repro/internal/viper"
+)
+
+// Config parameterizes a router.
+type Config struct {
+	// DecisionTime is the switch decision and setup time. The paper
+	// argues this "can be made significantly less than a microsecond"
+	// (§2.1); the default is 500ns.
+	DecisionTime sim.Time
+	// TokenVerifyTime is the latency of a full (uncached) token
+	// verification — the "difficult to fully decrypt and check in real
+	// time" cost that motivates the token cache (§2.2). Default 100µs.
+	TokenVerifyTime sim.Time
+	// TokenMode selects how packets with uncached tokens are handled.
+	TokenMode token.Mode
+	// QueueLimit bounds each output queue in packets; 0 means 64.
+	QueueLimit int
+	// RateControl enables the §2.2 congestion control; nil disables it.
+	RateControl *RateControlConfig
+	// DelayLine, when nonzero, enables §2.1's third blocked-packet
+	// option: instead of dropping when the output queue is full, the
+	// packet enters "a local delay line to store the packet for some
+	// period of time" (a Blazenet-style optical loop) and re-contends
+	// after that delay. DelayLineCap bounds how many packets circulate.
+	DelayLine    sim.Time
+	DelayLineCap int
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.DecisionTime == 0 {
+		out.DecisionTime = 500 * sim.Nanosecond
+	}
+	if out.TokenVerifyTime == 0 {
+		out.TokenVerifyTime = 100 * sim.Microsecond
+	}
+	if out.QueueLimit == 0 {
+		out.QueueLimit = 64
+	}
+	if out.DelayLine > 0 && out.DelayLineCap == 0 {
+		out.DelayLineCap = 32
+	}
+	return out
+}
+
+// DropReason classifies discarded packets.
+type DropReason int
+
+const (
+	DropNoSegment   DropReason = iota // route exhausted at a router
+	DropBadPort                       // segment names an unattached port
+	DropIfBlocked                     // DIB packet found its port busy
+	DropQueueFull                     // output queue at limit
+	DropTokenDenied                   // token invalid, exhausted or absent
+	DropAborted                       // inbound transmission was preempted
+	DropOversize                      // cannot fit next hop even when empty
+	DropTxError                       // medium refused the frame
+	DropNotSirpent                    // payload is not a VIPER packet
+)
+
+var dropNames = [...]string{
+	"no-segment", "bad-port", "drop-if-blocked", "queue-full",
+	"token-denied", "aborted", "oversize", "tx-error", "not-sirpent",
+}
+
+// vpkt extracts the VIPER packet from an arrival; Arrive has already
+// verified the payload type.
+func vpkt(arr *netsim.Arrival) *viper.Packet { return arr.Pkt.(*viper.Packet) }
+
+func (d DropReason) String() string {
+	if int(d) < len(dropNames) {
+		return dropNames[d]
+	}
+	return "unknown"
+}
+
+// Stats aggregates a router's observable behavior.
+type Stats struct {
+	Arrivals     uint64
+	CutThrough   uint64 // forwarded with cut-through at decision time
+	StoreForward uint64 // forwarded after buffering
+	LocalDeliver uint64
+	Preemptions  uint64 // lower-priority transmissions aborted
+	Truncations  uint64
+	DelayLoops   uint64 // trips through the blocked-packet delay line (§2.1)
+	Drops        map[DropReason]uint64
+	// ForwardDelay samples leading-edge arrival to onward transmission
+	// start, in nanoseconds — the per-hop delay the paper's §6.1
+	// analyzes.
+	ForwardDelay stats.Sample
+	// QueueDelay samples time spent in an output queue, in nanoseconds.
+	QueueDelay stats.Sample
+}
+
+// DropCount returns the number of drops for a reason.
+func (s *Stats) DropCount(r DropReason) uint64 { return s.Drops[r] }
+
+// TotalDrops sums drops over all reasons.
+func (s *Stats) TotalDrops() uint64 {
+	var n uint64
+	for _, v := range s.Drops {
+		n += v
+	}
+	return n
+}
+
+// LocalHandler receives packets addressed to the router itself (port 0).
+// The packet has had its head consumed; its trailer yields the return
+// route.
+type LocalHandler func(pkt *viper.Packet, arr *netsim.Arrival)
+
+// Router is a Sirpent switch. It implements netsim.Node.
+type Router struct {
+	eng  *sim.Engine
+	name string
+	cfg  Config
+
+	ports  map[uint8]*outPort
+	groups map[uint8][]uint8 // logical port -> physical members
+	mcast  map[uint8][]uint8 // multicast port -> fanout members
+
+	cache        *token.Cache
+	requireToken map[uint8]bool
+
+	local LocalHandler
+
+	Stats Stats
+}
+
+// New creates a router.
+func New(eng *sim.Engine, name string, cfg Config) *Router {
+	r := &Router{
+		eng:          eng,
+		name:         name,
+		cfg:          cfg.withDefaults(),
+		ports:        make(map[uint8]*outPort),
+		groups:       make(map[uint8][]uint8),
+		mcast:        make(map[uint8][]uint8),
+		requireToken: make(map[uint8]bool),
+	}
+	r.Stats.Drops = make(map[DropReason]uint64)
+	return r
+}
+
+// Name implements netsim.Node.
+func (r *Router) Name() string { return r.name }
+
+// AttachPort registers a port created by a link/segment attach call. The
+// port must belong to this router.
+func (r *Router) AttachPort(p *netsim.Port) {
+	if p.Node != netsim.Node(r) {
+		panic(fmt.Sprintf("router %s: port %v belongs to another node", r.name, p))
+	}
+	if p.ID == viper.PortLocal {
+		panic("router: port 0 is reserved for local delivery")
+	}
+	r.ports[p.ID] = newOutPort(r, p)
+}
+
+// Port returns the output port state for an ID, for tests and experiment
+// harnesses.
+func (r *Router) Port(id uint8) (*netsim.Port, bool) {
+	op, ok := r.ports[id]
+	if !ok {
+		return nil, false
+	}
+	return op.port, true
+}
+
+// QueueLen reports the current output queue length on a port.
+func (r *Router) QueueLen(id uint8) int {
+	if op, ok := r.ports[id]; ok {
+		return op.queue.Len()
+	}
+	return 0
+}
+
+// SetLocalHandler registers the consumer of locally addressed packets.
+func (r *Router) SetLocalHandler(h LocalHandler) { r.local = h }
+
+// SetTokenAuthority installs the administrative domain key this router
+// verifies tokens against, enabling token checking.
+func (r *Router) SetTokenAuthority(a *token.Authority) {
+	r.cache = token.NewCache(a)
+}
+
+// TokenCache exposes the router's token cache (accounting inspection).
+func (r *Router) TokenCache() *token.Cache { return r.cache }
+
+// RequireToken makes packets without a valid token for the given output
+// port be denied rather than forwarded.
+func (r *Router) RequireToken(port uint8) { r.requireToken[port] = true }
+
+// SetLogicalGroup declares a logical port backed by several physical
+// ports: "a very high speed physical link ... might be statically divided
+// into 10 1 gigabit channels with all 10 links being treated as one
+// logical link. A packet arriving for this logical link would be routed
+// to whichever of the channels was free" (§2.2).
+func (r *Router) SetLogicalGroup(logical uint8, members []uint8) {
+	for _, m := range members {
+		if _, ok := r.ports[m]; !ok {
+			panic(fmt.Sprintf("router %s: logical group member port %d not attached", r.name, m))
+		}
+	}
+	r.groups[logical] = append([]uint8(nil), members...)
+}
+
+// SetMulticastGroup reserves a port value to mean "forward a copy on each
+// member port" (§2's first multicast mechanism).
+func (r *Router) SetMulticastGroup(port uint8, members []uint8) {
+	for _, m := range members {
+		if _, ok := r.ports[m]; !ok {
+			panic(fmt.Sprintf("router %s: multicast member port %d not attached", r.name, m))
+		}
+	}
+	r.mcast[port] = append([]uint8(nil), members...)
+}
+
+// Reboot models a router crash and restart: all soft state — queued
+// packets, token-cache verdicts, rate-limit state — is discarded. The
+// paper's design makes this safe: tokens re-verify on demand ("as soft
+// cached state, it can be discarded", §2.2), rate limits rebuild from
+// fresh congestion signals, and transports retransmit lost packets.
+func (r *Router) Reboot() {
+	if r.cache != nil {
+		r.cache.Flush()
+	}
+	for _, op := range r.ports {
+		op.queue = pktQueue{}
+		op.limits = make(map[uint8]*rateLimit)
+		if op.ctl != nil {
+			op.ctl.running = false
+		}
+	}
+}
+
+func (r *Router) drop(reason DropReason) { r.Stats.Drops[reason]++ }
+
+// Arrive implements netsim.Node: the leading edge of a packet has reached
+// the router. The switching decision fires once the first header segment
+// (and the network header preceding it) has been clocked in, plus the
+// switch decision time (§2.1: "Placing the port field first allows the
+// router to make the switching decision while the typeOfService, portToken
+// and portInfo fields are being received" — we conservatively charge the
+// full first segment).
+func (r *Router) Arrive(arr *netsim.Arrival) {
+	r.Stats.Arrivals++
+	pkt, ok := arr.Pkt.(*viper.Packet)
+	if !ok {
+		r.drop(DropNotSirpent)
+		return
+	}
+	seg := pkt.Current()
+	if seg == nil {
+		r.drop(DropNoSegment)
+		return
+	}
+	hdrBytes := seg.WireLen()
+	if arr.Hdr != nil {
+		hdrBytes += ethernet.HeaderLen
+	}
+	decisionDelay := netsim.TxTime(hdrBytes, arr.In.Medium.RateBps()) + r.cfg.DecisionTime
+	r.eng.Schedule(decisionDelay, func() { r.decide(arr) })
+}
+
+// decide performs the three-way action of §2.1: route onwards, route to a
+// blocked-packet handler, or route local.
+func (r *Router) decide(arr *netsim.Arrival) {
+	if arr.Tx.Aborted() {
+		r.drop(DropAborted)
+		return
+	}
+	seg := *vpkt(arr).Current()
+
+	// Token authorization (§2.2).
+	if r.cache != nil && (len(seg.PortToken) > 0 || r.requireToken[seg.Port]) {
+		if len(seg.PortToken) == 0 {
+			r.drop(DropTokenDenied)
+			return
+		}
+		size := uint64(netsim.FrameSize(arr.Pkt, arr.Hdr))
+		reverse := seg.Flags.Has(viper.FlagRPF)
+		switch r.cache.Check(seg.PortToken, seg.Port, seg.Priority, size, int64(r.eng.Now()), reverse) {
+		case token.Denied:
+			r.drop(DropTokenDenied)
+			return
+		case token.Unverified:
+			tok := append([]byte(nil), seg.PortToken...)
+			switch r.cfg.TokenMode {
+			case token.Optimistic:
+				// Let this packet through; verify in the background so
+				// the cached verdict governs the next one.
+				r.eng.Schedule(r.cfg.TokenVerifyTime, func() {
+					r.cache.Install(tok, seg.Port, seg.Priority, size, int64(r.eng.Now()), reverse)
+				})
+			case token.Block:
+				// Hold the packet as if its port were busy until the
+				// verification completes (§2.2).
+				r.eng.Schedule(r.cfg.TokenVerifyTime, func() {
+					d := r.cache.Install(tok, seg.Port, seg.Priority, size, int64(r.eng.Now()), reverse)
+					if d != token.Allowed {
+						r.drop(DropTokenDenied)
+						return
+					}
+					r.dispatch(arr, seg)
+				})
+				return
+			case token.Drop:
+				r.drop(DropTokenDenied)
+				// Still verify and cache so later packets are served.
+				r.eng.Schedule(r.cfg.TokenVerifyTime, func() {
+					r.cache.Install(tok, seg.Port, seg.Priority, 0, int64(r.eng.Now()), reverse)
+				})
+				return
+			}
+		}
+	}
+	r.dispatch(arr, seg)
+}
+
+// dispatch resolves the output action for an authorized packet.
+func (r *Router) dispatch(arr *netsim.Arrival, seg viper.Segment) {
+	// Tree-structured multicast (§2's second mechanism): fan one copy
+	// down each branch sub-route. Checked before local delivery — a
+	// tree segment's port field is unused.
+	if seg.Flags.Has(viper.FlagTRE) {
+		branches, err := viper.DecodeTree(seg.PortInfo)
+		if err != nil {
+			r.drop(DropBadPort)
+			return
+		}
+		pkt := vpkt(arr)
+		for _, br := range branches {
+			copyArr := *arr
+			cp := pkt.Clone()
+			cp.Route = append(cloneRoute(br), cp.Route[1:]...)
+			copyArr.Pkt = cp
+			r.dispatch(&copyArr, cp.Route[0])
+		}
+		return
+	}
+	// Local delivery.
+	if seg.Port == viper.PortLocal {
+		r.deliverLocal(arr)
+		return
+	}
+	// Multicast fanout (reserved multi-port values, §2).
+	if members, ok := r.mcast[seg.Port]; ok {
+		r.fanout(arr, seg, members)
+		return
+	}
+	// Logical port group (§2.2 load balancing).
+	if members, ok := r.groups[seg.Port]; ok && len(members) > 0 {
+		r.forwardGroup(arr, seg, members)
+		return
+	}
+	op, ok := r.ports[seg.Port]
+	if !ok {
+		r.drop(DropBadPort)
+		return
+	}
+	f, ok := r.makeFrame(arr, seg, op)
+	if !ok {
+		return
+	}
+	op.forward(arr, f)
+}
+
+// forwardGroup routes a packet over a logical port: "A packet arriving
+// for this logical link would be routed to whichever of the channels was
+// free" (§2.2). Member selection is deferred to transmission time so
+// back-to-back packets spread across the group instead of early-binding
+// to one member.
+func (r *Router) forwardGroup(arr *netsim.Arrival, seg viper.Segment, members []uint8) {
+	now := r.eng.Now()
+	inRate := arr.In.Medium.RateBps()
+	// Immediate cut-through if a member is free at rate.
+	for _, m := range members {
+		op, ok := r.ports[m]
+		if !ok {
+			continue
+		}
+		med := op.port.Medium
+		if med.FreeAt(now) <= now && med.RateBps() == inRate {
+			f, ok := r.makeFrame(arr, seg, op)
+			if !ok {
+				return
+			}
+			op.forward(arr, f)
+			return
+		}
+	}
+	// Otherwise store the packet, then bind it to the least-loaded
+	// member once fully received.
+	r.eng.Schedule(arr.End()-now, func() {
+		if arr.Tx.Aborted() {
+			r.drop(DropAborted)
+			return
+		}
+		op := r.pickGroupMember(members)
+		if op == nil {
+			r.drop(DropBadPort)
+			return
+		}
+		f, ok := r.makeFrame(arr, seg, op)
+		if !ok {
+			return
+		}
+		if dibFlag(f) && op.port.Medium.FreeAt(r.eng.Now()) > r.eng.Now() {
+			r.drop(DropIfBlocked)
+			return
+		}
+		op.enqueue(&queued{
+			frame:    f,
+			upstream: arr.Tx.From,
+			prio:     f.prio,
+			enqueued: r.eng.Now(),
+		}, arr)
+	})
+}
+
+// pickGroupMember prefers a free member; among busy members it picks the
+// one with the shortest queue, tie-broken by earliest free time.
+func (r *Router) pickGroupMember(members []uint8) *outPort {
+	now := r.eng.Now()
+	var best *outPort
+	bestQ := 1 << 30
+	bestFree := sim.Time(1 << 62)
+	for _, m := range members {
+		op, ok := r.ports[m]
+		if !ok {
+			continue
+		}
+		free := op.port.Medium.FreeAt(now)
+		if free <= now && op.queue.Len() == 0 {
+			return op
+		}
+		if op.queue.Len() < bestQ || (op.queue.Len() == bestQ && free < bestFree) {
+			best, bestQ, bestFree = op, op.queue.Len(), free
+		}
+	}
+	return best
+}
+
+// makeFrame consumes the packet head, appends the return segment, and
+// resolves next-hop framing, handling oversize truncation (§2: Sirpent
+// does not fragment; it truncates and marks the trailer).
+func (r *Router) makeFrame(arr *netsim.Arrival, seg viper.Segment, op *outPort) (*frame, bool) {
+	vpkt(arr).ConsumeHead(r.returnSegment(arr, seg))
+
+	var hdr *ethernet.Header
+	if len(seg.PortInfo) > 0 {
+		h, err := ethernet.Decode(seg.PortInfo)
+		if err != nil {
+			r.drop(DropBadPort)
+			return nil, false
+		}
+		hdr = &h
+	}
+	f := &frame{pkt: vpkt(arr), hdr: hdr, prio: seg.Priority}
+
+	if mtu := op.port.Medium.MTU(); mtu > 0 {
+		over := netsim.FrameSize(f.pkt, f.hdr) - mtu
+		if over > 0 {
+			if over > len(f.pkt.Data) {
+				r.drop(DropOversize)
+				return nil, false
+			}
+			f.pkt.Data = f.pkt.Data[:len(f.pkt.Data)-over]
+			f.pkt.Truncated = true
+			r.Stats.Truncations++
+		}
+	}
+	return f, true
+}
+
+// returnSegment constructs the trailer segment that makes this hop
+// reversible: the port the packet arrived on, the arrival network header
+// with source and destination swapped, and the token if it authorizes the
+// reverse route (§2, §2.2).
+func (r *Router) returnSegment(arr *netsim.Arrival, seg viper.Segment) viper.Segment {
+	ret := viper.Segment{
+		Port:     arr.In.ID,
+		Priority: seg.Priority,
+		Flags:    seg.Flags & viper.FlagDIB,
+	}
+	if arr.Hdr != nil {
+		ret.PortInfo = arr.Hdr.Swapped().Encode()
+	}
+	if len(seg.PortToken) > 0 {
+		include := true
+		if r.cache != nil {
+			if spec, ok := r.cache.SpecFor(seg.PortToken); ok && !spec.ReverseOK {
+				include = false
+			}
+			// Unknown (optimistically admitted) tokens ride along and
+			// are checked on the return trip.
+		}
+		if include {
+			ret.PortToken = append([]byte(nil), seg.PortToken...)
+		}
+	}
+	return ret
+}
+
+func (r *Router) fanout(arr *netsim.Arrival, seg viper.Segment, members []uint8) {
+	for _, m := range members {
+		op, ok := r.ports[m]
+		if !ok {
+			continue
+		}
+		// Each copy gets its own packet so downstream consumption does
+		// not interfere.
+		copyArr := *arr
+		copyArr.Pkt = vpkt(arr).Clone()
+		f, ok := r.makeFrame(&copyArr, seg, op)
+		if !ok {
+			continue
+		}
+		op.forward(&copyArr, f)
+	}
+}
+
+// deliverLocal hands the packet to the router's own stack once the
+// trailing edge has arrived.
+func (r *Router) deliverLocal(arr *netsim.Arrival) {
+	wait := arr.End() - r.eng.Now()
+	r.eng.Schedule(wait, func() {
+		if arr.Tx.Aborted() {
+			r.drop(DropAborted)
+			return
+		}
+		seg := *vpkt(arr).Current()
+		vpkt(arr).ConsumeHead(r.returnSegment(arr, seg))
+		r.Stats.LocalDeliver++
+		if r.local != nil {
+			r.local(vpkt(arr), arr)
+		}
+	})
+}

@@ -1,0 +1,298 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	e.Schedule(30, func() { got = append(got, 3) })
+	e.Schedule(10, func() { got = append(got, 1) })
+	e.Schedule(20, func() { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 30 {
+		t.Errorf("Now() = %v, want 30", e.Now())
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.Schedule(5, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-time events executed out of scheduling order at %d: %v", i, got[i])
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine(1)
+	var fired []Time
+	e.Schedule(10, func() {
+		fired = append(fired, e.Now())
+		e.Schedule(5, func() { fired = append(fired, e.Now()) })
+	})
+	e.Run()
+	if len(fired) != 2 || fired[0] != 10 || fired[1] != 15 {
+		t.Fatalf("fired = %v, want [10 15]", fired)
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	e := NewEngine(1)
+	ran := false
+	e.Schedule(10, func() {
+		e.Schedule(-100, func() {
+			ran = true
+			if e.Now() != 10 {
+				t.Errorf("negative delay ran at %v, want 10", e.Now())
+			}
+		})
+	})
+	e.Run()
+	if !ran {
+		t.Fatal("negative-delay event never ran")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine(1)
+	ran := false
+	id := e.Schedule(10, func() { ran = true })
+	if !e.Cancel(id) {
+		t.Fatal("Cancel returned false for pending event")
+	}
+	if e.Cancel(id) {
+		t.Fatal("double Cancel returned true")
+	}
+	e.Run()
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+}
+
+func TestCancelAfterRun(t *testing.T) {
+	e := NewEngine(1)
+	id := e.Schedule(1, func() {})
+	e.Run()
+	if e.Cancel(id) {
+		t.Fatal("Cancel of executed event returned true")
+	}
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	var ids []EventID
+	for i := 0; i < 10; i++ {
+		i := i
+		ids = append(ids, e.Schedule(Time(i*10), func() { got = append(got, i) }))
+	}
+	e.Cancel(ids[4])
+	e.Cancel(ids[7])
+	e.Run()
+	if len(got) != 8 {
+		t.Fatalf("got %d events, want 8: %v", len(got), got)
+	}
+	for _, v := range got {
+		if v == 4 || v == 7 {
+			t.Fatalf("cancelled event %d ran", v)
+		}
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine(1)
+	var fired []Time
+	for _, d := range []Time{10, 20, 30, 40} {
+		d := d
+		e.Schedule(d, func() { fired = append(fired, d) })
+	}
+	e.RunUntil(25)
+	if len(fired) != 2 {
+		t.Fatalf("fired = %v, want two events", fired)
+	}
+	if e.Now() != 25 {
+		t.Errorf("Now() = %v, want 25", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Errorf("Pending() = %d, want 2", e.Pending())
+	}
+	e.Run()
+	if len(fired) != 4 {
+		t.Fatalf("after Run fired = %v, want four events", fired)
+	}
+}
+
+func TestRunFor(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		e.Schedule(10, tick)
+	}
+	e.Schedule(10, tick)
+	e.RunFor(100)
+	if count != 10 {
+		t.Fatalf("count = %d, want 10", count)
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	for i := 0; i < 10; i++ {
+		e.Schedule(Time(i), func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+	// Run resumes after Stop.
+	e.Run()
+	if count != 10 {
+		t.Fatalf("after resume count = %d, want 10", count)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) []Time {
+		e := NewEngine(seed)
+		var fired []Time
+		var spawn func()
+		spawn = func() {
+			fired = append(fired, e.Now())
+			if len(fired) < 200 {
+				e.Schedule(Time(e.Rand().Intn(1000)+1), spawn)
+			}
+		}
+		e.Schedule(0, spawn)
+		e.Run()
+		return fired
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("different event counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestProcessedCount(t *testing.T) {
+	e := NewEngine(1)
+	for i := 0; i < 5; i++ {
+		e.Schedule(Time(i), func() {})
+	}
+	e.Run()
+	if e.Processed() != 5 {
+		t.Fatalf("Processed() = %d, want 5", e.Processed())
+	}
+}
+
+// Property: regardless of insertion order, events execute in nondecreasing
+// time order.
+func TestPropertyEventsInOrder(t *testing.T) {
+	f := func(delaysRaw []uint16) bool {
+		if len(delaysRaw) == 0 {
+			return true
+		}
+		e := NewEngine(7)
+		var fired []Time
+		for _, d := range delaysRaw {
+			d := Time(d)
+			e.Schedule(d, func() { fired = append(fired, e.Now()) })
+		}
+		e.Run()
+		if len(fired) != len(delaysRaw) {
+			return false
+		}
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cancelling a random subset leaves exactly the uncancelled events.
+func TestPropertyCancelSubset(t *testing.T) {
+	f := func(delays []uint16, mask []bool) bool {
+		e := NewEngine(7)
+		fired := map[int]bool{}
+		var ids []EventID
+		for i, d := range delays {
+			i := i
+			ids = append(ids, e.Schedule(Time(d), func() { fired[i] = true }))
+		}
+		cancelled := map[int]bool{}
+		for i := range ids {
+			if i < len(mask) && mask[i] {
+				e.Cancel(ids[i])
+				cancelled[i] = true
+			}
+		}
+		e.Run()
+		for i := range delays {
+			if fired[i] == cancelled[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(5))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeHelpers(t *testing.T) {
+	if Second != 1_000_000_000 {
+		t.Fatalf("Second = %d", Second)
+	}
+	if got := (2 * Second).Seconds(); got != 2.0 {
+		t.Fatalf("Seconds = %v", got)
+	}
+	if got := (1500 * Microsecond).String(); got != "1.5ms" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func BenchmarkEngineThroughput(b *testing.B) {
+	e := NewEngine(1)
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < b.N {
+			e.Schedule(1, tick)
+		}
+	}
+	b.ResetTimer()
+	e.Schedule(1, tick)
+	e.Run()
+}

@@ -1,0 +1,150 @@
+// Package topo builds standard internetwork topologies on the core
+// assembly API: the chains and stars the experiments use, the campus
+// clusters the paper's locality argument describes, and the global
+// hierarchy (LAN -> campus -> region -> backbone) whose hop counts §6.2
+// compares to the telephone system's "5 or 6 for global communication".
+package topo
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/router"
+	"repro/internal/sim"
+)
+
+// Params sets the common link parameters for generated topologies.
+type Params struct {
+	LanRate   float64  // default 10e6
+	LanProp   sim.Time // default 5us
+	WanRate   float64  // default 45e6
+	WanProp   sim.Time // default 2ms
+	RouterCfg router.Config
+}
+
+func (p Params) withDefaults() Params {
+	if p.LanRate == 0 {
+		p.LanRate = 10e6
+	}
+	if p.LanProp == 0 {
+		p.LanProp = 5 * sim.Microsecond
+	}
+	if p.WanRate == 0 {
+		p.WanRate = 45e6
+	}
+	if p.WanProp == 0 {
+		p.WanProp = 2 * sim.Millisecond
+	}
+	return p
+}
+
+// Linear builds h0 -- R0 -- R1 -- ... -- R(n-1) -- h1 over point-to-point
+// links and returns the internetwork and the two host names.
+func Linear(seed int64, nRouters int, p Params) (*core.Internetwork, string, string) {
+	p = p.withDefaults()
+	n := core.New(seed)
+	n.AddHost("h0")
+	n.AddHost("h1")
+	prev := "h0"
+	prevPort := uint8(1)
+	for i := 0; i < nRouters; i++ {
+		r := fmt.Sprintf("R%d", i)
+		n.AddRouter(r, p.RouterCfg)
+		n.Connect(prev, prevPort, r, 1, p.WanRate, p.WanProp)
+		prev, prevPort = r, 2
+	}
+	n.Connect(prev, prevPort, "h1", 1, p.WanRate, p.WanProp)
+	return n, "h0", "h1"
+}
+
+// Star builds k hosts around one router over point-to-point links,
+// returning the internetwork and host names.
+func Star(seed int64, k int, p Params) (*core.Internetwork, []string) {
+	p = p.withDefaults()
+	n := core.New(seed)
+	n.AddRouter("R", p.RouterCfg)
+	var hosts []string
+	for i := 0; i < k; i++ {
+		h := fmt.Sprintf("h%d", i)
+		n.AddHost(h)
+		n.Connect(h, 1, "R", uint8(1+i), p.LanRate, p.LanProp)
+		hosts = append(hosts, h)
+	}
+	return n, hosts
+}
+
+// Hierarchy describes a global internetwork: a full-mesh backbone of
+// regional routers; each region has campuses hanging off its router;
+// each campus is a router with LANs; each LAN holds hosts. Hop counts
+// between hosts range from 0 (same LAN) to 2+2·2 = 6 routers
+// (cross-region), matching the paper's telephone-system comparison.
+type Hierarchy struct {
+	Regions  int
+	Campuses int // per region
+	Lans     int // per campus
+	Hosts    int // per LAN
+}
+
+// HierarchyResult is a generated global internetwork with its host
+// inventory.
+type HierarchyResult struct {
+	Net   *core.Internetwork
+	Hosts []string
+	// HostLan maps host name -> LAN identifier, for locality grouping.
+	HostLan map[string]string
+	// Routers counts routers built.
+	Routers int
+}
+
+// BuildHierarchy generates the global internetwork.
+func BuildHierarchy(seed int64, h Hierarchy, p Params) *HierarchyResult {
+	p = p.withDefaults()
+	n := core.New(seed)
+	res := &HierarchyResult{Net: n, HostLan: make(map[string]string)}
+
+	// Backbone: full mesh of region routers.
+	for r := 0; r < h.Regions; r++ {
+		n.AddRouter(fmt.Sprintf("reg%d", r), p.RouterCfg)
+		res.Routers++
+	}
+	port := map[string]uint8{}
+	nextPort := func(node string) uint8 {
+		port[node]++
+		return port[node] + 100 // backbone ports from 101 up
+	}
+	for a := 0; a < h.Regions; a++ {
+		for b := a + 1; b < h.Regions; b++ {
+			ra, rb := fmt.Sprintf("reg%d", a), fmt.Sprintf("reg%d", b)
+			n.Connect(ra, nextPort(ra), rb, nextPort(rb), p.WanRate, p.WanProp)
+		}
+	}
+
+	for r := 0; r < h.Regions; r++ {
+		reg := fmt.Sprintf("reg%d", r)
+		for c := 0; c < h.Campuses; c++ {
+			campus := fmt.Sprintf("cam%d_%d", r, c)
+			n.AddRouter(campus, p.RouterCfg)
+			res.Routers++
+			n.Connect(campus, 99, reg, uint8(1+c), p.WanRate, p.WanProp)
+			for l := 0; l < h.Lans; l++ {
+				lan := fmt.Sprintf("lan%d_%d_%d", r, c, l)
+				n.AddEthernet(lan, p.LanRate, p.LanProp)
+				n.Attach(campus, lan, uint8(1+l))
+				for k := 0; k < h.Hosts; k++ {
+					host := fmt.Sprintf("h%d_%d_%d_%d", r, c, l, k)
+					n.AddHost(host)
+					n.Attach(host, lan, 1)
+					res.Hosts = append(res.Hosts, host)
+					res.HostLan[host] = lan
+					// Hierarchical names mirror the region structure
+					// (§3: naming and routing domains coincide).
+					name := fmt.Sprintf("h%d.lan%d.campus%d.region%d.net", k, l, c, r)
+					if err := n.Register(name, host); err != nil {
+						panic(err)
+					}
+				}
+			}
+		}
+	}
+	return res
+}

@@ -1,0 +1,124 @@
+package topo
+
+import (
+	"testing"
+
+	"repro/internal/directory"
+	"repro/internal/router"
+	"repro/internal/sim"
+)
+
+func TestLinearDelivers(t *testing.T) {
+	n, h0, h1 := Linear(1, 3, Params{})
+	routes, err := n.Routes(directory.Query{From: h0, To: h1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if routes[0].Hops != 3 {
+		t.Fatalf("Hops = %d", routes[0].Hops)
+	}
+	got := false
+	n.Host(h1).Handle(0, func(d *router.Delivery) { got = true })
+	n.Eng.Schedule(0, func() { n.Host(h0).Send(routes[0].Segments, []byte("x")) })
+	n.Run()
+	if !got {
+		t.Fatal("not delivered")
+	}
+}
+
+func TestStarAllPairs(t *testing.T) {
+	n, hosts := Star(2, 5, Params{})
+	delivered := 0
+	for _, h := range hosts {
+		h := h
+		n.Host(h).Handle(0, func(d *router.Delivery) { delivered++ })
+	}
+	sent := 0
+	for _, a := range hosts {
+		for _, b := range hosts {
+			if a == b {
+				continue
+			}
+			routes, err := n.Routes(directory.Query{From: a, To: b})
+			if err != nil {
+				t.Fatalf("%s->%s: %v", a, b, err)
+			}
+			sent++
+			seg := routes[0].Segments
+			src := n.Host(a)
+			n.Eng.Schedule(sim.Time(sent)*sim.Millisecond, func() { src.Send(seg, []byte("x")) })
+		}
+	}
+	n.RunUntil(sim.Second)
+	if delivered != sent {
+		t.Fatalf("delivered %d of %d", delivered, sent)
+	}
+}
+
+func TestHierarchyHopStructure(t *testing.T) {
+	res := BuildHierarchy(3, Hierarchy{Regions: 3, Campuses: 2, Lans: 2, Hosts: 2}, Params{})
+	n := res.Net
+	if len(res.Hosts) != 3*2*2*2 {
+		t.Fatalf("%d hosts", len(res.Hosts))
+	}
+
+	hops := func(a, b string) int {
+		routes, err := n.Routes(directory.Query{From: a, To: b, Pref: directory.MinHops})
+		if err != nil {
+			t.Fatalf("%s->%s: %v", a, b, err)
+		}
+		return routes[0].Hops
+	}
+	// Same LAN: 0 routers.
+	if h := hops("h0_0_0_0", "h0_0_0_1"); h != 0 {
+		t.Fatalf("same-LAN hops = %d", h)
+	}
+	// Same campus, different LAN: 1 router (the campus router).
+	if h := hops("h0_0_0_0", "h0_0_1_0"); h != 1 {
+		t.Fatalf("cross-LAN hops = %d", h)
+	}
+	// Same region, different campus: campus + region + campus = 3.
+	if h := hops("h0_0_0_0", "h0_1_0_0"); h != 3 {
+		t.Fatalf("cross-campus hops = %d", h)
+	}
+	// Cross-region: campus + region + region + campus = 4 (full-mesh
+	// backbone; the paper's telephone analogy allows 5-6 with a deeper
+	// backbone).
+	if h := hops("h0_0_0_0", "h2_1_1_1"); h != 4 {
+		t.Fatalf("cross-region hops = %d", h)
+	}
+}
+
+func TestHierarchyNamesResolve(t *testing.T) {
+	res := BuildHierarchy(4, Hierarchy{Regions: 2, Campuses: 1, Lans: 1, Hosts: 2}, Params{})
+	routes, err := res.Net.Routes(directory.Query{
+		From: "h0.lan0.campus0.region0.net",
+		To:   "h1.lan0.campus0.region1.net",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(routes[0].Path) == 0 {
+		t.Fatal("empty path")
+	}
+}
+
+func TestHierarchyEndToEnd(t *testing.T) {
+	res := BuildHierarchy(5, Hierarchy{Regions: 2, Campuses: 2, Lans: 1, Hosts: 1}, Params{})
+	n := res.Net
+	src, dst := res.Hosts[0], res.Hosts[len(res.Hosts)-1]
+	routes, err := n.Routes(directory.Query{From: src, To: dst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var replied bool
+	n.Host(dst).Handle(0, func(d *router.Delivery) {
+		n.Host(dst).Send(d.ReturnRoute, []byte("pong"))
+	})
+	n.Host(src).Handle(0, func(d *router.Delivery) { replied = true })
+	n.Eng.Schedule(0, func() { n.Host(src).Send(routes[0].Segments, []byte("ping")) })
+	n.RunUntil(sim.Second)
+	if !replied {
+		t.Fatal("cross-region round trip failed")
+	}
+}

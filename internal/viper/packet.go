@@ -1,0 +1,257 @@
+package viper
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// trailer descriptor constants (implementation-defined; see package doc).
+const (
+	trailerMagic     = 0x5A
+	trailerDescLen   = 4
+	trailerTruncFlag = 0x01
+)
+
+// Packet is the in-memory form of a VIPER packet: the remaining forward
+// route (Route[0] is the segment for the next node), the user data, and the
+// trailer of return segments accumulated so far (Trailer[0] was appended by
+// the first node traversed).
+//
+// The simulation substrate passes Packets by pointer without re-encoding at
+// every hop; the live goroutine network and the codec tests exercise the
+// wire form via Encode/Decode.
+type Packet struct {
+	Route     []Segment
+	Data      []byte
+	Trailer   []Segment
+	Truncated bool
+
+	// Padding is the number of null bytes inserted between the data and
+	// the trailer ("A packet can be padded with null bytes between the
+	// end of the actual data and beginning of the Sirpent trailer
+	// without confusion", §2).
+	Padding int
+}
+
+// NewPacket builds a packet with the given route and data.
+func NewPacket(route []Segment, data []byte) *Packet {
+	return &Packet{Route: route, Data: data}
+}
+
+// Current returns the segment for the node currently holding the packet,
+// or nil if the route is exhausted.
+func (p *Packet) Current() *Segment {
+	if len(p.Route) == 0 {
+		return nil
+	}
+	return &p.Route[0]
+}
+
+// Priority returns the priority of the current segment, or PriorityNormal
+// once the route is exhausted.
+func (p *Packet) Priority() Priority {
+	if s := p.Current(); s != nil {
+		return s.Priority
+	}
+	return PriorityNormal
+}
+
+// ConsumeHead implements the per-node Sirpent step (§2): it strips the
+// current header segment from the front of the packet and appends the
+// given return segment to the trailer. The return segment is constructed
+// by the node: its Port is the port the packet arrived on, its PortInfo is
+// the arrival network header revised to constitute a correct return hop,
+// and its PortToken authorizes the reverse path if the original token did.
+// It returns the stripped segment.
+func (p *Packet) ConsumeHead(ret Segment) Segment {
+	s := p.Route[0]
+	p.Route = p.Route[1:]
+	p.Trailer = append(p.Trailer, ret)
+	return s
+}
+
+// ReturnRoute constructs the route for a reply from the accumulated
+// trailer, per §2: segments are copied in reverse order. Each return
+// segment is marked RPF ("the packet is being returned using the route and
+// tokens supplied in a packet received by the currently sending host",
+// §5). The segments are deep-copied so the reply does not alias the
+// request.
+func (p *Packet) ReturnRoute() []Segment {
+	route := make([]Segment, 0, len(p.Trailer))
+	for i := len(p.Trailer) - 1; i >= 0; i-- {
+		s := p.Trailer[i].Clone()
+		s.Flags |= FlagRPF
+		route = append(route, s)
+	}
+	return route
+}
+
+// CloneWire implements the simulation substrate's payload-cloning hook;
+// it is equivalent to Clone.
+func (p *Packet) CloneWire() any { return p.Clone() }
+
+// Clone deep-copies the packet (used for multicast fanout).
+func (p *Packet) Clone() *Packet {
+	c := &Packet{Truncated: p.Truncated, Padding: p.Padding}
+	c.Route = make([]Segment, len(p.Route))
+	for i := range p.Route {
+		c.Route[i] = p.Route[i].Clone()
+	}
+	c.Trailer = make([]Segment, len(p.Trailer))
+	for i := range p.Trailer {
+		c.Trailer[i] = p.Trailer[i].Clone()
+	}
+	c.Data = append([]byte(nil), p.Data...)
+	return c
+}
+
+// HeaderLen returns the encoded size of the remaining route segments.
+func (p *Packet) HeaderLen() int {
+	n := 0
+	for i := range p.Route {
+		n += p.Route[i].WireLen()
+	}
+	return n
+}
+
+// TrailerLen returns the encoded size of the trailer including descriptor.
+func (p *Packet) TrailerLen() int {
+	n := trailerDescLen
+	for i := range p.Trailer {
+		n += p.Trailer[i].WireLen()
+	}
+	return n
+}
+
+// WireLen returns the total encoded packet size in bytes. The simulator
+// uses this for transmission-time computation without materializing bytes.
+func (p *Packet) WireLen() int {
+	return p.HeaderLen() + len(p.Data) + p.Padding + p.TrailerLen()
+}
+
+// SealRoute fixes up continuation marking on a route so it decodes
+// unambiguously: every segment but the last must declare that another
+// segment follows (VNT for segments whose portInfo carries no type tag),
+// and the last must not. It returns an error if the final segment's
+// network-specific portInfo forces continuation (a route-construction
+// bug).
+func SealRoute(route []Segment) error {
+	for i := range route {
+		last := i == len(route)-1
+		if last {
+			route[i].Flags &^= FlagVNT
+			if route[i].Continues() {
+				return fmt.Errorf("viper: final segment portInfo carries VIPER continuation tag")
+			}
+		} else if !route[i].Continues() {
+			route[i].Flags |= FlagVNT
+		}
+	}
+	return nil
+}
+
+// Encode serializes the packet: forward segments, data, padding, mirrored
+// trailer segments, and the 4-byte trailer descriptor. The route must have
+// at least one segment (a packet with an exhausted route has been
+// delivered and never reappears on a wire).
+func (p *Packet) Encode() ([]byte, error) {
+	if len(p.Route) == 0 {
+		return nil, fmt.Errorf("viper: cannot encode packet with empty route")
+	}
+	if len(p.Route) > MaxRouteSegments || len(p.Trailer) > MaxRouteSegments {
+		return nil, ErrTooManySegments
+	}
+	b := make([]byte, 0, p.WireLen())
+	var err error
+	for i := range p.Route {
+		if b, err = AppendSegment(b, &p.Route[i]); err != nil {
+			return nil, err
+		}
+	}
+	b = append(b, p.Data...)
+	for i := 0; i < p.Padding; i++ {
+		b = append(b, 0)
+	}
+	for i := range p.Trailer {
+		if b, err = AppendSegmentMirrored(b, &p.Trailer[i]); err != nil {
+			return nil, err
+		}
+	}
+	var desc [trailerDescLen]byte
+	binary.BigEndian.PutUint16(desc[0:2], uint16(len(p.Trailer)))
+	if p.Truncated {
+		desc[2] |= trailerTruncFlag
+	}
+	desc[3] = trailerMagic
+	return append(b, desc[:]...), nil
+}
+
+// Decode parses an encoded packet. Forward segments are parsed from the
+// front for as long as each segment declares a continuation (VNT flag or a
+// VIPER type tag in its portInfo); the trailer is parsed backwards from
+// the descriptor. Everything in between — including any null padding — is
+// returned as Data.
+func Decode(b []byte) (*Packet, error) {
+	if len(b) < trailerDescLen {
+		return nil, ErrBadTrailer
+	}
+	desc := b[len(b)-trailerDescLen:]
+	if desc[3] != trailerMagic {
+		return nil, ErrBadTrailer
+	}
+	nTrailer := int(binary.BigEndian.Uint16(desc[0:2]))
+	if nTrailer > MaxRouteSegments {
+		return nil, ErrTooManySegments
+	}
+	p := &Packet{Truncated: desc[2]&trailerTruncFlag != 0}
+	rest := b[:len(b)-trailerDescLen]
+
+	// Trailer, backwards from the end. The most recently appended
+	// segment is last on the wire.
+	rev := make([]Segment, nTrailer)
+	var err error
+	for i := nTrailer - 1; i >= 0; i-- {
+		rev[i], rest, err = DecodeSegmentMirrored(rest)
+		if err != nil {
+			return nil, err
+		}
+	}
+	p.Trailer = rev
+
+	// Forward segments from the front.
+	for {
+		if len(p.Route) > MaxRouteSegments {
+			return nil, ErrTooManySegments
+		}
+		var s Segment
+		s, rest, err = DecodeSegment(rest)
+		if err != nil {
+			return nil, err
+		}
+		p.Route = append(p.Route, s)
+		if !s.Continues() {
+			break
+		}
+	}
+	p.Data = rest
+	return p, nil
+}
+
+func (p *Packet) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "viper.Packet{%dB data", len(p.Data))
+	if p.Truncated {
+		sb.WriteString(" TRUNCATED")
+	}
+	sb.WriteString("\n  route:")
+	for i := range p.Route {
+		fmt.Fprintf(&sb, "\n    %v", &p.Route[i])
+	}
+	sb.WriteString("\n  trailer:")
+	for i := range p.Trailer {
+		fmt.Fprintf(&sb, "\n    %v", &p.Trailer[i])
+	}
+	sb.WriteString("\n}")
+	return sb.String()
+}

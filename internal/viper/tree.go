@@ -1,0 +1,117 @@
+package viper
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// FlagTRE marks a tree segment: its PortInfo carries a branch list
+// rather than a network header, and a router forwards one copy of the
+// packet per branch — the Blazenet-style multicast of §2: "there are
+// multiple header segments specified for a routing point, with each
+// header segment causing a copy of the packet to be routed according to
+// the port it specifies", generalized so each branch carries its own
+// complete sub-route.
+const FlagTRE Flags = 1 << 3
+
+// Tree wire format inside PortInfo:
+//
+//	[nBranches:1] { [len:2][segments (forward encoding)...] }*  [tag:2]
+//
+// The trailing 2-byte tag is EtherTypeRaw so the portInfo never
+// accidentally claims VIPER continuation (tree segments terminate a
+// route's forward-parseable prefix).
+
+// ErrBadTree reports a malformed branch list.
+var ErrBadTree = errors.New("viper: malformed tree segment")
+
+// MaxTreeBranches bounds fanout at one tree node.
+const MaxTreeBranches = 32
+
+// EncodeTree serializes branch sub-routes into tree PortInfo bytes. Each
+// branch must be a valid route whose first segment executes at the tree
+// node itself.
+func EncodeTree(branches [][]Segment) ([]byte, error) {
+	if len(branches) == 0 || len(branches) > MaxTreeBranches {
+		return nil, ErrBadTree
+	}
+	out := []byte{byte(len(branches))}
+	for _, br := range branches {
+		if len(br) == 0 || len(br) > MaxRouteSegments {
+			return nil, ErrBadTree
+		}
+		var body []byte
+		var err error
+		for i := range br {
+			if body, err = AppendSegment(body, &br[i]); err != nil {
+				return nil, err
+			}
+		}
+		if len(body) > 0xFFFF {
+			return nil, ErrBadTree
+		}
+		var l [2]byte
+		binary.BigEndian.PutUint16(l[:], uint16(len(body)))
+		out = append(out, l[:]...)
+		out = append(out, body...)
+	}
+	var tag [2]byte
+	binary.BigEndian.PutUint16(tag[:], EtherTypeRaw)
+	return append(out, tag[:]...), nil
+}
+
+// DecodeTree parses tree PortInfo bytes back into branch sub-routes.
+// Branch segment counts are recovered by decoding until the branch body
+// is exhausted.
+func DecodeTree(b []byte) ([][]Segment, error) {
+	if len(b) < 3 {
+		return nil, ErrBadTree
+	}
+	n := int(b[0])
+	if n == 0 || n > MaxTreeBranches {
+		return nil, ErrBadTree
+	}
+	rest := b[1 : len(b)-2] // strip count and trailing tag
+	out := make([][]Segment, 0, n)
+	for i := 0; i < n; i++ {
+		if len(rest) < 2 {
+			return nil, ErrBadTree
+		}
+		bl := int(binary.BigEndian.Uint16(rest[:2]))
+		rest = rest[2:]
+		if len(rest) < bl {
+			return nil, ErrBadTree
+		}
+		body := rest[:bl]
+		rest = rest[bl:]
+		var br []Segment
+		for len(body) > 0 {
+			seg, r2, err := DecodeSegment(body)
+			if err != nil {
+				return nil, err
+			}
+			br = append(br, seg)
+			body = r2
+			if len(br) > MaxRouteSegments {
+				return nil, ErrTooManySegments
+			}
+		}
+		if len(br) == 0 {
+			return nil, ErrBadTree
+		}
+		out = append(out, br)
+	}
+	if len(rest) != 0 {
+		return nil, ErrBadTree
+	}
+	return out, nil
+}
+
+// TreeSegment builds a tree segment from branches.
+func TreeSegment(prio Priority, branches [][]Segment) (Segment, error) {
+	info, err := EncodeTree(branches)
+	if err != nil {
+		return Segment{}, err
+	}
+	return Segment{Flags: FlagTRE, Priority: prio, PortInfo: info}, nil
+}

@@ -1,0 +1,92 @@
+package viper
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTreeRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 200; trial++ {
+		nb := 1 + r.Intn(6)
+		branches := make([][]Segment, nb)
+		for i := range branches {
+			ns := 1 + r.Intn(4)
+			branches[i] = make([]Segment, ns)
+			for j := range branches[i] {
+				branches[i][j] = genSegment(r)
+			}
+		}
+		b, err := EncodeTree(branches)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		got, err := DecodeTree(b)
+		if err != nil {
+			t.Fatalf("trial %d decode: %v", trial, err)
+		}
+		if len(got) != nb {
+			t.Fatalf("trial %d: %d branches, want %d", trial, len(got), nb)
+		}
+		for i := range branches {
+			if len(got[i]) != len(branches[i]) {
+				t.Fatalf("trial %d branch %d: %d segs, want %d", trial, i, len(got[i]), len(branches[i]))
+			}
+			for j := range branches[i] {
+				if !got[i][j].Equal(&branches[i][j]) {
+					t.Fatalf("trial %d branch %d seg %d mismatch", trial, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestTreeSegmentNeverContinues(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 100; trial++ {
+		branches := [][]Segment{{genSegment(r)}, {genSegment(r)}}
+		seg, err := TreeSegment(Priority(r.Intn(16)), branches)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !seg.Flags.Has(FlagTRE) {
+			t.Fatal("tree segment missing TRE flag")
+		}
+		if seg.Continues() {
+			t.Fatal("tree segment claims VIPER continuation")
+		}
+	}
+}
+
+func TestTreeLimits(t *testing.T) {
+	big := make([][]Segment, MaxTreeBranches+1)
+	for i := range big {
+		big[i] = []Segment{{Port: 1}}
+	}
+	if _, err := EncodeTree(big); err != ErrBadTree {
+		t.Fatalf("fanout overflow err = %v", err)
+	}
+	long := [][]Segment{make([]Segment, MaxRouteSegments+1)}
+	if _, err := EncodeTree(long); err != ErrBadTree {
+		t.Fatalf("branch overflow err = %v", err)
+	}
+}
+
+func TestTreeDecodeJunk(t *testing.T) {
+	r := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 500; trial++ {
+		b := make([]byte, r.Intn(64))
+		r.Read(b)
+		// Must never panic; errors are fine.
+		DecodeTree(b)
+	}
+}
+
+func TestPacketCloneWire(t *testing.T) {
+	p := NewPacket([]Segment{{Port: 1}}, []byte("x"))
+	c := p.CloneWire().(*Packet)
+	c.Data[0] = 'Y'
+	if p.Data[0] == 'Y' {
+		t.Fatal("CloneWire aliases original")
+	}
+}

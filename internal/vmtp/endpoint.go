@@ -1,0 +1,583 @@
+package vmtp
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/clock"
+	"repro/internal/router"
+	"repro/internal/sim"
+	"repro/internal/viper"
+)
+
+// Config tunes an endpoint.
+type Config struct {
+	// MaxPacketData bounds the data per packet; default 1024 (§5's
+	// "roughly 1 kilobyte transport packet").
+	MaxPacketData int
+	// PacingGap is the inter-packet gap within a group — VMTP's
+	// rate-based flow control "between packets within a packet group to
+	// avoid overruns" (§4.3). Zero sends back to back.
+	PacingGap sim.Time
+	// BaseTimeout seeds the retransmission timer before an RTT estimate
+	// exists. Default 50ms.
+	BaseTimeout sim.Time
+	// MaxRetries per route before failing over to the next alternate
+	// route. Default 3.
+	MaxRetries int
+	// MPL is the maximum packet lifetime the endpoint accepts; older
+	// packets are discarded on arrival (§4.2). Default 30s.
+	MPL sim.Time
+	// FutureSlack tolerates receiver clocks behind senders. Default 5s.
+	FutureSlack sim.Time
+	// GapAckDelay is how long a receiver waits on an incomplete group
+	// before sending a selective ack of what it has (§4.3). Default 5ms.
+	GapAckDelay sim.Time
+	// ResponseCacheTTL is the duplicate-suppression window. Default 5s.
+	ResponseCacheTTL sim.Time
+	// GroupTimeout discards an incomplete request group (and stops its
+	// selective acks) if the missing packets never arrive. Default 2s.
+	GroupTimeout sim.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxPacketData == 0 {
+		c.MaxPacketData = MaxPacketData
+	}
+	if c.BaseTimeout == 0 {
+		c.BaseTimeout = 50 * sim.Millisecond
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 3
+	}
+	if c.MPL == 0 {
+		c.MPL = 30 * sim.Second
+	}
+	if c.FutureSlack == 0 {
+		c.FutureSlack = 5 * sim.Second
+	}
+	if c.GapAckDelay == 0 {
+		c.GapAckDelay = 5 * sim.Millisecond
+	}
+	if c.ResponseCacheTTL == 0 {
+		c.ResponseCacheTTL = 5 * sim.Second
+	}
+	if c.GroupTimeout == 0 {
+		c.GroupTimeout = 2 * sim.Second
+	}
+	return c
+}
+
+// Stats counts transport events.
+type Stats struct {
+	CallsStarted     uint64
+	CallsCompleted   uint64
+	CallsFailed      uint64
+	Retransmissions  uint64
+	SelectiveResends uint64 // packets resent due to receiver masks
+	RouteFailovers   uint64
+	AdvisorySkips    uint64 // routes skipped on directory advice (§6.3)
+	StaleDrops       uint64 // packets older than MPL (§4.2)
+	ChecksumDrops    uint64 // corrupted or truncated packets (§4.1)
+	Misdelivered     uint64 // entity identifier mismatch (§4.1)
+	DupRequests      uint64 // answered from the response cache
+	AcksSent         uint64
+}
+
+// Handler serves requests: it receives the caller's entity identifier
+// and request data and returns the response data.
+type Handler func(from uint64, data []byte) []byte
+
+// Errors.
+var (
+	ErrAllRoutesFailed = errors.New("vmtp: transaction failed on every route")
+	ErrNoRoutes        = errors.New("vmtp: no routes supplied")
+)
+
+// Endpoint is a VMTP entity bound to one Sirpent host endpoint. The
+// 64-bit entity identifier is "unique independent of the (inter)network
+// layer addressing" (§4.1), which is what lets VMTP survive misdelivery,
+// migration and multi-homing.
+type Endpoint struct {
+	eng  *sim.Engine
+	host *router.Host
+	clk  *clock.Clock
+	id   uint64
+	hep  uint8 // host endpoint (intra-host port)
+	cfg  Config
+
+	nextTxn uint32
+	calls   map[uint32]*call
+
+	handler   Handler
+	advisor   func(route []viper.Segment) bool
+	rxReqs    map[groupKey]*rxGroup
+	respCache map[groupKey]*respEntry
+
+	srtt, rttvar map[uint64]sim.Time
+
+	Stats Stats
+}
+
+type groupKey struct {
+	client uint64
+	txn    uint32
+}
+
+// rxGroup reassembles one packet group.
+type rxGroup struct {
+	nPkts    uint8
+	totalLen int
+	mask     uint32
+	data     []byte
+	ret      []viper.Segment // freshest return route
+	prio     viper.Priority
+	ackTimer bool
+	done     bool
+	lastRx   sim.Time // most recent packet arrival (gap detection)
+}
+
+func (g *rxGroup) complete() bool {
+	return g.mask == fullMask(g.nPkts)
+}
+
+func fullMask(n uint8) uint32 {
+	if n >= 32 {
+		return ^uint32(0)
+	}
+	return (uint32(1) << n) - 1
+}
+
+type respEntry struct {
+	pkts    []*Packet
+	expires sim.Time
+}
+
+// call is one outstanding client transaction.
+type call struct {
+	txn      uint32
+	server   uint64
+	routes   [][]viper.Segment
+	routeIdx int
+	reqPkts  []*Packet
+	acked    uint32
+	resp     *rxGroup
+	done     func([]byte, error)
+	retries  int
+	timer    sim.EventID
+	hasTimer bool
+	started  sim.Time
+	sendTime sim.Time // start of the current attempt (for RTT)
+	clean    bool     // no retransmissions: RTT sample is valid (Karn)
+}
+
+// NewEndpoint binds a VMTP entity to a host endpoint.
+func NewEndpoint(eng *sim.Engine, h *router.Host, clk *clock.Clock, id uint64, hostEndpoint uint8, cfg Config) *Endpoint {
+	ep := &Endpoint{
+		eng:       eng,
+		host:      h,
+		clk:       clk,
+		id:        id,
+		hep:       hostEndpoint,
+		cfg:       cfg.withDefaults(),
+		calls:     make(map[uint32]*call),
+		rxReqs:    make(map[groupKey]*rxGroup),
+		respCache: make(map[groupKey]*respEntry),
+		srtt:      make(map[uint64]sim.Time),
+		rttvar:    make(map[uint64]sim.Time),
+	}
+	h.Handle(hostEndpoint, ep.deliver)
+	return ep
+}
+
+// ID returns the entity identifier.
+func (ep *Endpoint) ID() uint64 { return ep.id }
+
+// SetHandler installs the request handler (server role).
+func (ep *Endpoint) SetHandler(h Handler) { ep.handler = h }
+
+// SetRouteAdvisor installs a route-health oracle, typically backed by
+// directory advisories (§6.3: "The clients benefit from these routing
+// updates by periodically requesting route advisories from the routing
+// servers"). Before transmitting on a route, the endpoint asks the
+// advisor; a false answer skips straight to the next alternate without
+// burning retransmission timeouts.
+func (ep *Endpoint) SetRouteAdvisor(fn func(route []viper.Segment) bool) { ep.advisor = fn }
+
+// RTT returns the smoothed round-trip estimate toward a server entity,
+// or 0 if none yet.
+func (ep *Endpoint) RTT(server uint64) sim.Time { return ep.srtt[server] }
+
+// Call starts a transaction to a server entity over the given alternate
+// source routes (primary first), invoking done with the response or an
+// error. Each route must be a full host route (sender directive first).
+func (ep *Endpoint) Call(server uint64, routes [][]viper.Segment, data []byte, done func([]byte, error)) error {
+	if len(routes) == 0 {
+		return ErrNoRoutes
+	}
+	chunks, err := Segment(data, ep.cfg.MaxPacketData)
+	if err != nil {
+		return err
+	}
+	ep.nextTxn++
+	c := &call{
+		txn:     ep.nextTxn,
+		server:  server,
+		routes:  routes,
+		done:    done,
+		started: ep.eng.Now(),
+		clean:   true,
+	}
+	for i, ch := range chunks {
+		c.reqPkts = append(c.reqPkts, &Packet{
+			Header: Header{
+				Client:   ep.id,
+				Server:   server,
+				Txn:      c.txn,
+				Kind:     KindRequest,
+				PktIndex: uint8(i),
+				NPkts:    uint8(len(chunks)),
+				TotalLen: uint32(len(data)),
+			},
+			Data: ch,
+		})
+	}
+	ep.calls[c.txn] = c
+	ep.Stats.CallsStarted++
+	ep.sendRequest(c, ^uint32(0))
+	return nil
+}
+
+// sendRequest transmits the request packets selected by mask (bit i =
+// packet i), paced by PacingGap, then arms the retransmission timer.
+// Routes the advisor reports unhealthy are skipped without waiting for
+// a timeout.
+func (ep *Endpoint) sendRequest(c *call, mask uint32) {
+	if ep.advisor != nil {
+		for c.routeIdx+1 < len(c.routes) && !ep.advisor(c.routes[c.routeIdx]) {
+			c.routeIdx++
+			c.retries = 0
+			c.acked = 0
+			mask = ^uint32(0)
+			ep.Stats.AdvisorySkips++
+		}
+	}
+	c.sendTime = ep.eng.Now()
+	route := c.routes[c.routeIdx]
+	gap := sim.Time(0)
+	for i, p := range c.reqPkts {
+		if mask&(1<<uint(i)) == 0 || c.acked&(1<<uint(i)) != 0 {
+			continue
+		}
+		p := p
+		ep.eng.Schedule(gap, func() {
+			p.Timestamp = ep.clk.Timestamp()
+			ep.host.SendFrom(ep.hep, route, p.Encode())
+		})
+		gap += ep.cfg.PacingGap
+	}
+	ep.armTimer(c)
+}
+
+func (ep *Endpoint) armTimer(c *call) {
+	if c.hasTimer {
+		ep.eng.Cancel(c.timer)
+	}
+	c.timer = ep.eng.Schedule(ep.timeout(c.server), func() { ep.onTimeout(c) })
+	c.hasTimer = true
+}
+
+// timeout computes the adaptive retransmission timer (Jacobson).
+func (ep *Endpoint) timeout(server uint64) sim.Time {
+	srtt, ok := ep.srtt[server]
+	if !ok || srtt == 0 {
+		return ep.cfg.BaseTimeout
+	}
+	to := srtt + 4*ep.rttvar[server]
+	if to < ep.cfg.BaseTimeout/4 {
+		to = ep.cfg.BaseTimeout / 4
+	}
+	return to
+}
+
+func (ep *Endpoint) onTimeout(c *call) {
+	c.hasTimer = false
+	if _, live := ep.calls[c.txn]; !live {
+		return
+	}
+	c.retries++
+	c.clean = false
+	if c.retries > ep.cfg.MaxRetries {
+		// Fail over to the next alternate route (§6.3: the client
+		// "switches between these routes based on the performance of
+		// the different routes").
+		if c.routeIdx+1 < len(c.routes) {
+			c.routeIdx++
+			c.retries = 0
+			c.acked = 0
+			ep.Stats.RouteFailovers++
+			ep.sendRequest(c, ^uint32(0))
+			return
+		}
+		delete(ep.calls, c.txn)
+		ep.Stats.CallsFailed++
+		if c.done != nil {
+			c.done(nil, fmt.Errorf("%w (txn %d)", ErrAllRoutesFailed, c.txn))
+		}
+		return
+	}
+	ep.Stats.Retransmissions++
+	ep.sendRequest(c, ^uint32(0))
+}
+
+// Deliver injects a delivery as if it had arrived from the host's
+// Sirpent layer; experiment harnesses use it to present crafted packets
+// (stale timestamps, corrupted bytes, misdirected entities).
+func (ep *Endpoint) Deliver(d *router.Delivery) { ep.deliver(d) }
+
+// deliver is the host-endpoint entry: parse, validate age and identity,
+// and dispatch.
+func (ep *Endpoint) deliver(d *router.Delivery) {
+	p, err := Decode(d.Data)
+	if err != nil {
+		// Corrupted en route (Sirpent has no network checksum) or
+		// truncated by an undersized hop (§2): the transport discards.
+		ep.Stats.ChecksumDrops++
+		return
+	}
+	// Maximum packet lifetime (§4.2): reject packets whose creation
+	// timestamp is too old (or absurdly far in the future).
+	if p.Timestamp != clock.InvalidTimestamp {
+		age := clock.Age(ep.clk.Timestamp(), p.Timestamp)
+		if age > int64(ep.cfg.MPL/sim.Millisecond) || age < -int64(ep.cfg.FutureSlack/sim.Millisecond) {
+			ep.Stats.StaleDrops++
+			return
+		}
+	}
+	switch p.Kind {
+	case KindRequest:
+		if p.Server != ep.id {
+			ep.Stats.Misdelivered++
+			return
+		}
+		ep.handleRequest(p, d)
+	case KindResponse, KindAck:
+		if p.Client != ep.id {
+			ep.Stats.Misdelivered++
+			return
+		}
+		if p.Kind == KindAck {
+			ep.handleAck(p)
+		} else {
+			ep.handleResponse(p, d)
+		}
+	}
+}
+
+// --- server side ---
+
+func (ep *Endpoint) handleRequest(p *Packet, d *router.Delivery) {
+	key := groupKey{client: p.Client, txn: p.Txn}
+	// Duplicate transaction: replay the cached response (§4's
+	// transactional at-most-once behavior).
+	if e, ok := ep.respCache[key]; ok && ep.eng.Now() < e.expires {
+		ep.Stats.DupRequests++
+		ep.sendPackets(e.pkts, d.ReturnRoute)
+		return
+	}
+	g, ok := ep.rxReqs[key]
+	if !ok {
+		g = &rxGroup{
+			nPkts:    p.NPkts,
+			totalLen: int(p.TotalLen),
+			data:     make([]byte, p.TotalLen),
+			prio:     prioOf(d),
+		}
+		ep.rxReqs[key] = g
+		ep.eng.Schedule(ep.cfg.GroupTimeout, func() {
+			if cur, ok := ep.rxReqs[key]; ok && cur == g {
+				delete(ep.rxReqs, key)
+			}
+		})
+	}
+	g.ret = d.ReturnRoute
+	g.lastRx = ep.eng.Now()
+	ep.placePacket(g, p)
+	if g.complete() {
+		delete(ep.rxReqs, key)
+		ep.serve(key, g)
+		return
+	}
+	// Incomplete: arm the gap-detection selective ack (§4.3).
+	if !g.ackTimer {
+		g.ackTimer = true
+		ep.eng.Schedule(ep.cfg.GapAckDelay, func() { ep.gapAck(key, g) })
+	}
+}
+
+func prioOf(d *router.Delivery) viper.Priority {
+	if len(d.Pkt.Trailer) > 0 {
+		return d.Pkt.Trailer[len(d.Pkt.Trailer)-1].Priority
+	}
+	return 0
+}
+
+func (ep *Endpoint) placePacket(g *rxGroup, p *Packet) {
+	bit := uint32(1) << p.PktIndex
+	if g.mask&bit != 0 {
+		return
+	}
+	g.mask |= bit
+	chunk := ChunkSize(g.totalLen, int(g.nPkts))
+	off := int(p.PktIndex) * chunk
+	if off <= len(g.data) {
+		copy(g.data[off:], p.Data)
+	}
+}
+
+// gapAck tells the client which request packets arrived, so it resends
+// only the missing ones — selective retransmission (§4.3).
+func (ep *Endpoint) gapAck(key groupKey, g *rxGroup) {
+	g.ackTimer = false
+	if g.done || g.complete() {
+		return
+	}
+	if cur, ok := ep.rxReqs[key]; !ok || cur != g {
+		return
+	}
+	// Only ack once the group has actually gone quiet — an ack while
+	// packets are still streaming in would trigger pointless resends.
+	if quiet := ep.eng.Now() - g.lastRx; quiet < ep.cfg.GapAckDelay {
+		g.ackTimer = true
+		ep.eng.Schedule(ep.cfg.GapAckDelay-quiet, func() { ep.gapAck(key, g) })
+		return
+	}
+	ack := &Packet{Header: Header{
+		Client:    key.client,
+		Server:    ep.id,
+		Txn:       key.txn,
+		Kind:      KindAck,
+		NPkts:     g.nPkts,
+		Mask:      g.mask,
+		Timestamp: ep.clk.Timestamp(),
+	}}
+	ep.Stats.AcksSent++
+	ep.sendPackets([]*Packet{ack}, g.ret)
+	// Re-arm while still incomplete.
+	g.ackTimer = true
+	ep.eng.Schedule(4*ep.cfg.GapAckDelay, func() { ep.gapAck(key, g) })
+}
+
+func (ep *Endpoint) serve(key groupKey, g *rxGroup) {
+	g.done = true
+	if ep.handler == nil {
+		return
+	}
+	respData := ep.handler(key.client, g.data)
+	chunks, err := Segment(respData, ep.cfg.MaxPacketData)
+	if err != nil {
+		return
+	}
+	var pkts []*Packet
+	for i, ch := range chunks {
+		pkts = append(pkts, &Packet{
+			Header: Header{
+				Client:   key.client,
+				Server:   ep.id,
+				Txn:      key.txn,
+				Kind:     KindResponse,
+				PktIndex: uint8(i),
+				NPkts:    uint8(len(chunks)),
+				TotalLen: uint32(len(respData)),
+			},
+			Data: ch,
+		})
+	}
+	ep.respCache[key] = &respEntry{pkts: pkts, expires: ep.eng.Now() + ep.cfg.ResponseCacheTTL}
+	ep.eng.Schedule(ep.cfg.ResponseCacheTTL, func() {
+		if e, ok := ep.respCache[key]; ok && ep.eng.Now() >= e.expires {
+			delete(ep.respCache, key)
+		}
+	})
+	ep.sendPackets(pkts, g.ret)
+}
+
+// sendPackets transmits a group along a route with pacing, restamping
+// timestamps at transmission time.
+func (ep *Endpoint) sendPackets(pkts []*Packet, route []viper.Segment) {
+	if len(route) == 0 {
+		return
+	}
+	gap := sim.Time(0)
+	for _, p := range pkts {
+		p := p
+		ep.eng.Schedule(gap, func() {
+			p.Timestamp = ep.clk.Timestamp()
+			ep.host.SendFrom(ep.hep, route, p.Encode())
+		})
+		gap += ep.cfg.PacingGap
+	}
+}
+
+// --- client side ---
+
+func (ep *Endpoint) handleAck(p *Packet) {
+	c, ok := ep.calls[p.Txn]
+	if !ok {
+		return
+	}
+	c.acked |= p.Mask
+	missing := fullMask(uint8(len(c.reqPkts))) &^ c.acked
+	if missing == 0 {
+		return // all received; response should follow
+	}
+	c.clean = false
+	ep.Stats.SelectiveResends++
+	ep.sendRequest(c, missing)
+}
+
+func (ep *Endpoint) handleResponse(p *Packet, d *router.Delivery) {
+	c, ok := ep.calls[p.Txn]
+	if !ok {
+		return // late duplicate response
+	}
+	if c.resp == nil {
+		c.resp = &rxGroup{
+			nPkts:    p.NPkts,
+			totalLen: int(p.TotalLen),
+			data:     make([]byte, p.TotalLen),
+		}
+	}
+	ep.placePacket(c.resp, p)
+	if !c.resp.complete() {
+		ep.armTimer(c) // keep waiting for the rest of the group
+		return
+	}
+	if c.hasTimer {
+		ep.eng.Cancel(c.timer)
+		c.hasTimer = false
+	}
+	delete(ep.calls, c.txn)
+	ep.Stats.CallsCompleted++
+	if c.clean {
+		ep.recordRTT(c.server, ep.eng.Now()-c.sendTime)
+	}
+	if c.done != nil {
+		c.done(c.resp.data, nil)
+	}
+}
+
+func (ep *Endpoint) recordRTT(server uint64, rtt sim.Time) {
+	srtt, ok := ep.srtt[server]
+	if !ok {
+		ep.srtt[server] = rtt
+		ep.rttvar[server] = rtt / 2
+		return
+	}
+	diff := rtt - srtt
+	if diff < 0 {
+		diff = -diff
+	}
+	ep.rttvar[server] = (3*ep.rttvar[server] + diff) / 4
+	ep.srtt[server] = (7*srtt + rtt) / 8
+}

@@ -1,0 +1,158 @@
+// Package workload generates the traffic models the paper's §6.2 analysis
+// is built on: the measured packet-size distribution ("half the packets
+// are close to minimum size ... one quarter are maximum size and the rest
+// are more or less uniformly distributed between these two extremes"),
+// the hop-count locality model ("locality of communication causes the
+// expected number of hops per packet for many applications significantly
+// less than one"), and arrival processes from Poisson to the bursty
+// on/off traffic that motivates packet switching over circuits.
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// SizeDist is the paper's three-part packet-size distribution.
+type SizeDist struct {
+	Min, Max int
+}
+
+// Sample draws a packet size: P(min)=1/2, P(max)=1/4, else uniform in
+// (min, max).
+func (d SizeDist) Sample(r *rand.Rand) int {
+	switch v := r.Float64(); {
+	case v < 0.5:
+		return d.Min
+	case v < 0.75:
+		return d.Max
+	default:
+		if d.Max <= d.Min {
+			return d.Min
+		}
+		return d.Min + r.Intn(d.Max-d.Min)
+	}
+}
+
+// Mean returns the analytic mean: 5/8·min + 3/8·max. With a small minimum
+// this is the paper's "average packet size is roughly 3/8 of the maximum"
+// (§6.2).
+func (d SizeDist) Mean() float64 {
+	return 0.5*float64(d.Min) + 0.25*float64(d.Max) + 0.25*(float64(d.Min)+float64(d.Max))/2
+}
+
+// HopDist is a discrete hop-count distribution.
+type HopDist struct {
+	// Hops[i] is a hop count and Weights[i] its probability mass;
+	// weights must sum to ~1.
+	Hops    []int
+	Weights []float64
+}
+
+// PaperLocality approximates §6.2's locality argument: most traffic is
+// local (0 routers traversed), with a thin tail to telephone-like 5–6 hop
+// global paths; the mean is the paper's 0.2 hops.
+func PaperLocality() HopDist {
+	return HopDist{
+		Hops:    []int{0, 1, 2, 3, 5},
+		Weights: []float64{0.88, 0.08, 0.02, 0.01, 0.01},
+	}
+}
+
+// Sample draws a hop count.
+func (d HopDist) Sample(r *rand.Rand) int {
+	v := r.Float64()
+	acc := 0.0
+	for i, w := range d.Weights {
+		acc += w
+		if v < acc {
+			return d.Hops[i]
+		}
+	}
+	return d.Hops[len(d.Hops)-1]
+}
+
+// Mean returns the analytic expected hop count.
+func (d HopDist) Mean() float64 {
+	m := 0.0
+	for i, w := range d.Weights {
+		m += w * float64(d.Hops[i])
+	}
+	return m
+}
+
+// Arrivals generates interarrival gaps.
+type Arrivals interface {
+	// Next returns the gap until the next arrival.
+	Next(r *rand.Rand) sim.Time
+}
+
+// Poisson arrivals at the given mean rate (packets/second).
+type Poisson struct {
+	RatePerSec float64
+}
+
+// Next draws an exponential interarrival time.
+func (p Poisson) Next(r *rand.Rand) sim.Time {
+	gap := r.ExpFloat64() / p.RatePerSec
+	return sim.Time(gap * float64(sim.Second))
+}
+
+// CBR is a constant bit rate / fixed-interval arrival process.
+type CBR struct {
+	Interval sim.Time
+}
+
+// Next returns the fixed interval.
+func (c CBR) Next(r *rand.Rand) sim.Time { return c.Interval }
+
+// OnOff is a two-state bursty source: exponentially distributed ON
+// periods during which packets arrive at PeakRate, and exponential OFF
+// periods with no traffic. This is the "highly bursty traffic
+// characteristic of most computer communication" that makes circuits a
+// poor fit (§1): an 8 Mb stream on a gigabit channel uses under 1% of the
+// bandwidth in bursts.
+type OnOff struct {
+	PeakRatePerSec  float64
+	MeanOn, MeanOff sim.Time
+
+	init   bool
+	inOn   bool
+	onEnds sim.Time
+	t      sim.Time // source-local time of the previous emission
+}
+
+// Next returns the gap to the next packet, advancing the internal on/off
+// state machine; gaps spanning OFF periods include the idle time.
+func (o *OnOff) Next(r *rand.Rand) sim.Time {
+	prev := o.t
+	if !o.init {
+		o.init = true
+		o.inOn = true
+		o.onEnds = sim.Time(r.ExpFloat64() * float64(o.MeanOn))
+	}
+	for {
+		if !o.inOn {
+			off := sim.Time(r.ExpFloat64() * float64(o.MeanOff))
+			o.t += off
+			o.inOn = true
+			o.onEnds = o.t + sim.Time(r.ExpFloat64()*float64(o.MeanOn))
+		}
+		gap := sim.Time(r.ExpFloat64() / o.PeakRatePerSec * float64(sim.Second))
+		if o.t+gap <= o.onEnds {
+			o.t += gap
+			return o.t - prev
+		}
+		o.t = o.onEnds
+		o.inOn = false
+	}
+}
+
+// DutyCycle reports the long-run fraction of time the source is ON.
+func (o *OnOff) DutyCycle() float64 {
+	return float64(o.MeanOn) / float64(o.MeanOn+o.MeanOff)
+}
+
+// MeanRate reports the long-run average packet rate.
+func (o *OnOff) MeanRate() float64 { return o.PeakRatePerSec * o.DutyCycle() }
