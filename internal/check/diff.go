@@ -1,0 +1,171 @@
+package check
+
+import (
+	"fmt"
+	"sync"
+)
+
+// DeliveryRec is one observed delivery of a flow's request packet.
+type DeliveryRec struct {
+	Host   string // where it arrived
+	Fp     string // Fingerprint of the accumulated return route
+	DataOK bool   // payload bytes survived intact
+}
+
+// Result collects what one substrate observed for a scenario. All Add
+// methods are safe for concurrent use (livenet handlers run on host
+// goroutines); reads should happen after the run quiesces.
+type Result struct {
+	mu        sync.Mutex
+	delivered map[uint64][]DeliveryRec
+	replies   map[uint64][]string
+	garbled   int
+	sendErrs  int
+}
+
+// NewResult creates an empty observation set.
+func NewResult() *Result {
+	return &Result{
+		delivered: make(map[uint64][]DeliveryRec),
+		replies:   make(map[uint64][]string),
+	}
+}
+
+// AddDelivery records a request arrival.
+func (r *Result) AddDelivery(id uint64, rec DeliveryRec) {
+	r.mu.Lock()
+	r.delivered[id] = append(r.delivered[id], rec)
+	r.mu.Unlock()
+}
+
+// AddReply records a reply arrival.
+func (r *Result) AddReply(id uint64, host string) {
+	r.mu.Lock()
+	r.replies[id] = append(r.replies[id], host)
+	r.mu.Unlock()
+}
+
+// AddGarbled records a delivery whose payload didn't parse — always an
+// invariant violation.
+func (r *Result) AddGarbled() {
+	r.mu.Lock()
+	r.garbled++
+	r.mu.Unlock()
+}
+
+// AddSendErr records a failed injection.
+func (r *Result) AddSendErr() {
+	r.mu.Lock()
+	r.sendErrs++
+	r.mu.Unlock()
+}
+
+// Counts snapshots the aggregate totals (deliveries and replies counted
+// with multiplicity, so duplicates move the numbers).
+func (r *Result) Counts() (deliv, reply, garbled, sendErrs int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, recs := range r.delivered {
+		deliv += len(recs)
+	}
+	for _, hosts := range r.replies {
+		reply += len(hosts)
+	}
+	return deliv, reply, r.garbled, r.sendErrs
+}
+
+// Deliveries returns the recorded request arrivals for a flow.
+func (r *Result) Deliveries(id uint64) []DeliveryRec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]DeliveryRec(nil), r.delivered[id]...)
+}
+
+// ReplyHosts returns where a flow's replies arrived.
+func (r *Result) ReplyHosts(id uint64) []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.replies[id]...)
+}
+
+// Diff compares the two substrates' observations of one scenario and
+// returns a description of every divergence: delivery-set membership,
+// delivering host, trailer contents (via the return-route fingerprint),
+// payload integrity, and reply arrivals.
+func Diff(simR, liveR *Result, sc *Scenario) []string {
+	var out []string
+	bad := func(format string, args ...any) { out = append(out, fmt.Sprintf(format, args...)) }
+
+	if _, _, g, _ := simR.Counts(); g > 0 {
+		bad("netsim: %d garbled deliveries", g)
+	}
+	if _, _, g, _ := liveR.Counts(); g > 0 {
+		bad("livenet: %d garbled deliveries", g)
+	}
+	for _, f := range sc.Flows {
+		a, b := simR.Deliveries(f.ID), liveR.Deliveries(f.ID)
+		if len(a) != len(b) {
+			bad("flow %d: delivered %d times in netsim, %d in livenet", f.ID, len(a), len(b))
+			continue
+		}
+		if len(a) == 0 {
+			continue // missing from both: consistent
+		}
+		if len(a) > 1 {
+			bad("flow %d: duplicated (%d copies) in both substrates", f.ID, len(a))
+			continue
+		}
+		if a[0].Host != b[0].Host {
+			bad("flow %d: arrived at %s in netsim, %s in livenet", f.ID, a[0].Host, b[0].Host)
+		}
+		if a[0].Fp != b[0].Fp {
+			bad("flow %d: return routes diverge:\n  netsim:  %s\n  livenet: %s", f.ID, a[0].Fp, b[0].Fp)
+		}
+		if !a[0].DataOK || !b[0].DataOK {
+			bad("flow %d: payload corrupted (netsim ok=%v, livenet ok=%v)", f.ID, a[0].DataOK, b[0].DataOK)
+		}
+		ra, rb := simR.ReplyHosts(f.ID), liveR.ReplyHosts(f.ID)
+		if len(ra) != len(rb) {
+			bad("flow %d: %d replies in netsim, %d in livenet", f.ID, len(ra), len(rb))
+		} else if len(ra) == 1 && len(rb) == 1 && ra[0] != rb[0] {
+			bad("flow %d: reply landed at %s in netsim, %s in livenet", f.ID, ra[0], rb[0])
+		}
+	}
+	return out
+}
+
+// CheckReachability verifies the paper's core claim on one substrate's
+// observations: every delivered request arrived at the flow's intended
+// destination, exactly once, and its reply — sent along nothing but the
+// accumulated trailer — arrived back at the flow's source, exactly once.
+func CheckReachability(res *Result, sc *Scenario) []string {
+	var out []string
+	bad := func(format string, args ...any) { out = append(out, fmt.Sprintf(format, args...)) }
+
+	for _, f := range sc.Flows {
+		recs := res.Deliveries(f.ID)
+		if len(recs) == 0 {
+			bad("flow %d: never delivered", f.ID)
+			continue
+		}
+		if len(recs) > 1 {
+			bad("flow %d: delivered %d times", f.ID, len(recs))
+			continue
+		}
+		if want := HostName(f.Dst); recs[0].Host != want {
+			bad("flow %d: delivered to %s, want %s", f.ID, recs[0].Host, want)
+		}
+		if !recs[0].DataOK {
+			bad("flow %d: payload corrupted in flight", f.ID)
+		}
+		replies := res.ReplyHosts(f.ID)
+		if len(replies) != 1 {
+			bad("flow %d: %d replies, want exactly 1", f.ID, len(replies))
+			continue
+		}
+		if want := HostName(f.Src); replies[0] != want {
+			bad("flow %d: reply landed at %s, want source %s", f.ID, replies[0], want)
+		}
+	}
+	return out
+}

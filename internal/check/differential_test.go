@@ -1,0 +1,110 @@
+package check
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// liveDeadline bounds how long one livenet scenario may take to quiesce.
+const liveDeadline = 10 * time.Second
+
+// TestDifferentialNetsimVsLivenet is the harness's centerpiece: for each
+// of 60 seeded scenarios, the identical topology, routes, and workload
+// run through the event-driven substrate and the goroutine substrate,
+// and the observations must agree — delivery sets, delivering hosts,
+// trailer contents, payload integrity, and reply arrivals. Each
+// substrate must also independently satisfy reachability: every request
+// reaches its destination exactly once, and every reply — routed purely
+// by the accumulated trailer — reaches the source exactly once.
+func TestDifferentialNetsimVsLivenet(t *testing.T) {
+	const seeds = 60
+	for seed := int64(1); seed <= seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			sc := Generate(seed)
+			net := BuildNetsim(sc)
+			routes, err := FlowRoutes(net, sc)
+			if err != nil {
+				t.Fatalf("routing: %v", err)
+			}
+			simRes := RunNetsim(net, sc, routes)
+			liveRes := RunLivenet(sc, routes, liveDeadline)
+
+			for _, p := range Diff(simRes, liveRes, sc) {
+				t.Errorf("diff: %s", p)
+			}
+			for _, p := range CheckReachability(simRes, sc) {
+				t.Errorf("netsim: %s", p)
+			}
+			for _, p := range CheckReachability(liveRes, sc) {
+				t.Errorf("livenet: %s", p)
+			}
+
+			// A fault-free run must also be loss-free at every layer.
+			if _, _, _, se := simRes.Counts(); se != 0 {
+				t.Errorf("netsim: %d send errors", se)
+			}
+			if _, _, _, se := liveRes.Counts(); se != 0 {
+				t.Errorf("livenet: %d send errors", se)
+			}
+			for i := 0; i < sc.NRouters; i++ {
+				r := net.Router(RouterName(i))
+				if n := r.Stats.TotalDrops(); n != 0 {
+					t.Errorf("netsim %s: %d drops in a fault-free run: %v", RouterName(i), n, r.Stats.Drops)
+				}
+			}
+			for i := range sc.HostRouter {
+				h := net.Host(HostName(i))
+				s := h.Stats
+				if s.Misdeliver+s.DropAborted+s.DropNoIface+s.DropQueue+s.DropTx != 0 {
+					t.Errorf("netsim %s: host drops in a fault-free run: %+v", HostName(i), s)
+				}
+			}
+		})
+	}
+}
+
+// TestGenerateDeterministic pins that a seed fully determines the
+// scenario, which both the diff and any future bisection rely on.
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		a, b := Generate(seed), Generate(seed)
+		if fmt.Sprintf("%+v", a) != fmt.Sprintf("%+v", b) {
+			t.Fatalf("seed %d: Generate is not deterministic", seed)
+		}
+		if len(a.Flows) < 5 {
+			t.Fatalf("seed %d: only %d flows", seed, len(a.Flows))
+		}
+		for _, f := range a.Flows {
+			if f.Src == f.Dst {
+				t.Fatalf("seed %d: flow %d is a self-loop", seed, f.ID)
+			}
+		}
+	}
+}
+
+// TestScenarioPortsDisjoint verifies the generator never double-books a
+// router port — the property that lets both builders use explicit port
+// numbers and get identical topologies.
+func TestScenarioPortsDisjoint(t *testing.T) {
+	for seed := int64(1); seed <= 200; seed++ {
+		sc := Generate(seed)
+		used := make(map[[2]int]bool)
+		claim := func(router int, port uint8) {
+			k := [2]int{router, int(port)}
+			if used[k] {
+				t.Fatalf("seed %d: router %d port %d allocated twice", seed, router, port)
+			}
+			used[k] = true
+		}
+		for _, l := range sc.Links {
+			claim(l.A, l.APort)
+			claim(l.B, l.BPort)
+		}
+		for i, ri := range sc.HostRouter {
+			claim(ri, sc.HostPort[i])
+		}
+	}
+}

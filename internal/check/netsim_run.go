@@ -1,0 +1,108 @@
+package check
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/directory"
+	"repro/internal/router"
+	"repro/internal/sim"
+	"repro/internal/viper"
+)
+
+// linkProp is the propagation delay on every generated link.
+const linkProp = 5 * sim.Microsecond
+
+// sendSpacing staggers flow injections so a scenario exercises both
+// overlapping and disjoint transits.
+const sendSpacing = 200 * sim.Microsecond
+
+// BuildNetsim realizes a scenario on the event-driven substrate: routers
+// and hosts from the core package, every link a point-to-point trunk at
+// the common rate, hosts attached on their interface 1.
+func BuildNetsim(sc *Scenario) *core.Internetwork {
+	net := core.New(sc.Seed)
+	for i := 0; i < sc.NRouters; i++ {
+		net.AddRouter(RouterName(i), router.Config{})
+	}
+	for i := range sc.HostRouter {
+		net.AddHost(HostName(i))
+	}
+	for _, l := range sc.Links {
+		net.Connect(RouterName(l.A), l.APort, RouterName(l.B), l.BPort, LinkRateBps, linkProp)
+	}
+	for i, ri := range sc.HostRouter {
+		net.Connect(HostName(i), 1, RouterName(ri), sc.HostPort[i], LinkRateBps, linkProp)
+	}
+	return net
+}
+
+// FlowRoutes asks the directory for one route per flow. Both substrates
+// are fed these exact segment lists, so any behavioral divergence is in
+// the forwarding planes, not the routing.
+func FlowRoutes(net *core.Internetwork, sc *Scenario) (map[uint64][]viper.Segment, error) {
+	routes := make(map[uint64][]viper.Segment, len(sc.Flows))
+	for _, f := range sc.Flows {
+		rs, err := net.Routes(directory.Query{
+			From:     HostName(f.Src),
+			To:       HostName(f.Dst),
+			Priority: f.Prio,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("route %s->%s: %w", HostName(f.Src), HostName(f.Dst), err)
+		}
+		if len(rs) == 0 {
+			return nil, fmt.Errorf("route %s->%s: no route", HostName(f.Src), HostName(f.Dst))
+		}
+		routes[f.ID] = rs[0].Segments
+	}
+	return routes, nil
+}
+
+// RunNetsim injects every flow into the netsim realization and drains
+// the engine. Destination handlers echo a reply along the delivered
+// packet's accumulated return route, so the result also witnesses
+// reverse-route reachability.
+func RunNetsim(net *core.Internetwork, sc *Scenario, routes map[uint64][]viper.Segment) *Result {
+	res := NewResult()
+	for i := range sc.HostRouter {
+		name := HostName(i)
+		h := net.Host(name)
+		h.Handle(0, func(d *router.Delivery) {
+			id, kind, ok := ParseData(d.Data)
+			if !ok || id == 0 || int(id) > len(sc.Flows) {
+				res.AddGarbled()
+				return
+			}
+			switch kind {
+			case kindRequest:
+				f := sc.Flows[id-1]
+				res.AddDelivery(id, DeliveryRec{
+					Host:   name,
+					Fp:     Fingerprint(d.ReturnRoute),
+					DataOK: bytes.Equal(d.Data, FlowData(f)),
+				})
+				if err := h.Send(d.ReturnRoute, ReplyData(id)); err != nil {
+					res.AddSendErr()
+				}
+			case kindReply:
+				res.AddReply(id, name)
+			default:
+				res.AddGarbled()
+			}
+		})
+	}
+	for i, f := range sc.Flows {
+		f := f
+		src := net.Host(HostName(f.Src))
+		route := routes[f.ID]
+		net.Eng.Schedule(sim.Time(i)*sendSpacing, func() {
+			if err := src.Send(route, FlowData(f)); err != nil {
+				res.AddSendErr()
+			}
+		})
+	}
+	net.Run()
+	return res
+}

@@ -15,6 +15,8 @@ package livenet
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 
@@ -95,9 +97,51 @@ func (nd *node) send(port uint8, f Frame) bool {
 	}
 }
 
+// Link is a handle on one bidirectional livenet link, used for fault
+// injection: a down link silently discards frames in both directions (as
+// a cut cable would), and a loss ratio discards each frame independently
+// with the given probability. Discards are counted in Dropped so
+// conservation checks can attribute every missing packet. All methods
+// are safe for concurrent use, including mid-flight flaps.
+type Link struct {
+	down     atomic.Bool
+	lossBits atomic.Uint64 // math.Float64bits of the loss probability
+	dropped  atomic.Uint64
+}
+
+// SetDown fails (true) or restores (false) both directions of the link.
+func (l *Link) SetDown(down bool) { l.down.Store(down) }
+
+// IsDown reports whether the link is failed.
+func (l *Link) IsDown() bool { return l.down.Load() }
+
+// SetLossRatio makes each frame be discarded with probability p (0
+// disables).
+func (l *Link) SetLossRatio(p float64) { l.lossBits.Store(math.Float64bits(p)) }
+
+// Dropped returns the number of frames discarded by fault injection.
+func (l *Link) Dropped() uint64 { return l.dropped.Load() }
+
+// drops draws the fault lottery for one frame delivery.
+func (l *Link) drops() bool {
+	if l == nil {
+		return false
+	}
+	if l.down.Load() {
+		l.dropped.Add(1)
+		return true
+	}
+	if p := math.Float64frombits(l.lossBits.Load()); p > 0 && rand.Float64() < p {
+		l.dropped.Add(1)
+		return true
+	}
+	return false
+}
+
 // attach wires a port: out is the transmit channel, in the receive one.
-// A pump goroutine tags inbound frames with the port.
-func (n *Network) attach(nd *node, port uint8, out chan<- Frame, in <-chan Frame) {
+// A pump goroutine tags inbound frames with the port, dropping frames
+// the link's fault injection discards.
+func (n *Network) attach(nd *node, port uint8, out chan<- Frame, in <-chan Frame, link *Link) {
 	nd.mu.Lock()
 	nd.out[port] = out
 	nd.mu.Unlock()
@@ -109,6 +153,9 @@ func (n *Network) attach(nd *node, port uint8, out chan<- Frame, in <-chan Frame
 			case f, ok := <-in:
 				if !ok {
 					return
+				}
+				if link.drops() {
+					continue
 				}
 				select {
 				case nd.inbox <- inFrame{port: port, frame: f}:
@@ -123,15 +170,17 @@ func (n *Network) attach(nd *node, port uint8, out chan<- Frame, in <-chan Frame
 }
 
 // Connect joins two nodes with a bidirectional link of the given channel
-// depth.
-func (n *Network) Connect(a Attachable, portA uint8, b Attachable, portB uint8, depth int) {
+// depth and returns the link's fault-injection handle.
+func (n *Network) Connect(a Attachable, portA uint8, b Attachable, portB uint8, depth int) *Link {
 	if depth <= 0 {
 		depth = 16
 	}
 	ab := make(chan Frame, depth)
 	ba := make(chan Frame, depth)
-	n.attach(a.base(), portA, ab, ba)
-	n.attach(b.base(), portB, ba, ab)
+	l := &Link{}
+	n.attach(a.base(), portA, ab, ba, l)
+	n.attach(b.base(), portB, ba, ab, l)
+	return l
 }
 
 // Attachable is implemented by livenet hosts and routers.

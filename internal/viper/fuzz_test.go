@@ -1,0 +1,149 @@
+package viper
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The fuzz targets enforce the codec invariants every other layer builds
+// on: decoding never panics on hostile input, anything a decoder accepts
+// the encoder can reproduce, a second decode of that re-encoding is a
+// fixpoint, and the forward and mirrored encodings describe the same
+// segment. Seed corpora live under testdata/fuzz/ (regenerate with
+// `go test -run TestRegenerateFuzzCorpus -regen-corpus`).
+
+// mustAppendSegment encodes a segment that a decoder just accepted; a
+// failure is itself an invariant violation (decode admitted a segment the
+// encoder rejects).
+func mustAppendSegment(t *testing.T, s *Segment, mirrored bool) []byte {
+	t.Helper()
+	var b []byte
+	var err error
+	if mirrored {
+		b, err = AppendSegmentMirrored(nil, s)
+	} else {
+		b, err = AppendSegment(nil, s)
+	}
+	if err != nil {
+		t.Fatalf("decoded segment %v fails to re-encode (mirrored=%v): %v", s, mirrored, err)
+	}
+	return b
+}
+
+func FuzzDecodeSegment(f *testing.F) {
+	f.Add([]byte{0, 0, 3, 0x12})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{2, 3, 7, 0x25, 0xAA, 0xBB, 0xCC, 0x88, 0xB5})
+	f.Add([]byte{255, 0, 1, 0, 0, 0, 0, 0}) // escaped zero-length portInfo
+	f.Add([]byte{0, 0, 1})                  // truncated fixed prefix
+	f.Fuzz(func(t *testing.T, b []byte) {
+		seg, rest, err := DecodeSegment(b)
+		if err != nil {
+			return
+		}
+		if len(rest) > len(b) {
+			t.Fatalf("rest grew: %d -> %d bytes", len(b), len(rest))
+		}
+		// encode∘decode identity: the accepted segment re-encodes
+		// canonically and decodes back to itself with nothing left over.
+		enc := mustAppendSegment(t, &seg, false)
+		seg2, rest2, err := DecodeSegment(enc)
+		if err != nil {
+			t.Fatalf("re-encoding of %v does not decode: %v", &seg, err)
+		}
+		if len(rest2) != 0 {
+			t.Fatalf("re-encoding of %v leaves %d residual bytes", &seg, len(rest2))
+		}
+		if !seg2.Equal(&seg) {
+			t.Fatalf("decode(encode(s)) = %v, want %v", &seg2, &seg)
+		}
+		if got := seg.WireLen(); got != len(enc) {
+			t.Fatalf("WireLen = %d, canonical encoding is %d bytes", got, len(enc))
+		}
+	})
+}
+
+func FuzzDecodeSegmentMirrored(f *testing.F) {
+	f.Add([]byte{0, 0, 3, 0x12})
+	f.Add([]byte{0xAA, 0xBB, 0x88, 0xB5, 2, 2, 7, 0x25})
+	f.Add([]byte{0, 0, 0, 0, 255, 0, 1, 0}) // escaped zero-length portInfo
+	f.Add([]byte{1, 0})                     // truncated fixed suffix
+	f.Fuzz(func(t *testing.T, b []byte) {
+		seg, rest, err := DecodeSegmentMirrored(b)
+		if err != nil {
+			return
+		}
+		if len(rest) > len(b) {
+			t.Fatalf("rest grew: %d -> %d bytes", len(b), len(rest))
+		}
+		enc := mustAppendSegment(t, &seg, true)
+		seg2, rest2, err := DecodeSegmentMirrored(enc)
+		if err != nil {
+			t.Fatalf("mirrored re-encoding of %v does not decode: %v", &seg, err)
+		}
+		if len(rest2) != 0 {
+			t.Fatalf("mirrored re-encoding of %v leaves %d residual bytes", &seg, len(rest2))
+		}
+		if !seg2.Equal(&seg) {
+			t.Fatalf("mirrored decode(encode(s)) = %v, want %v", &seg2, &seg)
+		}
+		// Forward/mirrored symmetry: the same segment carried through the
+		// forward encoding must survive unchanged.
+		fwd := mustAppendSegment(t, &seg, false)
+		seg3, _, err := DecodeSegment(fwd)
+		if err != nil {
+			t.Fatalf("forward encoding of mirrored-decoded %v does not decode: %v", &seg, err)
+		}
+		if !seg3.Equal(&seg) {
+			t.Fatalf("forward/mirrored asymmetry: %v vs %v", &seg3, &seg)
+		}
+	})
+}
+
+func FuzzPacketRoundTrip(f *testing.F) {
+	// A couple of valid encodings as starting points; the richer corpus
+	// is in testdata/fuzz/FuzzPacketRoundTrip.
+	p := NewPacket([]Segment{{Port: 5, Flags: FlagVNT}, {Port: PortLocal}}, []byte("payload"))
+	p.Trailer = []Segment{{Port: 9, Priority: 3}}
+	if b, err := p.Encode(); err == nil {
+		f.Add(b)
+	}
+	f.Add([]byte{0, 0, 1, 0, 0, 0, 0, 0x5A}) // minimal packet: one segment + empty trailer
+	f.Add([]byte{0, 0, 0, 0x5A})             // descriptor only (no route): must error, not panic
+	f.Fuzz(func(t *testing.T, b []byte) {
+		pkt, err := Decode(b)
+		if err != nil {
+			return
+		}
+		// Anything Decode accepts must re-encode...
+		enc, err := pkt.Encode()
+		if err != nil {
+			t.Fatalf("decoded packet fails to re-encode: %v\n%v", err, pkt)
+		}
+		// ...and the re-encoding must be a semantic fixpoint.
+		pkt2, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("re-encoding does not decode: %v", err)
+		}
+		if len(pkt2.Route) != len(pkt.Route) || len(pkt2.Trailer) != len(pkt.Trailer) {
+			t.Fatalf("segment counts changed: route %d->%d trailer %d->%d",
+				len(pkt.Route), len(pkt2.Route), len(pkt.Trailer), len(pkt2.Trailer))
+		}
+		for i := range pkt.Route {
+			if !pkt2.Route[i].Equal(&pkt.Route[i]) {
+				t.Fatalf("route[%d] changed: %v -> %v", i, &pkt.Route[i], &pkt2.Route[i])
+			}
+		}
+		for i := range pkt.Trailer {
+			if !pkt2.Trailer[i].Equal(&pkt.Trailer[i]) {
+				t.Fatalf("trailer[%d] changed: %v -> %v", i, &pkt.Trailer[i], &pkt2.Trailer[i])
+			}
+		}
+		if !bytes.Equal(pkt2.Data, pkt.Data) {
+			t.Fatalf("data changed: %d bytes -> %d bytes", len(pkt.Data), len(pkt2.Data))
+		}
+		if pkt2.Truncated != pkt.Truncated {
+			t.Fatalf("truncated flag changed: %v -> %v", pkt.Truncated, pkt2.Truncated)
+		}
+	})
+}

@@ -219,11 +219,10 @@ func Decode(b []byte) (*Packet, error) {
 	}
 	p.Trailer = rev
 
-	// Forward segments from the front.
+	// Forward segments from the front. The bound mirrors Encode's, so
+	// any packet Decode accepts can be re-encoded: without the >= check
+	// a 49-segment route would decode here but fail Encode.
 	for {
-		if len(p.Route) > MaxRouteSegments {
-			return nil, ErrTooManySegments
-		}
 		var s Segment
 		s, rest, err = DecodeSegment(rest)
 		if err != nil {
@@ -232,6 +231,9 @@ func Decode(b []byte) (*Packet, error) {
 		p.Route = append(p.Route, s)
 		if !s.Continues() {
 			break
+		}
+		if len(p.Route) >= MaxRouteSegments {
+			return nil, ErrTooManySegments
 		}
 	}
 	p.Data = rest

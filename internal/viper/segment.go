@@ -294,10 +294,13 @@ func decodeField(b []byte, lenByte byte) (field, rest []byte, err error) {
 		if len(b) < 4 {
 			return nil, nil, ErrTruncatedSegment
 		}
-		n = int(binary.BigEndian.Uint32(b))
-		if n > MaxFieldLen {
+		// Bound the 32-bit length before converting to int so the check
+		// holds even where int is 32 bits wide.
+		v := binary.BigEndian.Uint32(b)
+		if v > MaxFieldLen {
 			return nil, nil, ErrFieldTooLong
 		}
+		n = int(v)
 		b = b[4:]
 	}
 	if len(b) < n {
@@ -364,10 +367,11 @@ func decodeFieldBackward(b []byte, lenByte byte) (field, rest []byte, err error)
 		if len(b) < 4 {
 			return nil, nil, ErrTruncatedSegment
 		}
-		n = int(binary.BigEndian.Uint32(b[len(b)-4:]))
-		if n > MaxFieldLen {
+		v := binary.BigEndian.Uint32(b[len(b)-4:])
+		if v > MaxFieldLen {
 			return nil, nil, ErrFieldTooLong
 		}
+		n = int(v)
 		b = b[:len(b)-4]
 	}
 	if len(b) < n {
