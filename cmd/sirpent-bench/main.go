@@ -7,25 +7,40 @@
 //	sirpent-bench            # run everything
 //	sirpent-bench -run E03   # one experiment
 //	sirpent-bench -list      # list experiment IDs
+//	sirpent-bench -live      # livenet forwarding benchmark -> BENCH_livenet.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/livenet"
 )
 
 func main() {
 	runID := flag.String("run", "", "comma-separated experiment IDs (default: all)")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
+	live := flag.Bool("live", false, "run the livenet forwarding benchmark instead of the experiment tables")
+	liveOut := flag.String("live-out", "BENCH_livenet.json", "output path for -live results")
+	liveDur := flag.Duration("live-dur", time.Second, "measurement duration per -live topology")
 	flag.Parse()
 
 	if *list {
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)
+		}
+		return
+	}
+
+	if *live {
+		if err := runLive(*liveOut, *liveDur); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(2)
 		}
 		return
 	}
@@ -49,4 +64,30 @@ func main() {
 		fmt.Fprintf(os.Stderr, "%d shape checks FAILED\n", failed)
 		os.Exit(1)
 	}
+}
+
+// runLive measures the zero-copy forwarding fast path over hop chains of
+// increasing length and a 4×4 router mesh, writing the results as JSON.
+func runLive(out string, dur time.Duration) error {
+	var results []livenet.BenchResult
+	for _, hops := range []int{1, 2, 4, 8, 12, 16} {
+		r := livenet.BenchChain(hops, dur)
+		fmt.Printf("%-8s hops=%-2d  %10.0f pkts/s  %8.1f ns/hop  %6.3f allocs/hop\n",
+			r.Topology, r.Hops, r.PktsPerSec, r.NsPerHop, r.AllocsPerHop)
+		results = append(results, r)
+	}
+	m := livenet.BenchMesh(4, 4, dur)
+	fmt.Printf("%-8s hops=%-2d  %10.0f pkts/s  %8.1f ns/hop  %6.3f allocs/hop  (%d flows)\n",
+		m.Topology, m.Hops, m.PktsPerSec, m.NsPerHop, m.AllocsPerHop, m.Flows)
+	results = append(results, m)
+
+	blob, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
 }

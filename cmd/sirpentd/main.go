@@ -29,8 +29,8 @@ func main() {
 	r1 := net.NewRouter("r1")
 	r2 := net.NewRouter("r2")
 	server := net.NewHost("server")
-	net.Connect(r1, 100, r2, 1, 64)
-	net.Connect(r2, 2, server, 1, 64)
+	net.Connect(r1, 100, r2, 1, livenet.WithDepth(64))
+	net.Connect(r2, 2, server, 1, livenet.WithDepth(64))
 
 	server.Handle(0, func(d livenet.Delivery) {
 		if err := server.Send(d.ReturnRoute, append([]byte("ack:"), d.Data...)); err != nil {
@@ -43,7 +43,7 @@ func main() {
 	for c := 0; c < *nClients; c++ {
 		c := c
 		h := net.NewHost(fmt.Sprintf("client%d", c))
-		net.Connect(h, 1, r1, uint8(1+c), 64)
+		net.Connect(h, 1, r1, uint8(1+c), livenet.WithDepth(64))
 		route := []viper.Segment{
 			{Port: 1},                         // client interface
 			{Port: 100, Flags: viper.FlagVNT}, // r1 -> r2 trunk
@@ -77,7 +77,7 @@ func main() {
 		total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds())
 	for _, r := range []*livenet.Router{r1, r2} {
 		s := r.Stats()
-		fmt.Printf("  %-3s forwarded=%d local=%d drops=%d\n", rName(r, r1), s.Forwarded, s.Local, s.Drops)
+		fmt.Printf("  %-3s forwarded=%d local=%d drops=%d\n", rName(r, r1), s.Forwarded, s.Local, s.TotalDrops())
 	}
 }
 

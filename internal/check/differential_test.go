@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"testing"
 	"time"
+
+	"repro/internal/stats"
 )
 
 // liveDeadline bounds how long one livenet scenario may take to quiesce.
@@ -30,10 +32,17 @@ func TestDifferentialNetsimVsLivenet(t *testing.T) {
 				t.Fatalf("routing: %v", err)
 			}
 			simRes := RunNetsim(net, sc, routes)
-			liveRes := RunLivenet(sc, routes, liveDeadline)
+			liveRes, liveCtrs := RunLivenet(sc, routes, liveDeadline)
 
 			for _, p := range Diff(simRes, liveRes, sc) {
 				t.Errorf("diff: %s", p)
+			}
+			// The substrates share one counter surface (stats.Counters),
+			// so a fault-free run must produce identical totals bucket by
+			// bucket — same forwards, same local deliveries, zero drops
+			// everywhere.
+			for _, p := range stats.DiffCounters("netsim", "livenet", NetsimRouterCounters(net, sc), liveCtrs) {
+				t.Errorf("counters: %s", p)
 			}
 			for _, p := range CheckReachability(simRes, sc) {
 				t.Errorf("netsim: %s", p)

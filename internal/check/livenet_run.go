@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/livenet"
+	"repro/internal/stats"
 	"repro/internal/viper"
 )
 
@@ -29,10 +30,10 @@ func BuildLivenet(sc *Scenario) *LiveNet {
 		ln.Hosts = append(ln.Hosts, ln.Net.NewHost(HostName(i)))
 	}
 	for _, l := range sc.Links {
-		ln.Links = append(ln.Links, ln.Net.Connect(ln.Routers[l.A], l.APort, ln.Routers[l.B], l.BPort, 64))
+		ln.Links = append(ln.Links, ln.Net.Connect(ln.Routers[l.A], l.APort, ln.Routers[l.B], l.BPort, livenet.WithDepth(64)))
 	}
 	for i, ri := range sc.HostRouter {
-		ln.HostLinks = append(ln.HostLinks, ln.Net.Connect(ln.Hosts[i], 1, ln.Routers[ri], sc.HostPort[i], 64))
+		ln.HostLinks = append(ln.HostLinks, ln.Net.Connect(ln.Hosts[i], 1, ln.Routers[ri], sc.HostPort[i], livenet.WithDepth(64)))
 	}
 	return ln
 }
@@ -51,11 +52,18 @@ func (ln *LiveNet) Dropped() uint64 {
 
 // RouterDrops sums the routers' drop counters.
 func (ln *LiveNet) RouterDrops() uint64 {
-	var n uint64
+	return ln.RouterCounters().TotalDrops()
+}
+
+// RouterCounters merges every router's counter snapshot into one
+// stats.Counters, the substrate-neutral surface the differential suite
+// diffs against netsim's.
+func (ln *LiveNet) RouterCounters() stats.Counters {
+	var c stats.Counters
 	for _, r := range ln.Routers {
-		n += r.Stats().Drops
+		c.Merge(r.Stats())
 	}
-	return n
+	return c
 }
 
 // InstallEcho registers the harness protocol on every host: requests are
@@ -125,8 +133,10 @@ func (ln *LiveNet) Settle(res *Result, deadline time.Duration) {
 }
 
 // RunLivenet injects every flow into the livenet realization, waits for
-// quiesce, stops the network, and returns the observations.
-func RunLivenet(sc *Scenario, routes map[uint64][]viper.Segment, deadline time.Duration) *Result {
+// quiesce, stops the network, and returns the observations plus the
+// merged router counters for generic diffing against the other
+// substrate.
+func RunLivenet(sc *Scenario, routes map[uint64][]viper.Segment, deadline time.Duration) (*Result, stats.Counters) {
 	ln := BuildLivenet(sc)
 	defer ln.Net.Stop()
 	res := NewResult()
@@ -137,5 +147,5 @@ func RunLivenet(sc *Scenario, routes map[uint64][]viper.Segment, deadline time.D
 		}
 	}
 	ln.Settle(res, deadline)
-	return res
+	return res, ln.RouterCounters()
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/directory"
 	"repro/internal/router"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/viper"
 )
 
@@ -36,6 +37,17 @@ func BuildNetsim(sc *Scenario) *core.Internetwork {
 		net.Connect(HostName(i), 1, RouterName(ri), sc.HostPort[i], LinkRateBps, linkProp)
 	}
 	return net
+}
+
+// NetsimRouterCounters merges every netsim router's substrate-neutral
+// counter surface into one stats.Counters, mirroring
+// LiveNet.RouterCounters on the other substrate.
+func NetsimRouterCounters(net *core.Internetwork, sc *Scenario) stats.Counters {
+	var c stats.Counters
+	for i := 0; i < sc.NRouters; i++ {
+		c.Merge(net.Router(RouterName(i)).Stats.Counters)
+	}
+	return c
 }
 
 // FlowRoutes asks the directory for one route per flow. Both substrates

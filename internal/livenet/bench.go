@@ -1,0 +1,176 @@
+package livenet
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/viper"
+)
+
+// BenchResult is one forwarding-benchmark measurement, serialized into
+// BENCH_livenet.json by cmd/sirpent-bench. NsPerHop and AllocsPerHop are
+// normalized over router traversals (packets × hops); AllocsPerHop
+// includes the host-side encode/deliver work amortized across the
+// chain's hops, so long chains isolate the router fast path.
+type BenchResult struct {
+	Topology     string  `json:"topology"`
+	Hops         int     `json:"hops"`
+	Flows        int     `json:"flows"`
+	Packets      uint64  `json:"packets"`
+	Seconds      float64 `json:"seconds"`
+	PktsPerSec   float64 `json:"pkts_per_sec"`
+	NsPerHop     float64 `json:"ns_per_hop"`
+	AllocsPerHop float64 `json:"allocs_per_hop"`
+}
+
+// benchFlow is one source→sink stream for the benchmark runner.
+type benchFlow struct {
+	src   *Host
+	route []viper.Segment
+}
+
+// chainRoute builds the source route for a host→r1→…→rN→host chain
+// where every router forwards on outPort.
+func chainRoute(hops int, hostPort, outPort uint8) []viper.Segment {
+	route := []viper.Segment{{Port: hostPort}}
+	for i := 0; i < hops; i++ {
+		route = append(route, viper.Segment{Port: outPort, Flags: viper.FlagVNT})
+	}
+	return append(route, viper.Segment{Port: viper.PortLocal})
+}
+
+// runFlows drives every flow with a bounded in-flight window for roughly
+// the given duration, then drains, returning delivered packets, elapsed
+// time, and the process-wide malloc delta (runtime.MemStats.Mallocs, so
+// concurrent runtime activity is included — run flows one benchmark at a
+// time).
+func runFlows(flows []benchFlow, sinks []*Host, d time.Duration, window int) (uint64, time.Duration, uint64) {
+	var delivered atomic.Uint64
+	tokens := make(chan struct{}, window)
+	for i := 0; i < window; i++ {
+		tokens <- struct{}{}
+	}
+	for _, s := range sinks {
+		s.Handle(0, func(Delivery) {
+			delivered.Add(1)
+			tokens <- struct{}{}
+		})
+	}
+
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	payload := []byte("sirpent-bench")
+	for _, f := range flows {
+		f := f
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tokens:
+				}
+				if f.src.Send(f.route, payload) != nil {
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(d)
+	close(stop)
+	wg.Wait()
+	// Drain in-flight packets so elapsed covers every counted delivery.
+	for deadline := time.Now().Add(2 * time.Second); time.Now().Before(deadline); {
+		if len(tokens) == window {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	return delivered.Load(), elapsed, ms1.Mallocs - ms0.Mallocs
+}
+
+// BenchChain measures forwarding through a linear chain of hops routers
+// (host → r1 → … → rN → host) for roughly duration d.
+func BenchChain(hops int, d time.Duration) BenchResult {
+	n := NewNetwork()
+	defer n.Stop()
+	routers := make([]*Router, hops)
+	for i := range routers {
+		routers[i] = n.NewRouter(fmt.Sprintf("r%d", i))
+	}
+	src := n.NewHost("src")
+	dst := n.NewHost("dst")
+	n.Connect(src, 1, routers[0], 1, WithDepth(64))
+	for i := 1; i < hops; i++ {
+		n.Connect(routers[i-1], 2, routers[i], 1, WithDepth(64))
+	}
+	n.Connect(routers[hops-1], 2, dst, 1, WithDepth(64))
+
+	flows := []benchFlow{{src: src, route: chainRoute(hops, 1, 2)}}
+	pkts, elapsed, mallocs := runFlows(flows, []*Host{dst}, d, 64)
+	return result("chain", hops, 1, pkts, elapsed, mallocs)
+}
+
+// BenchMesh measures aggregate forwarding over a rows×cols router mesh:
+// one flow per row, entering at the left column and exiting at the
+// right, all rows concurrent. Packets traverse cols routers.
+func BenchMesh(rows, cols int, d time.Duration) BenchResult {
+	n := NewNetwork()
+	defer n.Stop()
+	// Ports: 1 = left (host or west neighbor), 2 = right, 3 = up, 4 = down.
+	grid := make([][]*Router, rows)
+	for i := range grid {
+		grid[i] = make([]*Router, cols)
+		for j := range grid[i] {
+			grid[i][j] = n.NewRouter(fmt.Sprintf("r%d.%d", i, j))
+		}
+	}
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if j+1 < cols {
+				n.Connect(grid[i][j], 2, grid[i][j+1], 1, WithDepth(64))
+			}
+			if i+1 < rows {
+				n.Connect(grid[i][j], 4, grid[i+1][j], 3, WithDepth(64))
+			}
+		}
+	}
+	flows := make([]benchFlow, 0, rows)
+	sinks := make([]*Host, 0, rows)
+	for i := 0; i < rows; i++ {
+		src := n.NewHost(fmt.Sprintf("src%d", i))
+		dst := n.NewHost(fmt.Sprintf("dst%d", i))
+		n.Connect(src, 1, grid[i][0], 1, WithDepth(64))
+		n.Connect(grid[i][cols-1], 2, dst, 1, WithDepth(64))
+		flows = append(flows, benchFlow{src: src, route: chainRoute(cols, 1, 2)})
+		sinks = append(sinks, dst)
+	}
+	pkts, elapsed, mallocs := runFlows(flows, sinks, d, 64)
+	return result(fmt.Sprintf("mesh%dx%d", rows, cols), cols, rows, pkts, elapsed, mallocs)
+}
+
+func result(topo string, hops, flows int, pkts uint64, elapsed time.Duration, mallocs uint64) BenchResult {
+	r := BenchResult{
+		Topology: topo,
+		Hops:     hops,
+		Flows:    flows,
+		Packets:  pkts,
+		Seconds:  elapsed.Seconds(),
+	}
+	if pkts > 0 && elapsed > 0 {
+		r.PktsPerSec = float64(pkts) / elapsed.Seconds()
+		r.NsPerHop = float64(elapsed.Nanoseconds()) / float64(pkts*uint64(hops))
+		r.AllocsPerHop = float64(mallocs) / float64(pkts*uint64(hops))
+	}
+	return r
+}

@@ -1,0 +1,182 @@
+package livenet
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/ethernet"
+	"repro/internal/pool"
+	"repro/internal/viper"
+)
+
+// benchRouter builds a router with no goroutine: forward is called
+// directly and the forwarded frame read back from a hand-wired port.
+func benchRouter() (*Router, chan Frame) {
+	r := &Router{node: newNode("bench")}
+	ch := make(chan Frame, 1)
+	r.node.out[2] = ch
+	return r, ch
+}
+
+// hopTemplate encodes a two-segment packet (forward on port 2, then
+// local) with one trailer segment, as a first-hop router would see it.
+func hopTemplate(t testing.TB) []byte {
+	route := []viper.Segment{
+		{Port: 2, Flags: viper.FlagVNT, PortToken: []byte{0xA1, 0xA2, 0xA3, 0xA4}},
+		{Port: viper.PortLocal},
+	}
+	pkt := viper.NewPacket(route, []byte("fastpath-hop-payload"))
+	pkt.Trailer = []viper.Segment{{Port: viper.PortLocal}}
+	b, err := pkt.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+var hopHdrTemplate = ethernet.Header{
+	Dst:  ethernet.Addr{0x02, 0, 0, 0, 0, 2},
+	Src:  ethernet.Addr{0x02, 0, 0, 0, 0, 1},
+	Type: viper.EtherTypeVIPER,
+}.Encode()
+
+// forwardOneHop pushes one pooled copy of the template through the
+// router and recycles the forwarded frame.
+func forwardOneHop(r *Router, ch chan Frame, tmpl []byte, hdr []byte) {
+	buf := pool.Get(len(tmpl) + frameHeadroom(2, len(tmpl)))
+	buf = append(buf, tmpl...)
+	copy(hdr, hopHdrTemplate)
+	r.forward(inFrame{port: 1, frame: Frame{Hdr: hdr, Pkt: buf, buf: buf[:0]}})
+	f := <-ch
+	f.release()
+}
+
+// TestForwardHopAllocs pins the tentpole regression bound: one forwarded
+// hop — decode, header swap, in-place trailer surgery, transmit — costs
+// at most one amortized heap allocation, and in steady state zero.
+func TestForwardHopAllocs(t *testing.T) {
+	r, ch := benchRouter()
+	tmpl := hopTemplate(t)
+	hdr := make([]byte, ethernet.HeaderLen)
+	// Warm the pool so steady state is measured, not the first fill.
+	for i := 0; i < 8; i++ {
+		forwardOneHop(r, ch, tmpl, hdr)
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		forwardOneHop(r, ch, tmpl, hdr)
+	})
+	if allocs > 1 {
+		t.Fatalf("forwarding one hop allocates %.2f times, want <= 1", allocs)
+	}
+	if s := r.Stats(); s.Forwarded == 0 || s.TotalDrops() != 0 {
+		t.Fatalf("unexpected counters after bench loop: %v", s)
+	}
+}
+
+// BenchmarkForwardHop measures the router fast path in isolation: ns and
+// allocs per §6.2 byte-surgery hop.
+func BenchmarkForwardHop(b *testing.B) {
+	r, ch := benchRouter()
+	tmpl := hopTemplate(b)
+	hdr := make([]byte, ethernet.HeaderLen)
+	forwardOneHop(r, ch, tmpl, hdr)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		forwardOneHop(r, ch, tmpl, hdr)
+	}
+}
+
+// BenchmarkChain4 runs the full goroutine substrate — hosts, channels,
+// pumps — over a 4-router chain, reporting end-to-end packet cost.
+func BenchmarkChain4(b *testing.B) {
+	res := BenchChain(4, 100*time.Millisecond)
+	if res.Packets == 0 {
+		b.Fatal("no packets delivered")
+	}
+	b.ReportMetric(res.NsPerHop, "ns/hop")
+	b.ReportMetric(res.PktsPerSec, "pkts/s")
+	b.ReportMetric(res.AllocsPerHop, "allocs/hop")
+}
+
+// TestAppendTrailerSegmentMatchesReference runs seeded random packets
+// through multi-hop surgery twice — the in-place fast path and the
+// allocating reference implementation — and requires byte equality
+// after every hop.
+func TestAppendTrailerSegmentMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 300; iter++ {
+		nHops := 1 + rng.Intn(6)
+		route := make([]viper.Segment, 0, nHops+1)
+		for i := 0; i < nHops; i++ {
+			s := viper.Segment{Port: uint8(1 + rng.Intn(250)), Flags: viper.FlagVNT}
+			if rng.Intn(2) == 0 {
+				s.PortToken = randBytes(rng, 1+rng.Intn(12))
+			}
+			route = append(route, s)
+		}
+		route = append(route, viper.Segment{Port: viper.PortLocal})
+		pkt := viper.NewPacket(route, randBytes(rng, rng.Intn(200)))
+		pkt.Trailer = []viper.Segment{{Port: viper.PortLocal}}
+		encoded, err := pkt.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// fast walks the in-place path in a pooled buffer with headroom;
+		// slow rebuilds each hop with the allocating reference.
+		fast := pool.Get(len(encoded) + frameHeadroom(nHops, len(encoded)))
+		fast = append(fast, encoded...)
+		slow := append([]byte(nil), encoded...)
+		for hop := 0; hop < nHops; hop++ {
+			fseg, frest, err := viper.DecodeSegmentNoCopy(fast)
+			if err != nil {
+				t.Fatalf("iter %d hop %d: fast decode: %v", iter, hop, err)
+			}
+			sseg, srest, err := viper.DecodeSegment(slow)
+			if err != nil {
+				t.Fatalf("iter %d hop %d: slow decode: %v", iter, hop, err)
+			}
+			fret := viper.Segment{Port: uint8(hop + 1), Priority: fseg.Priority, PortToken: fseg.PortToken}
+			sret := viper.Segment{Port: uint8(hop + 1), Priority: sseg.Priority, PortToken: sseg.PortToken}
+			if fast, err = appendTrailerSegment(frest, &fret); err != nil {
+				t.Fatalf("iter %d hop %d: fast surgery: %v", iter, hop, err)
+			}
+			if slow, err = appendTrailerSegmentAlloc(srest, &sret); err != nil {
+				t.Fatalf("iter %d hop %d: slow surgery: %v", iter, hop, err)
+			}
+			if !bytes.Equal(fast, slow) {
+				t.Fatalf("iter %d hop %d: fast path diverges from reference\nfast: %x\nslow: %x",
+					iter, hop, fast, slow)
+			}
+		}
+	}
+}
+
+func randBytes(rng *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}
+
+// TestBenchChainSmoke keeps the benchmark harness itself under test: a
+// short run must deliver packets and produce sane derived metrics.
+func TestBenchChainSmoke(t *testing.T) {
+	res := BenchChain(2, 50*time.Millisecond)
+	if res.Packets == 0 || res.PktsPerSec <= 0 || res.NsPerHop <= 0 {
+		t.Fatalf("degenerate bench result: %+v", res)
+	}
+	if res.Topology != "chain" || res.Hops != 2 {
+		t.Fatalf("mislabeled result: %+v", res)
+	}
+}
+
+// TestBenchMeshSmoke does the same for the mesh topology.
+func TestBenchMeshSmoke(t *testing.T) {
+	res := BenchMesh(2, 2, 50*time.Millisecond)
+	if res.Packets == 0 || res.Flows != 2 {
+		t.Fatalf("degenerate bench result: %+v", res)
+	}
+}

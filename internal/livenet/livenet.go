@@ -10,6 +10,18 @@
 // the trailer (with suitable modification) and then transmitting the
 // packet starting at the following header segment" — implemented as byte
 // surgery without decoding the rest of the packet.
+//
+// # Buffer ownership
+//
+// Frames travel in pooled buffers (internal/pool) with capacity headroom
+// so the per-hop surgery happens in place. Exactly one node owns a
+// frame's buffer at any moment; a channel send transfers ownership to
+// the receiver. The owner either forwards the frame (ownership moves
+// on), delivers it (the buffer is recycled when the handler returns), or
+// drops it (the buffer is recycled immediately). Frame.Hdr may alias the
+// dead front region of the same buffer — the bytes of already-stripped
+// segments — so header and packet live and die together. See DESIGN.md
+// §7 for the full rules.
 package livenet
 
 import (
@@ -21,15 +33,34 @@ import (
 	"sync/atomic"
 
 	"repro/internal/ethernet"
+	"repro/internal/pool"
+	"repro/internal/stats"
 	"repro/internal/viper"
 )
 
 // Frame is what travels on a link: an optional network header (Ethernet
 // on multi-access hops, nil on point-to-point) and the encoded VIPER
-// packet.
+// packet. Pkt is a pooled buffer owned by whichever node currently holds
+// the frame; Hdr either aliases Pkt's backing array (the stripped bytes
+// of a previous hop's segment) or is a private copy, and is never valid
+// after Pkt is recycled.
 type Frame struct {
 	Hdr []byte // nil or 14-byte Ethernet header
 	Pkt []byte
+
+	// buf is the full-capacity view of Pkt's pooled backing array. Pkt's
+	// start drifts forward as hops strip segments, so Pkt alone cannot
+	// recover the buffer for recycling; release returns buf to the pool.
+	// nil for frames whose packet bytes are not pool-owned.
+	buf []byte
+}
+
+// release recycles the frame's pooled buffer, invalidating Pkt and any
+// Hdr that aliases it. Only the frame's owner may call it, once.
+func (f Frame) release() {
+	if f.buf != nil {
+		pool.Put(f.buf)
+	}
 }
 
 // inFrame tags a frame with its arrival port.
@@ -80,8 +111,9 @@ func newNode(name string) *node {
 
 func (nd *node) close() { nd.once.Do(func() { close(nd.done) }) }
 
-// send transmits a frame on a port; it reports false if the port is
-// unknown or the network is shutting down.
+// send transmits a frame on a port, transferring buffer ownership to the
+// receiving node; it reports false — and the caller keeps ownership — if
+// the port is unknown or the network is shutting down.
 func (nd *node) send(port uint8, f Frame) bool {
 	nd.mu.Lock()
 	ch, ok := nd.out[port]
@@ -95,6 +127,16 @@ func (nd *node) send(port uint8, f Frame) bool {
 	case <-nd.done:
 		return false
 	}
+}
+
+// hasPort reports whether a port is wired, distinguishing a bad route
+// (unknown port) from a transmit failure (shutdown race) for drop
+// accounting.
+func (nd *node) hasPort(port uint8) bool {
+	nd.mu.Lock()
+	_, ok := nd.out[port]
+	nd.mu.Unlock()
+	return ok
 }
 
 // Link is a handle on one bidirectional livenet link, used for fault
@@ -139,8 +181,8 @@ func (l *Link) drops() bool {
 }
 
 // attach wires a port: out is the transmit channel, in the receive one.
-// A pump goroutine tags inbound frames with the port, dropping frames
-// the link's fault injection discards.
+// A pump goroutine tags inbound frames with the port, recycling the
+// buffers of frames the link's fault injection discards.
 func (n *Network) attach(nd *node, port uint8, out chan<- Frame, in <-chan Frame, link *Link) {
 	nd.mu.Lock()
 	nd.out[port] = out
@@ -155,6 +197,7 @@ func (n *Network) attach(nd *node, port uint8, out chan<- Frame, in <-chan Frame
 					return
 				}
 				if link.drops() {
+					f.release()
 					continue
 				}
 				select {
@@ -169,15 +212,55 @@ func (n *Network) attach(nd *node, port uint8, out chan<- Frame, in <-chan Frame
 	}()
 }
 
-// Connect joins two nodes with a bidirectional link of the given channel
-// depth and returns the link's fault-injection handle.
-func (n *Network) Connect(a Attachable, portA uint8, b Attachable, portB uint8, depth int) *Link {
-	if depth <= 0 {
-		depth = 16
+// DefaultLinkDepth is the per-direction queue depth, in frames, of a
+// link created without WithDepth.
+const DefaultLinkDepth = 16
+
+// linkConfig collects Connect options.
+type linkConfig struct {
+	depth int
+	loss  float64
+	down  bool
+}
+
+// LinkOption configures one Connect call.
+type LinkOption func(*linkConfig)
+
+// WithDepth sets the link's per-direction queue depth in frames.
+// Non-positive values are ignored.
+func WithDepth(n int) LinkOption {
+	return func(c *linkConfig) {
+		if n > 0 {
+			c.depth = n
+		}
 	}
-	ab := make(chan Frame, depth)
-	ba := make(chan Frame, depth)
+}
+
+// WithLossRatio creates the link already discarding each frame
+// independently with probability p, as a later SetLossRatio(p) would.
+func WithLossRatio(p float64) LinkOption {
+	return func(c *linkConfig) { c.loss = p }
+}
+
+// WithDown creates the link in the failed state; restore it with
+// SetDown(false).
+func WithDown() LinkOption {
+	return func(c *linkConfig) { c.down = true }
+}
+
+// Connect joins two nodes with a bidirectional link and returns the
+// link's fault-injection handle. Options configure queue depth
+// (DefaultLinkDepth otherwise) and the initial fault state.
+func (n *Network) Connect(a Attachable, portA uint8, b Attachable, portB uint8, opts ...LinkOption) *Link {
+	cfg := linkConfig{depth: DefaultLinkDepth}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	ab := make(chan Frame, cfg.depth)
+	ba := make(chan Frame, cfg.depth)
 	l := &Link{}
+	l.SetDown(cfg.down)
+	l.SetLossRatio(cfg.loss)
 	n.attach(a.base(), portA, ab, ba, l)
 	n.attach(b.base(), portB, ba, ab, l)
 	return l
@@ -186,23 +269,25 @@ func (n *Network) Connect(a Attachable, portA uint8, b Attachable, portB uint8, 
 // Attachable is implemented by livenet hosts and routers.
 type Attachable interface{ base() *node }
 
-// RouterStats counts forwarding behavior.
-type RouterStats struct {
-	Forwarded uint64
-	Local     uint64
-	Drops     uint64
+// counters is the router's concurrently-updated counter plane; Stats
+// snapshots it into the shared stats.Counters surface.
+type counters struct {
+	forwarded atomic.Uint64
+	local     atomic.Uint64
+	drops     [stats.NumDropReasons]atomic.Uint64
 }
 
 // Router is a goroutine Sirpent switch.
 type Router struct {
 	*node
-	stats RouterStats
-	local func([]byte)
-	netw  *Network
+	counters counters
+	local    func([]byte)
+	netw     *Network
 }
 
 // SetLocalHandler receives encoded packets whose current segment is
-// port 0 (the router's own stack). It runs on the router goroutine.
+// port 0 (the router's own stack). It runs on the router goroutine and
+// takes ownership of the buffer (which leaves the pool).
 func (r *Router) SetLocalHandler(fn func(encoded []byte)) { r.local = fn }
 
 // NewRouter creates and starts a router goroutine.
@@ -219,13 +304,22 @@ func (n *Network) NewRouter(name string) *Router {
 
 func (r *Router) base() *node { return r.node }
 
-// Stats returns a snapshot of the router's counters.
-func (r *Router) Stats() RouterStats {
-	return RouterStats{
-		Forwarded: atomic.LoadUint64(&r.stats.Forwarded),
-		Local:     atomic.LoadUint64(&r.stats.Local),
-		Drops:     atomic.LoadUint64(&r.stats.Drops),
+// Stats returns a snapshot of the router's counters on the shared
+// stats.Counters surface, diffable against the simulation substrate's.
+func (r *Router) Stats() stats.Counters {
+	var c stats.Counters
+	c.Forwarded = r.counters.forwarded.Load()
+	c.Local = r.counters.local.Load()
+	for i := range r.counters.drops {
+		c.Drops[i] = r.counters.drops[i].Load()
 	}
+	return c
+}
+
+// drop counts one dropped frame and recycles its buffer.
+func (r *Router) drop(reason stats.DropReason, f Frame) {
+	r.counters.drops[reason].Add(1)
+	f.release()
 }
 
 func (r *Router) run() {
@@ -239,80 +333,152 @@ func (r *Router) run() {
 	}
 }
 
-// forward performs the §6.2 software-router byte surgery on one frame.
+// forward performs the §6.2 software-router byte surgery on one frame,
+// in place: the leading segment's bytes become a dead region at the
+// front of the buffer (the decoded segment's fields alias it), the
+// mirrored return segment is appended over the trailer descriptor at the
+// tail, and the frame moves on in the same buffer. With pool headroom
+// the hop allocates nothing.
 func (r *Router) forward(inf inFrame) {
-	seg, rest, err := viper.DecodeSegment(inf.frame.Pkt)
+	seg, rest, err := viper.DecodeSegmentNoCopy(inf.frame.Pkt)
 	if err != nil {
-		atomic.AddUint64(&r.stats.Drops, 1)
+		r.drop(stats.DropNotSirpent, inf.frame)
 		return
 	}
-	// Tree-structured multicast (§2): fan one copy down each branch by
-	// splicing the branch's segments in front of the remaining bytes.
 	if seg.Flags.Has(viper.FlagTRE) {
-		branches, err := viper.DecodeTree(seg.PortInfo)
-		if err != nil {
-			atomic.AddUint64(&r.stats.Drops, 1)
-			return
-		}
-		for _, br := range branches {
-			var head []byte
-			ok := true
-			for i := range br {
-				if head, err = viper.AppendSegment(head, &br[i]); err != nil {
-					ok = false
-					break
-				}
-			}
-			if !ok {
-				atomic.AddUint64(&r.stats.Drops, 1)
-				continue
-			}
-			copyPkt := append(head, rest...)
-			r.forward(inFrame{port: inf.port, frame: Frame{Hdr: inf.frame.Hdr, Pkt: copyPkt}})
-		}
+		r.fanoutTree(inf, &seg, rest)
 		return
 	}
 	// Build the return segment: arrival port, swapped arrival header.
+	// The frame is ours, so the header is swapped in place and aliased;
+	// the mirrored append below copies the bytes into the trailer.
 	ret := viper.Segment{Port: inf.port, Priority: seg.Priority, Flags: seg.Flags & viper.FlagDIB}
 	if inf.frame.Hdr != nil {
-		swapped := append([]byte(nil), inf.frame.Hdr...)
-		if err := ethernet.SwapInPlace(swapped); err != nil {
-			atomic.AddUint64(&r.stats.Drops, 1)
+		if err := ethernet.SwapInPlace(inf.frame.Hdr); err != nil {
+			r.drop(stats.DropNotSirpent, inf.frame)
 			return
 		}
-		ret.PortInfo = swapped
+		ret.PortInfo = inf.frame.Hdr
 	}
 	if len(seg.PortToken) > 0 {
 		ret.PortToken = seg.PortToken
 	}
+	// ret's fields alias the dead front region (token, header); the
+	// append writes only past the old trailer descriptor — disjoint.
 	out, err := appendTrailerSegment(rest, &ret)
 	if err != nil {
-		atomic.AddUint64(&r.stats.Drops, 1)
+		r.drop(stats.DropNotSirpent, inf.frame)
 		return
 	}
+	f := Frame{Pkt: out, buf: inf.frame.buf}
+	if len(rest) > 0 && len(out) > 0 && &out[0] != &rest[0] {
+		// The headroom ran out and the append reallocated: out starts a
+		// fresh array (its own recycling target), and the old buffer —
+		// still aliased by the header and token — is left to the
+		// collector.
+		f.buf = out[:0]
+	}
 	if seg.Port == viper.PortLocal {
-		atomic.AddUint64(&r.stats.Local, 1)
+		r.counters.local.Add(1)
 		if r.local != nil {
 			r.local(out)
+		} else {
+			f.release()
 		}
 		return
 	}
-	f := Frame{Pkt: out}
 	if len(seg.PortInfo) > 0 {
+		// The next hop's header aliases the stripped segment's bytes in
+		// the dead front region; it travels with the buffer it aliases.
 		f.Hdr = seg.PortInfo
 	}
 	if !r.send(seg.Port, f) {
-		atomic.AddUint64(&r.stats.Drops, 1)
+		if r.hasPort(seg.Port) {
+			r.drop(stats.DropTxError, f)
+		} else {
+			r.drop(stats.DropBadPort, f)
+		}
 		return
 	}
-	atomic.AddUint64(&r.stats.Forwarded, 1)
+	r.counters.forwarded.Add(1)
+}
+
+// fanoutTree handles tree-structured multicast (§2): fan one copy of the
+// packet down each branch by splicing the branch's segments in front of
+// the remaining bytes. Each branch gets its own pooled buffer (and its
+// own header copy — forwarding swaps headers in place, so branches must
+// not share one); the original buffer is recycled after the fanout.
+func (r *Router) fanoutTree(inf inFrame, seg *viper.Segment, rest []byte) {
+	branches, err := viper.DecodeTree(seg.PortInfo)
+	if err != nil {
+		r.drop(stats.DropBadPort, inf.frame)
+		return
+	}
+	for _, br := range branches {
+		headLen := 0
+		for i := range br {
+			headLen += br[i].WireLen()
+		}
+		buf := pool.Get(headLen + len(rest) + frameHeadroom(len(br), headLen))
+		full := buf
+		ok := true
+		for i := range br {
+			if buf, err = viper.AppendSegment(buf, &br[i]); err != nil {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			r.drop(stats.DropBadPort, Frame{Pkt: buf, buf: full})
+			continue
+		}
+		buf = append(buf, rest...)
+		var hdr []byte
+		if inf.frame.Hdr != nil {
+			hdr = append([]byte(nil), inf.frame.Hdr...)
+		}
+		r.forward(inFrame{port: inf.port, frame: Frame{Hdr: hdr, Pkt: buf, buf: full}})
+	}
+	inf.frame.release()
+}
+
+// frameHeadroom estimates the spare capacity a frame needs so that every
+// later hop's trailer append stays in place. Each hop mirrors the
+// stripped segment's token and echoes an arrival header — together
+// bounded by the remaining forward-header bytes — plus fixed descriptor
+// and length-escape overhead per hop.
+func frameHeadroom(hops, headerBytes int) int {
+	return headerBytes + (hops+1)*(ethernet.HeaderLen+8)
 }
 
 // appendTrailerSegment inserts a mirrored segment before the trailer
 // descriptor of an encoded packet and bumps the count — pure byte
 // surgery on the tail, as a cut-through implementation would perform in
-// its loopback register.
+// its loopback register. The surgery happens in pkt's own buffer: the
+// 4-byte descriptor is saved to the stack, overwritten by the mirrored
+// segment, and re-appended. The caller cedes the buffer — pkt's tail is
+// rewritten even when an error or a reallocation occurs.
 func appendTrailerSegment(pkt []byte, seg *viper.Segment) ([]byte, error) {
+	if len(pkt) < 4 {
+		return nil, fmt.Errorf("livenet: packet too short for trailer descriptor")
+	}
+	descOff := len(pkt) - 4
+	var desc [4]byte
+	copy(desc[:], pkt[descOff:])
+	out, err := viper.AppendSegmentMirrored(pkt[:descOff], seg)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, desc[:]...)
+	binary.BigEndian.PutUint16(out[len(out)-4:len(out)-2], binary.BigEndian.Uint16(desc[:2])+1)
+	return out, nil
+}
+
+// appendTrailerSegmentAlloc is the pre-fast-path reference
+// implementation of the same surgery: it builds the result in a fresh
+// buffer and leaves pkt untouched. Tests pin the in-place fast path
+// byte-for-byte against it.
+func appendTrailerSegmentAlloc(pkt []byte, seg *viper.Segment) ([]byte, error) {
 	if len(pkt) < 4 {
 		return nil, fmt.Errorf("livenet: packet too short for trailer descriptor")
 	}
@@ -330,7 +496,10 @@ func appendTrailerSegment(pkt []byte, seg *viper.Segment) ([]byte, error) {
 	return out, nil
 }
 
-// Delivery is a packet received by a live host.
+// Delivery is a packet received by a live host. Data aliases the frame's
+// pooled buffer and is valid only until the handler returns; handlers
+// that retain the payload must copy it. ReturnRoute is deep-copied and
+// safe to keep.
 type Delivery struct {
 	Data        []byte
 	ReturnRoute []viper.Segment
@@ -368,7 +537,9 @@ func (h *Host) Handle(endpoint uint8, fn func(Delivery)) {
 }
 
 // Send originates a packet along a source route (sender directive
-// first, as in the simulator's Host).
+// first, as in the simulator's Host). The packet is encoded into a
+// pooled buffer with enough headroom for every hop's trailer growth, so
+// the frame crosses the network without further allocation.
 func (h *Host) Send(route []viper.Segment, data []byte) error {
 	if len(route) == 0 {
 		return fmt.Errorf("livenet: empty route")
@@ -383,15 +554,20 @@ func (h *Host) Send(route []viper.Segment, data []byte) error {
 	}
 	pkt := viper.NewPacket(rest, data)
 	pkt.Trailer = append(pkt.Trailer, viper.Segment{Port: viper.PortLocal, Priority: own.Priority})
-	b, err := pkt.Encode()
+	buf := pool.Get(pkt.WireLen() + frameHeadroom(len(rest), pkt.HeaderLen()))
+	b, err := pkt.EncodeAppend(buf)
 	if err != nil {
+		pool.Put(buf)
 		return err
 	}
-	f := Frame{Pkt: b}
+	f := Frame{Pkt: b, buf: b[:0]}
 	if len(own.PortInfo) > 0 {
-		f.Hdr = own.PortInfo
+		// Copied, not aliased: the first-hop router swaps the header in
+		// place, and the caller's route must not be scribbled on.
+		f.Hdr = append([]byte(nil), own.PortInfo...)
 	}
 	if !h.send(own.Port, f) {
+		f.release()
 		return fmt.Errorf("livenet: no interface %d on %s", own.Port, h.name)
 	}
 	return nil
@@ -411,22 +587,23 @@ func (h *Host) run() {
 func (h *Host) receive(inf inFrame) {
 	pkt, err := viper.Decode(inf.frame.Pkt)
 	if err != nil || len(pkt.Route) == 0 {
+		inf.frame.release()
 		return
 	}
 	seg := pkt.Route[0]
 	ret := viper.Segment{Port: inf.port, Priority: seg.Priority}
-	if inf.frame.Hdr != nil {
-		swapped := append([]byte(nil), inf.frame.Hdr...)
-		if ethernet.SwapInPlace(swapped) == nil {
-			ret.PortInfo = swapped
-		}
+	if inf.frame.Hdr != nil && ethernet.SwapInPlace(inf.frame.Hdr) == nil {
+		// The frame — header included — is ours until the handler
+		// returns, so the swap happens in place and the return segment
+		// aliases it; ReturnRoute deep-copies every segment it emits.
+		ret.PortInfo = inf.frame.Hdr
 	}
 	pkt.ConsumeHead(ret)
 	h.mu.Lock()
 	fn := h.handlers[seg.Port]
 	h.mu.Unlock()
-	if fn == nil {
-		return
+	if fn != nil {
+		fn(Delivery{Data: pkt.Data, ReturnRoute: pkt.ReturnRoute(), Endpoint: seg.Port})
 	}
-	fn(Delivery{Data: pkt.Data, ReturnRoute: pkt.ReturnRoute(), Endpoint: seg.Port})
+	inf.frame.release()
 }

@@ -41,9 +41,9 @@ func TestLiveRequestResponseAcrossTwoRouters(t *testing.T) {
 	r1 := n.NewRouter("r1")
 	r2 := n.NewRouter("r2")
 	dst := n.NewHost("dst")
-	n.Connect(src, 1, r1, 1, 0)
-	n.Connect(r1, 2, r2, 1, 0)
-	n.Connect(r2, 2, dst, 1, 0)
+	n.Connect(src, 1, r1, 1)
+	n.Connect(r1, 2, r2, 1)
+	n.Connect(r2, 2, dst, 1)
 
 	var replied atomic.Bool
 	var got atomic.Value
@@ -85,8 +85,8 @@ func TestLiveEthernetHeaderSwap(t *testing.T) {
 	src := n.NewHost("src")
 	r := n.NewRouter("r")
 	dst := n.NewHost("dst")
-	n.Connect(src, 1, r, 1, 0)
-	n.Connect(r, 2, dst, 1, 0)
+	n.Connect(src, 1, r, 1)
+	n.Connect(r, 2, dst, 1)
 
 	var replied atomic.Bool
 	dst.Handle(0, func(d Delivery) {
@@ -170,7 +170,7 @@ func TestLiveRouterLocalDelivery(t *testing.T) {
 	defer n.Stop()
 	src := n.NewHost("src")
 	r := n.NewRouter("r")
-	n.Connect(src, 1, r, 1, 0)
+	n.Connect(src, 1, r, 1)
 	var got atomic.Bool
 	r.SetLocalHandler(func(b []byte) { got.Store(true) })
 	route := []viper.Segment{
@@ -194,13 +194,13 @@ func TestLiveTreeMulticast(t *testing.T) {
 	defer n.Stop()
 	src := n.NewHost("src")
 	r := n.NewRouter("r")
-	n.Connect(src, 1, r, 1, 0)
+	n.Connect(src, 1, r, 1)
 	var got [3]atomic.Uint64
 	var echoed atomic.Uint64
 	for i := 0; i < 3; i++ {
 		i := i
 		d := n.NewHost("leaf")
-		n.Connect(r, uint8(2+i), d, 1, 0)
+		n.Connect(r, uint8(2+i), d, 1)
 		d.Handle(0, func(dl Delivery) {
 			if bytes.Equal(dl.Data, []byte("fanout")) {
 				got[i].Add(1)
@@ -237,7 +237,7 @@ func TestLiveBadPortDropped(t *testing.T) {
 	defer n.Stop()
 	src := n.NewHost("src")
 	r := n.NewRouter("r")
-	n.Connect(src, 1, r, 1, 0)
+	n.Connect(src, 1, r, 1)
 	route := []viper.Segment{
 		{Port: 1},
 		{Port: 99, Flags: viper.FlagVNT},
@@ -246,7 +246,7 @@ func TestLiveBadPortDropped(t *testing.T) {
 	if err := src.Send(route, []byte("x")); err != nil {
 		t.Fatal(err)
 	}
-	waitFor(t, func() bool { return r.Stats().Drops == 1 })
+	waitFor(t, func() bool { return r.Stats().TotalDrops() == 1 })
 }
 
 func TestLiveConcurrentClients(t *testing.T) {
@@ -256,7 +256,7 @@ func TestLiveConcurrentClients(t *testing.T) {
 	defer n.Stop()
 	r := n.NewRouter("r")
 	server := n.NewHost("server")
-	n.Connect(r, 100, server, 1, 64)
+	n.Connect(r, 100, server, 1, WithDepth(64))
 
 	var served atomic.Uint64
 	server.Handle(0, func(d Delivery) {
@@ -275,7 +275,7 @@ func TestLiveConcurrentClients(t *testing.T) {
 	for c := 0; c < nClients; c++ {
 		c := c
 		h := n.NewHost("client")
-		n.Connect(h, 1, r, uint8(1+c), 64)
+		n.Connect(h, 1, r, uint8(1+c), WithDepth(64))
 		route := []viper.Segment{
 			{Port: 1},
 			{Port: 100, Flags: viper.FlagVNT},

@@ -27,7 +27,7 @@ func TestStressFlapRace(t *testing.T) {
 	defer n.Stop()
 	r0 := n.NewRouter("R0")
 	r1 := n.NewRouter("R1")
-	trunk := n.Connect(r0, 1, r1, 1, 64)
+	trunk := n.Connect(r0, 1, r1, 1, WithDepth(64))
 
 	// Hosts 0..3 on R0 ports 2..5, hosts 4..7 on R1 ports 2..5.
 	var hosts []*Host
@@ -37,7 +37,7 @@ func TestStressFlapRace(t *testing.T) {
 		if i >= hostsPerSide {
 			r, port = r1, uint8(2+i-hostsPerSide)
 		}
-		n.Connect(h, 1, r, port, 64)
+		n.Connect(h, 1, r, port, WithDepth(64))
 		hosts = append(hosts, h)
 	}
 	// route from host i to host j (always across the trunk): own
@@ -120,7 +120,7 @@ func TestStressFlapRace(t *testing.T) {
 		mu.Lock()
 		d := delivered
 		mu.Unlock()
-		drops := trunk.Dropped() + r0.Stats().Drops + r1.Stats().Drops
+		drops := trunk.Dropped() + r0.Stats().TotalDrops() + r1.Stats().TotalDrops()
 		return uint64(d)+drops == total
 	}
 	deadline := time.Now().Add(10 * time.Second)
@@ -130,7 +130,7 @@ func TestStressFlapRace(t *testing.T) {
 			d := delivered
 			mu.Unlock()
 			t.Fatalf("conservation never balanced: delivered=%d trunkDrops=%d routerDrops=%d total=%d",
-				d, trunk.Dropped(), r0.Stats().Drops+r1.Stats().Drops, total)
+				d, trunk.Dropped(), r0.Stats().TotalDrops()+r1.Stats().TotalDrops(), total)
 		}
 		time.Sleep(2 * time.Millisecond)
 	}

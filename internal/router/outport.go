@@ -76,6 +76,7 @@ func (op *outPort) forward(arr *netsim.Arrival, f *frame) {
 		arr.Tx.OnAbort(func(at sim.Time) { med.Abort(tx) })
 		op.scheduleDrainAt(tx.End())
 		r.Stats.CutThrough++
+		r.Stats.Forwarded++
 		r.Stats.ForwardDelay.Add(float64(now - arr.Start))
 		op.noteForward(f, now)
 		return
@@ -176,6 +177,7 @@ func (op *outPort) drain() {
 		}
 		op.chargeLimit(it.frame, now)
 		r.Stats.StoreForward++
+		r.Stats.Forwarded++
 		r.Stats.QueueDelay.Add(float64(now - it.enqueued))
 		op.noteForward(it.frame, now)
 		// If this transmission is preempted, we still hold the full

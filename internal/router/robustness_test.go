@@ -50,7 +50,7 @@ func TestRouterHostileInputs(t *testing.T) {
 	}
 	eng.RunUntil(10 * sim.Second)
 
-	handled := delivered + int(r.Stats.TotalDrops()) + int(dst.Stats.Misdeliver) + int(r.Stats.LocalDeliver)
+	handled := delivered + int(r.Stats.TotalDrops()) + int(dst.Stats.Misdeliver) + int(r.Stats.Local)
 	// Multicast fanout may create extra copies; every original must be
 	// at least accounted once.
 	if handled < sent-int(r.Stats.CutThrough+r.Stats.StoreForward) && handled == 0 {

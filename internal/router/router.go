@@ -62,65 +62,46 @@ func (c *Config) withDefaults() Config {
 	return out
 }
 
-// DropReason classifies discarded packets.
-type DropReason int
+// DropReason classifies discarded packets. It is the shared bucket set of
+// stats.DropReason, so the netsim and livenet forwarding planes account
+// drops on one surface.
+type DropReason = stats.DropReason
 
 const (
-	DropNoSegment   DropReason = iota // route exhausted at a router
-	DropBadPort                       // segment names an unattached port
-	DropIfBlocked                     // DIB packet found its port busy
-	DropQueueFull                     // output queue at limit
-	DropTokenDenied                   // token invalid, exhausted or absent
-	DropAborted                       // inbound transmission was preempted
-	DropOversize                      // cannot fit next hop even when empty
-	DropTxError                       // medium refused the frame
-	DropNotSirpent                    // payload is not a VIPER packet
+	DropNoSegment   = stats.DropNoSegment   // route exhausted at a router
+	DropBadPort     = stats.DropBadPort     // segment names an unattached port
+	DropIfBlocked   = stats.DropIfBlocked   // DIB packet found its port busy
+	DropQueueFull   = stats.DropQueueFull   // output queue at limit
+	DropTokenDenied = stats.DropTokenDenied // token invalid, exhausted or absent
+	DropAborted     = stats.DropAborted     // inbound transmission was preempted
+	DropOversize    = stats.DropOversize    // cannot fit next hop even when empty
+	DropTxError     = stats.DropTxError     // medium refused the frame
+	DropNotSirpent  = stats.DropNotSirpent  // payload is not a VIPER packet
 )
-
-var dropNames = [...]string{
-	"no-segment", "bad-port", "drop-if-blocked", "queue-full",
-	"token-denied", "aborted", "oversize", "tx-error", "not-sirpent",
-}
 
 // vpkt extracts the VIPER packet from an arrival; Arrive has already
 // verified the payload type.
 func vpkt(arr *netsim.Arrival) *viper.Packet { return arr.Pkt.(*viper.Packet) }
 
-func (d DropReason) String() string {
-	if int(d) < len(dropNames) {
-		return dropNames[d]
-	}
-	return "unknown"
-}
-
-// Stats aggregates a router's observable behavior.
+// Stats aggregates a router's observable behavior. The embedded
+// stats.Counters carries the substrate-independent surface (Forwarded,
+// Local, per-reason Drops) that the conformance harness diffs against the
+// livenet realization; the remaining fields are event-driven detail only
+// the simulator can observe.
 type Stats struct {
+	stats.Counters
 	Arrivals     uint64
 	CutThrough   uint64 // forwarded with cut-through at decision time
 	StoreForward uint64 // forwarded after buffering
-	LocalDeliver uint64
 	Preemptions  uint64 // lower-priority transmissions aborted
 	Truncations  uint64
 	DelayLoops   uint64 // trips through the blocked-packet delay line (§2.1)
-	Drops        map[DropReason]uint64
 	// ForwardDelay samples leading-edge arrival to onward transmission
 	// start, in nanoseconds — the per-hop delay the paper's §6.1
 	// analyzes.
 	ForwardDelay stats.Sample
 	// QueueDelay samples time spent in an output queue, in nanoseconds.
 	QueueDelay stats.Sample
-}
-
-// DropCount returns the number of drops for a reason.
-func (s *Stats) DropCount(r DropReason) uint64 { return s.Drops[r] }
-
-// TotalDrops sums drops over all reasons.
-func (s *Stats) TotalDrops() uint64 {
-	var n uint64
-	for _, v := range s.Drops {
-		n += v
-	}
-	return n
 }
 
 // LocalHandler receives packets addressed to the router itself (port 0).
@@ -157,7 +138,6 @@ func New(eng *sim.Engine, name string, cfg Config) *Router {
 		mcast:        make(map[uint8][]uint8),
 		requireToken: make(map[uint8]bool),
 	}
-	r.Stats.Drops = make(map[DropReason]uint64)
 	return r
 }
 
@@ -253,7 +233,7 @@ func (r *Router) Reboot() {
 	}
 }
 
-func (r *Router) drop(reason DropReason) { r.Stats.Drops[reason]++ }
+func (r *Router) drop(reason DropReason) { r.Stats.Drop(reason) }
 
 // Arrive implements netsim.Node: the leading edge of a packet has reached
 // the router. The switching decision fires once the first header segment
@@ -551,7 +531,7 @@ func (r *Router) deliverLocal(arr *netsim.Arrival) {
 		}
 		seg := *vpkt(arr).Current()
 		vpkt(arr).ConsumeHead(r.returnSegment(arr, seg))
-		r.Stats.LocalDeliver++
+		r.Stats.Local++
 		if r.local != nil {
 			r.local(vpkt(arr), arr)
 		}

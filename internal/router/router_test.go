@@ -403,8 +403,8 @@ func TestRouteExhaustedDrops(t *testing.T) {
 	if !got {
 		t.Fatal("router local handler not invoked")
 	}
-	if f.r.Stats.LocalDeliver != 1 {
-		t.Fatalf("LocalDeliver = %d", f.r.Stats.LocalDeliver)
+	if f.r.Stats.Local != 1 {
+		t.Fatalf("Local = %d", f.r.Stats.Local)
 	}
 }
 

@@ -1,0 +1,104 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DropReason classifies discarded packets. The buckets are shared by every
+// forwarding substrate — the event-driven netsim router and the goroutine
+// livenet router both account their drops here — so the conformance
+// harness can diff counters generically instead of hand-mapping fields.
+type DropReason int
+
+const (
+	DropNoSegment   DropReason = iota // route exhausted at a router
+	DropBadPort                       // segment names an unattached port
+	DropIfBlocked                     // DIB packet found its port busy
+	DropQueueFull                     // output queue at limit
+	DropTokenDenied                   // token invalid, exhausted or absent
+	DropAborted                       // inbound transmission was preempted
+	DropOversize                      // cannot fit next hop even when empty
+	DropTxError                       // medium refused the frame
+	DropNotSirpent                    // payload is not a VIPER packet
+
+	// NumDropReasons sizes per-reason bucket arrays.
+	NumDropReasons
+)
+
+var dropNames = [NumDropReasons]string{
+	"no-segment", "bad-port", "drop-if-blocked", "queue-full",
+	"token-denied", "aborted", "oversize", "tx-error", "not-sirpent",
+}
+
+func (d DropReason) String() string {
+	if d >= 0 && int(d) < len(dropNames) {
+		return dropNames[d]
+	}
+	return "unknown"
+}
+
+// Counters is the forwarding-plane counter surface every Sirpent switch
+// realization exposes: onward forwards, local deliveries, and per-reason
+// drop buckets. It is a plain value — substrates with concurrent
+// forwarding planes keep atomic counters internally and snapshot into a
+// Counters; the single-threaded simulator embeds one directly.
+type Counters struct {
+	Forwarded uint64 // packets transmitted toward their next hop
+	Local     uint64 // packets delivered to the node's own stack (port 0)
+	Drops     [NumDropReasons]uint64
+}
+
+// Drop records one discarded packet.
+func (c *Counters) Drop(r DropReason) { c.Drops[r]++ }
+
+// DropCount returns the number of drops for a reason.
+func (c Counters) DropCount(r DropReason) uint64 { return c.Drops[r] }
+
+// TotalDrops sums drops over all reasons.
+func (c Counters) TotalDrops() uint64 {
+	var n uint64
+	for _, v := range c.Drops {
+		n += v
+	}
+	return n
+}
+
+// Merge adds o's counts into c.
+func (c *Counters) Merge(o Counters) {
+	c.Forwarded += o.Forwarded
+	c.Local += o.Local
+	for i := range c.Drops {
+		c.Drops[i] += o.Drops[i]
+	}
+}
+
+// DiffCounters describes every bucket where a and b disagree, labeling
+// the two sides. An empty result means the counter surfaces are
+// identical.
+func DiffCounters(labelA, labelB string, a, b Counters) []string {
+	var out []string
+	if a.Forwarded != b.Forwarded {
+		out = append(out, fmt.Sprintf("forwarded: %d in %s, %d in %s", a.Forwarded, labelA, b.Forwarded, labelB))
+	}
+	if a.Local != b.Local {
+		out = append(out, fmt.Sprintf("local: %d in %s, %d in %s", a.Local, labelA, b.Local, labelB))
+	}
+	for r := DropReason(0); r < NumDropReasons; r++ {
+		if a.Drops[r] != b.Drops[r] {
+			out = append(out, fmt.Sprintf("drops[%s]: %d in %s, %d in %s", r, a.Drops[r], labelA, b.Drops[r], labelB))
+		}
+	}
+	return out
+}
+
+func (c Counters) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "fwd=%d local=%d", c.Forwarded, c.Local)
+	for r := DropReason(0); r < NumDropReasons; r++ {
+		if c.Drops[r] > 0 {
+			fmt.Fprintf(&sb, " %s=%d", r, c.Drops[r])
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,64 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCountersDropAccounting(t *testing.T) {
+	var c Counters
+	c.Drop(DropBadPort)
+	c.Drop(DropBadPort)
+	c.Drop(DropTxError)
+	if got := c.DropCount(DropBadPort); got != 2 {
+		t.Fatalf("DropCount(bad-port) = %d, want 2", got)
+	}
+	if got := c.TotalDrops(); got != 3 {
+		t.Fatalf("TotalDrops = %d, want 3", got)
+	}
+}
+
+func TestCountersMerge(t *testing.T) {
+	a := Counters{Forwarded: 3, Local: 1}
+	a.Drop(DropQueueFull)
+	b := Counters{Forwarded: 2}
+	b.Drop(DropQueueFull)
+	b.Drop(DropNotSirpent)
+	a.Merge(b)
+	if a.Forwarded != 5 || a.Local != 1 {
+		t.Fatalf("merge: %+v", a)
+	}
+	if a.DropCount(DropQueueFull) != 2 || a.DropCount(DropNotSirpent) != 1 {
+		t.Fatalf("merge drops: %+v", a.Drops)
+	}
+}
+
+func TestDiffCountersFindsEveryBucket(t *testing.T) {
+	a := Counters{Forwarded: 10, Local: 2}
+	b := Counters{Forwarded: 9, Local: 2}
+	b.Drop(DropAborted)
+	diffs := DiffCounters("sim", "live", a, b)
+	if len(diffs) != 2 {
+		t.Fatalf("diffs = %v, want forwarded + drops[aborted]", diffs)
+	}
+	joined := strings.Join(diffs, "\n")
+	for _, want := range []string{"forwarded", "aborted"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("diffs missing %q: %v", want, diffs)
+		}
+	}
+	if d := DiffCounters("a", "b", a, a); len(d) != 0 {
+		t.Fatalf("identical counters diff: %v", d)
+	}
+}
+
+func TestDropReasonNames(t *testing.T) {
+	for r := DropReason(0); r < NumDropReasons; r++ {
+		if r.String() == "unknown" || r.String() == "" {
+			t.Fatalf("reason %d has no name", r)
+		}
+	}
+	if DropReason(99).String() != "unknown" {
+		t.Fatal("out-of-range reason should be unknown")
+	}
+}

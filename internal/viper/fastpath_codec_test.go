@@ -1,0 +1,134 @@
+package viper
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// randSegment builds a random but encodable segment, occasionally with a
+// long field that exercises the 255-length escape.
+func randSegment(r *rand.Rand) Segment {
+	s := Segment{
+		Port:     uint8(r.Intn(256)),
+		Flags:    Flags(r.Intn(16)),
+		Priority: Priority(r.Intn(16)),
+	}
+	if r.Intn(2) == 0 {
+		n := r.Intn(20)
+		if r.Intn(8) == 0 {
+			n = 255 + r.Intn(300)
+		}
+		s.PortToken = make([]byte, n)
+		r.Read(s.PortToken)
+	}
+	if r.Intn(2) == 0 {
+		n := r.Intn(20)
+		if r.Intn(8) == 0 {
+			n = 255 + r.Intn(300)
+		}
+		s.PortInfo = make([]byte, n)
+		r.Read(s.PortInfo)
+	}
+	return s
+}
+
+// TestDecodeSegmentNoCopyMatchesCopy pins that the aliasing decoder and
+// the copying decoder agree on every field and on the remaining bytes.
+func TestDecodeSegmentNoCopyMatchesCopy(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		s := randSegment(r)
+		b, err := AppendSegment(nil, &s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b = append(b, 0xDE, 0xAD) // trailing bytes
+
+		want, wantRest, err := DecodeSegment(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, gotRest, err := DecodeSegmentNoCopy(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(&want) {
+			t.Fatalf("iter %d: nocopy %v != copy %v", i, &got, &want)
+		}
+		if !bytes.Equal(gotRest, wantRest) {
+			t.Fatalf("iter %d: rests diverge", i)
+		}
+	}
+}
+
+// TestDecodeSegmentNoCopyAliases verifies the fields genuinely alias the
+// input (zero copies) and are cap-limited so appends cannot scribble past
+// the field.
+func TestDecodeSegmentNoCopyAliases(t *testing.T) {
+	s := Segment{Port: 9, PortToken: []byte{1, 2, 3}, PortInfo: []byte{4, 5, 6, 7}}
+	b, err := AppendSegment(nil, &s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := DecodeSegmentNoCopy(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[4] = 0xFF // first token byte on the wire
+	if got.PortToken[0] != 0xFF {
+		t.Fatal("PortToken does not alias the input buffer")
+	}
+	if cap(got.PortToken) != len(got.PortToken) || cap(got.PortInfo) != len(got.PortInfo) {
+		t.Fatal("aliased fields must be cap-limited")
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, _, err := DecodeSegmentNoCopy(b); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("DecodeSegmentNoCopy allocates %.1f per run, want 0", allocs)
+	}
+}
+
+// TestEncodeAppendMatchesEncode pins that EncodeAppend into a prefixed
+// caller buffer produces Encode's exact bytes after the prefix, without
+// reallocating when capacity suffices.
+func TestEncodeAppendMatchesEncode(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		p := &Packet{Data: make([]byte, r.Intn(100))}
+		r.Read(p.Data)
+		for n := 1 + r.Intn(4); n > 0; n-- {
+			p.Route = append(p.Route, randSegment(r))
+		}
+		for n := r.Intn(3); n > 0; n-- {
+			p.Trailer = append(p.Trailer, randSegment(r))
+		}
+		want, err := p.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		prefix := []byte("pfx")
+		buf := make([]byte, 0, len(prefix)+p.WireLen())
+		buf = append(buf, prefix...)
+		got, err := p.EncodeAppend(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got[:3], prefix) || !bytes.Equal(got[3:], want) {
+			t.Fatalf("iter %d: EncodeAppend diverges from Encode", i)
+		}
+		if &got[0] != &buf[0] {
+			t.Fatalf("iter %d: EncodeAppend reallocated despite sufficient capacity", i)
+		}
+	}
+}
+
+func TestEncodeAppendEmptyRoute(t *testing.T) {
+	p := &Packet{Data: []byte("x")}
+	if _, err := p.EncodeAppend(nil); err == nil {
+		t.Fatal("want error for empty route")
+	}
+}

@@ -29,18 +29,18 @@ func TestDecodeSegmentMirroredEdgeCases(t *testing.T) {
 			want: &Segment{Port: 7, Flags: FlagDIB, Priority: 3},
 		},
 		{
-			name: "token length exceeds remaining bytes",
-			in:   []byte{0xAA, 0, 5, 1, 0x00}, // ptl=5 but only 1 byte precedes the fixed suffix
+			name:    "token length exceeds remaining bytes",
+			in:      []byte{0xAA, 0, 5, 1, 0x00}, // ptl=5 but only 1 byte precedes the fixed suffix
 			wantErr: ErrTruncatedSegment,
 		},
 		{
-			name: "portinfo length exceeds remaining bytes",
-			in:   []byte{0xAA, 3, 0, 1, 0x00}, // pil=3 but only 1 byte precedes
+			name:    "portinfo length exceeds remaining bytes",
+			in:      []byte{0xAA, 3, 0, 1, 0x00}, // pil=3 but only 1 byte precedes
 			wantErr: ErrTruncatedSegment,
 		},
 		{
-			name: "length escape with fewer than four bytes",
-			in:   []byte{0xAA, 0xBB, 255, 0, 1, 0x00}, // pil=255 but only 2 bytes precede
+			name:    "length escape with fewer than four bytes",
+			in:      []byte{0xAA, 0xBB, 255, 0, 1, 0x00}, // pil=255 but only 2 bytes precede
 			wantErr: ErrTruncatedSegment,
 		},
 		{
@@ -49,8 +49,8 @@ func TestDecodeSegmentMirroredEdgeCases(t *testing.T) {
 			wantErr: ErrFieldTooLong,
 		},
 		{
-			name: "length escape larger than MaxFieldLen but small wire",
-			in:   append([]byte{0, 1, 0, 1}, 255, 0, 1, 0x00), // claims 65537
+			name:    "length escape larger than MaxFieldLen but small wire",
+			in:      append([]byte{0, 1, 0, 1}, 255, 0, 1, 0x00), // claims 65537
 			wantErr: ErrFieldTooLong,
 		},
 		{
@@ -110,29 +110,29 @@ func TestDecodeFieldBackwardEdgeCases(t *testing.T) {
 		{name: "one-byte buffer overrun", buf: []byte{0x7F}, lenByte: 2, wantErr: ErrTruncatedSegment},
 		{name: "escape with short buffer", buf: []byte{1, 2, 3}, lenByte: 255, wantErr: ErrTruncatedSegment},
 		{
-			name: "escape exact zero",
-			buf:  []byte{0, 0, 0, 0},
+			name:    "escape exact zero",
+			buf:     []byte{0, 0, 0, 0},
 			lenByte: 255,
-			want: nil,
+			want:    nil,
 		},
 		{
-			name: "escape length exceeds remaining",
-			buf:  []byte{0xAB, 0, 0, 0, 2}, // says 2 bytes follow, only 1 precedes the length
+			name:    "escape length exceeds remaining",
+			buf:     []byte{0xAB, 0, 0, 0, 2}, // says 2 bytes follow, only 1 precedes the length
 			lenByte: 255,
 			wantErr: ErrTruncatedSegment,
 		},
 		{
-			name: "escape over MaxFieldLen",
-			buf:  []byte{0, 1, 0, 1}, // 65537
+			name:    "escape over MaxFieldLen",
+			buf:     []byte{0, 1, 0, 1}, // 65537
 			lenByte: 255,
 			wantErr: ErrFieldTooLong,
 		},
 		{
-			name: "takes from the tail",
-			buf:  []byte{1, 2, 3, 4, 5},
+			name:    "takes from the tail",
+			buf:     []byte{1, 2, 3, 4, 5},
 			lenByte: 2,
-			want: []byte{4, 5},
-			rest: 3,
+			want:    []byte{4, 5},
+			rest:    3,
 		},
 	}
 	for _, tc := range cases {

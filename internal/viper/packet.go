@@ -156,13 +156,20 @@ func SealRoute(route []Segment) error {
 // at least one segment (a packet with an exhausted route has been
 // delivered and never reappears on a wire).
 func (p *Packet) Encode() ([]byte, error) {
+	return p.EncodeAppend(make([]byte, 0, p.WireLen()))
+}
+
+// EncodeAppend appends the wire form of the packet to b and returns the
+// extended slice — the allocation-free counterpart of Encode for callers
+// that provision their own (typically pooled) buffers. On error the
+// result is nil and b's tail past its original length is unspecified.
+func (p *Packet) EncodeAppend(b []byte) ([]byte, error) {
 	if len(p.Route) == 0 {
 		return nil, fmt.Errorf("viper: cannot encode packet with empty route")
 	}
 	if len(p.Route) > MaxRouteSegments || len(p.Trailer) > MaxRouteSegments {
 		return nil, ErrTooManySegments
 	}
-	b := make([]byte, 0, p.WireLen())
 	var err error
 	for i := range p.Route {
 		if b, err = AppendSegment(b, &p.Route[i]); err != nil {

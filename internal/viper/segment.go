@@ -264,8 +264,22 @@ func appendField(b []byte, lenByte byte, field []byte) []byte {
 }
 
 // DecodeSegment decodes the forward encoding of the first segment in b and
-// returns it along with the remaining bytes.
+// returns it along with the remaining bytes. The segment's variable fields
+// are defensive copies; callers that cannot afford the copies and can
+// bound the fields' lifetime use DecodeSegmentNoCopy.
 func DecodeSegment(b []byte) (Segment, []byte, error) {
+	return decodeSegment(b, true)
+}
+
+// DecodeSegmentNoCopy is DecodeSegment without the defensive field copies:
+// the returned segment's PortToken and PortInfo alias b. It exists for the
+// forwarding fast path, where the segment is consumed before the buffer is
+// reused; callers must not retain the fields past the lifetime of b.
+func DecodeSegmentNoCopy(b []byte) (Segment, []byte, error) {
+	return decodeSegment(b, false)
+}
+
+func decodeSegment(b []byte, copyFields bool) (Segment, []byte, error) {
 	if len(b) < 4 {
 		return Segment{}, nil, ErrTruncatedSegment
 	}
@@ -277,18 +291,18 @@ func DecodeSegment(b []byte) (Segment, []byte, error) {
 	}
 	rest := b[4:]
 	var err error
-	s.PortToken, rest, err = decodeField(rest, ptl)
+	s.PortToken, rest, err = decodeField(rest, ptl, copyFields)
 	if err != nil {
 		return Segment{}, nil, err
 	}
-	s.PortInfo, rest, err = decodeField(rest, pil)
+	s.PortInfo, rest, err = decodeField(rest, pil, copyFields)
 	if err != nil {
 		return Segment{}, nil, err
 	}
 	return s, rest, nil
 }
 
-func decodeField(b []byte, lenByte byte) (field, rest []byte, err error) {
+func decodeField(b []byte, lenByte byte, copyField bool) (field, rest []byte, err error) {
 	n := int(lenByte)
 	if lenByte == 255 {
 		if len(b) < 4 {
@@ -308,6 +322,11 @@ func decodeField(b []byte, lenByte byte) (field, rest []byte, err error) {
 	}
 	if n == 0 {
 		return nil, b, nil
+	}
+	if !copyField {
+		// Cap-limit the alias so an append through it cannot scribble on
+		// the bytes that follow the field.
+		return b[:n:n], b[n:], nil
 	}
 	return append([]byte(nil), b[:n]...), b[n:], nil
 }
