@@ -8,6 +8,12 @@
 //	sirpent-bench -run E03   # one experiment
 //	sirpent-bench -list      # list experiment IDs
 //	sirpent-bench -live      # livenet forwarding benchmark -> BENCH_livenet.json
+//	sirpent-bench -trace     # replay seeded topologies with per-hop traces
+//
+// Trace mode replays the conformance harness's seeded scenarios with
+// hop-level tracing enabled on both substrates, prints a per-hop timing
+// table for every flow (narrow to one with -trace-flow), and exits
+// non-zero if any flow's path diverges between netsim and livenet.
 package main
 
 import (
@@ -28,6 +34,9 @@ func main() {
 	live := flag.Bool("live", false, "run the livenet forwarding benchmark instead of the experiment tables")
 	liveOut := flag.String("live-out", "BENCH_livenet.json", "output path for -live results")
 	liveDur := flag.Duration("live-dur", time.Second, "measurement duration per -live topology")
+	traceMode := flag.Bool("trace", false, "replay seeded topologies with hop-level tracing and print per-hop tables")
+	traceSeeds := flag.String("trace-seeds", "1,2,3", "comma-separated scenario seeds for -trace")
+	traceFlow := flag.Uint64("trace-flow", 0, "print only this flow ID in -trace output (0: all flows)")
 	flag.Parse()
 
 	if *list {
@@ -41,6 +50,14 @@ func main() {
 		if err := runLive(*liveOut, *liveDur); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(2)
+		}
+		return
+	}
+
+	if *traceMode {
+		if err := runTrace(*traceSeeds, *traceFlow); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
 		}
 		return
 	}

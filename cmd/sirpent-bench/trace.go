@@ -1,0 +1,98 @@
+package main
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/trace"
+)
+
+// traceDeadline bounds how long one livenet cross-check may take to
+// quiesce.
+const traceDeadline = 10 * time.Second
+
+// runTrace replays the conformance harness's seeded topologies with
+// hop-level tracing on, printing one per-hop timing table per flow from
+// the netsim run and cross-checking each flow's path against the
+// livenet substrate. Returns an error if any flow's path diverges
+// between the substrates — the same condition the differential suite
+// fails on.
+func runTrace(seedList string, onlyFlow uint64) error {
+	seeds, err := parseSeeds(seedList)
+	if err != nil {
+		return err
+	}
+	mismatches := 0
+	for _, seed := range seeds {
+		sc := check.Generate(seed)
+		net := check.BuildNetsim(sc)
+		routes, err := check.FlowRoutes(net, sc)
+		if err != nil {
+			return fmt.Errorf("seed %d: %w", seed, err)
+		}
+		rec := trace.NewRecorder(check.TraceID)
+		agg := trace.NewMetrics()
+		net.SetTracer(trace.Tee(rec, agg))
+		check.RunNetsim(net, sc, routes)
+		_, _, liveRec := check.RunLivenetTraced(sc, routes, traceDeadline)
+
+		fmt.Printf("== seed %d: %d routers, %d hosts, %d flows ==\n",
+			seed, sc.NRouters, len(sc.HostRouter), len(sc.Flows))
+		for _, f := range sc.Flows {
+			if onlyFlow != 0 && f.ID != onlyFlow {
+				continue
+			}
+			pt := check.RequestTrace(rec, f.ID)
+			live := check.RequestTrace(liveRec, f.ID)
+			fmt.Printf("flow %d (%s -> %s): %s\n",
+				f.ID, check.HostName(f.Src), check.HostName(f.Dst), pt.Summary())
+			fmt.Print(indent(pt.Format()))
+			switch {
+			case live == nil:
+				mismatches++
+				fmt.Println("  livenet: NO TRACE RECORDED")
+			case live.Summary() != pt.Summary():
+				mismatches++
+				fmt.Printf("  livenet: PATH DIVERGES: %s\n%s", live.Summary(), indent(live.Format()))
+			default:
+				fmt.Println("  livenet: path matches")
+			}
+		}
+		s := agg.Snapshot()
+		fmt.Printf("netsim aggregate: %d packets, %d hops (%d cut-through, %d store-fwd), hop latency p50=%dns p99=%dns\n",
+			s.Packets, s.Hops, s.CutThrough, s.StoreForward, s.HopLatencyP50Ns, s.HopLatencyP99Ns)
+		if len(s.Drops) > 0 {
+			fmt.Printf("drop reasons: %v\n", s.Drops)
+		} else {
+			fmt.Println("drop reasons: none")
+		}
+		fmt.Println()
+	}
+	if mismatches > 0 {
+		return fmt.Errorf("%d flows diverge between substrates", mismatches)
+	}
+	return nil
+}
+
+func parseSeeds(list string) ([]int64, error) {
+	var seeds []int64
+	for _, s := range strings.Split(list, ",") {
+		n, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed %q: %w", s, err)
+		}
+		seeds = append(seeds, n)
+	}
+	return seeds, nil
+}
+
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i := range lines {
+		lines[i] = "  " + lines[i]
+	}
+	return strings.Join(lines, "\n") + "\n"
+}

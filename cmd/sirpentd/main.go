@@ -5,26 +5,54 @@
 // a two-router backbone and reports forwarding statistics.
 //
 //	sirpentd -clients 4 -requests 100
+//
+// With -metrics, every packet is hop-traced into an aggregate
+// trace.Metrics and the live snapshot is served as expvar JSON:
+//
+//	sirpentd -clients 4 -requests 10000 -metrics :8080 -hold 1m &
+//	curl -s localhost:8080/debug/vars | python3 -m json.tool
+//
+// The snapshot appears under the "sirpent" key: per-port counters,
+// drop-reason buckets, and a log-scale per-hop latency histogram with
+// p50/p99. Metric names are pinned by internal/stats's stability test.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"sync"
 	"time"
 
 	"repro/internal/livenet"
+	"repro/internal/trace"
 	"repro/internal/viper"
 )
 
 func main() {
 	nClients := flag.Int("clients", 4, "concurrent client hosts")
 	nReq := flag.Int("requests", 100, "transactions per client")
+	metricsAddr := flag.String("metrics", "", "serve hop-trace metrics as expvar JSON on this address (e.g. :8080)")
+	hold := flag.Duration("hold", 0, "keep serving -metrics this long after the workload finishes")
 	flag.Parse()
 
 	net := livenet.NewNetwork()
 	defer net.Stop()
+
+	var metrics *trace.Metrics
+	if *metricsAddr != "" {
+		metrics = trace.NewMetrics()
+		net.SetTracer(metrics)
+		metrics.Publish("sirpent")
+		go func() {
+			// expvar's package init registered /debug/vars on the
+			// default mux; nothing else is served.
+			if err := http.ListenAndServe(*metricsAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "metrics server:", err)
+			}
+		}()
+	}
 
 	r1 := net.NewRouter("r1")
 	r2 := net.NewRouter("r2")
@@ -78,6 +106,19 @@ func main() {
 	for _, r := range []*livenet.Router{r1, r2} {
 		s := r.Stats()
 		fmt.Printf("  %-3s forwarded=%d local=%d drops=%d\n", rName(r, r1), s.Forwarded, s.Local, s.TotalDrops())
+	}
+
+	if metrics != nil {
+		s := metrics.Snapshot()
+		fmt.Printf("traced %d packets / %d hops: hop latency mean=%.0fns p50=%dns p99=%dns\n",
+			s.Packets, s.Hops, s.HopLatencyMeanNs, s.HopLatencyP50Ns, s.HopLatencyP99Ns)
+		if len(s.Drops) > 0 {
+			fmt.Printf("  drops: %v\n", s.Drops)
+		}
+		if *hold > 0 {
+			fmt.Printf("serving metrics on %s/debug/vars for %v\n", *metricsAddr, *hold)
+			time.Sleep(*hold)
+		}
 	}
 }
 

@@ -93,16 +93,43 @@ func (r *Result) ReplyHosts(id uint64) []string {
 // delivering host, trailer contents (via the return-route fingerprint),
 // payload integrity, and reply arrivals.
 func Diff(simR, liveR *Result, sc *Scenario) []string {
-	var out []string
-	bad := func(format string, args ...any) { out = append(out, fmt.Sprintf(format, args...)) }
+	out, perFlow := diffObservations(simR, liveR, sc)
+	for _, f := range sc.Flows {
+		out = append(out, perFlow[f.ID]...)
+	}
+	return out
+}
+
+// DivergingFlows returns the IDs of the flows whose observations differ
+// between the substrates, in flow order — the join key for pulling
+// hop-level trace evidence out of a Recorder.
+func DivergingFlows(simR, liveR *Result, sc *Scenario) []uint64 {
+	_, perFlow := diffObservations(simR, liveR, sc)
+	var ids []uint64
+	for _, f := range sc.Flows {
+		if len(perFlow[f.ID]) > 0 {
+			ids = append(ids, f.ID)
+		}
+	}
+	return ids
+}
+
+// diffObservations does the comparison once, splitting global problems
+// (garbled payloads) from per-flow divergences so callers can either
+// flatten everything (Diff) or join flows to traces (DivergingFlows).
+func diffObservations(simR, liveR *Result, sc *Scenario) (global []string, perFlow map[uint64][]string) {
+	perFlow = make(map[uint64][]string)
 
 	if _, _, g, _ := simR.Counts(); g > 0 {
-		bad("netsim: %d garbled deliveries", g)
+		global = append(global, fmt.Sprintf("netsim: %d garbled deliveries", g))
 	}
 	if _, _, g, _ := liveR.Counts(); g > 0 {
-		bad("livenet: %d garbled deliveries", g)
+		global = append(global, fmt.Sprintf("livenet: %d garbled deliveries", g))
 	}
 	for _, f := range sc.Flows {
+		bad := func(format string, args ...any) {
+			perFlow[f.ID] = append(perFlow[f.ID], fmt.Sprintf(format, args...))
+		}
 		a, b := simR.Deliveries(f.ID), liveR.Deliveries(f.ID)
 		if len(a) != len(b) {
 			bad("flow %d: delivered %d times in netsim, %d in livenet", f.ID, len(a), len(b))
@@ -131,7 +158,7 @@ func Diff(simR, liveR *Result, sc *Scenario) []string {
 			bad("flow %d: reply landed at %s in netsim, %s in livenet", f.ID, ra[0], rb[0])
 		}
 	}
-	return out
+	return global, perFlow
 }
 
 // CheckReachability verifies the paper's core claim on one substrate's

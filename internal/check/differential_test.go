@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // liveDeadline bounds how long one livenet scenario may take to quiesce.
@@ -31,11 +32,21 @@ func TestDifferentialNetsimVsLivenet(t *testing.T) {
 			if err != nil {
 				t.Fatalf("routing: %v", err)
 			}
+			simRec := trace.NewRecorder(TraceID)
+			net.SetTracer(simRec)
 			simRes := RunNetsim(net, sc, routes)
-			liveRes, liveCtrs := RunLivenet(sc, routes, liveDeadline)
+			liveRes, liveCtrs, liveRec := RunLivenetTraced(sc, routes, liveDeadline)
 
 			for _, p := range Diff(simRes, liveRes, sc) {
 				t.Errorf("diff: %s", p)
+			}
+			// A divergence report is only actionable with the hop-level
+			// story behind it: attach both substrates' traces for every
+			// flow that disagreed.
+			if ids := DivergingFlows(simRes, liveRes, sc); len(ids) > 0 {
+				t.Logf("trace evidence for diverging flows:\n%s%s",
+					TraceEvidence("netsim", simRec, ids),
+					TraceEvidence("livenet", liveRec, ids))
 			}
 			// The substrates share one counter surface (stats.Counters),
 			// so a fault-free run must produce identical totals bucket by

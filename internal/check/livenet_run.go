@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/livenet"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/viper"
 )
 
@@ -137,8 +138,17 @@ func (ln *LiveNet) Settle(res *Result, deadline time.Duration) {
 // merged router counters for generic diffing against the other
 // substrate.
 func RunLivenet(sc *Scenario, routes map[uint64][]viper.Segment, deadline time.Duration) (*Result, stats.Counters) {
+	return runLivenet(sc, routes, deadline, nil)
+}
+
+// runLivenet is the shared body; a non-nil tracer is installed on the
+// network before any flow is injected.
+func runLivenet(sc *Scenario, routes map[uint64][]viper.Segment, deadline time.Duration, tr trace.Tracer) (*Result, stats.Counters) {
 	ln := BuildLivenet(sc)
 	defer ln.Net.Stop()
+	if tr != nil {
+		ln.Net.SetTracer(tr)
+	}
 	res := NewResult()
 	ln.InstallEcho(sc, res)
 	for _, f := range sc.Flows {

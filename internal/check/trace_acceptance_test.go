@@ -1,0 +1,86 @@
+package check
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestTracedSeededTopologies is the observability acceptance gate: on
+// the seeded topologies that `sirpent-bench -trace` replays by default,
+// both substrates' hop-level traces must tell the exact story the
+// differential suite expects — one trace per flow, hop count equal to
+// the route length (origin forward + one forward per router + local
+// delivery), endpoints at the flow's source and destination, no drop
+// hops in a fault-free run, and an identical node sequence on both
+// substrates.
+func TestTracedSeededTopologies(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			sc := Generate(seed)
+			net := BuildNetsim(sc)
+			routes, err := FlowRoutes(net, sc)
+			if err != nil {
+				t.Fatalf("routing: %v", err)
+			}
+			simRec := trace.NewRecorder(TraceID)
+			net.SetTracer(simRec)
+			RunNetsim(net, sc, routes)
+			_, _, liveRec := RunLivenetTraced(sc, routes, liveDeadline)
+
+			for _, f := range sc.Flows {
+				simPT := RequestTrace(simRec, f.ID)
+				livePT := RequestTrace(liveRec, f.ID)
+				if simPT == nil || livePT == nil {
+					t.Errorf("flow %d: missing request trace (netsim=%v livenet=%v)",
+						f.ID, simPT != nil, livePT != nil)
+					continue
+				}
+				route := routes[f.ID]
+				for _, sub := range []struct {
+					name string
+					pt   *trace.PacketTrace
+				}{{"netsim", simPT}, {"livenet", livePT}} {
+					// Path hops (forward/local) exclude block/preempt
+					// annotations, which depend on substrate timing.
+					hops := sub.pt.PathHops()
+					if got, want := len(hops), len(route); got != want {
+						t.Errorf("flow %d %s: %d path hops, want %d (route length):\n%s",
+							f.ID, sub.name, got, want, sub.pt.Format())
+						continue
+					}
+					first, last := hops[0], hops[len(hops)-1]
+					if first.Node != HostName(f.Src) || first.Action != trace.ActionForward {
+						t.Errorf("flow %d %s: first hop %+v, want forward at %s",
+							f.ID, sub.name, first, HostName(f.Src))
+					}
+					if last.Node != HostName(f.Dst) || last.Action != trace.ActionLocal {
+						t.Errorf("flow %d %s: last hop %+v, want local at %s",
+							f.ID, sub.name, last, HostName(f.Dst))
+					}
+					for _, ev := range sub.pt.Hops {
+						if ev.Action == trace.ActionDrop || ev.Action == trace.ActionLost {
+							t.Errorf("flow %d %s: %s hop in a fault-free run:\n%s",
+								f.ID, sub.name, ev.Action, sub.pt.Format())
+						}
+					}
+				}
+				// Same route, same node names: the rendered path must
+				// agree verbatim across substrates.
+				if a, b := simPT.Summary(), livePT.Summary(); a != b {
+					t.Errorf("flow %d: path diverges:\n  netsim:  %s\n  livenet: %s", f.ID, a, b)
+				}
+				// The echoed reply retraces the trailer back to the source.
+				if rp := ReplyTrace(simRec, f.ID); rp == nil {
+					t.Errorf("flow %d: netsim reply untraced", f.ID)
+				} else if last := rp.Hops[len(rp.Hops)-1]; last.Node != HostName(f.Src) || last.Action != trace.ActionLocal {
+					t.Errorf("flow %d: netsim reply ends %+v, want local at %s:\n%s",
+						f.ID, last, HostName(f.Src), rp.Format())
+				}
+			}
+		})
+	}
+}

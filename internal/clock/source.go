@@ -1,0 +1,39 @@
+package clock
+
+import (
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Source is the substrate-neutral time base the observability layer
+// stamps hop events with. The two substrates answer in incompatible
+// bases — netsim in virtual nanoseconds since the simulation epoch,
+// livenet in monotonic wall nanoseconds since process start — so
+// stamps are only comparable within one trace record, never across
+// substrates.
+type Source interface {
+	// NowNanos returns the current time in nanoseconds. Implementations
+	// must be safe for concurrent use and monotone non-decreasing.
+	NowNanos() int64
+}
+
+// SimSource adapts a sim.Engine into a Source reporting virtual
+// nanoseconds. The engine itself is single-threaded, which satisfies
+// the concurrency requirement trivially on the netsim substrate.
+func SimSource(eng *sim.Engine) Source { return simSource{eng} }
+
+type simSource struct{ eng *sim.Engine }
+
+func (s simSource) NowNanos() int64 { return int64(s.eng.Now()) }
+
+// Wall is the live substrate's Source: monotonic wall-clock
+// nanoseconds since process start (time.Since on a fixed epoch reads
+// the monotonic clock, immune to wall-time steps).
+var Wall Source = wallSource{}
+
+var wallEpoch = time.Now()
+
+type wallSource struct{}
+
+func (wallSource) NowNanos() int64 { return int64(time.Since(wallEpoch)) }

@@ -1,0 +1,31 @@
+package clock
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestSimSourceTracksEngine(t *testing.T) {
+	eng := sim.NewEngine(1)
+	src := SimSource(eng)
+	if got := src.NowNanos(); got != 0 {
+		t.Fatalf("NowNanos at epoch = %d, want 0", got)
+	}
+	eng.At(1500*sim.Nanosecond, func() {
+		if got := src.NowNanos(); got != 1500 {
+			t.Fatalf("NowNanos = %d, want 1500", got)
+		}
+	})
+	eng.Run()
+}
+
+func TestWallIsMonotone(t *testing.T) {
+	a := Wall.NowNanos()
+	time.Sleep(time.Millisecond)
+	b := Wall.NowNanos()
+	if b <= a {
+		t.Fatalf("wall source not advancing: %d then %d", a, b)
+	}
+}

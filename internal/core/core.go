@@ -23,6 +23,7 @@ import (
 	"repro/internal/router"
 	"repro/internal/sim"
 	"repro/internal/token"
+	"repro/internal/trace"
 	"repro/internal/viper"
 	"repro/internal/vmtp"
 )
@@ -290,6 +291,16 @@ func (n *Internetwork) CollectAccounting() map[uint32]token.Usage {
 		}
 	}
 	return n.dir.Bill()
+}
+
+// SetTracer installs a hop tracer on every host currently in the
+// internetwork: packets sent by any host open a trace record that rides
+// the packet through routers and media. Call after the topology is
+// built; hosts added later start untraced. Pass nil to disable.
+func (n *Internetwork) SetTracer(t trace.Tracer) {
+	for _, h := range n.hosts {
+		h.SetTracer(t)
+	}
 }
 
 // Register binds a hierarchical name to a node in the directory.

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/ethernet"
 	"repro/internal/pool"
+	"repro/internal/trace"
 	"repro/internal/viper"
 )
 
@@ -86,6 +87,39 @@ func BenchmarkForwardHop(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		forwardOneHop(r, ch, tmpl, hdr)
+	}
+}
+
+// discardTracer opens records that are never retained, isolating the
+// per-hop cost of tracing itself from recorder bookkeeping.
+type discardTracer struct{}
+
+func (discardTracer) Begin(payload []byte) *trace.PacketTrace {
+	return &trace.PacketTrace{Hops: make([]trace.HopEvent, 0, 8)}
+}
+func (discardTracer) Finish(*trace.PacketTrace) {}
+
+// BenchmarkForwardHopTraced measures the same fast path with a trace
+// record attached to every frame — the enabled-path overhead quoted in
+// EXPERIMENTS.md. Each iteration begins a fresh record, so the cost
+// includes record allocation, clock reads and the hop append.
+func BenchmarkForwardHopTraced(b *testing.B) {
+	r, ch := benchRouter()
+	tmpl := hopTemplate(b)
+	hdr := make([]byte, ethernet.HeaderLen)
+	tr := discardTracer{}
+	forwardOneHop(r, ch, tmpl, hdr)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := pool.Get(len(tmpl) + frameHeadroom(2, len(tmpl)))
+		buf = append(buf, tmpl...)
+		copy(hdr, hopHdrTemplate)
+		pt := trace.Start(tr, nil)
+		r.forward(inFrame{port: 1, frame: Frame{Hdr: hdr, Pkt: buf, Trace: pt, buf: buf[:0]}})
+		f := <-ch
+		f.Trace.Done()
+		f.release()
 	}
 }
 

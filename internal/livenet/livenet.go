@@ -32,9 +32,11 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/clock"
 	"repro/internal/ethernet"
 	"repro/internal/pool"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/viper"
 )
 
@@ -47,6 +49,14 @@ import (
 type Frame struct {
 	Hdr []byte // nil or 14-byte Ethernet header
 	Pkt []byte
+
+	// Trace is the packet's hop-level trace record, nil when tracing is
+	// off. It shares the frame's ownership rule: the channel send that
+	// transfers the buffer also transfers the record, so the sender must
+	// append its hop BEFORE sending and never touch the record after —
+	// the happens-before edge of the send is what makes appends safe
+	// without a lock.
+	Trace *trace.PacketTrace
 
 	// buf is the full-capacity view of Pkt's pooled backing array. Pkt's
 	// start drifts forward as hops strip segments, so Pkt alone cannot
@@ -63,10 +73,13 @@ func (f Frame) release() {
 	}
 }
 
-// inFrame tags a frame with its arrival port.
+// inFrame tags a frame with its arrival port. arrived is the wall-clock
+// ingress stamp for per-hop latency, taken only for traced frames (the
+// untraced path performs no clock reads).
 type inFrame struct {
-	port  uint8
-	frame Frame
+	port    uint8
+	frame   Frame
+	arrived int64
 }
 
 // Network owns the nodes and coordinates shutdown.
@@ -74,10 +87,29 @@ type Network struct {
 	wg      sync.WaitGroup
 	stopped atomic.Bool
 	nodes   []interface{ close() }
+	tracer  atomic.Value // *tracerBox
 }
+
+// tracerBox wraps the Tracer interface so atomic.Value always stores
+// one concrete type.
+type tracerBox struct{ t trace.Tracer }
 
 // NewNetwork creates an empty live network.
 func NewNetwork() *Network { return &Network{} }
+
+// SetTracer installs (or with nil removes) the network's hop-level
+// tracer: every packet subsequently originated by any host of this
+// network carries a trace record. Safe to call while traffic flows;
+// in-flight packets keep whatever record they started with.
+func (n *Network) SetTracer(t trace.Tracer) { n.tracer.Store(&tracerBox{t}) }
+
+// currentTracer returns the installed tracer, nil when tracing is off.
+func (n *Network) currentTracer() trace.Tracer {
+	if b, ok := n.tracer.Load().(*tracerBox); ok {
+		return b.t
+	}
+	return nil
+}
 
 // Stop shuts all nodes down and waits for their goroutines.
 func (n *Network) Stop() {
@@ -139,6 +171,19 @@ func (nd *node) hasPort(port uint8) bool {
 	return ok
 }
 
+// portDepth reports the occupancy of a port's transmit channel — the
+// livenet analogue of an output-queue depth. Called only for traced
+// frames; the untraced path never takes this lock.
+func (nd *node) portDepth(port uint8) int {
+	nd.mu.Lock()
+	ch := nd.out[port]
+	nd.mu.Unlock()
+	if ch == nil {
+		return 0
+	}
+	return len(ch)
+}
+
 // Link is a handle on one bidirectional livenet link, used for fault
 // injection: a down link silently discards frames in both directions (as
 // a cut cable would), and a loss ratio discards each frame independently
@@ -197,11 +242,22 @@ func (n *Network) attach(nd *node, port uint8, out chan<- Frame, in <-chan Frame
 					return
 				}
 				if link.drops() {
+					if f.Trace != nil {
+						f.Trace.Add(trace.HopEvent{
+							Node: nd.name, InPort: port, Action: trace.ActionLost,
+							At: clock.Wall.NowNanos(),
+						})
+						f.Trace.Done()
+					}
 					f.release()
 					continue
 				}
+				var arrived int64
+				if f.Trace != nil {
+					arrived = clock.Wall.NowNanos()
+				}
 				select {
-				case nd.inbox <- inFrame{port: port, frame: f}:
+				case nd.inbox <- inFrame{port: port, frame: f, arrived: arrived}:
 				case <-nd.done:
 					return
 				}
@@ -316,10 +372,20 @@ func (r *Router) Stats() stats.Counters {
 	return c
 }
 
-// drop counts one dropped frame and recycles its buffer.
-func (r *Router) drop(reason stats.DropReason, f Frame) {
+// drop counts one dropped frame, closes its trace record with a drop
+// hop, and recycles its buffer. The trace work is behind the nil check:
+// untraced drops cost one pointer test.
+func (r *Router) drop(reason stats.DropReason, inf inFrame) {
 	r.counters.drops[reason].Add(1)
-	f.release()
+	if pt := inf.frame.Trace; pt != nil {
+		now := clock.Wall.NowNanos()
+		pt.Add(trace.HopEvent{
+			Node: r.name, InPort: inf.port, Action: trace.ActionDrop,
+			Reason: reason, At: now, LatencyNs: now - inf.arrived,
+		})
+		pt.Done()
+	}
+	inf.frame.release()
 }
 
 func (r *Router) run() {
@@ -342,7 +408,7 @@ func (r *Router) run() {
 func (r *Router) forward(inf inFrame) {
 	seg, rest, err := viper.DecodeSegmentNoCopy(inf.frame.Pkt)
 	if err != nil {
-		r.drop(stats.DropNotSirpent, inf.frame)
+		r.drop(stats.DropNotSirpent, inf)
 		return
 	}
 	if seg.Flags.Has(viper.FlagTRE) {
@@ -355,7 +421,7 @@ func (r *Router) forward(inf inFrame) {
 	ret := viper.Segment{Port: inf.port, Priority: seg.Priority, Flags: seg.Flags & viper.FlagDIB}
 	if inf.frame.Hdr != nil {
 		if err := ethernet.SwapInPlace(inf.frame.Hdr); err != nil {
-			r.drop(stats.DropNotSirpent, inf.frame)
+			r.drop(stats.DropNotSirpent, inf)
 			return
 		}
 		ret.PortInfo = inf.frame.Hdr
@@ -367,10 +433,10 @@ func (r *Router) forward(inf inFrame) {
 	// append writes only past the old trailer descriptor — disjoint.
 	out, err := appendTrailerSegment(rest, &ret)
 	if err != nil {
-		r.drop(stats.DropNotSirpent, inf.frame)
+		r.drop(stats.DropNotSirpent, inf)
 		return
 	}
-	f := Frame{Pkt: out, buf: inf.frame.buf}
+	f := Frame{Pkt: out, Trace: inf.frame.Trace, buf: inf.frame.buf}
 	if len(rest) > 0 && len(out) > 0 && &out[0] != &rest[0] {
 		// The headroom ran out and the append reallocated: out starts a
 		// fresh array (its own recycling target), and the old buffer —
@@ -380,6 +446,14 @@ func (r *Router) forward(inf inFrame) {
 	}
 	if seg.Port == viper.PortLocal {
 		r.counters.local.Add(1)
+		if pt := f.Trace; pt != nil {
+			now := clock.Wall.NowNanos()
+			pt.Add(trace.HopEvent{
+				Node: r.name, InPort: inf.port, Action: trace.ActionLocal,
+				At: now, LatencyNs: now - inf.arrived,
+			})
+			pt.Done()
+		}
 		if r.local != nil {
 			r.local(out)
 		} else {
@@ -392,11 +466,25 @@ func (r *Router) forward(inf inFrame) {
 		// the dead front region; it travels with the buffer it aliases.
 		f.Hdr = seg.PortInfo
 	}
+	if pt := f.Trace; pt != nil {
+		// The hop is appended BEFORE the send: the channel send transfers
+		// ownership of the record with the buffer, and touching it after
+		// a successful send would race the next hop. A failed send
+		// returns ownership, and drop then appends the terminal hop after
+		// this one — the record reads "attempted forward, then dropped".
+		now := clock.Wall.NowNanos()
+		pt.Add(trace.HopEvent{
+			Node: r.name, InPort: inf.port, OutPort: seg.Port,
+			Action: trace.ActionForward, QueueDepth: r.portDepth(seg.Port),
+			At: now, LatencyNs: now - inf.arrived,
+		})
+	}
 	if !r.send(seg.Port, f) {
+		out := inFrame{port: inf.port, frame: f, arrived: inf.arrived}
 		if r.hasPort(seg.Port) {
-			r.drop(stats.DropTxError, f)
+			r.drop(stats.DropTxError, out)
 		} else {
-			r.drop(stats.DropBadPort, f)
+			r.drop(stats.DropBadPort, out)
 		}
 		return
 	}
@@ -407,12 +495,23 @@ func (r *Router) forward(inf inFrame) {
 // packet down each branch by splicing the branch's segments in front of
 // the remaining bytes. Each branch gets its own pooled buffer (and its
 // own header copy — forwarding swaps headers in place, so branches must
-// not share one); the original buffer is recycled after the fanout.
+// not share one); the original buffer is recycled after the fanout. A
+// traced packet's record ends here: branches run on concurrent paths
+// and must not share one record, so they continue untraced.
 func (r *Router) fanoutTree(inf inFrame, seg *viper.Segment, rest []byte) {
 	branches, err := viper.DecodeTree(seg.PortInfo)
 	if err != nil {
-		r.drop(stats.DropBadPort, inf.frame)
+		r.drop(stats.DropBadPort, inf)
 		return
+	}
+	if pt := inf.frame.Trace; pt != nil {
+		now := clock.Wall.NowNanos()
+		pt.Add(trace.HopEvent{
+			Node: r.name, InPort: inf.port, OutPort: seg.Port,
+			Action: trace.ActionForward, At: now, LatencyNs: now - inf.arrived,
+		})
+		pt.Done()
+		inf.frame.Trace = nil
 	}
 	for _, br := range branches {
 		headLen := 0
@@ -429,7 +528,7 @@ func (r *Router) fanoutTree(inf inFrame, seg *viper.Segment, rest []byte) {
 			}
 		}
 		if !ok {
-			r.drop(stats.DropBadPort, Frame{Pkt: buf, buf: full})
+			r.drop(stats.DropBadPort, inFrame{port: inf.port, frame: Frame{Pkt: buf, buf: full}})
 			continue
 		}
 		buf = append(buf, rest...)
@@ -566,7 +665,23 @@ func (h *Host) Send(route []viper.Segment, data []byte) error {
 		// place, and the caller's route must not be scribbled on.
 		f.Hdr = append([]byte(nil), own.PortInfo...)
 	}
+	if pt := trace.Start(h.netw.currentTracer(), data); pt != nil {
+		// Origin hop appended before the send — ownership of the record
+		// transfers with the frame (see Frame.Trace).
+		pt.Add(trace.HopEvent{
+			Node: h.name, OutPort: own.Port, Action: trace.ActionForward,
+			At: clock.Wall.NowNanos(),
+		})
+		f.Trace = pt
+	}
 	if !h.send(own.Port, f) {
+		if f.Trace != nil {
+			f.Trace.Add(trace.HopEvent{
+				Node: h.name, Action: trace.ActionDrop, Reason: stats.DropTxError,
+				At: clock.Wall.NowNanos(),
+			})
+			f.Trace.Done()
+		}
 		f.release()
 		return fmt.Errorf("livenet: no interface %d on %s", own.Port, h.name)
 	}
@@ -584,9 +699,25 @@ func (h *Host) run() {
 	}
 }
 
+// closeReceive ends a traced frame's record at this host; action is
+// ActionLocal on delivery, ActionDrop with a reason otherwise.
+func (h *Host) closeReceive(inf inFrame, action trace.Action, reason stats.DropReason) {
+	pt := inf.frame.Trace
+	if pt == nil {
+		return
+	}
+	now := clock.Wall.NowNanos()
+	pt.Add(trace.HopEvent{
+		Node: h.name, InPort: inf.port, Action: action, Reason: reason,
+		At: now, LatencyNs: now - inf.arrived,
+	})
+	pt.Done()
+}
+
 func (h *Host) receive(inf inFrame) {
 	pkt, err := viper.Decode(inf.frame.Pkt)
 	if err != nil || len(pkt.Route) == 0 {
+		h.closeReceive(inf, trace.ActionDrop, stats.DropNotSirpent)
 		inf.frame.release()
 		return
 	}
@@ -603,7 +734,10 @@ func (h *Host) receive(inf inFrame) {
 	fn := h.handlers[seg.Port]
 	h.mu.Unlock()
 	if fn != nil {
+		h.closeReceive(inf, trace.ActionLocal, 0)
 		fn(Delivery{Data: pkt.Data, ReturnRoute: pkt.ReturnRoute(), Endpoint: seg.Port})
+	} else {
+		h.closeReceive(inf, trace.ActionDrop, stats.DropBadPort)
 	}
 	inf.frame.release()
 }

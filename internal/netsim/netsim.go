@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/ethernet"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/viper"
 )
 
@@ -81,12 +82,18 @@ func (a *Arrival) End() sim.Time { return a.Start + a.TxTime }
 
 // Transmission is one packet occupying one medium.
 type Transmission struct {
-	Pkt     Payload
-	From    *Port
-	Hdr     *ethernet.Header
-	Start   sim.Time
-	TxTime  sim.Time
-	Prio    viper.Priority
+	Pkt    Payload
+	From   *Port
+	Hdr    *ethernet.Header
+	Start  sim.Time
+	TxTime sim.Time
+	Prio   viper.Priority
+	// Trace is the packet's hop-level trace record; nil when tracing is
+	// off. The sender sets it after appending its forward hop, receivers
+	// read it through Arrival.Tx, and the medium closes it with an
+	// ActionLost hop if the frame dies in flight before its leading edge
+	// is delivered.
+	Trace   *trace.PacketTrace
 	aborted bool
 	onAbort []func(at sim.Time)
 	medium  Medium
@@ -289,6 +296,24 @@ func (b *base) abort(tx *Transmission) {
 	})
 }
 
+// loseTrace closes a traced transmission that died in flight — fault
+// injection or an abort before the leading edge reached dst — with an
+// ActionLost hop at the node that was to receive it. If the leading
+// edge was already delivered, the downstream node owns the record and
+// this is never called for it.
+func loseTrace(tx *Transmission, dst *Port, eng *sim.Engine) {
+	if tx.Trace == nil {
+		return
+	}
+	tx.Trace.Add(trace.HopEvent{
+		Node:   dst.Node.Name(),
+		InPort: dst.ID,
+		Action: trace.ActionLost,
+		At:     int64(eng.Now()),
+	})
+	tx.Trace.Done()
+}
+
 // P2PDirection is one direction of a full-duplex point-to-point link.
 type P2PDirection struct {
 	base
@@ -343,6 +368,7 @@ func (d *P2PDirection) Transmit(from *Port, pkt Payload, hdr *ethernet.Header, p
 	lost := d.lose()
 	d.eng.Schedule(d.prop, func() {
 		if tx.aborted || lost {
+			loseTrace(tx, peer, d.eng)
 			return
 		}
 		peer.Node.Arrive(&Arrival{
@@ -434,6 +460,7 @@ func (s *EthernetSegment) Transmit(from *Port, pkt Payload, hdr *ethernet.Header
 		lost := s.lose()
 		s.eng.Schedule(s.prop, func() {
 			if tx.aborted || lost {
+				loseTrace(tx, dst, s.eng)
 				return
 			}
 			dst.Node.Arrive(&Arrival{

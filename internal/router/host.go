@@ -7,6 +7,7 @@ import (
 	"repro/internal/ethernet"
 	"repro/internal/netsim"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/viper"
 )
 
@@ -49,6 +50,11 @@ type Host struct {
 
 	ifaces    map[uint8]*hostIface
 	endpoints map[uint8]DeliveryHandler
+
+	// tracer, when non-nil, opens a hop-level trace record for every
+	// packet this host originates; the record rides with the packet and
+	// is closed wherever its story ends.
+	tracer trace.Tracer
 
 	Stats HostStats
 }
@@ -98,6 +104,11 @@ func (h *Host) Handle(endpoint uint8, fn DeliveryHandler) {
 	h.endpoints[endpoint] = fn
 }
 
+// SetTracer installs (or with nil removes) the hop-level tracer for
+// packets originated by this host. Packets of untraced hosts stay
+// untraced end to end, at zero per-hop cost.
+func (h *Host) SetTracer(t trace.Tracer) { h.tracer = t }
+
 // Errors.
 var (
 	ErrEmptyRoute = errors.New("router: route must include the sender's own directive segment")
@@ -146,7 +157,10 @@ func (h *Host) SendFrom(endpoint uint8, route []viper.Segment, data []byte) erro
 		Flags:    own.Flags & viper.FlagDIB,
 	})
 	h.Stats.Sent++
-	iface.send(&frame{pkt: pkt, hdr: hdr, prio: own.Priority})
+	iface.send(&frame{
+		pkt: pkt, hdr: hdr, prio: own.Priority,
+		tr: trace.Start(h.tracer, data), arrived: h.eng.Now(),
+	})
 	return nil
 }
 
@@ -162,10 +176,25 @@ func cloneRoute(in []viper.Segment) []viper.Segment {
 func (i *hostIface) send(f *frame) {
 	if i.queue.Len() >= 256 {
 		i.h.Stats.DropQueue++
+		i.h.dropTrace(f, DropQueueFull)
 		return
 	}
 	i.queue.push(&queued{frame: f, prio: f.prio, enqueued: i.h.eng.Now()})
 	i.drain()
+}
+
+// dropTrace closes a traced frame that died at this host with a drop
+// hop; a no-op for untraced frames.
+func (h *Host) dropTrace(f *frame, reason DropReason) {
+	if f.tr == nil {
+		return
+	}
+	now := int64(h.eng.Now())
+	f.tr.Add(trace.HopEvent{
+		Node: h.name, InPort: f.in, Action: trace.ActionDrop,
+		Reason: reason, At: now, LatencyNs: now - int64(f.arrived),
+	})
+	f.tr.Done()
 }
 
 func (i *hostIface) drain() {
@@ -195,9 +224,18 @@ func (i *hostIface) drain() {
 			// Link down or unroutable: the frame is lost; the
 			// transport's retransmission recovers (§4).
 			i.h.Stats.DropTx++
+			i.h.dropTrace(it.frame, DropTxError)
 			continue
 		}
 		i.chargeLimit(it.frame, now)
+		if tr := it.frame.tr; tr != nil {
+			tr.Add(trace.HopEvent{
+				Node: i.h.name, InPort: it.frame.in, OutPort: i.port.ID,
+				Action: trace.ActionForward, QueueDepth: i.queue.Len(),
+				At: int64(now), LatencyNs: int64(now - it.frame.arrived),
+			})
+			tx.Trace = tr
+		}
 		itf := it.frame
 		tx.OnAbort(func(at sim.Time) {
 			if !dibFlag(itf) {
@@ -327,6 +365,21 @@ func (h *Host) SendRate(iface, congestedPort uint8) float64 {
 	return 0
 }
 
+// closeArrival ends a traced packet's record at this host: delivery
+// (ActionLocal) or a terminal drop. A no-op for untraced packets.
+func (h *Host) closeArrival(arr *netsim.Arrival, action trace.Action, reason DropReason) {
+	pt := arr.Tx.Trace
+	if pt == nil {
+		return
+	}
+	now := int64(h.eng.Now())
+	pt.Add(trace.HopEvent{
+		Node: h.name, InPort: arr.In.ID, Action: action,
+		Reason: reason, At: now, LatencyNs: now - int64(arr.Start),
+	})
+	pt.Done()
+}
+
 // Arrive implements netsim.Node: hosts receive at the trailing edge (a
 // host is not a cut-through device; it stores the packet into memory).
 func (h *Host) Arrive(arr *netsim.Arrival) {
@@ -337,16 +390,19 @@ func (h *Host) Arrive(arr *netsim.Arrival) {
 func (h *Host) receive(arr *netsim.Arrival) {
 	if arr.Tx.Aborted() {
 		h.Stats.DropAborted++
+		h.closeArrival(arr, trace.ActionDrop, DropAborted)
 		return
 	}
 	pkt, ok := arr.Pkt.(*viper.Packet)
 	if !ok {
 		h.Stats.Misdeliver++
+		h.closeArrival(arr, trace.ActionDrop, DropNotSirpent)
 		return
 	}
 	seg := pkt.Current()
 	if seg == nil {
 		h.Stats.Misdeliver++
+		h.closeArrival(arr, trace.ActionDrop, DropNoSegment)
 		return
 	}
 	endpoint := seg.Port
@@ -355,6 +411,7 @@ func (h *Host) receive(arr *netsim.Arrival) {
 		// §4.1: the transport layer must recognize misdelivery; the
 		// Sirpent layer can only count it.
 		h.Stats.Misdeliver++
+		h.closeArrival(arr, trace.ActionDrop, DropBadPort)
 		return
 	}
 	// Consume the final segment, appending this host's return segment:
@@ -366,6 +423,7 @@ func (h *Host) receive(arr *netsim.Arrival) {
 	}
 	pkt.ConsumeHead(ret)
 	h.Stats.Delivered++
+	h.closeArrival(arr, trace.ActionLocal, 0)
 	handler(&Delivery{
 		Pkt:         pkt,
 		Data:        pkt.Data,

@@ -3,6 +3,7 @@ package router
 import (
 	"repro/internal/netsim"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/viper"
 )
 
@@ -59,6 +60,12 @@ func (op *outPort) forward(arr *netsim.Arrival, f *frame) {
 			// transmission is not."
 			med.Abort(cur)
 			r.Stats.Preemptions++
+			if f.tr != nil {
+				f.tr.Add(trace.HopEvent{
+					Node: r.name, InPort: f.in, OutPort: op.port.ID,
+					Action: trace.ActionPreempt, At: int64(now),
+				})
+			}
 			free = true
 		}
 	}
@@ -69,7 +76,7 @@ func (op *outPort) forward(arr *netsim.Arrival, f *frame) {
 		// too.
 		tx, err := med.Transmit(op.port, f.pkt, f.hdr, f.prio)
 		if err != nil {
-			r.drop(DropTxError)
+			r.dropFrame(DropTxError, f)
 			return
 		}
 		op.chargeLimit(f, now)
@@ -78,6 +85,15 @@ func (op *outPort) forward(arr *netsim.Arrival, f *frame) {
 		r.Stats.CutThrough++
 		r.Stats.Forwarded++
 		r.Stats.ForwardDelay.Add(float64(now - arr.Start))
+		if f.tr != nil {
+			f.tr.Add(trace.HopEvent{
+				Node: r.name, InPort: f.in, OutPort: op.port.ID,
+				Action: trace.ActionForward, CutThrough: true,
+				QueueDepth: op.queue.Len(), At: int64(now),
+				LatencyNs: int64(now - f.arrived),
+			})
+			tx.Trace = f.tr
+		}
 		op.noteForward(f, now)
 		return
 	}
@@ -85,13 +101,13 @@ func (op *outPort) forward(arr *netsim.Arrival, f *frame) {
 	// Blocked (or rate-mismatched): the packet must be fully received
 	// and buffered, degrading to store-and-forward for this hop.
 	if dibFlag(f) && !free {
-		r.drop(DropIfBlocked)
+		r.dropFrame(DropIfBlocked, f)
 		return
 	}
 	wait := arr.End() - now
 	r.eng.Schedule(wait, func() {
 		if arr.Tx.Aborted() {
-			r.drop(DropAborted)
+			r.dropFrame(DropAborted, f)
 			return
 		}
 		op.enqueue(&queued{
@@ -131,8 +147,16 @@ func (op *outPort) enqueue(it *queued, arr *netsim.Arrival) {
 			})
 			return
 		}
-		r.drop(DropQueueFull)
+		r.dropFrame(DropQueueFull, it.frame)
 		return
+	}
+	if tr := it.frame.tr; tr != nil {
+		now := int64(r.eng.Now())
+		tr.Add(trace.HopEvent{
+			Node: r.name, InPort: it.frame.in, OutPort: op.port.ID,
+			Action: trace.ActionBlock, QueueDepth: op.queue.Len(),
+			At: now, LatencyNs: now - int64(it.frame.arrived),
+		})
 	}
 	op.queue.push(it)
 	if op.ctl != nil {
@@ -172,13 +196,21 @@ func (op *outPort) drain() {
 		op.queue.remove(it)
 		tx, err := med.Transmit(op.port, it.frame.pkt, it.frame.hdr, it.frame.prio)
 		if err != nil {
-			r.drop(DropTxError)
+			r.dropFrame(DropTxError, it.frame)
 			continue
 		}
 		op.chargeLimit(it.frame, now)
 		r.Stats.StoreForward++
 		r.Stats.Forwarded++
 		r.Stats.QueueDelay.Add(float64(now - it.enqueued))
+		if tr := it.frame.tr; tr != nil {
+			tr.Add(trace.HopEvent{
+				Node: r.name, InPort: it.frame.in, OutPort: op.port.ID,
+				Action: trace.ActionForward, QueueDepth: op.queue.Len(),
+				At: int64(now), LatencyNs: int64(now - it.frame.arrived),
+			})
+			tx.Trace = tr
+		}
 		op.noteForward(it.frame, now)
 		// If this transmission is preempted, we still hold the full
 		// packet: requeue it unless it asked to be dropped (§2.1 type
@@ -188,7 +220,7 @@ func (op *outPort) drain() {
 			if !dibFlag(itf) {
 				op.enqueue(&queued{frame: itf, upstream: it.upstream, prio: itf.prio, enqueued: at}, nil)
 			} else {
-				r.drop(DropIfBlocked)
+				r.dropFrame(DropIfBlocked, itf)
 			}
 		})
 		op.scheduleDrainAt(tx.End())

@@ -6,6 +6,7 @@ import (
 	"repro/internal/ethernet"
 	"repro/internal/netsim"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/viper"
 )
 
@@ -29,6 +30,15 @@ type frame struct {
 	pkt  *viper.Packet
 	hdr  *ethernet.Header
 	prio viper.Priority
+
+	// tr is the packet's hop-level trace record, nil when tracing is
+	// off; arrived and in carry the leading-edge arrival time and port so
+	// a store-and-forward hop can report queue-inclusive latency. The
+	// record rides with the frame through the output queue and moves onto
+	// the onward netsim.Transmission at transmit time.
+	tr      *trace.PacketTrace
+	arrived sim.Time
+	in      uint8
 }
 
 // pktQueue is a priority queue ordered by priority rank (descending), then

@@ -17,6 +17,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/token"
+	"repro/internal/trace"
 	"repro/internal/viper"
 )
 
@@ -235,6 +236,55 @@ func (r *Router) Reboot() {
 
 func (r *Router) drop(reason DropReason) { r.Stats.Drop(reason) }
 
+// dropArr accounts a drop and, when the packet is traced, closes its
+// record with a drop hop. Every trace touch is behind the nil check,
+// keeping the untraced path at one pointer test (the nil-Tracer
+// zero-overhead contract of internal/trace).
+func (r *Router) dropArr(reason DropReason, arr *netsim.Arrival) {
+	r.Stats.Drop(reason)
+	if pt := arr.Tx.Trace; pt != nil {
+		now := int64(r.eng.Now())
+		pt.Add(trace.HopEvent{
+			Node: r.name, InPort: arr.In.ID, Action: trace.ActionDrop,
+			Reason: reason, At: now, LatencyNs: now - int64(arr.Start),
+		})
+		pt.Done()
+	}
+}
+
+// dropFrame is dropArr for packets past makeFrame: the record rides on
+// the frame (the arrival may already be history for queued packets).
+func (r *Router) dropFrame(reason DropReason, f *frame) {
+	r.Stats.Drop(reason)
+	if f.tr != nil {
+		now := int64(r.eng.Now())
+		f.tr.Add(trace.HopEvent{
+			Node: r.name, InPort: f.in, Action: trace.ActionDrop,
+			Reason: reason, At: now, LatencyNs: now - int64(f.arrived),
+		})
+		f.tr.Done()
+	}
+}
+
+// closeFanoutTrace ends a traced packet's record at a multicast fanout
+// router: the branch copies share the parent's Transmission, so tracing
+// them onto one record would interleave independent sub-paths. The
+// record closes with a forward hop naming the multicast/tree port, and
+// the branches continue untraced.
+func (r *Router) closeFanoutTrace(arr *netsim.Arrival, seg viper.Segment) {
+	pt := arr.Tx.Trace
+	if pt == nil {
+		return
+	}
+	now := int64(r.eng.Now())
+	pt.Add(trace.HopEvent{
+		Node: r.name, InPort: arr.In.ID, OutPort: seg.Port,
+		Action: trace.ActionForward, At: now, LatencyNs: now - int64(arr.Start),
+	})
+	pt.Done()
+	arr.Tx.Trace = nil
+}
+
 // Arrive implements netsim.Node: the leading edge of a packet has reached
 // the router. The switching decision fires once the first header segment
 // (and the network header preceding it) has been clocked in, plus the
@@ -246,12 +296,12 @@ func (r *Router) Arrive(arr *netsim.Arrival) {
 	r.Stats.Arrivals++
 	pkt, ok := arr.Pkt.(*viper.Packet)
 	if !ok {
-		r.drop(DropNotSirpent)
+		r.dropArr(DropNotSirpent, arr)
 		return
 	}
 	seg := pkt.Current()
 	if seg == nil {
-		r.drop(DropNoSegment)
+		r.dropArr(DropNoSegment, arr)
 		return
 	}
 	hdrBytes := seg.WireLen()
@@ -266,7 +316,7 @@ func (r *Router) Arrive(arr *netsim.Arrival) {
 // blocked-packet handler, or route local.
 func (r *Router) decide(arr *netsim.Arrival) {
 	if arr.Tx.Aborted() {
-		r.drop(DropAborted)
+		r.dropArr(DropAborted, arr)
 		return
 	}
 	seg := *vpkt(arr).Current()
@@ -274,14 +324,14 @@ func (r *Router) decide(arr *netsim.Arrival) {
 	// Token authorization (§2.2).
 	if r.cache != nil && (len(seg.PortToken) > 0 || r.requireToken[seg.Port]) {
 		if len(seg.PortToken) == 0 {
-			r.drop(DropTokenDenied)
+			r.dropArr(DropTokenDenied, arr)
 			return
 		}
 		size := uint64(netsim.FrameSize(arr.Pkt, arr.Hdr))
 		reverse := seg.Flags.Has(viper.FlagRPF)
 		switch r.cache.Check(seg.PortToken, seg.Port, seg.Priority, size, int64(r.eng.Now()), reverse) {
 		case token.Denied:
-			r.drop(DropTokenDenied)
+			r.dropArr(DropTokenDenied, arr)
 			return
 		case token.Unverified:
 			tok := append([]byte(nil), seg.PortToken...)
@@ -298,14 +348,14 @@ func (r *Router) decide(arr *netsim.Arrival) {
 				r.eng.Schedule(r.cfg.TokenVerifyTime, func() {
 					d := r.cache.Install(tok, seg.Port, seg.Priority, size, int64(r.eng.Now()), reverse)
 					if d != token.Allowed {
-						r.drop(DropTokenDenied)
+						r.dropArr(DropTokenDenied, arr)
 						return
 					}
 					r.dispatch(arr, seg)
 				})
 				return
 			case token.Drop:
-				r.drop(DropTokenDenied)
+				r.dropArr(DropTokenDenied, arr)
 				// Still verify and cache so later packets are served.
 				r.eng.Schedule(r.cfg.TokenVerifyTime, func() {
 					r.cache.Install(tok, seg.Port, seg.Priority, 0, int64(r.eng.Now()), reverse)
@@ -325,9 +375,10 @@ func (r *Router) dispatch(arr *netsim.Arrival, seg viper.Segment) {
 	if seg.Flags.Has(viper.FlagTRE) {
 		branches, err := viper.DecodeTree(seg.PortInfo)
 		if err != nil {
-			r.drop(DropBadPort)
+			r.dropArr(DropBadPort, arr)
 			return
 		}
+		r.closeFanoutTrace(arr, seg)
 		pkt := vpkt(arr)
 		for _, br := range branches {
 			copyArr := *arr
@@ -355,7 +406,7 @@ func (r *Router) dispatch(arr *netsim.Arrival, seg viper.Segment) {
 	}
 	op, ok := r.ports[seg.Port]
 	if !ok {
-		r.drop(DropBadPort)
+		r.dropArr(DropBadPort, arr)
 		return
 	}
 	f, ok := r.makeFrame(arr, seg, op)
@@ -393,12 +444,12 @@ func (r *Router) forwardGroup(arr *netsim.Arrival, seg viper.Segment, members []
 	// member once fully received.
 	r.eng.Schedule(arr.End()-now, func() {
 		if arr.Tx.Aborted() {
-			r.drop(DropAborted)
+			r.dropArr(DropAborted, arr)
 			return
 		}
 		op := r.pickGroupMember(members)
 		if op == nil {
-			r.drop(DropBadPort)
+			r.dropArr(DropBadPort, arr)
 			return
 		}
 		f, ok := r.makeFrame(arr, seg, op)
@@ -406,7 +457,7 @@ func (r *Router) forwardGroup(arr *netsim.Arrival, seg viper.Segment, members []
 			return
 		}
 		if dibFlag(f) && op.port.Medium.FreeAt(r.eng.Now()) > r.eng.Now() {
-			r.drop(DropIfBlocked)
+			r.dropFrame(DropIfBlocked, f)
 			return
 		}
 		op.enqueue(&queued{
@@ -451,18 +502,21 @@ func (r *Router) makeFrame(arr *netsim.Arrival, seg viper.Segment, op *outPort) 
 	if len(seg.PortInfo) > 0 {
 		h, err := ethernet.Decode(seg.PortInfo)
 		if err != nil {
-			r.drop(DropBadPort)
+			r.dropArr(DropBadPort, arr)
 			return nil, false
 		}
 		hdr = &h
 	}
-	f := &frame{pkt: vpkt(arr), hdr: hdr, prio: seg.Priority}
+	f := &frame{
+		pkt: vpkt(arr), hdr: hdr, prio: seg.Priority,
+		tr: arr.Tx.Trace, arrived: arr.Start, in: arr.In.ID,
+	}
 
 	if mtu := op.port.Medium.MTU(); mtu > 0 {
 		over := netsim.FrameSize(f.pkt, f.hdr) - mtu
 		if over > 0 {
 			if over > len(f.pkt.Data) {
-				r.drop(DropOversize)
+				r.dropArr(DropOversize, arr)
 				return nil, false
 			}
 			f.pkt.Data = f.pkt.Data[:len(f.pkt.Data)-over]
@@ -503,6 +557,7 @@ func (r *Router) returnSegment(arr *netsim.Arrival, seg viper.Segment) viper.Seg
 }
 
 func (r *Router) fanout(arr *netsim.Arrival, seg viper.Segment, members []uint8) {
+	r.closeFanoutTrace(arr, seg)
 	for _, m := range members {
 		op, ok := r.ports[m]
 		if !ok {
@@ -526,12 +581,20 @@ func (r *Router) deliverLocal(arr *netsim.Arrival) {
 	wait := arr.End() - r.eng.Now()
 	r.eng.Schedule(wait, func() {
 		if arr.Tx.Aborted() {
-			r.drop(DropAborted)
+			r.dropArr(DropAborted, arr)
 			return
 		}
 		seg := *vpkt(arr).Current()
 		vpkt(arr).ConsumeHead(r.returnSegment(arr, seg))
 		r.Stats.Local++
+		if pt := arr.Tx.Trace; pt != nil {
+			now := int64(r.eng.Now())
+			pt.Add(trace.HopEvent{
+				Node: r.name, InPort: arr.In.ID, Action: trace.ActionLocal,
+				At: now, LatencyNs: now - int64(arr.Start),
+			})
+			pt.Done()
+		}
 		if r.local != nil {
 			r.local(vpkt(arr), arr)
 		}

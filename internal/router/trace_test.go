@@ -1,0 +1,176 @@
+package router
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/viper"
+)
+
+// runTraced sends one packet S -> R -> D on the two-net fixture with a
+// Recorder installed on the source host and returns the finished
+// records.
+func runTraced(t *testing.T, f *twoNetFixture, route []viper.Segment) []*trace.PacketTrace {
+	t.Helper()
+	rec := trace.NewRecorder(nil)
+	f.src.SetTracer(rec)
+	if err := f.src.Send(route, []byte("traced")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	f.eng.Run()
+	return rec.Traces()
+}
+
+func TestTraceDeliveredPath(t *testing.T) {
+	f := newTwoNetFixture(t, Config{}, 10e6)
+	delivered := false
+	f.dst.Handle(0, func(d *Delivery) { delivered = true })
+
+	traces := runTraced(t, f, f.route(viper.PriorityNormal))
+	if !delivered {
+		t.Fatal("packet not delivered")
+	}
+	if len(traces) != 1 {
+		t.Fatalf("got %d trace records, want 1", len(traces))
+	}
+	pt := traces[0]
+	// Expected story: origin forward at S, forward at R, local at D.
+	if len(pt.Hops) != 3 {
+		t.Fatalf("hops = %d, want 3:\n%s", len(pt.Hops), pt.Format())
+	}
+	wantNodes := []string{"S", "R", "D"}
+	for i, ev := range pt.Hops {
+		if ev.Node != wantNodes[i] {
+			t.Fatalf("hop %d at %q, want %q:\n%s", i, ev.Node, wantNodes[i], pt.Format())
+		}
+	}
+	if pt.Hops[0].Action != trace.ActionForward || pt.Hops[0].OutPort != 1 {
+		t.Fatalf("origin hop = %+v", pt.Hops[0])
+	}
+	if ev := pt.Hops[1]; ev.Action != trace.ActionForward || ev.InPort != 1 || ev.OutPort != 2 {
+		t.Fatalf("router hop = %+v", ev)
+	}
+	if !pt.Hops[1].CutThrough {
+		t.Fatalf("idle same-rate router hop should be cut-through: %+v", pt.Hops[1])
+	}
+	if ev := pt.Hops[2]; ev.Action != trace.ActionLocal || ev.LatencyNs <= 0 {
+		t.Fatalf("delivery hop = %+v", ev)
+	}
+	// Virtual timestamps must be non-decreasing along the path.
+	for i := 1; i < len(pt.Hops); i++ {
+		if pt.Hops[i].At < pt.Hops[i-1].At {
+			t.Fatalf("timestamps regress:\n%s", pt.Format())
+		}
+	}
+	if sum := pt.Summary(); sum != "S > R > D local" {
+		t.Fatalf("Summary() = %q", sum)
+	}
+}
+
+func TestTraceDropAtRouter(t *testing.T) {
+	f := newTwoNetFixture(t, Config{}, 10e6)
+	route := f.route(viper.PriorityNormal)
+	route[1].Port = 9 // router has no port 9
+
+	traces := runTraced(t, f, route)
+	if len(traces) != 1 {
+		t.Fatalf("got %d trace records, want 1", len(traces))
+	}
+	pt := traces[0]
+	last := pt.Hops[len(pt.Hops)-1]
+	if last.Node != "R" || last.Action != trace.ActionDrop || last.Reason != DropBadPort {
+		t.Fatalf("terminal hop = %+v, want bad-port drop at R:\n%s", last, pt.Format())
+	}
+	if f.r.Stats.DropCount(DropBadPort) != 1 {
+		t.Fatal("router counters disagree with trace")
+	}
+}
+
+func TestTraceStoreForwardOnRateMismatch(t *testing.T) {
+	// net2 slower than net1: the router cannot cut through and must
+	// buffer the full frame (§2.1 rate-matching).
+	f := newTwoNetFixtureRates(t, Config{}, 10e6, 5e6)
+	f.dst.Handle(0, func(d *Delivery) {})
+
+	traces := runTraced(t, f, f.route(viper.PriorityNormal))
+	if len(traces) != 1 {
+		t.Fatalf("got %d trace records, want 1", len(traces))
+	}
+	pt := traces[0]
+	var blocked, forwarded bool
+	for _, ev := range pt.Hops {
+		if ev.Node != "R" {
+			continue
+		}
+		switch ev.Action {
+		case trace.ActionBlock:
+			blocked = true
+		case trace.ActionForward:
+			forwarded = true
+			if ev.CutThrough {
+				t.Fatalf("rate-mismatched hop marked cut-through:\n%s", pt.Format())
+			}
+			if ev.LatencyNs <= 0 {
+				t.Fatalf("store-and-forward hop lost its latency: %+v", ev)
+			}
+		}
+	}
+	if !blocked || !forwarded {
+		t.Fatalf("expected block then store-and-forward at R:\n%s", pt.Format())
+	}
+}
+
+func TestTraceLostOnFaultInjection(t *testing.T) {
+	f := newTwoNetFixture(t, Config{}, 10e6)
+	f.net2.SetLossRate(1.0) // every delivery from net2 is lost
+	f.dst.Handle(0, func(d *Delivery) { t.Error("lossy segment delivered") })
+
+	traces := runTraced(t, f, f.route(viper.PriorityNormal))
+	if len(traces) != 1 {
+		t.Fatalf("got %d trace records, want 1", len(traces))
+	}
+	pt := traces[0]
+	last := pt.Hops[len(pt.Hops)-1]
+	if last.Action != trace.ActionLost || last.Node != "D" {
+		t.Fatalf("terminal hop = %+v, want lost at D:\n%s", last, pt.Format())
+	}
+}
+
+func TestTraceDisabledAddsNothing(t *testing.T) {
+	f := newTwoNetFixture(t, Config{}, 10e6)
+	f.dst.Handle(0, func(d *Delivery) {})
+	// No tracer installed: every trace pointer must stay nil end to end.
+	if err := f.src.Send(f.route(viper.PriorityNormal), []byte("untraced")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	f.eng.Run()
+	if f.dst.Stats.Delivered != 1 {
+		t.Fatal("packet not delivered")
+	}
+}
+
+func TestTraceQueueDepthObserved(t *testing.T) {
+	// Saturate the router's output port so later packets see a queue.
+	f := newTwoNetFixtureRates(t, Config{}, 10e6, 1e6)
+	f.dst.Handle(0, func(d *Delivery) {})
+	rec := trace.NewRecorder(nil)
+	f.src.SetTracer(rec)
+	for i := 0; i < 5; i++ {
+		if err := f.src.Send(f.route(viper.PriorityNormal), make([]byte, 400)); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+	}
+	f.eng.RunUntil(2 * sim.Second)
+	var sawDepth bool
+	for _, pt := range rec.Traces() {
+		for _, ev := range pt.Hops {
+			if ev.Node == "R" && ev.Action == trace.ActionBlock && ev.QueueDepth > 0 {
+				sawDepth = true
+			}
+		}
+	}
+	if !sawDepth {
+		t.Fatal("no blocked hop observed a non-empty queue")
+	}
+}

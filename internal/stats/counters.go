@@ -26,16 +26,33 @@ const (
 	NumDropReasons
 )
 
+// dropNames are the exported metric identifiers of the drop buckets.
+// They cross the expvar/HTTP boundary (trace.Metrics snapshots,
+// Counters.MetricsMap), so external dashboards depend on them:
+// TestDropReasonNamesStable pins every name, and changing one is a
+// breaking change to the monitoring surface, not a cosmetic edit.
 var dropNames = [NumDropReasons]string{
 	"no-segment", "bad-port", "drop-if-blocked", "queue-full",
 	"token-denied", "aborted", "oversize", "tx-error", "not-sirpent",
 }
 
+// String returns the reason's stable metric identifier, the exact
+// token used as the drop-bucket key in every exported metric map.
 func (d DropReason) String() string {
 	if d >= 0 && int(d) < len(dropNames) {
 		return dropNames[d]
 	}
 	return "unknown"
+}
+
+// DropReasons returns every reason in bucket order, for callers that
+// enumerate the exported buckets (metric exporters, stability tests).
+func DropReasons() []DropReason {
+	out := make([]DropReason, NumDropReasons)
+	for i := range out {
+		out[i] = DropReason(i)
+	}
+	return out
 }
 
 // Counters is the forwarding-plane counter surface every Sirpent switch
@@ -71,6 +88,25 @@ func (c *Counters) Merge(o Counters) {
 	for i := range c.Drops {
 		c.Drops[i] += o.Drops[i]
 	}
+}
+
+// MetricsMap flattens the counter surface into exported metric
+// name → value pairs: "forwarded", "local", and one "drops.<reason>"
+// entry per non-empty bucket, keyed by DropReason.String(). This is
+// the typed boundary every exporter must cross — the names are pinned
+// by TestMetricNamesStable, so a renamed bucket fails the build's
+// tests instead of silently breaking dashboards.
+func (c Counters) MetricsMap() map[string]uint64 {
+	out := map[string]uint64{
+		"forwarded": c.Forwarded,
+		"local":     c.Local,
+	}
+	for _, r := range DropReasons() {
+		if n := c.Drops[r]; n > 0 {
+			out["drops."+r.String()] = n
+		}
+	}
+	return out
 }
 
 // DiffCounters describes every bucket where a and b disagree, labeling

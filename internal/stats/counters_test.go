@@ -52,6 +52,49 @@ func TestDiffCountersFindsEveryBucket(t *testing.T) {
 	}
 }
 
+// TestMetricNamesStable pins every exported metric identifier. These
+// names cross the expvar/HTTP boundary (trace.Metrics snapshots,
+// Counters.MetricsMap) and external dashboards key on them: changing
+// one is a breaking change and must be done here, deliberately.
+func TestMetricNamesStable(t *testing.T) {
+	want := map[DropReason]string{
+		DropNoSegment:   "no-segment",
+		DropBadPort:     "bad-port",
+		DropIfBlocked:   "drop-if-blocked",
+		DropQueueFull:   "queue-full",
+		DropTokenDenied: "token-denied",
+		DropAborted:     "aborted",
+		DropOversize:    "oversize",
+		DropTxError:     "tx-error",
+		DropNotSirpent:  "not-sirpent",
+	}
+	if len(want) != int(NumDropReasons) {
+		t.Fatalf("stability table covers %d reasons, enum has %d — pin the new name here",
+			len(want), NumDropReasons)
+	}
+	for r, name := range want {
+		if got := r.String(); got != name {
+			t.Errorf("DropReason(%d).String() = %q, want pinned %q", r, got, name)
+		}
+	}
+	if got := len(DropReasons()); got != int(NumDropReasons) {
+		t.Fatalf("DropReasons() returned %d reasons, want %d", got, NumDropReasons)
+	}
+}
+
+func TestMetricsMap(t *testing.T) {
+	c := Counters{Forwarded: 7, Local: 2}
+	c.Drop(DropQueueFull)
+	c.Drop(DropQueueFull)
+	m := c.MetricsMap()
+	if m["forwarded"] != 7 || m["local"] != 2 || m["drops.queue-full"] != 2 {
+		t.Fatalf("MetricsMap = %v", m)
+	}
+	if len(m) != 3 {
+		t.Fatalf("MetricsMap has %d entries (empty buckets must be omitted): %v", len(m), m)
+	}
+}
+
 func TestDropReasonNames(t *testing.T) {
 	for r := DropReason(0); r < NumDropReasons; r++ {
 		if r.String() == "unknown" || r.String() == "" {

@@ -1,0 +1,114 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"strings"
+)
+
+// log2Buckets is the number of power-of-two buckets a Log2Histogram
+// keeps: bucket i counts observations v with bitlen(v) == i, i.e.
+// 2^(i-1) <= v < 2^i (bucket 0 holds v <= 0). 63 buckets cover the
+// whole nonnegative int64 range.
+const log2Buckets = 64
+
+// Log2Histogram counts nonnegative observations into power-of-two
+// buckets. Latency distributions span orders of magnitude — a
+// cut-through hop is sub-microsecond while a queued store-and-forward
+// hop can be milliseconds (§6.1) — so log-scale buckets resolve both
+// ends where a fixed-width Histogram cannot. The zero value is ready
+// to use.
+type Log2Histogram struct {
+	counts [log2Buckets]int64
+	total  int64
+	sum    int64
+}
+
+// Add records one observation. Negative values land in bucket 0.
+func (h *Log2Histogram) Add(v int64) {
+	i := 0
+	if v > 0 {
+		i = bits.Len64(uint64(v))
+	}
+	h.counts[i]++
+	h.total++
+	h.sum += v
+}
+
+// Total returns the number of observations.
+func (h *Log2Histogram) Total() int64 { return h.total }
+
+// Mean returns the arithmetic mean, or 0 with no observations.
+func (h *Log2Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.total)
+}
+
+// Percentile returns an upper bound for the p-th percentile (0-100):
+// the exclusive upper edge (2^i) of the bucket where the p-th
+// observation falls. Returns 0 with no observations.
+func (h *Log2Histogram) Percentile(p float64) int64 {
+	if h.total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(p / 100 * float64(h.total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.total {
+		rank = h.total
+	}
+	var seen int64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			return bucketHi(i)
+		}
+	}
+	return bucketHi(log2Buckets - 1)
+}
+
+// bucketHi is the exclusive upper edge of bucket i, saturating at
+// MaxInt64 for the top bucket (where 1<<63 would overflow).
+func bucketHi(i int) int64 {
+	if i <= 0 {
+		return 1
+	}
+	if i >= 63 {
+		return 1<<63 - 1
+	}
+	return 1 << i
+}
+
+// Log2Bucket is one non-empty histogram bucket: Count observations v
+// with Lo <= v < Hi.
+type Log2Bucket struct {
+	Lo, Hi int64
+	Count  int64
+}
+
+// Buckets returns the non-empty buckets in ascending order.
+func (h *Log2Histogram) Buckets() []Log2Bucket {
+	var out []Log2Bucket
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		b := Log2Bucket{Count: c, Hi: bucketHi(i)}
+		if i > 0 {
+			b.Lo = 1 << (i - 1)
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+func (h *Log2Histogram) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "n=%d mean=%.4g p50<=%d p99<=%d", h.total, h.Mean(),
+		h.Percentile(50), h.Percentile(99))
+	return sb.String()
+}

@@ -1,0 +1,69 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLog2HistogramBuckets(t *testing.T) {
+	var h Log2Histogram
+	for _, v := range []int64{0, 1, 1, 3, 900, 40_000} {
+		h.Add(v)
+	}
+	if h.Total() != 6 {
+		t.Fatalf("Total = %d, want 6", h.Total())
+	}
+	wantMean := float64(0+1+1+3+900+40_000) / 6
+	if math.Abs(h.Mean()-wantMean) > 1e-9 {
+		t.Fatalf("Mean = %g, want %g", h.Mean(), wantMean)
+	}
+	bs := h.Buckets()
+	// 0 → [_,1); 1,1 → [1,2); 3 → [2,4); 900 → [512,1024); 40000 → [32768,65536)
+	if len(bs) != 5 {
+		t.Fatalf("Buckets = %+v, want 5 non-empty", bs)
+	}
+	for i := 1; i < len(bs); i++ {
+		if bs[i].Lo < bs[i-1].Hi {
+			t.Fatalf("buckets not ascending: %+v", bs)
+		}
+	}
+	if last := bs[len(bs)-1]; last.Lo != 32768 || last.Hi != 65536 || last.Count != 1 {
+		t.Fatalf("top bucket = %+v, want [32768,65536) count 1", last)
+	}
+}
+
+func TestLog2HistogramPercentile(t *testing.T) {
+	var h Log2Histogram
+	if h.Percentile(50) != 0 {
+		t.Fatal("empty histogram percentile should be 0")
+	}
+	for i := 0; i < 99; i++ {
+		h.Add(100) // bucket [64,128)
+	}
+	h.Add(1 << 20) // one outlier
+	if p50 := h.Percentile(50); p50 != 128 {
+		t.Fatalf("p50 = %d, want bucket edge 128", p50)
+	}
+	if p100 := h.Percentile(100); p100 != 1<<21 {
+		t.Fatalf("p100 = %d, want outlier bucket edge %d", p100, 1<<21)
+	}
+}
+
+func TestLog2HistogramExtremes(t *testing.T) {
+	var h Log2Histogram
+	h.Add(-5) // negative lands in bucket 0
+	h.Add(math.MaxInt64)
+	bs := h.Buckets()
+	if len(bs) != 2 {
+		t.Fatalf("Buckets = %+v, want 2", bs)
+	}
+	if bs[0].Hi != 1 || bs[0].Count != 1 {
+		t.Fatalf("bucket 0 = %+v", bs[0])
+	}
+	if top := bs[1]; top.Hi != math.MaxInt64 {
+		t.Fatalf("top bucket must saturate at MaxInt64: %+v", top)
+	}
+	if p := h.Percentile(100); p != math.MaxInt64 {
+		t.Fatalf("p100 = %d, want MaxInt64", p)
+	}
+}

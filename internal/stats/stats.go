@@ -1,6 +1,15 @@
 // Package stats provides the small statistics toolkit used by the Sirpent
-// experiments: online moment accumulators, sampled percentiles, rate meters
-// and the M/D/1 queueing formulas that the paper's §6.1 analysis relies on.
+// experiments and the observability layer: online moment accumulators,
+// sampled percentiles, rate meters, and the M/D/1 queueing formulas that
+// the paper's §6.1 analysis relies on.
+//
+// Two pieces cross package boundaries and deserve care. Counters and
+// DropReason are the substrate-neutral forwarding-counter surface shared
+// by the netsim and livenet routers; the DropReason String() values are
+// exported metric identifiers (expvar JSON keys, trace tables) pinned by
+// the stability test in counters_test.go. Log2Histogram is the
+// power-of-two latency histogram behind trace.Metrics' per-hop timing
+// percentiles.
 package stats
 
 import (

@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+)
+
+// Format renders the record as an aligned per-hop table:
+//
+//	hop  node  in  out  action   how    queue  t(ns)  dt(ns)
+//
+// The "how" column distinguishes cut-through from store-and-forward
+// hops; "reason" appears inline in the action column for drops. Safe
+// on a nil receiver.
+func (p *PacketTrace) Format() string {
+	if p == nil {
+		return "(no trace)\n"
+	}
+	var sb strings.Builder
+	if p.ID != 0 {
+		fmt.Fprintf(&sb, "packet %d (%d hops)\n", p.ID, len(p.Hops))
+	} else {
+		fmt.Fprintf(&sb, "packet (%d hops)\n", len(p.Hops))
+	}
+	w := tabwriter.NewWriter(&sb, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "hop\tnode\tin\tout\taction\thow\tqueue\tt(ns)\tdt(ns)")
+	for i, ev := range p.Hops {
+		action := ev.Action.String()
+		if ev.Action == ActionDrop {
+			action = "drop:" + ev.Reason.String()
+		}
+		how := "-"
+		switch ev.Action {
+		case ActionForward:
+			how = "store-fwd"
+			if ev.CutThrough {
+				how = "cut-through"
+			}
+		case ActionBlock:
+			how = "buffered"
+		}
+		out := "-"
+		if ev.Action == ActionForward {
+			out = fmt.Sprintf("%d", ev.OutPort)
+		}
+		fmt.Fprintf(w, "%d\t%s\t%d\t%s\t%s\t%s\t%d\t%d\t%d\n",
+			i, ev.Node, ev.InPort, out, action, how, ev.QueueDepth, ev.At, ev.LatencyNs)
+	}
+	w.Flush()
+	return sb.String()
+}
+
+// PathHops returns the hops that advance or terminate the packet —
+// forward, local, drop, lost — skipping block and preempt events, which
+// annotate a traversal already represented by the same node's terminal
+// hop. Both substrates produce the same path hops for the same route,
+// which is what the conformance harness compares. Safe on a nil
+// receiver.
+func (p *PacketTrace) PathHops() []HopEvent {
+	if p == nil {
+		return nil
+	}
+	out := make([]HopEvent, 0, len(p.Hops))
+	for _, ev := range p.Hops {
+		if ev.Action == ActionBlock || ev.Action == ActionPreempt {
+			continue
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+// Summary is a one-line digest of the record: the node path and the
+// terminal action, e.g. "h1 > r1 > r2 > h2 local" or
+// "h1 > r1 drop:no-segment". Block and preempt events are elided (see
+// PathHops). Safe on a nil receiver.
+func (p *PacketTrace) Summary() string {
+	hops := p.PathHops()
+	if len(hops) == 0 {
+		return "(no trace)"
+	}
+	var sb strings.Builder
+	for i, ev := range hops {
+		if i > 0 {
+			sb.WriteString(" > ")
+		}
+		sb.WriteString(ev.Node)
+	}
+	last := hops[len(hops)-1]
+	switch last.Action {
+	case ActionDrop:
+		fmt.Fprintf(&sb, " drop:%s", last.Reason)
+	case ActionForward:
+		sb.WriteString(" (in flight)")
+	default:
+		fmt.Fprintf(&sb, " %s", last.Action)
+	}
+	return sb.String()
+}

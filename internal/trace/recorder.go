@@ -1,0 +1,84 @@
+package trace
+
+import "sync"
+
+// DefaultRecorderLimit bounds how many finished records a Recorder
+// retains before discarding new ones (oldest are kept: the first
+// packets of a run are usually the ones under investigation).
+const DefaultRecorderLimit = 4096
+
+// Recorder is a Tracer that retains whole per-packet records for
+// offline inspection — the per-hop tables of `sirpent-bench -trace`
+// and the failure evidence of the differential suite. Safe for
+// concurrent use.
+type Recorder struct {
+	mu      sync.Mutex
+	idFn    func([]byte) uint64
+	limit   int
+	done    []*PacketTrace
+	dropped uint64
+}
+
+// NewRecorder creates a recorder. idFn, which may be nil, derives each
+// packet's trace ID from its payload at Begin time (the conformance
+// harness passes its flow-ID parser).
+func NewRecorder(idFn func([]byte) uint64) *Recorder {
+	return &Recorder{idFn: idFn, limit: DefaultRecorderLimit}
+}
+
+// SetLimit changes the retention bound; non-positive keeps everything.
+func (r *Recorder) SetLimit(n int) {
+	r.mu.Lock()
+	r.limit = n
+	r.mu.Unlock()
+}
+
+// Begin implements Tracer.
+func (r *Recorder) Begin(payload []byte) *PacketTrace {
+	pt := &PacketTrace{Hops: make([]HopEvent, 0, 8)}
+	if r.idFn != nil {
+		pt.ID = r.idFn(payload)
+	}
+	return pt
+}
+
+// Finish implements Tracer.
+func (r *Recorder) Finish(pt *PacketTrace) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.limit > 0 && len(r.done) >= r.limit {
+		r.dropped++
+		return
+	}
+	r.done = append(r.done, pt)
+}
+
+// Traces returns the finished records in completion order.
+func (r *Recorder) Traces() []*PacketTrace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*PacketTrace(nil), r.done...)
+}
+
+// ByID returns the finished records with the given trace ID, in
+// completion order (a request and its reply share a flow ID and appear
+// as two records).
+func (r *Recorder) ByID(id uint64) []*PacketTrace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []*PacketTrace
+	for _, pt := range r.done {
+		if pt.ID == id {
+			out = append(out, pt)
+		}
+	}
+	return out
+}
+
+// Discarded reports how many finished records the retention bound
+// rejected.
+func (r *Recorder) Discarded() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}

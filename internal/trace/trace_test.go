@@ -1,0 +1,178 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestNilTraceIsInert(t *testing.T) {
+	var pt *PacketTrace
+	pt.Add(HopEvent{Node: "r1"}) // must not panic
+	pt.Done()
+	if got := Start(nil, []byte("x")); got != nil {
+		t.Fatalf("Start(nil) = %v, want nil", got)
+	}
+	if s := pt.Format(); !strings.Contains(s, "no trace") {
+		t.Fatalf("nil Format() = %q", s)
+	}
+	if s := pt.Summary(); s != "(no trace)" {
+		t.Fatalf("nil Summary() = %q", s)
+	}
+}
+
+func TestDoneIdempotent(t *testing.T) {
+	rec := NewRecorder(nil)
+	pt := Start(rec, nil)
+	pt.Add(HopEvent{Node: "h1", Action: ActionLocal})
+	pt.Done()
+	pt.Done() // broadcast deliveries can reach several handlers
+	if n := len(rec.Traces()); n != 1 {
+		t.Fatalf("record delivered %d times, want 1", n)
+	}
+}
+
+func TestRecorderIDAndLimit(t *testing.T) {
+	rec := NewRecorder(func(p []byte) uint64 { return uint64(len(p)) })
+	rec.SetLimit(2)
+	for i := 0; i < 3; i++ {
+		pt := Start(rec, make([]byte, 7))
+		pt.Add(HopEvent{Node: "r1", Action: ActionForward})
+		pt.Done()
+	}
+	if n := len(rec.Traces()); n != 2 {
+		t.Fatalf("retained %d records, want 2 (limit)", n)
+	}
+	if d := rec.Discarded(); d != 1 {
+		t.Fatalf("Discarded() = %d, want 1", d)
+	}
+	if got := rec.ByID(7); len(got) != 2 {
+		t.Fatalf("ByID(7) returned %d records, want 2", len(got))
+	}
+	if got := rec.ByID(99); got != nil {
+		t.Fatalf("ByID(99) = %v, want none", got)
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	rec := NewRecorder(nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				pt := Start(rec, nil)
+				pt.Add(HopEvent{Node: "r", Action: ActionForward})
+				pt.Done()
+			}
+		}()
+	}
+	wg.Wait()
+	if n := len(rec.Traces()); n != 800 {
+		t.Fatalf("retained %d records, want 800", n)
+	}
+}
+
+func TestMetricsAggregation(t *testing.T) {
+	m := NewMetrics()
+
+	pt := Start(m, nil)
+	pt.Add(HopEvent{Node: "r1", InPort: 1, OutPort: 2, Action: ActionForward, CutThrough: true, LatencyNs: 900})
+	pt.Add(HopEvent{Node: "r2", InPort: 1, Action: ActionBlock, QueueDepth: 3})
+	pt.Add(HopEvent{Node: "r2", InPort: 1, OutPort: 3, Action: ActionForward, LatencyNs: 40_000})
+	pt.Add(HopEvent{Node: "h2", InPort: 1, Action: ActionLocal, LatencyNs: 500})
+	pt.Done()
+
+	pt = Start(m, nil)
+	pt.Add(HopEvent{Node: "r1", InPort: 1, Action: ActionDrop, Reason: stats.DropNoSegment})
+	pt.Done()
+
+	s := m.Snapshot()
+	if s.Packets != 2 || s.Hops != 5 {
+		t.Fatalf("packets=%d hops=%d, want 2/5", s.Packets, s.Hops)
+	}
+	if s.Forwarded != 2 || s.Local != 1 {
+		t.Fatalf("forwarded=%d local=%d, want 2/1", s.Forwarded, s.Local)
+	}
+	if s.CutThrough != 1 || s.StoreForward != 1 || s.Blocks != 1 {
+		t.Fatalf("cut=%d store=%d blocks=%d, want 1/1/1", s.CutThrough, s.StoreForward, s.Blocks)
+	}
+	if s.Drops["no-segment"] != 1 {
+		t.Fatalf("drops = %v, want no-segment:1", s.Drops)
+	}
+	var r1fwd *PortMetrics
+	for i := range s.Ports {
+		if s.Ports[i].Port == "r1:2" {
+			r1fwd = &s.Ports[i]
+		}
+	}
+	if r1fwd == nil || r1fwd.Forwarded != 1 {
+		t.Fatalf("per-port r1:2 = %+v, want forwarded=1", r1fwd)
+	}
+	// Latency histogram saw 900, 40000, 500 → p99 upper bound >= 40000.
+	if s.HopLatencyP99Ns < 40_000 {
+		t.Fatalf("p99 = %d, want >= 40000", s.HopLatencyP99Ns)
+	}
+	if _, err := json.Marshal(s); err != nil {
+		t.Fatalf("snapshot not JSON-marshalable: %v", err)
+	}
+}
+
+func TestTee(t *testing.T) {
+	rec := NewRecorder(nil)
+	m := NewMetrics()
+	tee := Tee(nil, rec, m)
+	pt := Start(tee, nil)
+	pt.Add(HopEvent{Node: "h1", Action: ActionLocal})
+	pt.Done()
+	if len(rec.Traces()) != 1 {
+		t.Fatal("recorder missed the record")
+	}
+	if s := m.Snapshot(); s.Packets != 1 || s.Local != 1 {
+		t.Fatalf("metrics missed the record: %+v", s)
+	}
+}
+
+func TestFormatAndSummary(t *testing.T) {
+	pt := &PacketTrace{ID: 42}
+	pt.Add(HopEvent{Node: "h1", Action: ActionForward, OutPort: 1, CutThrough: false})
+	pt.Add(HopEvent{Node: "r1", InPort: 1, OutPort: 2, Action: ActionForward, CutThrough: true, LatencyNs: 800})
+	pt.Add(HopEvent{Node: "h2", InPort: 1, Action: ActionLocal})
+	s := pt.Format()
+	for _, want := range []string{"packet 42", "cut-through", "store-fwd", "local", "h1", "r1", "h2"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Format() missing %q:\n%s", want, s)
+		}
+	}
+	if sum := pt.Summary(); sum != "h1 > r1 > h2 local" {
+		t.Fatalf("Summary() = %q", sum)
+	}
+
+	drop := &PacketTrace{}
+	drop.Add(HopEvent{Node: "r1", Action: ActionDrop, Reason: stats.DropBadPort})
+	if sum := drop.Summary(); sum != "r1 drop:bad-port" {
+		t.Fatalf("drop Summary() = %q", sum)
+	}
+	if f := drop.Format(); !strings.Contains(f, "drop:bad-port") {
+		t.Fatalf("drop Format() missing reason:\n%s", f)
+	}
+}
+
+func TestActionStrings(t *testing.T) {
+	want := map[Action]string{
+		ActionForward: "forward", ActionLocal: "local", ActionDrop: "drop",
+		ActionPreempt: "preempt", ActionBlock: "block", ActionLost: "lost",
+	}
+	for a, s := range want {
+		if a.String() != s {
+			t.Fatalf("Action(%d).String() = %q, want %q", a, a.String(), s)
+		}
+	}
+	if Action(200).String() != "unknown" {
+		t.Fatal("out-of-range Action should stringify as unknown")
+	}
+}
