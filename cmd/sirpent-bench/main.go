@@ -9,11 +9,18 @@
 //	sirpent-bench -list      # list experiment IDs
 //	sirpent-bench -live      # livenet forwarding benchmark -> BENCH_livenet.json
 //	sirpent-bench -trace     # replay seeded topologies with per-hop traces
+//	sirpent-bench -ledger    # token-authorized billing cross-check
 //
 // Trace mode replays the conformance harness's seeded scenarios with
 // hop-level tracing enabled on both substrates, prints a per-hop timing
 // table for every flow (narrow to one with -trace-flow), and exits
 // non-zero if any flow's path diverges between netsim and livenet.
+//
+// Ledger mode runs the same seeded scenarios with every router
+// token-guarded and each flow billed to a per-source account, prints the
+// per-account billing table from each substrate, and exits non-zero if
+// either ledger fails reconciliation against its forwarding plane or
+// the substrates bill differently.
 package main
 
 import (
@@ -37,6 +44,8 @@ func main() {
 	traceMode := flag.Bool("trace", false, "replay seeded topologies with hop-level tracing and print per-hop tables")
 	traceSeeds := flag.String("trace-seeds", "1,2,3", "comma-separated scenario seeds for -trace")
 	traceFlow := flag.Uint64("trace-flow", 0, "print only this flow ID in -trace output (0: all flows)")
+	ledgerMode := flag.Bool("ledger", false, "run token-authorized seeded scenarios on both substrates and cross-check per-account billing")
+	ledgerSeeds := flag.String("ledger-seeds", "1,2,3", "comma-separated scenario seeds for -ledger")
 	flag.Parse()
 
 	if *list {
@@ -56,6 +65,14 @@ func main() {
 
 	if *traceMode {
 		if err := runTrace(*traceSeeds, *traceFlow); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *ledgerMode {
+		if err := runLedger(*ledgerSeeds); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}

@@ -2,22 +2,32 @@
 // routers are goroutines, links are channels, and each hop performs the
 // §6.2 software-router byte surgery on real wire bytes. It drives a
 // configurable number of concurrent request/response transactions through
-// a two-router backbone and reports forwarding statistics.
+// a token-guarded two-router backbone and reports forwarding statistics
+// and per-account billing.
 //
 //	sirpentd -clients 4 -requests 100
 //
 // With -metrics, every packet is hop-traced into an aggregate
-// trace.Metrics and the live snapshot is served as expvar JSON:
+// trace.Metrics and the live observability surface is served over HTTP:
 //
 //	sirpentd -clients 4 -requests 10000 -metrics :8080 -hold 1m &
 //	curl -s localhost:8080/debug/vars | python3 -m json.tool
+//	curl -s localhost:8080/healthz
+//	curl -s localhost:8080/debug/ledger
+//	curl -s localhost:8080/debug/flightrec
 //
-// The snapshot appears under the "sirpent" key: per-port counters,
-// drop-reason buckets, and a log-scale per-hop latency histogram with
-// p50/p99. Metric names are pinned by internal/stats's stability test.
+// /debug/vars carries the hop-trace snapshot under the "sirpent" key
+// (metric names pinned by internal/stats's stability test); /debug/ledger
+// serves the periodically swept per-account usage ledger; /debug/flightrec
+// dumps the always-on anomaly ring. The server is shut down gracefully
+// after the workload (and any -hold) completes, before the network stops,
+// so a late request never races node teardown.
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
 	"net/http"
@@ -25,7 +35,9 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/ledger"
 	"repro/internal/livenet"
+	"repro/internal/token"
 	"repro/internal/trace"
 	"repro/internal/viper"
 )
@@ -33,32 +45,67 @@ import (
 func main() {
 	nClients := flag.Int("clients", 4, "concurrent client hosts")
 	nReq := flag.Int("requests", 100, "transactions per client")
-	metricsAddr := flag.String("metrics", "", "serve hop-trace metrics as expvar JSON on this address (e.g. :8080)")
+	metricsAddr := flag.String("metrics", "", "serve metrics, ledger and flight recorder on this address (e.g. :8080)")
 	hold := flag.Duration("hold", 0, "keep serving -metrics this long after the workload finishes")
 	flag.Parse()
 
 	net := livenet.NewNetwork()
 	defer net.Stop()
 
-	var metrics *trace.Metrics
-	if *metricsAddr != "" {
-		metrics = trace.NewMetrics()
-		net.SetTracer(metrics)
-		metrics.Publish("sirpent")
-		go func() {
-			// expvar's package init registered /debug/vars on the
-			// default mux; nothing else is served.
-			if err := http.ListenAndServe(*metricsAddr, nil); err != nil {
-				fmt.Fprintln(os.Stderr, "metrics server:", err)
-			}
-		}()
-	}
+	// The flight recorder is always on: it only records anomalies, so a
+	// clean run costs nothing and a broken one leaves evidence.
+	flight := ledger.NewFlightRecorder(0)
+	net.SetFlightRecorder(flight)
 
 	r1 := net.NewRouter("r1")
 	r2 := net.NewRouter("r2")
 	server := net.NewHost("server")
 	net.Connect(r1, 100, r2, 1, livenet.WithDepth(64))
 	net.Connect(r2, 2, server, 1, livenet.WithDepth(64))
+
+	// Guard the backbone (§2.2): both routers share one region key, the
+	// trunk and server ports demand tokens, and each client is billed to
+	// its own account.
+	auth := token.NewAuthority([]byte("sirpentd-region"))
+	r1.SetTokenAuthority(auth)
+	r2.SetTokenAuthority(auth)
+	r1.RequireToken(100)
+	r2.RequireToken(2)
+
+	// Sweep both routers' token caches into a network-wide ledger.
+	col := ledger.NewCollector(ledger.New())
+	col.AddAccountSource("r1", r1.TokenCache().AccountTotals)
+	col.AddAccountSource("r2", r2.TokenCache().AccountTotals)
+	stopSweep := col.Run(100 * time.Millisecond)
+	col.Ledger().Publish("sirpent-ledger")
+	flight.Publish("sirpent-flightrec")
+
+	var metrics *trace.Metrics
+	var srv *http.Server
+	if *metricsAddr != "" {
+		metrics = trace.NewMetrics()
+		net.SetTracer(metrics)
+		metrics.Publish("sirpent")
+
+		mux := http.NewServeMux()
+		mux.Handle("/debug/vars", expvar.Handler())
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprintln(w, "ok")
+		})
+		mux.HandleFunc("/debug/ledger", func(w http.ResponseWriter, _ *http.Request) {
+			serveJSON(w, col.Ledger().Snapshot())
+		})
+		mux.HandleFunc("/debug/flightrec", func(w http.ResponseWriter, _ *http.Request) {
+			serveJSON(w, flight.Snapshot())
+		})
+		srv = &http.Server{Addr: *metricsAddr, Handler: mux}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "metrics server:", err)
+			}
+		}()
+	}
 
 	server.Handle(0, func(d livenet.Delivery) {
 		if err := server.Send(d.ReturnRoute, append([]byte("ack:"), d.Data...)); err != nil {
@@ -72,10 +119,13 @@ func main() {
 		c := c
 		h := net.NewHost(fmt.Sprintf("client%d", c))
 		net.Connect(h, 1, r1, uint8(1+c), livenet.WithDepth(64))
+		account := uint32(1 + c)
 		route := []viper.Segment{
-			{Port: 1},                         // client interface
-			{Port: 100, Flags: viper.FlagVNT}, // r1 -> r2 trunk
-			{Port: 2, Flags: viper.FlagVNT},   // r2 -> server
+			{Port: 1}, // client interface
+			{Port: 100, Flags: viper.FlagVNT, // r1 -> r2 trunk
+				PortToken: auth.Issue(token.Spec{Account: account, Port: 100, ReverseOK: true})},
+			{Port: 2, Flags: viper.FlagVNT, // r2 -> server
+				PortToken: auth.Issue(token.Spec{Account: account, Port: 2, ReverseOK: true})},
 			{Port: viper.PortLocal},
 		}
 		resp := make(chan struct{}, 1)
@@ -105,7 +155,12 @@ func main() {
 		total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds())
 	for _, r := range []*livenet.Router{r1, r2} {
 		s := r.Stats()
-		fmt.Printf("  %-3s forwarded=%d local=%d drops=%d\n", rName(r, r1), s.Forwarded, s.Local, s.TotalDrops())
+		fmt.Printf("  %-3s forwarded=%d local=%d token-auth=%d drops=%d\n",
+			rName(r, r1), s.Forwarded, s.Local, s.TokenAuthorized, s.TotalDrops())
+	}
+	printBilling(col)
+	if n := flight.Total(); n > 0 {
+		fmt.Printf("flight recorder captured %d anomalies:\n%s", n, flight.Format())
 	}
 
 	if metrics != nil {
@@ -116,9 +171,46 @@ func main() {
 			fmt.Printf("  drops: %v\n", s.Drops)
 		}
 		if *hold > 0 {
-			fmt.Printf("serving metrics on %s/debug/vars for %v\n", *metricsAddr, *hold)
+			fmt.Printf("serving on %s: /debug/vars /debug/ledger /debug/flightrec /healthz for %v\n",
+				*metricsAddr, *hold)
 			time.Sleep(*hold)
 		}
+	}
+
+	// Teardown order matters: drain the HTTP server first (a late curl
+	// gets its response, new connections are refused), stop the ledger
+	// sweeper, and only then — via the deferred Stop — the network.
+	if srv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "metrics server shutdown:", err)
+		}
+		cancel()
+	}
+	stopSweep()
+}
+
+// printBilling performs a final ledger sweep and renders the per-account
+// table.
+func printBilling(col *ledger.Collector) {
+	col.Collect()
+	snap := col.Ledger().Snapshot()
+	if len(snap.Accounts) == 0 {
+		return
+	}
+	fmt.Printf("per-account ledger (%d sweeps):\n", snap.Sweeps)
+	fmt.Printf("  %-8s %10s %12s %8s\n", "account", "packets", "bytes", "denials")
+	for _, row := range snap.Accounts {
+		fmt.Printf("  %-8d %10d %12d %8d\n", row.Account, row.Packets, row.Bytes, row.Denials)
+	}
+}
+
+func serveJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/directory"
 	"repro/internal/ethernet"
+	"repro/internal/ledger"
 	"repro/internal/netsim"
 	"repro/internal/router"
 	"repro/internal/sim"
@@ -301,6 +302,64 @@ func (n *Internetwork) SetTracer(t trace.Tracer) {
 	for _, h := range n.hosts {
 		h.SetTracer(t)
 	}
+}
+
+// SetFlightRecorder installs an anomaly ring buffer on every router
+// currently in the internetwork and hooks every point-to-point link so
+// FailLink/RestoreLink flaps are recorded. Like SetTracer, call after
+// the topology is built. Pass nil to disable.
+func (n *Internetwork) SetFlightRecorder(fr *ledger.FlightRecorder) {
+	for _, r := range n.routers {
+		r.SetFlightRecorder(fr)
+	}
+	seen := make(map[*netsim.P2PLink]bool)
+	for key, l := range n.linkIdx {
+		if seen[l] {
+			continue
+		}
+		seen[l] = true
+		if fr == nil {
+			l.OnFlap = nil
+			continue
+		}
+		name := linkName(key)
+		l := l
+		l.OnFlap = func(down bool) {
+			reason := "up"
+			if down {
+				reason = "down"
+			}
+			fr.Record(ledger.Event{
+				At: int64(n.Eng.Now()), Node: name,
+				Kind: ledger.KindLinkFlap, Reason: reason,
+			})
+		}
+	}
+}
+
+// linkName renders a linkIdx key ("a\x00b") as "a<->b".
+func linkName(key string) string {
+	for i := 0; i < len(key); i++ {
+		if key[i] == '\x00' {
+			return key[:i] + "<->" + key[i+1:]
+		}
+	}
+	return key
+}
+
+// LedgerCollector builds a collector over the internetwork: every
+// token-guarded router contributes an account source (its cache's
+// AccountTotals) and every router a congestion-telemetry source. Sweep
+// with Collect at virtual-time points of interest.
+func (n *Internetwork) LedgerCollector(l *ledger.Ledger) *ledger.Collector {
+	c := ledger.NewCollector(l)
+	for name, r := range n.routers {
+		if cache := r.TokenCache(); cache != nil {
+			c.AddAccountSource(name, cache.AccountTotals)
+		}
+		c.AddCongestionSource(name, r.RateTelemetry)
+	}
+	return c
 }
 
 // Register binds a hierarchical name to a node in the directory.

@@ -187,8 +187,7 @@ func (s *Service) Bill() map[uint32]token.Usage {
 	for _, per := range s.usage {
 		for a, u := range per {
 			t := out[a]
-			t.Packets += u.Packets
-			t.Bytes += u.Bytes
+			t.Add(u)
 			out[a] = t
 		}
 	}

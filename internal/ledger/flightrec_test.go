@@ -1,0 +1,104 @@
+package ledger
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestFlightRecorderNilIsNoOp(t *testing.T) {
+	var fr *FlightRecorder
+	fr.Record(Event{Kind: KindDrop}) // must not panic
+	if fr.Total() != 0 || fr.Events() != nil {
+		t.Fatal("nil recorder retained events")
+	}
+	if s := fr.Snapshot(); s.Capacity != 0 || len(s.Events) != 0 {
+		t.Fatalf("nil snapshot = %+v", s)
+	}
+	if !strings.Contains(fr.Format(), "no anomalous events") {
+		t.Fatalf("nil format = %q", fr.Format())
+	}
+}
+
+func TestFlightRecorderRingWraps(t *testing.T) {
+	fr := NewFlightRecorder(4)
+	for i := 0; i < 10; i++ {
+		fr.Record(Event{At: int64(i), Node: "R0", Kind: KindDrop, Reason: "queue-full"})
+	}
+	evs := fr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if want := uint64(6 + i); ev.Seq != want || ev.At != int64(want) {
+			t.Fatalf("event %d = %+v, want seq %d (oldest-first)", i, ev, want)
+		}
+	}
+	s := fr.Snapshot()
+	if s.Total != 10 || s.Overwritten != 6 || s.Capacity != 4 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if _, err := json.Marshal(s); err != nil {
+		t.Fatalf("snapshot marshal: %v", err)
+	}
+}
+
+func TestFlightRecorderDefaultSize(t *testing.T) {
+	fr := NewFlightRecorder(0)
+	if got := fr.Snapshot().Capacity; got != DefaultFlightRecorderSize {
+		t.Fatalf("default capacity = %d, want %d", got, DefaultFlightRecorderSize)
+	}
+}
+
+func TestFlightRecorderConcurrentRecord(t *testing.T) {
+	fr := NewFlightRecorder(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				fr.Record(Event{Node: "R", Kind: KindPreempt})
+				if i%50 == 0 {
+					fr.Events()
+					fr.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if fr.Total() != 8*500 {
+		t.Fatalf("total = %d, want %d", fr.Total(), 8*500)
+	}
+	evs := fr.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatalf("retained sequence not contiguous at %d: %d then %d", i, evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+}
+
+func TestEventKindNamesStable(t *testing.T) {
+	want := map[Kind]string{
+		KindDrop:          "drop",
+		KindPreempt:       "preempt",
+		KindQueueOverflow: "queue-overflow",
+		KindTokenDenied:   "token-denied",
+		KindRateLimit:     "rate-limit",
+		KindLinkFlap:      "link-flap",
+	}
+	if len(want) != int(numKinds) {
+		t.Fatalf("stability table covers %d kinds, enum has %d — pin the new name here",
+			len(want), numKinds)
+	}
+	for k, name := range want {
+		if k.String() != name {
+			t.Errorf("Kind(%d).String() = %q, want pinned %q", k, k, name)
+		}
+	}
+	b, _ := json.Marshal(Event{Kind: KindLinkFlap, Reason: "down"})
+	if !strings.Contains(string(b), `"link-flap"`) {
+		t.Fatalf("event marshal = %s", b)
+	}
+}

@@ -34,8 +34,10 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/ethernet"
+	"repro/internal/ledger"
 	"repro/internal/pool"
 	"repro/internal/stats"
+	"repro/internal/token"
 	"repro/internal/trace"
 	"repro/internal/viper"
 )
@@ -88,6 +90,7 @@ type Network struct {
 	stopped atomic.Bool
 	nodes   []interface{ close() }
 	tracer  atomic.Value // *tracerBox
+	flight  atomic.Pointer[ledger.FlightRecorder]
 }
 
 // tracerBox wraps the Tracer interface so atomic.Value always stores
@@ -110,6 +113,16 @@ func (n *Network) currentTracer() trace.Tracer {
 	}
 	return nil
 }
+
+// SetFlightRecorder installs (or with nil removes) the network's anomaly
+// ring: drops, token denials, and link flaps across all routers and
+// links of this network are recorded into it. Safe to call while traffic
+// flows. The recording sites sit only on anomaly paths, so the happy
+// forwarding path pays nothing either way.
+func (n *Network) SetFlightRecorder(fr *ledger.FlightRecorder) { n.flight.Store(fr) }
+
+// currentFlight returns the installed recorder, nil when disabled.
+func (n *Network) currentFlight() *ledger.FlightRecorder { return n.flight.Load() }
 
 // Stop shuts all nodes down and waits for their goroutines.
 func (n *Network) Stop() {
@@ -194,10 +207,30 @@ type Link struct {
 	down     atomic.Bool
 	lossBits atomic.Uint64 // math.Float64bits of the loss probability
 	dropped  atomic.Uint64
+	name     string   // "a<->b", for flight-recorder flap events
+	netw     *Network // nil on links built outside Connect (tests)
 }
 
 // SetDown fails (true) or restores (false) both directions of the link.
-func (l *Link) SetDown(down bool) { l.down.Store(down) }
+// State transitions are recorded in the network's flight recorder.
+func (l *Link) SetDown(down bool) {
+	if l.down.Swap(down) == down {
+		return
+	}
+	if l.netw == nil {
+		return
+	}
+	if fr := l.netw.currentFlight(); fr != nil {
+		reason := "up"
+		if down {
+			reason = "down"
+		}
+		fr.Record(ledger.Event{
+			At: clock.Wall.NowNanos(), Node: l.name,
+			Kind: ledger.KindLinkFlap, Reason: reason,
+		})
+	}
+}
 
 // IsDown reports whether the link is failed.
 func (l *Link) IsDown() bool { return l.down.Load() }
@@ -314,7 +347,7 @@ func (n *Network) Connect(a Attachable, portA uint8, b Attachable, portB uint8, 
 	}
 	ab := make(chan Frame, cfg.depth)
 	ba := make(chan Frame, cfg.depth)
-	l := &Link{}
+	l := &Link{name: a.base().name + "<->" + b.base().name, netw: n}
 	l.SetDown(cfg.down)
 	l.SetLossRatio(cfg.loss)
 	n.attach(a.base(), portA, ab, ba, l)
@@ -328,9 +361,24 @@ type Attachable interface{ base() *node }
 // counters is the router's concurrently-updated counter plane; Stats
 // snapshots it into the shared stats.Counters surface.
 type counters struct {
-	forwarded atomic.Uint64
-	local     atomic.Uint64
-	drops     [stats.NumDropReasons]atomic.Uint64
+	forwarded       atomic.Uint64
+	local           atomic.Uint64
+	tokenAuthorized atomic.Uint64
+	drops           [stats.NumDropReasons]atomic.Uint64
+}
+
+// tokenState is a router's token configuration: the verification cache
+// and the set of output ports that demand a token. It is immutable once
+// published — configuration methods copy-and-swap a fresh state — so the
+// forwarding goroutine reads it with a single atomic load, keeping the
+// tokenless fast path allocation- and lock-free.
+type tokenState struct {
+	cache   *token.Cache
+	require [4]uint64 // bitset over the 256 port IDs
+}
+
+func (ts *tokenState) requires(port uint8) bool {
+	return ts.require[port>>6]&(1<<(port&63)) != 0
 }
 
 // Router is a goroutine Sirpent switch.
@@ -339,12 +387,55 @@ type Router struct {
 	counters counters
 	local    func([]byte)
 	netw     *Network
+	tok      atomic.Pointer[tokenState]
 }
 
 // SetLocalHandler receives encoded packets whose current segment is
 // port 0 (the router's own stack). It runs on the router goroutine and
 // takes ownership of the buffer (which leaves the pool).
 func (r *Router) SetLocalHandler(fn func(encoded []byte)) { r.local = fn }
+
+// SetTokenAuthority installs the administrative domain key this router
+// verifies tokens against, enabling token checking (§2.2). Any port
+// requirements set earlier are preserved.
+func (r *Router) SetTokenAuthority(a *token.Authority) {
+	for {
+		old := r.tok.Load()
+		ns := &tokenState{cache: token.NewCache(a)}
+		if old != nil {
+			ns.require = old.require
+		}
+		if r.tok.CompareAndSwap(old, ns) {
+			return
+		}
+	}
+}
+
+// RequireToken makes packets without a valid token for the given output
+// port be denied rather than forwarded. It takes effect once a token
+// authority is installed.
+func (r *Router) RequireToken(port uint8) {
+	for {
+		old := r.tok.Load()
+		ns := &tokenState{}
+		if old != nil {
+			*ns = *old
+		}
+		ns.require[port>>6] |= 1 << (port & 63)
+		if r.tok.CompareAndSwap(old, ns) {
+			return
+		}
+	}
+}
+
+// TokenCache exposes the router's token cache for accounting sweeps;
+// nil until SetTokenAuthority is called.
+func (r *Router) TokenCache() *token.Cache {
+	if ts := r.tok.Load(); ts != nil {
+		return ts.cache
+	}
+	return nil
+}
 
 // NewRouter creates and starts a router goroutine.
 func (n *Network) NewRouter(name string) *Router {
@@ -366,6 +457,7 @@ func (r *Router) Stats() stats.Counters {
 	var c stats.Counters
 	c.Forwarded = r.counters.forwarded.Load()
 	c.Local = r.counters.local.Load()
+	c.TokenAuthorized = r.counters.tokenAuthorized.Load()
 	for i := range r.counters.drops {
 		c.Drops[i] = r.counters.drops[i].Load()
 	}
@@ -376,7 +468,21 @@ func (r *Router) Stats() stats.Counters {
 // hop, and recycles its buffer. The trace work is behind the nil check:
 // untraced drops cost one pointer test.
 func (r *Router) drop(reason stats.DropReason, inf inFrame) {
+	r.dropAcct(reason, inf, 0)
+}
+
+// dropAcct is drop with the refused account attached to the flight
+// event, for token denials against a verified token.
+func (r *Router) dropAcct(reason stats.DropReason, inf inFrame, account uint32) {
 	r.counters.drops[reason].Add(1)
+	if r.netw != nil {
+		if fr := r.netw.currentFlight(); fr != nil {
+			fr.Record(ledger.Event{
+				At: clock.Wall.NowNanos(), Node: r.name, Port: inf.port,
+				Kind: ledger.DropKind(reason), Reason: reason.String(), Account: account,
+			})
+		}
+	}
 	if pt := inf.frame.Trace; pt != nil {
 		now := clock.Wall.NowNanos()
 		pt.Add(trace.HopEvent{
@@ -410,6 +516,15 @@ func (r *Router) forward(inf inFrame) {
 	if err != nil {
 		r.drop(stats.DropNotSirpent, inf)
 		return
+	}
+	// Token authorization (§2.2), checked — as in the simulator — before
+	// the multicast fanout and local delivery. The tokenless fast path
+	// pays one atomic load.
+	if ts := r.tok.Load(); ts != nil && ts.cache != nil &&
+		(len(seg.PortToken) > 0 || ts.requires(seg.Port)) {
+		if !r.authorize(ts.cache, &seg, inf) {
+			return
+		}
 	}
 	if seg.Flags.Has(viper.FlagTRE) {
 		r.fanoutTree(inf, &seg, rest)
@@ -489,6 +604,41 @@ func (r *Router) forward(inf inFrame) {
 		return
 	}
 	r.counters.forwarded.Add(1)
+}
+
+// authorize runs the §2.2 token check for one frame. Livenet realizes
+// the Block mode: an uncached token is verified synchronously — the
+// HMAC computation is the verification latency the packet waits out —
+// and the verdict decides between proceeding and dropping. The charge
+// size matches the simulator's FrameSize: the full pre-strip packet
+// plus the arrival Ethernet header, so per-account byte totals agree
+// across substrates. It reports whether the frame may continue; on
+// denial the frame has been dropped and its buffer recycled.
+func (r *Router) authorize(cache *token.Cache, seg *viper.Segment, inf inFrame) bool {
+	if len(seg.PortToken) == 0 {
+		r.drop(stats.DropTokenDenied, inf)
+		return false
+	}
+	size := uint64(len(inf.frame.Pkt))
+	if inf.frame.Hdr != nil {
+		size += ethernet.HeaderLen
+	}
+	reverse := seg.Flags.Has(viper.FlagRPF)
+	now := clock.Wall.NowNanos()
+	d := cache.Check(seg.PortToken, seg.Port, seg.Priority, size, now, reverse)
+	if d == token.Unverified {
+		d = cache.Install(seg.PortToken, seg.Port, seg.Priority, size, now, reverse)
+	}
+	if d != token.Allowed {
+		var account uint32
+		if spec, ok := cache.SpecFor(seg.PortToken); ok {
+			account = spec.Account
+		}
+		r.dropAcct(stats.DropTokenDenied, inf, account)
+		return false
+	}
+	r.counters.tokenAuthorized.Add(1)
+	return true
 }
 
 // fanoutTree handles tree-structured multicast (§2): fan one copy of the

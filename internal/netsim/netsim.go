@@ -324,6 +324,11 @@ type P2PDirection struct {
 // with NewP2PLink, then attach the two endpoints.
 type P2PLink struct {
 	AB, BA *P2PDirection
+
+	// OnFlap, when set, observes state changes made via SetDown — the
+	// hook the observability layer uses to record link flaps. Called
+	// once per SetDown, after both directions have changed state.
+	OnFlap func(down bool)
 }
 
 // NewP2PLink creates a link with the given rate (bits/s) and propagation
@@ -342,6 +347,9 @@ func NewP2PLink(eng *sim.Engine, rateBps float64, prop sim.Time) *P2PLink {
 func (l *P2PLink) SetDown(down bool) {
 	l.AB.SetDown(l.AB, down)
 	l.BA.SetDown(l.BA, down)
+	if l.OnFlap != nil {
+		l.OnFlap(down)
+	}
 }
 
 // Attach wires node a's port (ID portA) to node b's port (ID portB) and

@@ -1,6 +1,7 @@
 package router
 
 import (
+	"repro/internal/ledger"
 	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -60,6 +61,9 @@ func (op *outPort) forward(arr *netsim.Arrival, f *frame) {
 			// transmission is not."
 			med.Abort(cur)
 			r.Stats.Preemptions++
+			if r.flight != nil {
+				r.recordAnomaly(ledger.Event{Port: op.port.ID, Kind: ledger.KindPreempt})
+			}
 			if f.tr != nil {
 				f.tr.Add(trace.HopEvent{
 					Node: r.name, InPort: f.in, OutPort: op.port.ID,
@@ -198,6 +202,13 @@ func (op *outPort) drain() {
 		if err != nil {
 			r.dropFrame(DropTxError, it.frame)
 			continue
+		}
+		// Gated-dwell telemetry: how long a rate-limited frame waited in
+		// this queue for its token-bucket gate, beyond the medium itself.
+		if len(op.limits) > 0 {
+			if p, ok := nextHopPort(it.frame.pkt); ok && op.limits[p] != nil {
+				r.gateDwell.Add(float64(now - it.enqueued))
+			}
 		}
 		op.chargeLimit(it.frame, now)
 		r.Stats.StoreForward++

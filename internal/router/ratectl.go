@@ -1,6 +1,9 @@
 package router
 
 import (
+	"sort"
+
+	"repro/internal/ledger"
 	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/viper"
@@ -74,6 +77,7 @@ type rateLimit struct {
 	bps        float64
 	nextFree   sim.Time // earliest time the next matched packet may go
 	lastSignal sim.Time
+	ramped     bool // has increased since the last signal (telemetry)
 }
 
 // RateSignal implements RateSignalReceiver for Router.
@@ -83,17 +87,68 @@ func (r *Router) RateSignal(onPort *netsim.Port, sig RateSignal) {
 		return
 	}
 	now := r.eng.Now()
+	r.rate.SignalsReceived++
 	l := op.limits[sig.CongestedPort]
 	if l == nil {
 		l = &rateLimit{bps: sig.AllowedBps, nextFree: now}
 		op.limits[sig.CongestedPort] = l
-	} else if sig.AllowedBps < l.bps {
-		l.bps = sig.AllowedBps
+		r.rate.LimitsImposed++
+		if r.flight != nil {
+			r.recordAnomaly(ledger.Event{
+				Port: onPort.ID, Kind: ledger.KindRateLimit,
+				Reason: "imposed", Bps: sig.AllowedBps,
+			})
+		}
+	} else {
+		if sig.AllowedBps < l.bps {
+			l.bps = sig.AllowedBps
+		}
+		r.rate.LimitsRefreshed++
 	}
 	l.lastSignal = now
+	l.ramped = false
 	if op.ctl != nil {
 		op.ctl.start()
 	}
+}
+
+// RateTelemetry snapshots the router's congestion-control state: signal
+// and limit counters, every active limit with its ramp state, and the
+// gated-queue dwell summary. This is the per-node element of the ledger
+// package's congestion telemetry.
+func (r *Router) RateTelemetry() ledger.NodeCongestion {
+	n := ledger.NodeCongestion{
+		Node:               r.name,
+		CongestionCounters: r.rate,
+		GateDwell: ledger.DwellSummary{
+			Count:  uint64(r.gateDwell.Count()),
+			MeanNs: r.gateDwell.Mean(),
+			MaxNs:  int64(r.gateDwell.Max()),
+		},
+	}
+	for portID, op := range r.ports {
+		for congested, l := range op.limits {
+			state := ledger.RampHolding
+			if l.ramped {
+				state = ledger.RampRamping
+			}
+			n.Limits = append(n.Limits, ledger.LimitStatus{
+				Port:          portID,
+				CongestedPort: congested,
+				Bps:           l.bps,
+				LineBps:       op.port.Medium.RateBps(),
+				State:         state,
+			})
+		}
+	}
+	sort.Slice(n.Limits, func(i, j int) bool {
+		a, b := n.Limits[i], n.Limits[j]
+		if a.Port != b.Port {
+			return a.Port < b.Port
+		}
+		return a.CongestedPort < b.CongestedPort
+	})
+	return n
 }
 
 // Limits reports the active rate limits on a port (for tests/harness).
@@ -221,8 +276,11 @@ func (pc *portController) tick() {
 			continue
 		}
 		l.bps *= pc.cfg.Increase
+		l.ramped = true
+		op.r.rate.RampSteps++
 		if l.bps >= line {
 			delete(op.limits, key)
+			op.r.rate.LimitsExpired++
 		}
 	}
 
@@ -264,6 +322,7 @@ func (pc *portController) signalFeeders(now sim.Time) {
 		// bandwidth is negligible next to data traffic.)
 		delay := up.Medium.PropDelay()
 		pc.Signals++
+		op.r.rate.SignalsEmitted++
 		op.r.eng.Schedule(delay, func() {
 			if rc, ok := up.Node.(RateSignalReceiver); ok {
 				rc.RateSignal(up, sig)

@@ -3,6 +3,7 @@ package router
 import (
 	"testing"
 
+	"repro/internal/ledger"
 	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/viper"
@@ -270,5 +271,93 @@ func TestRateControlCascadesUpstream(t *testing.T) {
 	// signal counters.
 	if s.Stats.RateSignals == 0 {
 		t.Fatal("back pressure never cascaded to the source")
+	}
+}
+
+// TestRateSignalRampBackTelemetry pins the §2.2 soft-state lifecycle as
+// telemetry observes it: a RateSignal imposes a limit (state "holding"),
+// quiet intervals ramp it multiplicatively toward line rate (state
+// "ramping"), and it expires once it reaches line rate — with every
+// transition tallied in the congestion counters and the imposition in
+// the flight recorder.
+func TestRateSignalRampBackTelemetry(t *testing.T) {
+	rc := &RateControlConfig{Interval: sim.Millisecond, HighWater: 100, HoldIntervals: 2}
+	b := newBottleneckNet(1, Config{QueueLimit: 64, RateControl: rc})
+	fr := ledger.NewFlightRecorder(64)
+	b.r1.SetFlightRecorder(fr)
+
+	port, ok := b.r1.Port(100)
+	if !ok {
+		t.Fatal("no port 100")
+	}
+	const imposed = 1e6
+	sig := RateSignal{CongestedNode: "R2", CongestedPort: 2, AllowedBps: imposed}
+	b.r1.RateSignal(port, sig)
+	b.r1.RateSignal(port, sig) // second signal refreshes, not re-imposes
+
+	tele := b.r1.RateTelemetry()
+	if tele.Node != "R1" || tele.SignalsReceived != 2 || tele.LimitsImposed != 1 || tele.LimitsRefreshed != 1 {
+		t.Fatalf("after signals, telemetry = %+v", tele.CongestionCounters)
+	}
+	if len(tele.Limits) != 1 {
+		t.Fatalf("limits = %+v, want one", tele.Limits)
+	}
+	l := tele.Limits[0]
+	if l.Port != 100 || l.CongestedPort != 2 || l.Bps != imposed || l.LineBps != 10e6 || l.State != ledger.RampHolding {
+		t.Fatalf("imposed limit = %+v", l)
+	}
+	evs := fr.Events()
+	if len(evs) != 1 || evs[0].Kind != ledger.KindRateLimit || evs[0].Bps != imposed {
+		t.Fatalf("flight events after imposition = %+v", evs)
+	}
+
+	// Traffic during the hold window: frames matching the limit are
+	// gated in the queue and their dwell sampled.
+	b.blast(100, 300*sim.Microsecond, 2*sim.Millisecond)
+
+	// Mid-ramp: past the hold window, before the limit reaches line rate.
+	b.eng.RunUntil(6 * sim.Millisecond)
+	tele = b.r1.RateTelemetry()
+	if len(tele.Limits) != 1 {
+		t.Fatalf("mid-ramp limits = %+v, want one", tele.Limits)
+	}
+	l = tele.Limits[0]
+	if l.State != ledger.RampRamping {
+		t.Fatalf("mid-ramp state = %v, want ramping", l.State)
+	}
+	if l.Bps <= imposed || l.Bps >= l.LineBps {
+		t.Fatalf("mid-ramp bps = %.0f, want between %.0f and %.0f", l.Bps, imposed, l.LineBps)
+	}
+	if tele.RampSteps == 0 {
+		t.Fatal("no ramp steps counted mid-ramp")
+	}
+
+	// Run out the ramp: the limit must decay to line rate and expire.
+	b.eng.RunUntil(sim.Second)
+	tele = b.r1.RateTelemetry()
+	if len(tele.Limits) != 0 {
+		t.Fatalf("limits after decay = %+v, want none", tele.Limits)
+	}
+	if tele.LimitsExpired != 1 {
+		t.Fatalf("LimitsExpired = %d, want 1", tele.LimitsExpired)
+	}
+	if got := b.r1.Limits(100); len(got) != 0 {
+		t.Fatalf("R1 retains limits %v", got)
+	}
+	if tele.GateDwell.Count == 0 {
+		t.Fatal("no gated-queue dwell samples recorded")
+	}
+}
+
+// TestRateTelemetryCountsEmittedSignals checks the congested router's
+// own signalFeeders activity shows up in its telemetry.
+func TestRateTelemetryCountsEmittedSignals(t *testing.T) {
+	rc := &RateControlConfig{Interval: sim.Millisecond, HighWater: 2, HoldIntervals: 2}
+	b := newBottleneckNet(2, Config{QueueLimit: 32, RateControl: rc})
+	b.blast(1000, 300*sim.Microsecond, 30*sim.Millisecond)
+	b.eng.RunUntil(2 * sim.Second)
+	tele := b.r1.RateTelemetry()
+	if tele.SignalsEmitted == 0 {
+		t.Fatal("congested router emitted no signals in telemetry")
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"repro/internal/ethernet"
+	"repro/internal/ledger"
 	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -125,6 +126,17 @@ type Router struct {
 
 	local LocalHandler
 
+	// flight, when set, records anomalous events (drops, preemptions,
+	// rate-limit impositions) into a bounded ring. nil disables it; every
+	// recording site is behind a nil check.
+	flight *ledger.FlightRecorder
+
+	// rate tallies the congestion controller's activity for telemetry.
+	rate ledger.CongestionCounters
+	// gateDwell samples how long rate-gated frames sat in an output
+	// queue before the limit released them, in nanoseconds.
+	gateDwell stats.Accumulator
+
 	Stats Stats
 }
 
@@ -191,6 +203,19 @@ func (r *Router) TokenCache() *token.Cache { return r.cache }
 // port be denied rather than forwarded.
 func (r *Router) RequireToken(port uint8) { r.requireToken[port] = true }
 
+// SetFlightRecorder installs the anomaly ring buffer the router records
+// drops, preemptions, and rate-limit impositions into. nil disables
+// recording (the default).
+func (r *Router) SetFlightRecorder(fr *ledger.FlightRecorder) { r.flight = fr }
+
+// recordAnomaly appends an event to the flight recorder, stamping the
+// router's identity and the current virtual time.
+func (r *Router) recordAnomaly(ev ledger.Event) {
+	ev.Node = r.name
+	ev.At = int64(r.eng.Now())
+	r.flight.Record(ev)
+}
+
 // SetLogicalGroup declares a logical port backed by several physical
 // ports: "a very high speed physical link ... might be statically divided
 // into 10 1 gigabit channels with all 10 links being treated as one
@@ -242,6 +267,11 @@ func (r *Router) drop(reason DropReason) { r.Stats.Drop(reason) }
 // zero-overhead contract of internal/trace).
 func (r *Router) dropArr(reason DropReason, arr *netsim.Arrival) {
 	r.Stats.Drop(reason)
+	if r.flight != nil {
+		r.recordAnomaly(ledger.Event{
+			Port: arr.In.ID, Kind: ledger.DropKind(reason), Reason: reason.String(),
+		})
+	}
 	if pt := arr.Tx.Trace; pt != nil {
 		now := int64(r.eng.Now())
 		pt.Add(trace.HopEvent{
@@ -256,6 +286,11 @@ func (r *Router) dropArr(reason DropReason, arr *netsim.Arrival) {
 // the frame (the arrival may already be history for queued packets).
 func (r *Router) dropFrame(reason DropReason, f *frame) {
 	r.Stats.Drop(reason)
+	if r.flight != nil {
+		r.recordAnomaly(ledger.Event{
+			Port: f.in, Kind: ledger.DropKind(reason), Reason: reason.String(),
+		})
+	}
 	if f.tr != nil {
 		now := int64(r.eng.Now())
 		f.tr.Add(trace.HopEvent{
@@ -330,6 +365,8 @@ func (r *Router) decide(arr *netsim.Arrival) {
 		size := uint64(netsim.FrameSize(arr.Pkt, arr.Hdr))
 		reverse := seg.Flags.Has(viper.FlagRPF)
 		switch r.cache.Check(seg.PortToken, seg.Port, seg.Priority, size, int64(r.eng.Now()), reverse) {
+		case token.Allowed:
+			r.Stats.TokenAuthorized++
 		case token.Denied:
 			r.dropArr(DropTokenDenied, arr)
 			return
@@ -338,9 +375,12 @@ func (r *Router) decide(arr *netsim.Arrival) {
 			switch r.cfg.TokenMode {
 			case token.Optimistic:
 				// Let this packet through; verify in the background so
-				// the cached verdict governs the next one.
+				// the cached verdict governs the next one. The charge is
+				// booked only if the token proves valid.
 				r.eng.Schedule(r.cfg.TokenVerifyTime, func() {
-					r.cache.Install(tok, seg.Port, seg.Priority, size, int64(r.eng.Now()), reverse)
+					if r.cache.Install(tok, seg.Port, seg.Priority, size, int64(r.eng.Now()), reverse) == token.Allowed {
+						r.Stats.TokenAuthorized++
+					}
 				})
 			case token.Block:
 				// Hold the packet as if its port were busy until the
@@ -351,14 +391,17 @@ func (r *Router) decide(arr *netsim.Arrival) {
 						r.dropArr(DropTokenDenied, arr)
 						return
 					}
+					r.Stats.TokenAuthorized++
 					r.dispatch(arr, seg)
 				})
 				return
 			case token.Drop:
 				r.dropArr(DropTokenDenied, arr)
-				// Still verify and cache so later packets are served.
+				// Still verify and cache so later packets are served;
+				// Prime charges nothing — the dropped packet is never
+				// billed.
 				r.eng.Schedule(r.cfg.TokenVerifyTime, func() {
-					r.cache.Install(tok, seg.Port, seg.Priority, 0, int64(r.eng.Now()), reverse)
+					r.cache.Prime(tok)
 				})
 				return
 			}

@@ -63,7 +63,11 @@ func DropReasons() []DropReason {
 type Counters struct {
 	Forwarded uint64 // packets transmitted toward their next hop
 	Local     uint64 // packets delivered to the node's own stack (port 0)
-	Drops     [NumDropReasons]uint64
+	// TokenAuthorized counts packets whose port token was checked and
+	// charged to an account (§2.2). The ledger reconciliation invariant
+	// holds this equal to the sum of per-account ledger packet counts.
+	TokenAuthorized uint64
+	Drops           [NumDropReasons]uint64
 }
 
 // Drop records one discarded packet.
@@ -85,6 +89,7 @@ func (c Counters) TotalDrops() uint64 {
 func (c *Counters) Merge(o Counters) {
 	c.Forwarded += o.Forwarded
 	c.Local += o.Local
+	c.TokenAuthorized += o.TokenAuthorized
 	for i := range c.Drops {
 		c.Drops[i] += o.Drops[i]
 	}
@@ -100,6 +105,11 @@ func (c Counters) MetricsMap() map[string]uint64 {
 	out := map[string]uint64{
 		"forwarded": c.Forwarded,
 		"local":     c.Local,
+	}
+	// Like the drop buckets, token-authorized is emitted only when the
+	// feature is in play so tokenless deployments keep a minimal surface.
+	if c.TokenAuthorized > 0 {
+		out["token-authorized"] = c.TokenAuthorized
 	}
 	for _, r := range DropReasons() {
 		if n := c.Drops[r]; n > 0 {
@@ -120,6 +130,9 @@ func DiffCounters(labelA, labelB string, a, b Counters) []string {
 	if a.Local != b.Local {
 		out = append(out, fmt.Sprintf("local: %d in %s, %d in %s", a.Local, labelA, b.Local, labelB))
 	}
+	if a.TokenAuthorized != b.TokenAuthorized {
+		out = append(out, fmt.Sprintf("token-authorized: %d in %s, %d in %s", a.TokenAuthorized, labelA, b.TokenAuthorized, labelB))
+	}
 	for r := DropReason(0); r < NumDropReasons; r++ {
 		if a.Drops[r] != b.Drops[r] {
 			out = append(out, fmt.Sprintf("drops[%s]: %d in %s, %d in %s", r, a.Drops[r], labelA, b.Drops[r], labelB))
@@ -131,6 +144,9 @@ func DiffCounters(labelA, labelB string, a, b Counters) []string {
 func (c Counters) String() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "fwd=%d local=%d", c.Forwarded, c.Local)
+	if c.TokenAuthorized > 0 {
+		fmt.Fprintf(&sb, " token-auth=%d", c.TokenAuthorized)
+	}
 	for r := DropReason(0); r < NumDropReasons; r++ {
 		if c.Drops[r] > 0 {
 			fmt.Fprintf(&sb, " %s=%d", r, c.Drops[r])

@@ -105,3 +105,27 @@ func TestDropReasonNames(t *testing.T) {
 		t.Fatal("out-of-range reason should be unknown")
 	}
 }
+
+// TestTokenAuthorizedSurface pins the token-authorized counter's exported
+// name and its behavior across Merge, MetricsMap (omitted when zero, like
+// empty drop buckets), and DiffCounters.
+func TestTokenAuthorizedSurface(t *testing.T) {
+	a := Counters{Forwarded: 5, TokenAuthorized: 4}
+	b := Counters{Forwarded: 5, TokenAuthorized: 1}
+	a.Merge(b)
+	if a.TokenAuthorized != 5 {
+		t.Fatalf("merged TokenAuthorized = %d, want 5", a.TokenAuthorized)
+	}
+	if m := a.MetricsMap(); m["token-authorized"] != 5 {
+		t.Fatalf("MetricsMap = %v, want token-authorized=5", m)
+	}
+	if m := (Counters{Forwarded: 1}).MetricsMap(); len(m) != 2 {
+		t.Fatalf("tokenless MetricsMap grew: %v", m)
+	}
+	diffs := DiffCounters("sim", "live",
+		Counters{Forwarded: 5, TokenAuthorized: 4},
+		Counters{Forwarded: 5, TokenAuthorized: 1})
+	if len(diffs) != 1 || !strings.Contains(diffs[0], "token-authorized") {
+		t.Fatalf("diffs = %v, want one token-authorized entry", diffs)
+	}
+}

@@ -1,0 +1,145 @@
+package token
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestCacheConcurrentAccess hammers the cache from many goroutines:
+// forwarding-style Check/Install traffic racing against accounting sweeps
+// (AccountTotals/UsageFor/SpecFor/Metrics) and a mid-run Flush. Run with
+// -race this pins the cache's concurrency contract — livenet routers
+// charge usage while ledger collectors read totals.
+func TestCacheConcurrentAccess(t *testing.T) {
+	a := NewAuthority(key)
+	c := NewCache(a)
+
+	const nAccounts = 8
+	tokens := make([][]byte, nAccounts)
+	for i := range tokens {
+		tokens[i] = a.Issue(Spec{Account: uint32(100 + i), Port: PortAny, MaxPriority: 7, ReverseOK: true})
+	}
+	forged := append([]byte(nil), tokens[0]...)
+	forged[3] ^= 0xFF
+
+	const (
+		writers = 4
+		readers = 4
+		rounds  = 2000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				tok := tokens[(w+i)%nAccounts]
+				if c.Check(tok, 1, 0, 64, int64(i), false) == Unverified {
+					c.Install(tok, 1, 0, 64, int64(i), false)
+				}
+				if i%17 == 0 {
+					c.Check(forged, 1, 0, 64, int64(i), false)
+					c.Prime(forged)
+				}
+			}
+		}()
+	}
+	for r := 0; r < readers; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				totals := c.AccountTotals()
+				for acct, u := range totals {
+					if u.Packets == 0 && u.Bytes != 0 {
+						t.Errorf("account %d: bytes without packets: %+v", acct, u)
+						return
+					}
+				}
+				c.UsageFor(tokens[(r+i)%nAccounts])
+				c.SpecFor(tokens[i%nAccounts])
+				c.Metrics()
+				c.Len()
+				if r == 0 && i == rounds/2 {
+					c.Flush()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Post-quiesce sanity: every charge that landed is attributed to the
+	// account that paid for it, with 64 bytes per packet.
+	for acct, u := range c.AccountTotals() {
+		if u.Bytes != u.Packets*64 {
+			t.Errorf("account %d: %d packets but %d bytes", acct, u.Packets, u.Bytes)
+		}
+	}
+}
+
+// TestInstallPreservesUsage pins the fix for the double-verification
+// usage reset: when several in-flight packets each trigger a full
+// verification of the same token (the optimistic mode's race), the later
+// Install must charge into the existing entry, not overwrite it.
+func TestInstallPreservesUsage(t *testing.T) {
+	a := NewAuthority(key)
+	c := NewCache(a)
+	tok := a.Issue(Spec{Account: 9, Port: 2, MaxPriority: 7})
+
+	for i := 0; i < 3; i++ {
+		if d := c.Install(tok, 2, 0, 100, 0, false); d != Allowed {
+			t.Fatalf("install %d: %v, want allowed", i, d)
+		}
+	}
+	u, ok := c.UsageFor(tok)
+	if !ok {
+		t.Fatal("no usage recorded")
+	}
+	if u.Packets != 3 || u.Bytes != 300 {
+		t.Fatalf("usage after 3 installs = %+v, want 3 packets / 300 bytes", u)
+	}
+	if v, _ := c.Metrics(); v != 3 {
+		t.Fatalf("verifies = %d, want 3", v)
+	}
+}
+
+// TestDenialsCharged checks refusals against a verified token are
+// tallied per account, while forged tokens never reach an account.
+func TestDenialsCharged(t *testing.T) {
+	a := NewAuthority(key)
+	c := NewCache(a)
+	tok := a.Issue(Spec{Account: 5, Port: 2, MaxPriority: 3, Limit: 200})
+	if d := c.Install(tok, 2, 0, 150, 0, false); d != Allowed {
+		t.Fatalf("install: %v", d)
+	}
+	c.Check(tok, 2, 0, 100, 0, false) // limit exhausted
+	c.Check(tok, 4, 0, 10, 0, false)  // wrong port
+	c.Check(tok, 2, 5, 10, 0, false)  // priority too high
+
+	u, _ := c.UsageFor(tok)
+	want := Usage{Packets: 1, Bytes: 150, Denials: 3}
+	if u != want {
+		t.Fatalf("usage = %+v, want %+v", u, want)
+	}
+	totals := c.AccountTotals()
+	if totals[5] != want {
+		t.Fatalf("account totals = %+v, want %+v", totals[5], want)
+	}
+
+	forged := append([]byte(nil), tok...)
+	forged[0] ^= 0x80
+	if !c.Prime(forged) {
+		// forged: cached negatively, denied on later checks, invisible
+		// to accounting.
+		if d := c.Check(forged, 2, 0, 10, 0, false); d != Denied {
+			t.Fatalf("forged check = %v, want denied", d)
+		}
+	} else {
+		t.Fatal("forged token primed as valid")
+	}
+	if len(c.AccountTotals()) != 1 {
+		t.Fatalf("forged token leaked into account totals: %v", c.AccountTotals())
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"errors"
+	"sync"
 
 	"repro/internal/viper"
 )
@@ -175,10 +176,21 @@ func (m Mode) String() string {
 
 // Usage accumulates per-token accounting: "Cache entries are also used to
 // maintain accounting information such as packet or byte counts to be
-// charged to the account designated by the token" (§2.2).
+// charged to the account designated by the token" (§2.2). Denials counts
+// packets refused against a verified token (port mismatch, priority too
+// high, limit exhausted, expiry) — forged tokens never reach an account,
+// so their refusals are visible only in the drop counters.
 type Usage struct {
 	Packets uint64
 	Bytes   uint64
+	Denials uint64
+}
+
+// Add accumulates o into u.
+func (u *Usage) Add(o Usage) {
+	u.Packets += o.Packets
+	u.Bytes += o.Bytes
+	u.Denials += o.Denials
 }
 
 // entry is a cached verification verdict plus accounting.
@@ -191,12 +203,20 @@ type entry struct {
 // Cache is a router's token cache, keyed by the raw token bytes ("using
 // the encrypted value as the key", §2.2). Invalid tokens are negatively
 // cached so repeated presentations are blocked cheaply.
+//
+// A Cache is safe for concurrent use: livenet routers charge usage from
+// their forwarding goroutines while ledger collectors sweep AccountTotals.
+// MAC verification (the expensive part of Install) runs outside the lock.
 type Cache struct {
-	auth    *Authority
+	auth *Authority
+
+	mu      sync.Mutex
 	entries map[string]*entry
 
 	// Verifies counts full MAC verifications performed (cache misses);
-	// Hits counts lookups answered from cache.
+	// Hits counts lookups answered from cache. Both are guarded by the
+	// cache's internal lock: read them via Metrics, or directly only
+	// after the traffic using the cache has quiesced.
 	Verifies uint64
 	Hits     uint64
 }
@@ -233,18 +253,15 @@ func (d Decision) String() string {
 	return "unknown"
 }
 
-// Check looks up a token for a packet of size bytes destined for port at
-// priority prio, charging the account on success. now is virtual time.
-func (c *Cache) Check(tok []byte, port uint8, prio viper.Priority, bytes uint64, now int64, reverse bool) Decision {
-	e, ok := c.entries[string(tok)]
-	if !ok {
-		return Unverified
-	}
-	c.Hits++
-	if !e.valid || !e.spec.Authorizes(port, prio, now, reverse) {
+// charge applies the authorization-and-charge logic shared by Check and
+// Install against a locked entry.
+func (e *entry) charge(port uint8, prio viper.Priority, bytes uint64, now int64, reverse bool) Decision {
+	if !e.valid {
 		return Denied
 	}
-	if e.spec.Limit != 0 && e.usage.Bytes+bytes > e.spec.Limit {
+	if !e.spec.Authorizes(port, prio, now, reverse) ||
+		(e.spec.Limit != 0 && e.usage.Bytes+bytes > e.spec.Limit) {
+		e.usage.Denials++
 		return Denied
 	}
 	e.usage.Packets++
@@ -252,29 +269,70 @@ func (c *Cache) Check(tok []byte, port uint8, prio viper.Priority, bytes uint64,
 	return Allowed
 }
 
+// Check looks up a token for a packet of size bytes destined for port at
+// priority prio, charging the account on success. now is virtual time.
+func (c *Cache) Check(tok []byte, port uint8, prio viper.Priority, bytes uint64, now int64, reverse bool) Decision {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[string(tok)]
+	if !ok {
+		return Unverified
+	}
+	c.Hits++
+	return e.charge(port, prio, bytes, now, reverse)
+}
+
 // Install performs the full verification of a token and caches the
 // verdict. It returns the decision the verified token would have produced
 // for the triggering packet (so a blocking router can release or drop it).
+// If the token is already cached — another in-flight packet's verification
+// completed first — the existing entry and its accumulated usage are kept.
 func (c *Cache) Install(tok []byte, port uint8, prio viper.Priority, bytes uint64, now int64, reverse bool) Decision {
-	c.Verifies++
+	e := c.install(tok)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return e.charge(port, prio, bytes, now, reverse)
+}
+
+// Prime verifies and caches a token without charging any usage. Routers
+// in Drop mode use it after discarding a packet with an uncached token
+// so later packets are served from cache; the dropped packet is never
+// billed. It reports whether the token verified as genuine.
+func (c *Cache) Prime(tok []byte) bool {
+	e := c.install(tok)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return e.valid
+}
+
+// install verifies tok (outside the lock — HMAC is the expensive step)
+// and returns its cache entry, creating it if absent.
+func (c *Cache) install(tok []byte) *entry {
 	spec, err := c.auth.Verify(tok)
-	e := &entry{spec: spec, valid: err == nil}
-	c.entries[string(tok)] = e
-	if !e.valid || !spec.Authorizes(port, prio, now, reverse) {
-		return Denied
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.Verifies++
+	e, ok := c.entries[string(tok)]
+	if !ok {
+		e = &entry{spec: spec, valid: err == nil}
+		c.entries[string(tok)] = e
 	}
-	if spec.Limit != 0 && bytes > spec.Limit {
-		return Denied
-	}
-	e.usage.Packets++
-	e.usage.Bytes += bytes
-	return Allowed
+	return e
+}
+
+// Metrics returns the verification and cache-hit counters.
+func (c *Cache) Metrics() (verifies, hits uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.Verifies, c.Hits
 }
 
 // SpecFor returns the cached spec for a token, if the token has been
 // verified and found valid. Routers use this to decide whether the token
 // authorizes the reverse route.
 func (c *Cache) SpecFor(tok []byte) (Spec, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	e, ok := c.entries[string(tok)]
 	if !ok || !e.valid {
 		return Spec{}, false
@@ -284,6 +342,8 @@ func (c *Cache) SpecFor(tok []byte) (Spec, bool) {
 
 // UsageFor returns the accumulated usage charged against a token.
 func (c *Cache) UsageFor(tok []byte) (Usage, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	e, ok := c.entries[string(tok)]
 	if !ok {
 		return Usage{}, false
@@ -293,24 +353,31 @@ func (c *Cache) UsageFor(tok []byte) (Usage, bool) {
 
 // AccountTotals aggregates usage per account across all cached tokens.
 func (c *Cache) AccountTotals() map[uint32]Usage {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	out := make(map[uint32]Usage)
 	for _, e := range c.entries {
 		if !e.valid {
 			continue
 		}
 		u := out[e.spec.Account]
-		u.Packets += e.usage.Packets
-		u.Bytes += e.usage.Bytes
+		u.Add(e.usage)
 		out[e.spec.Account] = u
 	}
 	return out
 }
 
 // Len reports the number of cached tokens (valid and invalid).
-func (c *Cache) Len() int { return len(c.entries) }
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
 
 // Flush discards all cached verdicts, as after a router restart; the
 // token state is soft and rebuilt on demand.
 func (c *Cache) Flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.entries = make(map[string]*entry)
 }
