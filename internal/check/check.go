@@ -1,12 +1,16 @@
 // Package check is the Sirpent conformance and fault-injection harness.
 //
-// The repo has two independent realizations of the same forwarding
-// algorithm: the netsim substrate runs *viper.Packet values through
-// routers on deterministic virtual time, and the livenet substrate runs
-// encoded wire bytes through goroutines and channels. Both implement the
-// paper's per-hop discipline — strip the leading header segment, mirror
-// it into the trailer, forward the rest (§2) — and a divergence between
-// them is a bug in one of them by construction.
+// The repo realizes the same forwarding algorithm on two substrates: the
+// netsim substrate runs *viper.Packet values through routers on
+// deterministic virtual time, and the livenet substrate runs encoded
+// wire bytes through goroutines and channels. Both implement the paper's
+// per-hop discipline — strip the leading header segment, mirror it into
+// the trailer, forward the rest (§2) — and a divergence between them is
+// a bug in one of them by construction. Since the per-hop decision stage
+// moved into the shared internal/dataplane kernel, that stage is
+// identical by construction (see DESIGN.md §10); this harness earns its
+// keep on what stays substrate-specific — queueing, timing, buffer
+// surgery, concurrency — and on the end-to-end composition of hops.
 //
 // The harness generates seeded random topologies and workloads, runs the
 // identical scenario through both substrates, and diffs three things:

@@ -1,0 +1,206 @@
+package dataplane_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/dataplane"
+	"repro/internal/ethernet"
+	"repro/internal/netsim"
+	"repro/internal/token"
+	"repro/internal/viper"
+)
+
+// fixedClock mirrors the substrates' clock sources with a settable
+// deterministic value: the "virtual" and "wall" sides tick through the
+// same instants so any divergence is the pipeline's, not the clock's.
+type fixedClock struct{ now int64 }
+
+func (c *fixedClock) NowNanos() int64 { return c.now }
+
+// hopCase is one randomly generated arrival: a leading segment (possibly
+// tokened), an optional Ethernet header, and the packet payload.
+type hopCase struct {
+	seg     viper.Segment
+	hdr     *ethernet.Header
+	payload []byte
+}
+
+// TestCrossSubstrateDecisionParity is the property test pinning the
+// tentpole claim: for random segments and token configurations, the hop
+// decision — action, output port, drop reason, charged account, and the
+// charge size itself — is identical whether the pipeline is invoked the
+// netsim way (decoded viper.Packet, FrameSize charge, virtual clock) or
+// the livenet way (wire bytes via DecodeHop, len(frame) charge, wall
+// clock). Each configuration runs a sequence of hops against one shared
+// cache per side, so stateful effects — token install, usage charging,
+// limit exhaustion — must also line up hop by hop.
+func TestCrossSubstrateDecisionParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for cfg := 0; cfg < 60; cfg++ {
+		auth := token.NewAuthority([]byte{byte(cfg), 0xA5, 0x5A})
+
+		// Random token configuration, built independently per side the
+		// way each substrate would.
+		var simTS, liveTS *dataplane.TokenState
+		if rng.Intn(4) > 0 { // 3 in 4 configs enable tokens
+			simTS = simTS.WithAuthority(auth)
+			liveTS = liveTS.WithAuthority(auth)
+			for i := rng.Intn(3); i > 0; i-- {
+				port := uint8(rng.Intn(256))
+				simTS = simTS.WithRequired(port)
+				liveTS = liveTS.WithRequired(port)
+			}
+		}
+		simClock := &fixedClock{}
+		liveClock := &fixedClock{}
+		simPlane := dataplane.Pipeline{Node: "sim", Clock: simClock}
+		livePlane := dataplane.Pipeline{Node: "live", Clock: liveClock}
+
+		// A couple of issued tokens this configuration's packets draw
+		// from, so charging accumulates across hops.
+		tokens := make([][]byte, 1+rng.Intn(3))
+		for i := range tokens {
+			spec := token.Spec{
+				Account:     uint32(1 + rng.Intn(5)),
+				Port:        uint8(rng.Intn(256)),
+				MaxPriority: viper.Priority(rng.Intn(8)),
+				ReverseOK:   rng.Intn(2) == 0,
+				Nonce:       uint32(i),
+			}
+			if rng.Intn(2) == 0 {
+				spec.Port = token.PortAny
+			}
+			if rng.Intn(2) == 0 {
+				spec.Limit = uint64(200 + rng.Intn(2000))
+			}
+			tokens[i] = auth.Issue(spec)
+		}
+
+		for hop := 0; hop < 40; hop++ {
+			hc := randomHop(rng, tokens)
+			now := int64(hop) * 1000
+			simClock.now, liveClock.now = now, now
+
+			simV, simCharge := decideNetsimStyle(t, &simPlane, simTS, hc)
+			liveV, liveCharge := decideLivenetStyle(t, &livePlane, liveTS, hc)
+
+			if simCharge != liveCharge {
+				t.Fatalf("cfg %d hop %d: charge size diverges: netsim %d, livenet %d",
+					cfg, hop, simCharge, liveCharge)
+			}
+			if simV != liveV {
+				t.Fatalf("cfg %d hop %d (%v): verdict diverges:\nnetsim : %+v\nlivenet: %+v",
+					cfg, hop, &hc.seg, simV, liveV)
+			}
+		}
+
+		// The per-account usage the two caches accumulated must agree —
+		// the ledger-reconciliation guarantee, by construction.
+		simTotals := accountTotals(simTS)
+		liveTotals := accountTotals(liveTS)
+		if !reflect.DeepEqual(simTotals, liveTotals) {
+			t.Fatalf("cfg %d: account totals diverge:\nnetsim : %v\nlivenet: %v",
+				cfg, simTotals, liveTotals)
+		}
+	}
+}
+
+func accountTotals(ts *dataplane.TokenState) map[uint32]token.Usage {
+	if c := ts.Cache(); c != nil {
+		return c.AccountTotals()
+	}
+	return nil
+}
+
+// randomHop generates one arrival. Ports, priorities, flags and token
+// presence are all randomized; tree segments are excluded because the
+// substrates re-enter the pipeline per branch (covered by the
+// differential suite end to end).
+func randomHop(rng *rand.Rand, tokens [][]byte) hopCase {
+	hc := hopCase{
+		seg: viper.Segment{
+			Port:     uint8(rng.Intn(256)),
+			Priority: viper.Priority(rng.Intn(8)),
+			Flags:    viper.Flags(rng.Intn(8)) & (viper.FlagVNT | viper.FlagDIB | viper.FlagRPF),
+		},
+		payload: make([]byte, rng.Intn(256)),
+	}
+	rng.Read(hc.payload)
+	switch rng.Intn(4) {
+	case 0: // tokenless
+	case 1: // forged or garbage token
+		tok := make([]byte, 8+rng.Intn(24))
+		rng.Read(tok)
+		hc.seg.PortToken = tok
+	default: // a genuinely issued token
+		hc.seg.PortToken = tokens[rng.Intn(len(tokens))]
+	}
+	if rng.Intn(2) == 0 {
+		hc.hdr = &ethernet.Header{
+			Dst:  ethernet.AddrFromUint64(uint64(rng.Intn(1 << 16))),
+			Src:  ethernet.AddrFromUint64(uint64(rng.Intn(1 << 16))),
+			Type: viper.EtherTypeVIPER,
+		}
+	}
+	return hc
+}
+
+// encodePacket builds the on-wire packet a first-hop router would see
+// for hc: the case's segment leading, a local segment behind it, one
+// trailer segment.
+func encodePacket(t *testing.T, hc hopCase) *viper.Packet {
+	t.Helper()
+	route := []viper.Segment{hc.seg.Clone(), {Port: viper.PortLocal}}
+	route[0].Flags |= viper.FlagVNT
+	pkt := viper.NewPacket(route, hc.payload)
+	pkt.Trailer = []viper.Segment{{Port: viper.PortLocal}}
+	return pkt
+}
+
+// decideNetsimStyle invokes the pipeline as internal/router does: on the
+// decoded packet's current segment, charging netsim.FrameSize.
+func decideNetsimStyle(t *testing.T, p *dataplane.Pipeline, ts *dataplane.TokenState, hc hopCase) (dataplane.Verdict, uint64) {
+	t.Helper()
+	pkt := encodePacket(t, hc)
+	in := dataplane.HopInput{
+		InPort:      1,
+		Seg:         pkt.Current(),
+		ChargeBytes: uint64(netsim.FrameSize(pkt, hc.hdr)),
+	}
+	v := p.Decide(ts, &in)
+	if v.Action == dataplane.ActionAwaitToken {
+		// All three token.Modes resolve the await by installing; they
+		// differ in when and in what happens to the waiting packet, not
+		// in the verdict, so the parity check applies the synchronous
+		// (Block) realization on both sides.
+		v = p.InstallToken(ts, &in)
+	}
+	return v, in.ChargeBytes
+}
+
+// decideLivenetStyle invokes the pipeline as internal/livenet does: on
+// wire bytes through the no-copy decode, charging the frame length plus
+// the Ethernet header.
+func decideLivenetStyle(t *testing.T, p *dataplane.Pipeline, ts *dataplane.TokenState, hc hopCase) (dataplane.Verdict, uint64) {
+	t.Helper()
+	encoded, err := encodePacket(t, hc).Encode()
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	seg, _, err := dataplane.DecodeHop(encoded)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	charge := uint64(len(encoded))
+	if hc.hdr != nil {
+		charge += ethernet.HeaderLen
+	}
+	in := dataplane.HopInput{InPort: 1, Seg: &seg, ChargeBytes: charge}
+	v := p.Decide(ts, &in)
+	if v.Action == dataplane.ActionAwaitToken {
+		v = p.InstallToken(ts, &in)
+	}
+	return v, in.ChargeBytes
+}

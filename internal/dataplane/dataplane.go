@@ -1,0 +1,228 @@
+// Package dataplane is the shared per-hop decision kernel of the Sirpent
+// router. The paper's core claim (§2, §5) is that a router's per-hop work
+// is one fixed decision: strip the leading VIPER segment, check its port
+// token, take one of three actions — route onwards, route local, or drop
+// — and mirror the reversed segment onto the trailer. The repo realizes
+// the forwarding algorithm twice (the event-driven netsim substrate in
+// internal/router, the goroutine livenet substrate in internal/livenet);
+// both now forward through this package, so the decision stage is
+// identical by construction rather than by differential testing.
+//
+// The kernel is substrate-agnostic by taking no I/O and no time source of
+// its own: callers hand it decoded segments (or raw bytes, via DecodeHop)
+// and buffers, timestamps come from the Pipeline's clock.Source (virtual
+// nanoseconds on netsim, monotonic wall nanoseconds on livenet), and
+// everything observable — counters, flight-recorder events, trace hops —
+// goes through the nil-checked Hooks struct. A zero Hooks makes the
+// pipeline pure decision logic, which is what keeps livenet's 0 allocs
+// per forwarded hop contract intact (TestForwardHopAllocs).
+//
+// What stays substrate-specific, deliberately: transmission (cut-through
+// vs store-and-forward, queues, rate control on netsim; channel sends on
+// livenet), the netsim-only port extensions (multicast fanout groups and
+// §2.2 logical port groups resolve after ActionForward), and the *timing*
+// of uncached-token verification — the pipeline returns ActionAwaitToken
+// and the substrate decides when to call InstallToken (synchronously on
+// livenet, after Config.TokenVerifyTime on netsim, per token.Mode).
+//
+// See DESIGN.md §10 for the full contract: buffer ownership, hook
+// ordering, and what the differential suite still covers.
+package dataplane
+
+import (
+	"repro/internal/clock"
+	"repro/internal/ledger"
+	"repro/internal/stats"
+	"repro/internal/token"
+	"repro/internal/viper"
+)
+
+// Action is the three-way per-hop decision of §2.1 — route onwards,
+// route local, or drop — extended with the tree-multicast fanout (§2)
+// and the deferred-token wait the substrates schedule themselves.
+type Action uint8
+
+const (
+	// ActionForward: transmit the remainder toward Verdict.OutPort.
+	ActionForward Action = iota
+	// ActionLocal: deliver to the node's own stack (port 0, §5).
+	ActionLocal
+	// ActionDrop: discard; Verdict.Reason holds the accounting bucket.
+	ActionDrop
+	// ActionTree: tree-structured multicast (FlagTRE); the substrate
+	// splices each branch sub-route and re-enters the pipeline per copy.
+	ActionTree
+	// ActionAwaitToken: the packet's token is not cached. The substrate
+	// applies its token.Mode on its own clock and calls InstallToken
+	// when the full verification completes.
+	ActionAwaitToken
+)
+
+func (a Action) String() string {
+	switch a {
+	case ActionForward:
+		return "forward"
+	case ActionLocal:
+		return "local"
+	case ActionDrop:
+		return "drop"
+	case ActionTree:
+		return "tree"
+	case ActionAwaitToken:
+		return "await-token"
+	}
+	return "unknown"
+}
+
+// Verdict is the substrate-independent outcome of one hop decision. The
+// cross-substrate property test pins that identical inputs produce
+// identical Verdicts whether constructed the netsim way (decoded packet,
+// virtual clock) or the livenet way (wire bytes, wall clock).
+type Verdict struct {
+	Action  Action
+	OutPort uint8            // valid for ActionForward and ActionTree
+	Reason  stats.DropReason // valid for ActionDrop
+	// Account is the token account charged or refused, for flight-
+	// recorder attribution; 0 when no verified token was involved.
+	Account uint32
+}
+
+// HopInput is one arrived packet at the decision point. Seg is the
+// decoded leading segment; its variable fields may alias the caller's
+// buffer (DecodeHop) — the pipeline never retains them past the call.
+type HopInput struct {
+	InPort uint8
+	Seg    *viper.Segment
+	// ChargeBytes is the on-wire frame size, network header included —
+	// the byte count a token check charges to the account (§2.2). Both
+	// substrates must compute it identically (netsim.FrameSize on one,
+	// len(frame)+header on the other); the property test pins this.
+	ChargeBytes uint64
+}
+
+// Classify resolves the three-way action for an authorized segment. It
+// is a pure function of the segment, shared by Decide and by substrates
+// re-classifying tree-multicast branch heads.
+func Classify(seg *viper.Segment) Verdict {
+	// Tree multicast is checked before local delivery — a tree segment's
+	// port field is unused (§2).
+	if seg.Flags.Has(viper.FlagTRE) {
+		return Verdict{Action: ActionTree, OutPort: seg.Port}
+	}
+	if seg.Port == viper.PortLocal {
+		return Verdict{Action: ActionLocal}
+	}
+	return Verdict{Action: ActionForward, OutPort: seg.Port}
+}
+
+// Pipeline is one router's instance of the shared hop kernel: identity
+// and clock for event stamping, the uncached-token mode, and the hook
+// points. It holds no mutable state of its own — token state travels as
+// an explicit *TokenState so substrates choose their own publication
+// discipline (a plain field on the single-threaded simulator, an
+// atomic.Pointer on livenet) — so one goroutine per router may call it
+// concurrently with configuration changes.
+type Pipeline struct {
+	// Node names the router in flight-recorder events and trace hops.
+	Node string
+	// Clock stamps events and feeds token-expiry checks: SimSource on
+	// netsim, Wall on livenet. Read only on token, trace, and anomaly
+	// paths — the plain forwarding fast path performs no clock reads.
+	Clock clock.Source
+	// Mode is the router's uncached-token handling (§2.2). The pipeline
+	// itself only reports ActionAwaitToken; Mode is carried here so the
+	// substrate's scheduling code and the pipeline are configured as one
+	// unit.
+	Mode  token.Mode
+	Hooks Hooks
+}
+
+// now reads the pipeline clock, tolerating an unset one (decision-only
+// pipelines in tests and benchmarks never reach a stamped path).
+func (p *Pipeline) now() int64 {
+	if p.Clock == nil {
+		return 0
+	}
+	return p.Clock.NowNanos()
+}
+
+// Decide runs the decision stage for one arrived packet: token
+// authorization and charging (§2.2) when the router has a token
+// authority and the packet carries a token or the output port demands
+// one, then the three-way classification. It does not touch buffers;
+// mirroring is the caller's next stage (ReturnSegment +
+// AppendTrailerSegment, or viper.Packet.ConsumeHead on the decoded
+// substrate).
+func (p *Pipeline) Decide(ts *TokenState, in *HopInput) Verdict {
+	if ts.active() && (len(in.Seg.PortToken) > 0 || ts.Requires(in.Seg.Port)) {
+		if v, settled := p.checkToken(ts, in); settled {
+			return v
+		}
+	}
+	return Classify(in.Seg)
+}
+
+// checkToken runs the cached-verdict token check. settled is false when
+// the packet is authorized and classification should proceed.
+func (p *Pipeline) checkToken(ts *TokenState, in *HopInput) (v Verdict, settled bool) {
+	seg := in.Seg
+	if len(seg.PortToken) == 0 {
+		return Verdict{Action: ActionDrop, Reason: stats.DropTokenDenied}, true
+	}
+	reverse := seg.Flags.Has(viper.FlagRPF)
+	switch ts.cache.Check(seg.PortToken, seg.Port, seg.Priority, in.ChargeBytes, p.now(), reverse) {
+	case token.Allowed:
+		if p.Hooks.CountTokenAuthorized != nil {
+			p.Hooks.CountTokenAuthorized()
+		}
+		return Verdict{}, false
+	case token.Denied:
+		return Verdict{
+			Action: ActionDrop, Reason: stats.DropTokenDenied,
+			Account: ts.account(seg.PortToken),
+		}, true
+	}
+	return Verdict{Action: ActionAwaitToken}, true
+}
+
+// InstallToken completes a deferred verification for a packet that got
+// ActionAwaitToken: the full (expensive) HMAC verification runs, the
+// verdict is cached, the account is charged on success, and the waiting
+// packet's decision is returned. The substrate chooses when to call it —
+// synchronously on livenet, where the HMAC cost is the verification
+// latency the packet waits out, or TokenVerifyTime later on netsim. An
+// Optimistic-mode caller invokes it for the charge and the cached
+// verdict but ignores the returned decision (the packet already left).
+func (p *Pipeline) InstallToken(ts *TokenState, in *HopInput) Verdict {
+	seg := in.Seg
+	reverse := seg.Flags.Has(viper.FlagRPF)
+	if ts.cache.Install(seg.PortToken, seg.Port, seg.Priority, in.ChargeBytes, p.now(), reverse) == token.Allowed {
+		if p.Hooks.CountTokenAuthorized != nil {
+			p.Hooks.CountTokenAuthorized()
+		}
+		return Classify(seg)
+	}
+	return Verdict{
+		Action: ActionDrop, Reason: stats.DropTokenDenied,
+		Account: ts.account(seg.PortToken),
+	}
+}
+
+// DropKind maps a forwarding-plane drop bucket to its flight-recorder
+// taxonomy entry: queue overflows and token denials get their own kinds,
+// everything else is a generic drop (the Event's Reason field keeps the
+// bucket). This table is the single source of the mapping for both
+// substrates; TestDropKindMapping pins every row.
+func DropKind(reason stats.DropReason) ledger.Kind {
+	if reason >= 0 && reason < stats.NumDropReasons {
+		return dropKinds[reason]
+	}
+	return ledger.KindDrop
+}
+
+// dropKinds is indexed by stats.DropReason; unnamed rows are the zero
+// value ledger.KindDrop.
+var dropKinds = [stats.NumDropReasons]ledger.Kind{
+	stats.DropQueueFull:   ledger.KindQueueOverflow,
+	stats.DropTokenDenied: ledger.KindTokenDenied,
+}

@@ -1,0 +1,79 @@
+package dataplane
+
+import "repro/internal/token"
+
+// TokenState is an immutable snapshot of a router's token configuration:
+// the verification cache for the administrative domain key, plus the set
+// of output ports that demand a token even from tokenless packets.
+// Immutability is the concurrency contract — configuration methods
+// return a fresh state instead of mutating — so livenet publishes it
+// through an atomic.Pointer and its forwarding goroutine reads a
+// consistent cache/require pair with one load, while the
+// single-threaded simulator just replaces a plain field. A nil
+// *TokenState is the valid "tokens disabled" state; every method is
+// nil-receiver-safe.
+type TokenState struct {
+	cache   *token.Cache
+	require [4]uint64 // bitset over the 256 port IDs
+}
+
+// active reports whether token checking is enabled (an authority has
+// been installed).
+func (ts *TokenState) active() bool { return ts != nil && ts.cache != nil }
+
+// Cache exposes the verification cache for accounting sweeps; nil until
+// an authority is installed.
+func (ts *TokenState) Cache() *token.Cache {
+	if ts == nil {
+		return nil
+	}
+	return ts.cache
+}
+
+// Requires reports whether the given output port demands a token.
+func (ts *TokenState) Requires(port uint8) bool {
+	return ts != nil && ts.require[port>>6]&(1<<(port&63)) != 0
+}
+
+// WithAuthority returns a state verifying against a fresh cache for a,
+// preserving any port requirements. Existing cached verdicts and usage
+// are discarded with the old cache — installing a new authority is a key
+// rotation.
+func (ts *TokenState) WithAuthority(a *token.Authority) *TokenState {
+	ns := &TokenState{cache: token.NewCache(a)}
+	if ts != nil {
+		ns.require = ts.require
+	}
+	return ns
+}
+
+// WithRequired returns a state that also demands a token on port. The
+// requirement takes effect once an authority is installed.
+func (ts *TokenState) WithRequired(port uint8) *TokenState {
+	ns := &TokenState{}
+	if ts != nil {
+		*ns = *ts
+	}
+	ns.require[port>>6] |= 1 << (port & 63)
+	return ns
+}
+
+// Prime verifies and caches a token without charging any usage — the
+// Drop-mode follow-up after discarding a packet with an uncached token,
+// so later packets are served from cache while the dropped one is never
+// billed. It reports whether the token verified as genuine.
+func (ts *TokenState) Prime(tok []byte) bool {
+	if !ts.active() {
+		return false
+	}
+	return ts.cache.Prime(tok)
+}
+
+// account resolves the account a verified token bills to, for
+// flight-recorder attribution; 0 when the token is unknown or forged.
+func (ts *TokenState) account(tok []byte) uint32 {
+	if spec, ok := ts.cache.SpecFor(tok); ok {
+		return spec.Account
+	}
+	return 0
+}

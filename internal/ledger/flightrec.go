@@ -5,8 +5,6 @@ import (
 	"fmt"
 	"strings"
 	"sync"
-
-	"repro/internal/stats"
 )
 
 // Kind classifies a flight-recorder event. Only anomalies are recorded —
@@ -34,19 +32,6 @@ func (k Kind) String() string {
 		return kindNames[k]
 	}
 	return "unknown"
-}
-
-// DropKind maps a forwarding-plane drop bucket to its flight-recorder
-// taxonomy entry: queue overflows and token denials get their own kinds,
-// everything else is a generic drop (the Reason field keeps the bucket).
-func DropKind(reason stats.DropReason) Kind {
-	switch reason {
-	case stats.DropQueueFull:
-		return KindQueueOverflow
-	case stats.DropTokenDenied:
-		return KindTokenDenied
-	}
-	return KindDrop
 }
 
 // MarshalJSON exports the kind as its stable name.

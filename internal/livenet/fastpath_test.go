@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/dataplane"
 	"repro/internal/ethernet"
 	"repro/internal/pool"
 	"repro/internal/trace"
@@ -14,8 +15,10 @@ import (
 
 // benchRouter builds a router with no goroutine: forward is called
 // directly and the forwarded frame read back from a hand-wired port.
+// The unexported constructor wires the dataplane pipeline exactly as
+// NewRouter would, so the benchmark measures the production hop.
 func benchRouter() (*Router, chan Frame) {
-	r := &Router{node: newNode("bench")}
+	r := (&Network{}).newRouter("bench")
 	ch := make(chan Frame, 1)
 	r.node.out[2] = ch
 	return r, ch
@@ -175,10 +178,10 @@ func TestAppendTrailerSegmentMatchesReference(t *testing.T) {
 			}
 			fret := viper.Segment{Port: uint8(hop + 1), Priority: fseg.Priority, PortToken: fseg.PortToken}
 			sret := viper.Segment{Port: uint8(hop + 1), Priority: sseg.Priority, PortToken: sseg.PortToken}
-			if fast, err = appendTrailerSegment(frest, &fret); err != nil {
+			if fast, err = dataplane.AppendTrailerSegment(frest, &fret); err != nil {
 				t.Fatalf("iter %d hop %d: fast surgery: %v", iter, hop, err)
 			}
-			if slow, err = appendTrailerSegmentAlloc(srest, &sret); err != nil {
+			if slow, err = dataplane.AppendTrailerSegmentRef(srest, &sret); err != nil {
 				t.Fatalf("iter %d hop %d: slow surgery: %v", iter, hop, err)
 			}
 			if !bytes.Equal(fast, slow) {

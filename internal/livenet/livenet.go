@@ -25,7 +25,6 @@
 package livenet
 
 import (
-	"encoding/binary"
 	"fmt"
 	"math"
 	"math/rand"
@@ -33,6 +32,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/clock"
+	"repro/internal/dataplane"
 	"repro/internal/ethernet"
 	"repro/internal/ledger"
 	"repro/internal/pool"
@@ -367,27 +367,21 @@ type counters struct {
 	drops           [stats.NumDropReasons]atomic.Uint64
 }
 
-// tokenState is a router's token configuration: the verification cache
-// and the set of output ports that demand a token. It is immutable once
-// published — configuration methods copy-and-swap a fresh state — so the
-// forwarding goroutine reads it with a single atomic load, keeping the
-// tokenless fast path allocation- and lock-free.
-type tokenState struct {
-	cache   *token.Cache
-	require [4]uint64 // bitset over the 256 port IDs
-}
-
-func (ts *tokenState) requires(port uint8) bool {
-	return ts.require[port>>6]&(1<<(port&63)) != 0
-}
-
-// Router is a goroutine Sirpent switch.
+// Router is a goroutine Sirpent switch. Its per-hop work — decode,
+// token check, three-way action, trailer mirror — is the shared
+// dataplane pipeline; this type contributes the goroutine, the channel
+// I/O, and the pooled-buffer ownership discipline. The token state is
+// dataplane.TokenState behind an atomic pointer: immutable once
+// published, so the forwarding goroutine reads a consistent
+// cache/require pair with one load, keeping the tokenless fast path
+// allocation- and lock-free.
 type Router struct {
 	*node
 	counters counters
 	local    func([]byte)
 	netw     *Network
-	tok      atomic.Pointer[tokenState]
+	plane    dataplane.Pipeline
+	tok      atomic.Pointer[dataplane.TokenState]
 }
 
 // SetLocalHandler receives encoded packets whose current segment is
@@ -401,11 +395,7 @@ func (r *Router) SetLocalHandler(fn func(encoded []byte)) { r.local = fn }
 func (r *Router) SetTokenAuthority(a *token.Authority) {
 	for {
 		old := r.tok.Load()
-		ns := &tokenState{cache: token.NewCache(a)}
-		if old != nil {
-			ns.require = old.require
-		}
-		if r.tok.CompareAndSwap(old, ns) {
+		if r.tok.CompareAndSwap(old, old.WithAuthority(a)) {
 			return
 		}
 	}
@@ -417,12 +407,7 @@ func (r *Router) SetTokenAuthority(a *token.Authority) {
 func (r *Router) RequireToken(port uint8) {
 	for {
 		old := r.tok.Load()
-		ns := &tokenState{}
-		if old != nil {
-			*ns = *old
-		}
-		ns.require[port>>6] |= 1 << (port & 63)
-		if r.tok.CompareAndSwap(old, ns) {
+		if r.tok.CompareAndSwap(old, old.WithRequired(port)) {
 			return
 		}
 	}
@@ -430,16 +415,41 @@ func (r *Router) RequireToken(port uint8) {
 
 // TokenCache exposes the router's token cache for accounting sweeps;
 // nil until SetTokenAuthority is called.
-func (r *Router) TokenCache() *token.Cache {
-	if ts := r.tok.Load(); ts != nil {
-		return ts.cache
+func (r *Router) TokenCache() *token.Cache { return r.tok.Load().Cache() }
+
+// currentFlight resolves the network's anomaly recorder for the
+// dataplane's Flight hook; nil disables recording.
+func (r *Router) currentFlight() *ledger.FlightRecorder {
+	if r.netw == nil {
+		return nil
 	}
-	return nil
+	return r.netw.currentFlight()
+}
+
+// newRouter builds a router and its dataplane pipeline without starting
+// the forwarding goroutine (benchmarks drive forward directly).
+func (n *Network) newRouter(name string) *Router {
+	r := &Router{node: newNode(name), netw: n}
+	r.plane = dataplane.Pipeline{
+		Node:  name,
+		Clock: clock.Wall,
+		// Livenet realizes token.Block: uncached tokens verify
+		// synchronously on the forwarding goroutine (see forward).
+		Mode: token.Block,
+		Hooks: dataplane.Hooks{
+			CountDrop:            func(reason stats.DropReason) { r.counters.drops[reason].Add(1) },
+			CountLocal:           func() { r.counters.local.Add(1) },
+			CountTokenAuthorized: func() { r.counters.tokenAuthorized.Add(1) },
+			Flight:               r.currentFlight,
+			QueueDepth:           r.portDepth,
+		},
+	}
+	return r
 }
 
 // NewRouter creates and starts a router goroutine.
 func (n *Network) NewRouter(name string) *Router {
-	r := &Router{node: newNode(name), netw: n}
+	r := n.newRouter(name)
 	n.nodes = append(n.nodes, r.node)
 	n.wg.Add(1)
 	go func() {
@@ -464,9 +474,10 @@ func (r *Router) Stats() stats.Counters {
 	return c
 }
 
-// drop counts one dropped frame, closes its trace record with a drop
-// hop, and recycles its buffer. The trace work is behind the nil check:
-// untraced drops cost one pointer test.
+// drop accounts one dropped frame through the dataplane's sinks
+// (counter, flight event, trace terminal hop) and recycles its buffer.
+// The trace work is behind the pipeline's nil checks: untraced drops
+// cost one pointer test.
 func (r *Router) drop(reason stats.DropReason, inf inFrame) {
 	r.dropAcct(reason, inf, 0)
 }
@@ -474,23 +485,7 @@ func (r *Router) drop(reason stats.DropReason, inf inFrame) {
 // dropAcct is drop with the refused account attached to the flight
 // event, for token denials against a verified token.
 func (r *Router) dropAcct(reason stats.DropReason, inf inFrame, account uint32) {
-	r.counters.drops[reason].Add(1)
-	if r.netw != nil {
-		if fr := r.netw.currentFlight(); fr != nil {
-			fr.Record(ledger.Event{
-				At: clock.Wall.NowNanos(), Node: r.name, Port: inf.port,
-				Kind: ledger.DropKind(reason), Reason: reason.String(), Account: account,
-			})
-		}
-	}
-	if pt := inf.frame.Trace; pt != nil {
-		now := clock.Wall.NowNanos()
-		pt.Add(trace.HopEvent{
-			Node: r.name, InPort: inf.port, Action: trace.ActionDrop,
-			Reason: reason, At: now, LatencyNs: now - inf.arrived,
-		})
-		pt.Done()
-	}
+	r.plane.Drop(reason, inf.port, account, inf.frame.Trace, inf.arrived)
 	inf.frame.release()
 }
 
@@ -505,48 +500,63 @@ func (r *Router) run() {
 	}
 }
 
-// forward performs the §6.2 software-router byte surgery on one frame,
-// in place: the leading segment's bytes become a dead region at the
-// front of the buffer (the decoded segment's fields alias it), the
-// mirrored return segment is appended over the trailer descriptor at the
-// tail, and the frame moves on in the same buffer. With pool headroom
-// the hop allocates nothing.
+// forward runs one frame through the shared dataplane pipeline and
+// performs the §6.2 software-router byte surgery in place: the leading
+// segment's bytes become a dead region at the front of the buffer (the
+// decoded segment's fields alias it), the mirrored return segment is
+// appended over the trailer descriptor at the tail, and the frame moves
+// on in the same buffer. With pool headroom the hop allocates nothing.
 func (r *Router) forward(inf inFrame) {
-	seg, rest, err := viper.DecodeSegmentNoCopy(inf.frame.Pkt)
+	seg, rest, err := dataplane.DecodeHop(inf.frame.Pkt)
 	if err != nil {
 		r.drop(stats.DropNotSirpent, inf)
 		return
 	}
-	// Token authorization (§2.2), checked — as in the simulator — before
-	// the multicast fanout and local delivery. The tokenless fast path
-	// pays one atomic load.
-	if ts := r.tok.Load(); ts != nil && ts.cache != nil &&
-		(len(seg.PortToken) > 0 || ts.requires(seg.Port)) {
-		if !r.authorize(ts.cache, &seg, inf) {
-			return
-		}
+	// The charge size matches the simulator's FrameSize: the full
+	// pre-strip packet plus the arrival Ethernet header, so per-account
+	// byte totals agree across substrates.
+	in := dataplane.HopInput{
+		InPort:      inf.port,
+		Seg:         &seg,
+		ChargeBytes: uint64(len(inf.frame.Pkt)),
 	}
-	if seg.Flags.Has(viper.FlagTRE) {
+	if inf.frame.Hdr != nil {
+		in.ChargeBytes += ethernet.HeaderLen
+	}
+	// Token authorization (§2.2) runs inside Decide, before the
+	// multicast fanout and local delivery as on the simulator. The
+	// tokenless fast path pays one atomic load.
+	ts := r.tok.Load()
+	v := r.plane.Decide(ts, &in)
+	if v.Action == dataplane.ActionAwaitToken {
+		// Livenet realizes the Block mode: the uncached token is
+		// verified synchronously — the HMAC computation is the
+		// verification latency the packet waits out.
+		v = r.plane.InstallToken(ts, &in)
+	}
+	switch v.Action {
+	case dataplane.ActionDrop:
+		r.dropAcct(v.Reason, inf, v.Account)
+		return
+	case dataplane.ActionTree:
 		r.fanoutTree(inf, &seg, rest)
 		return
 	}
 	// Build the return segment: arrival port, swapped arrival header.
 	// The frame is ours, so the header is swapped in place and aliased;
 	// the mirrored append below copies the bytes into the trailer.
-	ret := viper.Segment{Port: inf.port, Priority: seg.Priority, Flags: seg.Flags & viper.FlagDIB}
+	var hdrInfo []byte
 	if inf.frame.Hdr != nil {
 		if err := ethernet.SwapInPlace(inf.frame.Hdr); err != nil {
 			r.drop(stats.DropNotSirpent, inf)
 			return
 		}
-		ret.PortInfo = inf.frame.Hdr
+		hdrInfo = inf.frame.Hdr
 	}
-	if len(seg.PortToken) > 0 {
-		ret.PortToken = seg.PortToken
-	}
+	ret := dataplane.ReturnSegment(inf.port, &seg, hdrInfo, ts.Cache(), false)
 	// ret's fields alias the dead front region (token, header); the
 	// append writes only past the old trailer descriptor — disjoint.
-	out, err := appendTrailerSegment(rest, &ret)
+	out, err := dataplane.AppendTrailerSegment(rest, &ret)
 	if err != nil {
 		r.drop(stats.DropNotSirpent, inf)
 		return
@@ -559,16 +569,8 @@ func (r *Router) forward(inf inFrame) {
 		// collector.
 		f.buf = out[:0]
 	}
-	if seg.Port == viper.PortLocal {
-		r.counters.local.Add(1)
-		if pt := f.Trace; pt != nil {
-			now := clock.Wall.NowNanos()
-			pt.Add(trace.HopEvent{
-				Node: r.name, InPort: inf.port, Action: trace.ActionLocal,
-				At: now, LatencyNs: now - inf.arrived,
-			})
-			pt.Done()
-		}
+	if v.Action == dataplane.ActionLocal {
+		r.plane.Local(inf.port, f.Trace, inf.arrived)
 		if r.local != nil {
 			r.local(out)
 		} else {
@@ -581,22 +583,15 @@ func (r *Router) forward(inf inFrame) {
 		// the dead front region; it travels with the buffer it aliases.
 		f.Hdr = seg.PortInfo
 	}
-	if pt := f.Trace; pt != nil {
-		// The hop is appended BEFORE the send: the channel send transfers
-		// ownership of the record with the buffer, and touching it after
-		// a successful send would race the next hop. A failed send
-		// returns ownership, and drop then appends the terminal hop after
-		// this one — the record reads "attempted forward, then dropped".
-		now := clock.Wall.NowNanos()
-		pt.Add(trace.HopEvent{
-			Node: r.name, InPort: inf.port, OutPort: seg.Port,
-			Action: trace.ActionForward, QueueDepth: r.portDepth(seg.Port),
-			At: now, LatencyNs: now - inf.arrived,
-		})
-	}
-	if !r.send(seg.Port, f) {
+	// The forward hop is appended BEFORE the send: the channel send
+	// transfers ownership of the record with the buffer, and touching it
+	// after a successful send would race the next hop. A failed send
+	// returns ownership, and drop then appends the terminal hop after
+	// this one — the record reads "attempted forward, then dropped".
+	r.plane.TraceForward(f.Trace, inf.port, v.OutPort, inf.arrived)
+	if !r.send(v.OutPort, f) {
 		out := inFrame{port: inf.port, frame: f, arrived: inf.arrived}
-		if r.hasPort(seg.Port) {
+		if r.hasPort(v.OutPort) {
 			r.drop(stats.DropTxError, out)
 		} else {
 			r.drop(stats.DropBadPort, out)
@@ -604,41 +599,6 @@ func (r *Router) forward(inf inFrame) {
 		return
 	}
 	r.counters.forwarded.Add(1)
-}
-
-// authorize runs the §2.2 token check for one frame. Livenet realizes
-// the Block mode: an uncached token is verified synchronously — the
-// HMAC computation is the verification latency the packet waits out —
-// and the verdict decides between proceeding and dropping. The charge
-// size matches the simulator's FrameSize: the full pre-strip packet
-// plus the arrival Ethernet header, so per-account byte totals agree
-// across substrates. It reports whether the frame may continue; on
-// denial the frame has been dropped and its buffer recycled.
-func (r *Router) authorize(cache *token.Cache, seg *viper.Segment, inf inFrame) bool {
-	if len(seg.PortToken) == 0 {
-		r.drop(stats.DropTokenDenied, inf)
-		return false
-	}
-	size := uint64(len(inf.frame.Pkt))
-	if inf.frame.Hdr != nil {
-		size += ethernet.HeaderLen
-	}
-	reverse := seg.Flags.Has(viper.FlagRPF)
-	now := clock.Wall.NowNanos()
-	d := cache.Check(seg.PortToken, seg.Port, seg.Priority, size, now, reverse)
-	if d == token.Unverified {
-		d = cache.Install(seg.PortToken, seg.Port, seg.Priority, size, now, reverse)
-	}
-	if d != token.Allowed {
-		var account uint32
-		if spec, ok := cache.SpecFor(seg.PortToken); ok {
-			account = spec.Account
-		}
-		r.dropAcct(stats.DropTokenDenied, inf, account)
-		return false
-	}
-	r.counters.tokenAuthorized.Add(1)
-	return true
 }
 
 // fanoutTree handles tree-structured multicast (§2): fan one copy of the
@@ -654,15 +614,8 @@ func (r *Router) fanoutTree(inf inFrame, seg *viper.Segment, rest []byte) {
 		r.drop(stats.DropBadPort, inf)
 		return
 	}
-	if pt := inf.frame.Trace; pt != nil {
-		now := clock.Wall.NowNanos()
-		pt.Add(trace.HopEvent{
-			Node: r.name, InPort: inf.port, OutPort: seg.Port,
-			Action: trace.ActionForward, At: now, LatencyNs: now - inf.arrived,
-		})
-		pt.Done()
-		inf.frame.Trace = nil
-	}
+	r.plane.CloseFanout(inf.frame.Trace, inf.port, seg.Port, inf.arrived)
+	inf.frame.Trace = nil
 	for _, br := range branches {
 		headLen := 0
 		for i := range br {
@@ -698,51 +651,6 @@ func (r *Router) fanoutTree(inf inFrame, seg *viper.Segment, rest []byte) {
 // and length-escape overhead per hop.
 func frameHeadroom(hops, headerBytes int) int {
 	return headerBytes + (hops+1)*(ethernet.HeaderLen+8)
-}
-
-// appendTrailerSegment inserts a mirrored segment before the trailer
-// descriptor of an encoded packet and bumps the count — pure byte
-// surgery on the tail, as a cut-through implementation would perform in
-// its loopback register. The surgery happens in pkt's own buffer: the
-// 4-byte descriptor is saved to the stack, overwritten by the mirrored
-// segment, and re-appended. The caller cedes the buffer — pkt's tail is
-// rewritten even when an error or a reallocation occurs.
-func appendTrailerSegment(pkt []byte, seg *viper.Segment) ([]byte, error) {
-	if len(pkt) < 4 {
-		return nil, fmt.Errorf("livenet: packet too short for trailer descriptor")
-	}
-	descOff := len(pkt) - 4
-	var desc [4]byte
-	copy(desc[:], pkt[descOff:])
-	out, err := viper.AppendSegmentMirrored(pkt[:descOff], seg)
-	if err != nil {
-		return nil, err
-	}
-	out = append(out, desc[:]...)
-	binary.BigEndian.PutUint16(out[len(out)-4:len(out)-2], binary.BigEndian.Uint16(desc[:2])+1)
-	return out, nil
-}
-
-// appendTrailerSegmentAlloc is the pre-fast-path reference
-// implementation of the same surgery: it builds the result in a fresh
-// buffer and leaves pkt untouched. Tests pin the in-place fast path
-// byte-for-byte against it.
-func appendTrailerSegmentAlloc(pkt []byte, seg *viper.Segment) ([]byte, error) {
-	if len(pkt) < 4 {
-		return nil, fmt.Errorf("livenet: packet too short for trailer descriptor")
-	}
-	descOff := len(pkt) - 4
-	count := binary.BigEndian.Uint16(pkt[descOff : descOff+2])
-	out := make([]byte, 0, len(pkt)+seg.WireLen())
-	out = append(out, pkt[:descOff]...)
-	var err error
-	out, err = viper.AppendSegmentMirrored(out, seg)
-	if err != nil {
-		return nil, err
-	}
-	out = append(out, pkt[descOff:]...)
-	binary.BigEndian.PutUint16(out[len(out)-4:len(out)-2], count+1)
-	return out, nil
 }
 
 // Delivery is a packet received by a live host. Data aliases the frame's

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/dataplane"
 	"repro/internal/ethernet"
 	"repro/internal/viper"
 )
@@ -124,7 +125,8 @@ func TestLiveEthernetHeaderSwap(t *testing.T) {
 }
 
 func TestLiveByteSurgeryMatchesCodec(t *testing.T) {
-	// appendTrailerSegment must produce exactly what Encode would.
+	// dataplane.AppendTrailerSegment must produce exactly what Encode
+	// would.
 	route := []viper.Segment{
 		{Port: 5, Flags: viper.FlagVNT},
 		{Port: viper.PortLocal},
@@ -144,7 +146,7 @@ func TestLiveByteSurgeryMatchesCodec(t *testing.T) {
 		t.Fatalf("first segment port %d", seg.Port)
 	}
 	ret := viper.Segment{Port: 7, Priority: 3}
-	got, err := appendTrailerSegment(rest, &ret)
+	got, err := dataplane.AppendTrailerSegment(rest, &ret)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -12,13 +12,14 @@ package router
 import (
 	"fmt"
 
+	"repro/internal/clock"
+	"repro/internal/dataplane"
 	"repro/internal/ethernet"
 	"repro/internal/ledger"
 	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/token"
-	"repro/internal/trace"
 	"repro/internal/viper"
 )
 
@@ -121,8 +122,12 @@ type Router struct {
 	groups map[uint8][]uint8 // logical port -> physical members
 	mcast  map[uint8][]uint8 // multicast port -> fanout members
 
-	cache        *token.Cache
-	requireToken map[uint8]bool
+	// plane is the shared hop-decision kernel (internal/dataplane); tok
+	// is its token configuration, replaced wholesale on change (the
+	// simulator is single-threaded, so a plain field suffices where
+	// livenet needs an atomic pointer).
+	plane dataplane.Pipeline
+	tok   *dataplane.TokenState
 
 	local LocalHandler
 
@@ -143,13 +148,23 @@ type Router struct {
 // New creates a router.
 func New(eng *sim.Engine, name string, cfg Config) *Router {
 	r := &Router{
-		eng:          eng,
-		name:         name,
-		cfg:          cfg.withDefaults(),
-		ports:        make(map[uint8]*outPort),
-		groups:       make(map[uint8][]uint8),
-		mcast:        make(map[uint8][]uint8),
-		requireToken: make(map[uint8]bool),
+		eng:    eng,
+		name:   name,
+		cfg:    cfg.withDefaults(),
+		ports:  make(map[uint8]*outPort),
+		groups: make(map[uint8][]uint8),
+		mcast:  make(map[uint8][]uint8),
+	}
+	r.plane = dataplane.Pipeline{
+		Node:  name,
+		Clock: clock.SimSource(eng),
+		Mode:  r.cfg.TokenMode,
+		Hooks: dataplane.Hooks{
+			CountDrop:            func(reason stats.DropReason) { r.Stats.Drop(reason) },
+			CountLocal:           func() { r.Stats.Local++ },
+			CountTokenAuthorized: func() { r.Stats.TokenAuthorized++ },
+			Flight:               func() *ledger.FlightRecorder { return r.flight },
+		},
 	}
 	return r
 }
@@ -193,15 +208,15 @@ func (r *Router) SetLocalHandler(h LocalHandler) { r.local = h }
 // SetTokenAuthority installs the administrative domain key this router
 // verifies tokens against, enabling token checking.
 func (r *Router) SetTokenAuthority(a *token.Authority) {
-	r.cache = token.NewCache(a)
+	r.tok = r.tok.WithAuthority(a)
 }
 
 // TokenCache exposes the router's token cache (accounting inspection).
-func (r *Router) TokenCache() *token.Cache { return r.cache }
+func (r *Router) TokenCache() *token.Cache { return r.tok.Cache() }
 
 // RequireToken makes packets without a valid token for the given output
 // port be denied rather than forwarded.
-func (r *Router) RequireToken(port uint8) { r.requireToken[port] = true }
+func (r *Router) RequireToken(port uint8) { r.tok = r.tok.WithRequired(port) }
 
 // SetFlightRecorder installs the anomaly ring buffer the router records
 // drops, preemptions, and rate-limit impositions into. nil disables
@@ -247,8 +262,8 @@ func (r *Router) SetMulticastGroup(port uint8, members []uint8) {
 // cached state, it can be discarded", §2.2), rate limits rebuild from
 // fresh congestion signals, and transports retransmit lost packets.
 func (r *Router) Reboot() {
-	if r.cache != nil {
-		r.cache.Flush()
+	if c := r.tok.Cache(); c != nil {
+		c.Flush()
 	}
 	for _, op := range r.ports {
 		op.queue = pktQueue{}
@@ -261,44 +276,23 @@ func (r *Router) Reboot() {
 
 func (r *Router) drop(reason DropReason) { r.Stats.Drop(reason) }
 
-// dropArr accounts a drop and, when the packet is traced, closes its
-// record with a drop hop. Every trace touch is behind the nil check,
-// keeping the untraced path at one pointer test (the nil-Tracer
-// zero-overhead contract of internal/trace).
+// dropArr accounts a drop through the dataplane hooks (counter, flight
+// event, trace terminal hop — the untraced path stays at one pointer
+// test per sink, the nil-Tracer zero-overhead contract).
 func (r *Router) dropArr(reason DropReason, arr *netsim.Arrival) {
-	r.Stats.Drop(reason)
-	if r.flight != nil {
-		r.recordAnomaly(ledger.Event{
-			Port: arr.In.ID, Kind: ledger.DropKind(reason), Reason: reason.String(),
-		})
-	}
-	if pt := arr.Tx.Trace; pt != nil {
-		now := int64(r.eng.Now())
-		pt.Add(trace.HopEvent{
-			Node: r.name, InPort: arr.In.ID, Action: trace.ActionDrop,
-			Reason: reason, At: now, LatencyNs: now - int64(arr.Start),
-		})
-		pt.Done()
-	}
+	r.plane.Drop(reason, arr.In.ID, 0, arr.Tx.Trace, int64(arr.Start))
+}
+
+// dropVerdict is dropArr with the dataplane's account attribution for
+// token denials against a verified token.
+func (r *Router) dropVerdict(v dataplane.Verdict, arr *netsim.Arrival) {
+	r.plane.Drop(v.Reason, arr.In.ID, v.Account, arr.Tx.Trace, int64(arr.Start))
 }
 
 // dropFrame is dropArr for packets past makeFrame: the record rides on
 // the frame (the arrival may already be history for queued packets).
 func (r *Router) dropFrame(reason DropReason, f *frame) {
-	r.Stats.Drop(reason)
-	if r.flight != nil {
-		r.recordAnomaly(ledger.Event{
-			Port: f.in, Kind: ledger.DropKind(reason), Reason: reason.String(),
-		})
-	}
-	if f.tr != nil {
-		now := int64(r.eng.Now())
-		f.tr.Add(trace.HopEvent{
-			Node: r.name, InPort: f.in, Action: trace.ActionDrop,
-			Reason: reason, At: now, LatencyNs: now - int64(f.arrived),
-		})
-		f.tr.Done()
-	}
+	r.plane.Drop(reason, f.in, 0, f.tr, int64(f.arrived))
 }
 
 // closeFanoutTrace ends a traced packet's record at a multicast fanout
@@ -307,16 +301,7 @@ func (r *Router) dropFrame(reason DropReason, f *frame) {
 // record closes with a forward hop naming the multicast/tree port, and
 // the branches continue untraced.
 func (r *Router) closeFanoutTrace(arr *netsim.Arrival, seg viper.Segment) {
-	pt := arr.Tx.Trace
-	if pt == nil {
-		return
-	}
-	now := int64(r.eng.Now())
-	pt.Add(trace.HopEvent{
-		Node: r.name, InPort: arr.In.ID, OutPort: seg.Port,
-		Action: trace.ActionForward, At: now, LatencyNs: now - int64(arr.Start),
-	})
-	pt.Done()
+	r.plane.CloseFanout(arr.Tx.Trace, arr.In.ID, seg.Port, int64(arr.Start))
 	arr.Tx.Trace = nil
 }
 
@@ -347,75 +332,77 @@ func (r *Router) Arrive(arr *netsim.Arrival) {
 	r.eng.Schedule(decisionDelay, func() { r.decide(arr) })
 }
 
-// decide performs the three-way action of §2.1: route onwards, route to a
-// blocked-packet handler, or route local.
+// decide runs the shared dataplane decision stage — token authorization
+// and the three-way action of §2.1 — then realizes the verdict on the
+// simulated substrate.
 func (r *Router) decide(arr *netsim.Arrival) {
 	if arr.Tx.Aborted() {
 		r.dropArr(DropAborted, arr)
 		return
 	}
 	seg := *vpkt(arr).Current()
-
-	// Token authorization (§2.2).
-	if r.cache != nil && (len(seg.PortToken) > 0 || r.requireToken[seg.Port]) {
-		if len(seg.PortToken) == 0 {
-			r.dropArr(DropTokenDenied, arr)
-			return
-		}
-		size := uint64(netsim.FrameSize(arr.Pkt, arr.Hdr))
-		reverse := seg.Flags.Has(viper.FlagRPF)
-		switch r.cache.Check(seg.PortToken, seg.Port, seg.Priority, size, int64(r.eng.Now()), reverse) {
-		case token.Allowed:
-			r.Stats.TokenAuthorized++
-		case token.Denied:
-			r.dropArr(DropTokenDenied, arr)
-			return
-		case token.Unverified:
-			tok := append([]byte(nil), seg.PortToken...)
-			switch r.cfg.TokenMode {
-			case token.Optimistic:
-				// Let this packet through; verify in the background so
-				// the cached verdict governs the next one. The charge is
-				// booked only if the token proves valid.
-				r.eng.Schedule(r.cfg.TokenVerifyTime, func() {
-					if r.cache.Install(tok, seg.Port, seg.Priority, size, int64(r.eng.Now()), reverse) == token.Allowed {
-						r.Stats.TokenAuthorized++
-					}
-				})
-			case token.Block:
-				// Hold the packet as if its port were busy until the
-				// verification completes (§2.2).
-				r.eng.Schedule(r.cfg.TokenVerifyTime, func() {
-					d := r.cache.Install(tok, seg.Port, seg.Priority, size, int64(r.eng.Now()), reverse)
-					if d != token.Allowed {
-						r.dropArr(DropTokenDenied, arr)
-						return
-					}
-					r.Stats.TokenAuthorized++
-					r.dispatch(arr, seg)
-				})
-				return
-			case token.Drop:
-				r.dropArr(DropTokenDenied, arr)
-				// Still verify and cache so later packets are served;
-				// Prime charges nothing — the dropped packet is never
-				// billed.
-				r.eng.Schedule(r.cfg.TokenVerifyTime, func() {
-					r.cache.Prime(tok)
-				})
-				return
-			}
-		}
+	in := dataplane.HopInput{
+		InPort:      arr.In.ID,
+		Seg:         &seg,
+		ChargeBytes: uint64(netsim.FrameSize(arr.Pkt, arr.Hdr)),
 	}
-	r.dispatch(arr, seg)
+	switch v := r.plane.Decide(r.tok, &in); v.Action {
+	case dataplane.ActionDrop:
+		r.dropVerdict(v, arr)
+	case dataplane.ActionAwaitToken:
+		r.verifyToken(arr, seg, in.ChargeBytes)
+	default:
+		r.dispatch(arr, seg)
+	}
 }
 
-// dispatch resolves the output action for an authorized packet.
+// verifyToken applies the configured uncached-token mode (§2.2) on the
+// simulator's clock: the full verification completes TokenVerifyTime
+// later — the "difficult to fully decrypt and check in real time" cost
+// the token cache amortizes — and the dataplane's InstallToken books
+// the verdict and the charge.
+func (r *Router) verifyToken(arr *netsim.Arrival, seg viper.Segment, size uint64) {
+	segCopy := seg.Clone() // the closures outlive the packet's head
+	switch r.cfg.TokenMode {
+	case token.Optimistic:
+		// Let this packet through; verify in the background so the
+		// cached verdict governs the next one. The charge is booked only
+		// if the token proves valid, so the returned verdict is ignored.
+		r.eng.Schedule(r.cfg.TokenVerifyTime, func() {
+			in := dataplane.HopInput{InPort: arr.In.ID, Seg: &segCopy, ChargeBytes: size}
+			r.plane.InstallToken(r.tok, &in)
+		})
+		r.dispatch(arr, seg)
+	case token.Block:
+		// Hold the packet as if its port were busy until the
+		// verification completes (§2.2).
+		r.eng.Schedule(r.cfg.TokenVerifyTime, func() {
+			in := dataplane.HopInput{InPort: arr.In.ID, Seg: &segCopy, ChargeBytes: size}
+			if v := r.plane.InstallToken(r.tok, &in); v.Action == dataplane.ActionDrop {
+				r.dropVerdict(v, arr)
+				return
+			}
+			r.dispatch(arr, seg)
+		})
+	case token.Drop:
+		r.dropArr(DropTokenDenied, arr)
+		// Still verify and cache so later packets are served; Prime
+		// charges nothing — the dropped packet is never billed.
+		r.eng.Schedule(r.cfg.TokenVerifyTime, func() {
+			r.tok.Prime(segCopy.PortToken)
+		})
+	}
+}
+
+// dispatch realizes the classification verdict for an authorized packet
+// on the simulated substrate, resolving the netsim-only port extensions
+// (multicast fanout sets, §2.2 logical groups) that sit between the
+// shared ActionForward verdict and an actual output port.
 func (r *Router) dispatch(arr *netsim.Arrival, seg viper.Segment) {
-	// Tree-structured multicast (§2's second mechanism): fan one copy
-	// down each branch sub-route. Checked before local delivery — a
-	// tree segment's port field is unused.
-	if seg.Flags.Has(viper.FlagTRE) {
+	switch v := dataplane.Classify(&seg); v.Action {
+	case dataplane.ActionTree:
+		// Tree-structured multicast (§2's second mechanism): fan one
+		// copy down each branch sub-route.
 		branches, err := viper.DecodeTree(seg.PortInfo)
 		if err != nil {
 			r.dropArr(DropBadPort, arr)
@@ -430,33 +417,30 @@ func (r *Router) dispatch(arr *netsim.Arrival, seg viper.Segment) {
 			copyArr.Pkt = cp
 			r.dispatch(&copyArr, cp.Route[0])
 		}
-		return
-	}
-	// Local delivery.
-	if seg.Port == viper.PortLocal {
+	case dataplane.ActionLocal:
 		r.deliverLocal(arr)
-		return
+	default:
+		// Multicast fanout (reserved multi-port values, §2).
+		if members, ok := r.mcast[v.OutPort]; ok {
+			r.fanout(arr, seg, members)
+			return
+		}
+		// Logical port group (§2.2 load balancing).
+		if members, ok := r.groups[v.OutPort]; ok && len(members) > 0 {
+			r.forwardGroup(arr, seg, members)
+			return
+		}
+		op, ok := r.ports[v.OutPort]
+		if !ok {
+			r.dropArr(DropBadPort, arr)
+			return
+		}
+		f, ok := r.makeFrame(arr, seg, op)
+		if !ok {
+			return
+		}
+		op.forward(arr, f)
 	}
-	// Multicast fanout (reserved multi-port values, §2).
-	if members, ok := r.mcast[seg.Port]; ok {
-		r.fanout(arr, seg, members)
-		return
-	}
-	// Logical port group (§2.2 load balancing).
-	if members, ok := r.groups[seg.Port]; ok && len(members) > 0 {
-		r.forwardGroup(arr, seg, members)
-		return
-	}
-	op, ok := r.ports[seg.Port]
-	if !ok {
-		r.dropArr(DropBadPort, arr)
-		return
-	}
-	f, ok := r.makeFrame(arr, seg, op)
-	if !ok {
-		return
-	}
-	op.forward(arr, f)
 }
 
 // forwardGroup routes a packet over a logical port: "A packet arriving
@@ -571,32 +555,16 @@ func (r *Router) makeFrame(arr *netsim.Arrival, seg viper.Segment, op *outPort) 
 }
 
 // returnSegment constructs the trailer segment that makes this hop
-// reversible: the port the packet arrived on, the arrival network header
-// with source and destination swapped, and the token if it authorizes the
-// reverse route (§2, §2.2).
+// reversible (§2, §2.2). The reversal policy — arrival port, swapped
+// header, token iff it authorizes the reverse route — is the dataplane's;
+// this substrate contributes the decoded-header swap and asks for a
+// token copy because the trailer outlives the arrival.
 func (r *Router) returnSegment(arr *netsim.Arrival, seg viper.Segment) viper.Segment {
-	ret := viper.Segment{
-		Port:     arr.In.ID,
-		Priority: seg.Priority,
-		Flags:    seg.Flags & viper.FlagDIB,
-	}
+	var portInfo []byte
 	if arr.Hdr != nil {
-		ret.PortInfo = arr.Hdr.Swapped().Encode()
+		portInfo = arr.Hdr.Swapped().Encode()
 	}
-	if len(seg.PortToken) > 0 {
-		include := true
-		if r.cache != nil {
-			if spec, ok := r.cache.SpecFor(seg.PortToken); ok && !spec.ReverseOK {
-				include = false
-			}
-			// Unknown (optimistically admitted) tokens ride along and
-			// are checked on the return trip.
-		}
-		if include {
-			ret.PortToken = append([]byte(nil), seg.PortToken...)
-		}
-	}
-	return ret
+	return dataplane.ReturnSegment(arr.In.ID, &seg, portInfo, r.tok.Cache(), true)
 }
 
 func (r *Router) fanout(arr *netsim.Arrival, seg viper.Segment, members []uint8) {
@@ -629,15 +597,7 @@ func (r *Router) deliverLocal(arr *netsim.Arrival) {
 		}
 		seg := *vpkt(arr).Current()
 		vpkt(arr).ConsumeHead(r.returnSegment(arr, seg))
-		r.Stats.Local++
-		if pt := arr.Tx.Trace; pt != nil {
-			now := int64(r.eng.Now())
-			pt.Add(trace.HopEvent{
-				Node: r.name, InPort: arr.In.ID, Action: trace.ActionLocal,
-				At: now, LatencyNs: now - int64(arr.Start),
-			})
-			pt.Done()
-		}
+		r.plane.Local(arr.In.ID, arr.Tx.Trace, int64(arr.Start))
 		if r.local != nil {
 			r.local(vpkt(arr), arr)
 		}
