@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/directory"
 	"repro/internal/ledger"
+	"repro/internal/livenet"
 	"repro/internal/router"
 	"repro/internal/stats"
 	"repro/internal/token"
@@ -115,8 +116,8 @@ func CollectNetsimLedger(net *core.Internetwork) *ledger.Ledger {
 // guards and demand tokens on the same ports, a flight recorder captures
 // anomalies for evidence, and the token caches are swept into a ledger
 // at quiesce.
-func RunLivenetLedgered(sc *Scenario, routes map[uint64][]viper.Segment, deadline time.Duration) (*Result, stats.Counters, *ledger.Ledger, *ledger.FlightRecorder) {
-	ln := BuildLivenet(sc)
+func RunLivenetLedgered(sc *Scenario, routes map[uint64][]viper.Segment, deadline time.Duration, opts ...livenet.NetworkOption) (*Result, stats.Counters, *ledger.Ledger, *ledger.FlightRecorder) {
+	ln := BuildLivenet(sc, opts...)
 	defer ln.Net.Stop()
 	fr := ledger.NewFlightRecorder(0)
 	ln.Net.SetFlightRecorder(fr)

@@ -21,9 +21,12 @@ type LiveNet struct {
 }
 
 // BuildLivenet realizes a scenario on the livenet substrate with the
-// same explicit port numbering as BuildNetsim.
-func BuildLivenet(sc *Scenario) *LiveNet {
-	ln := &LiveNet{Net: livenet.NewNetwork()}
+// same explicit port numbering as BuildNetsim. Options select the
+// substrate variant — livenet.WithBatching() builds the identical
+// topology on ring pipes and batch workers, which is how the
+// batch-vs-scalar parity suite gets three realizations of one scenario.
+func BuildLivenet(sc *Scenario, opts ...livenet.NetworkOption) *LiveNet {
+	ln := &LiveNet{Net: livenet.NewNetwork(opts...)}
 	for i := 0; i < sc.NRouters; i++ {
 		ln.Routers = append(ln.Routers, ln.Net.NewRouter(RouterName(i)))
 	}
@@ -143,8 +146,8 @@ func RunLivenet(sc *Scenario, routes map[uint64][]viper.Segment, deadline time.D
 
 // runLivenet is the shared body; a non-nil tracer is installed on the
 // network before any flow is injected.
-func runLivenet(sc *Scenario, routes map[uint64][]viper.Segment, deadline time.Duration, tr trace.Tracer) (*Result, stats.Counters) {
-	ln := BuildLivenet(sc)
+func runLivenet(sc *Scenario, routes map[uint64][]viper.Segment, deadline time.Duration, tr trace.Tracer, opts ...livenet.NetworkOption) (*Result, stats.Counters) {
+	ln := BuildLivenet(sc, opts...)
 	defer ln.Net.Stop()
 	if tr != nil {
 		ln.Net.SetTracer(tr)

@@ -154,8 +154,15 @@ func (p *Pipeline) now() int64 {
 // AppendTrailerSegment, or viper.Packet.ConsumeHead on the decoded
 // substrate).
 func (p *Pipeline) Decide(ts *TokenState, in *HopInput) Verdict {
+	return p.decide(ts, in, nil)
+}
+
+// decide is the shared decision core behind Decide and DecideBatch. A
+// non-nil bs redirects the token-authorized count into the batch
+// accumulator (flushed once per batch); nil dispatches the scalar hook.
+func (p *Pipeline) decide(ts *TokenState, in *HopInput, bs *BatchStats) Verdict {
 	if ts.active() && (len(in.Seg.PortToken) > 0 || ts.Requires(in.Seg.Port)) {
-		if v, settled := p.checkToken(ts, in); settled {
+		if v, settled := p.checkToken(ts, in, bs); settled {
 			return v
 		}
 	}
@@ -164,7 +171,7 @@ func (p *Pipeline) Decide(ts *TokenState, in *HopInput) Verdict {
 
 // checkToken runs the cached-verdict token check. settled is false when
 // the packet is authorized and classification should proceed.
-func (p *Pipeline) checkToken(ts *TokenState, in *HopInput) (v Verdict, settled bool) {
+func (p *Pipeline) checkToken(ts *TokenState, in *HopInput, bs *BatchStats) (v Verdict, settled bool) {
 	seg := in.Seg
 	if len(seg.PortToken) == 0 {
 		return Verdict{Action: ActionDrop, Reason: stats.DropTokenDenied}, true
@@ -172,9 +179,7 @@ func (p *Pipeline) checkToken(ts *TokenState, in *HopInput) (v Verdict, settled 
 	reverse := seg.Flags.Has(viper.FlagRPF)
 	switch ts.cache.Check(seg.PortToken, seg.Port, seg.Priority, in.ChargeBytes, p.now(), reverse) {
 	case token.Allowed:
-		if p.Hooks.CountTokenAuthorized != nil {
-			p.Hooks.CountTokenAuthorized()
-		}
+		p.countTokenAuthorized(bs)
 		return Verdict{}, false
 	case token.Denied:
 		return Verdict{
@@ -183,6 +188,18 @@ func (p *Pipeline) checkToken(ts *TokenState, in *HopInput) (v Verdict, settled 
 		}, true
 	}
 	return Verdict{Action: ActionAwaitToken}, true
+}
+
+// countTokenAuthorized routes one authorization count to the batch
+// accumulator when batching, to the scalar hook otherwise.
+func (p *Pipeline) countTokenAuthorized(bs *BatchStats) {
+	if bs != nil {
+		bs.TokenAuthorized++
+		return
+	}
+	if p.Hooks.CountTokenAuthorized != nil {
+		p.Hooks.CountTokenAuthorized()
+	}
 }
 
 // InstallToken completes a deferred verification for a packet that got
@@ -194,12 +211,16 @@ func (p *Pipeline) checkToken(ts *TokenState, in *HopInput) (v Verdict, settled 
 // Optimistic-mode caller invokes it for the charge and the cached
 // verdict but ignores the returned decision (the packet already left).
 func (p *Pipeline) InstallToken(ts *TokenState, in *HopInput) Verdict {
+	return p.installToken(ts, in, nil)
+}
+
+// installToken is the shared body of InstallToken and
+// InstallTokenBatched; bs selects batch-accumulated counting.
+func (p *Pipeline) installToken(ts *TokenState, in *HopInput, bs *BatchStats) Verdict {
 	seg := in.Seg
 	reverse := seg.Flags.Has(viper.FlagRPF)
 	if ts.cache.Install(seg.PortToken, seg.Port, seg.Priority, in.ChargeBytes, p.now(), reverse) == token.Allowed {
-		if p.Hooks.CountTokenAuthorized != nil {
-			p.Hooks.CountTokenAuthorized()
-		}
+		p.countTokenAuthorized(bs)
 		return Classify(seg)
 	}
 	return Verdict{

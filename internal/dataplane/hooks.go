@@ -25,6 +25,15 @@ type Hooks struct {
 	CountLocal           func()
 	CountTokenAuthorized func()
 
+	// CountDropN, CountLocalN and CountTokenAuthorizedN are the batched
+	// counterparts, invoked once per batch by FlushBatch with the
+	// accumulated delta so an N-frame batch costs one counter update
+	// instead of N. When a batched hook is nil, FlushBatch falls back to
+	// invoking the scalar hook delta times — correct, just unamortized.
+	CountDropN            func(stats.DropReason, uint64)
+	CountLocalN           func(uint64)
+	CountTokenAuthorizedN func(uint64)
+
 	// Flight returns the current anomaly recorder, nil when disabled. A
 	// func rather than a pointer because livenet installs the recorder
 	// mid-run behind an atomic; it is consulted only on anomaly paths.
@@ -46,6 +55,14 @@ func (p *Pipeline) Drop(reason stats.DropReason, inPort uint8, account uint32, p
 	if p.Hooks.CountDrop != nil {
 		p.Hooks.CountDrop(reason)
 	}
+	p.dropSinks(reason, inPort, account, pt, arrived)
+}
+
+// dropSinks runs the per-frame drop sinks after the counter stage:
+// flight-recorder event, then trace terminal hop. Shared by the scalar
+// Drop (counter bumped per frame) and the batched DropBatched (counter
+// accumulated, flushed once per batch).
+func (p *Pipeline) dropSinks(reason stats.DropReason, inPort uint8, account uint32, pt *trace.PacketTrace, arrived int64) {
 	if p.Hooks.Flight != nil {
 		if fr := p.Hooks.Flight(); fr != nil {
 			fr.Record(ledger.Event{
@@ -70,6 +87,12 @@ func (p *Pipeline) Local(inPort uint8, pt *trace.PacketTrace, arrived int64) {
 	if p.Hooks.CountLocal != nil {
 		p.Hooks.CountLocal()
 	}
+	p.localSinks(inPort, pt, arrived)
+}
+
+// localSinks is the trace stage of a local delivery, shared by Local
+// and LocalBatched.
+func (p *Pipeline) localSinks(inPort uint8, pt *trace.PacketTrace, arrived int64) {
 	if pt != nil {
 		now := p.now()
 		pt.Add(trace.HopEvent{

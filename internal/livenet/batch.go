@@ -1,0 +1,492 @@
+package livenet
+
+// This file is the batched livenet substrate (ROADMAP item 1): links are
+// single-producer/single-consumer frame rings (internal/ring) instead of
+// channels, and each router runs shard workers that drain whole batches,
+// decide them through dataplane.DecideBatch, and flush the results port
+// by port. The per-frame work — byte surgery, trace hops, flight events
+// — is identical to the scalar path (mirrorHop is shared by both); what
+// amortizes is everything around it: ring handoffs replace one channel
+// send per frame, counter-hook dispatch collapses to one flush per
+// batch, and a port's worth of output frames transmits under one
+// producer lock.
+//
+// Concurrency discipline:
+//
+//   - Receive: every pipe has exactly one consumer — the shard worker
+//     its receive end was assigned to (addRx, round-robin). That is the
+//     single-consumer half of the ring contract, held structurally.
+//   - Transmit: any worker (and any host goroutine) may push to a pipe;
+//     the producer side is serialized by pipe.mu, taken once per batch
+//     flush, which turns the SPSC ring into an MPSC queue.
+//   - Sleep/wake: a producer publishes frames and then rings the
+//     consumer shard's doorbell (cap-1 channel, non-blocking send); a
+//     consumer pops and then rings the pipe's space doorbell the same
+//     way. A worker sleeps only after a full sweep of its pipes popped
+//     nothing, and any push after its last pop leaves a doorbell token
+//     behind, so wakeups are never lost. Neither side ever spins.
+//
+// Ordering: frames bound for the same output port flush in arrival
+// order, so per-flow FIFO — the ordering the scalar substrate provides —
+// is preserved. Frames of one batch bound for different ports may
+// overtake each other, which the scalar substrate never promised to
+// forbid (concurrent routers already interleave).
+//
+// Equivalence with the scalar substrate is enforced by the
+// batch-vs-scalar differential suite in internal/check, not argued here.
+// See DESIGN.md §11 for the full batch contract.
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/clock"
+	"repro/internal/dataplane"
+	"repro/internal/ethernet"
+	"repro/internal/ring"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/viper"
+)
+
+// pipe is one direction of a batched link: a frame ring plus the
+// doorbells that let both ends sleep. port is the consumer's arrival
+// port; link carries the fault-injection lottery, drawn at dequeue as
+// the scalar pump goroutines draw it.
+type pipe struct {
+	r    *ring.SPSC[Frame]
+	port uint8
+	link *Link
+
+	// mu serializes producers; a batch flush locks it once for the whole
+	// push, which is the MPSC discipline TestHammerMutexedProducers pins.
+	mu sync.Mutex
+
+	// bell wakes the consumer shard after a publish; set by addRx when
+	// the pipe is assigned to its (single) consumer worker.
+	bell chan struct{}
+	// space wakes a backpressured producer after a pop frees slots.
+	space chan struct{}
+	// rdone is the consumer node's done channel: producers blocked on a
+	// full ring must not outlive the consumer.
+	rdone <-chan struct{}
+}
+
+func newPipe(depth int, port uint8, link *Link, rcv *node) *pipe {
+	return &pipe{
+		r:     ring.New[Frame](depth),
+		port:  port,
+		link:  link,
+		space: make(chan struct{}, 1),
+		rdone: rcv.done,
+	}
+}
+
+// push transfers frames into the ring, parking on the space doorbell
+// under backpressure until the consumer frees slots or either end shuts
+// down. It returns how many frames transferred: ownership of those moves
+// to the consumer, the caller keeps (and must account for) the rest.
+func (p *pipe) push(frames []Frame, sdone <-chan struct{}) int {
+	sent := 0
+	for sent < len(frames) {
+		p.mu.Lock()
+		n := p.r.PushBatch(frames[sent:])
+		p.mu.Unlock()
+		if n > 0 {
+			sent += n
+			select {
+			case p.bell <- struct{}{}:
+			default:
+			}
+			continue
+		}
+		select {
+		case <-p.space:
+		case <-sdone:
+			return sent
+		case <-p.rdone:
+			return sent
+		}
+	}
+	return sent
+}
+
+// pop drains up to len(dst) frames and, if anything moved, rings the
+// space doorbell so a parked producer resumes. Consumer-side only.
+func (p *pipe) pop(dst []Frame) int {
+	n := p.r.PopBatch(dst)
+	if n > 0 {
+		select {
+		case p.space <- struct{}{}:
+		default:
+		}
+	}
+	return n
+}
+
+// shard is one forwarding worker's receive set: the pipes it alone
+// drains, published copy-on-write so the worker reads them lock-free,
+// and the doorbell producers ring to wake it.
+type shard struct {
+	bell  chan struct{}
+	pipes atomic.Pointer[[]*pipe]
+}
+
+func newShards(n int) []*shard {
+	s := make([]*shard, n)
+	for i := range s {
+		s[i] = &shard{bell: make(chan struct{}, 1)}
+	}
+	return s
+}
+
+// addRx assigns a receive pipe to one of the node's shard workers
+// (round-robin over input ports) and publishes the worker's pipe list
+// copy-on-write. The doorbell ring at the end makes a pipe wired after
+// traffic started visible to an already-sleeping worker.
+func (nd *node) addRx(p *pipe) {
+	nd.mu.Lock()
+	sh := nd.rx[nd.nextRx%len(nd.rx)]
+	nd.nextRx++
+	p.bell = sh.bell
+	var list []*pipe
+	if old := sh.pipes.Load(); old != nil {
+		list = append(list, *old...)
+	}
+	list = append(list, p)
+	sh.pipes.Store(&list)
+	nd.mu.Unlock()
+	select {
+	case sh.bell <- struct{}{}:
+	default:
+	}
+}
+
+// addTx registers a transmit pipe under an output port.
+func (nd *node) addTx(port uint8, p *pipe) {
+	nd.mu.Lock()
+	if nd.outP == nil {
+		nd.outP = make(map[uint8]*pipe)
+	}
+	nd.outP[port] = p
+	nd.mu.Unlock()
+}
+
+// connectBatched is Connect's batched branch: one pipe per direction,
+// receive ends registered before transmit ends so no frame can arrive at
+// an unregistered consumer.
+func (n *Network) connectBatched(a *node, portA uint8, b *node, portB uint8, depth int, l *Link) {
+	ab := newPipe(depth, portB, l, b) // a -> b, arrives on b's portB
+	ba := newPipe(depth, portA, l, a) // b -> a, arrives on a's portA
+	b.addRx(ab)
+	a.addRx(ba)
+	a.addTx(portA, ab)
+	b.addTx(portB, ba)
+}
+
+// drainPipe pops up to one batch from p, draws the link's fault lottery
+// per frame (what the scalar pump goroutines do at delivery), stamps
+// arrivals for traced frames, and appends the survivors to sc.in. The
+// return value counts everything popped — survivors and casualties — so
+// the caller can tell an empty pipe from a lossy one.
+func (nd *node) drainPipe(p *pipe, sc *batchScratch) int {
+	n := p.pop(sc.tmp)
+	for i := 0; i < n; i++ {
+		f := sc.tmp[i]
+		sc.tmp[i] = Frame{}
+		if p.link.drops() {
+			if f.Trace != nil {
+				f.Trace.Add(trace.HopEvent{
+					Node: nd.name, InPort: p.port, Action: trace.ActionLost,
+					At: clock.Wall.NowNanos(),
+				})
+				f.Trace.Done()
+			}
+			f.release()
+			continue
+		}
+		var arrived int64
+		if f.Trace != nil {
+			arrived = clock.Wall.NowNanos()
+		}
+		sc.in = append(sc.in, inFrame{port: p.port, frame: f, arrived: arrived})
+	}
+	return n
+}
+
+// txAccum collects one output port's frames for a single flush. The
+// inFrame wrapper keeps each frame's INBOUND port and arrival stamp so a
+// failed transmit is drop-accounted exactly as the scalar path would.
+type txAccum struct {
+	port  uint8
+	items []inFrame
+}
+
+// batchScratch is one worker's reusable batch state: after warmup every
+// slice has reached its working capacity and a steady-state batch
+// allocates nothing (TestForwardHopAllocsBatched).
+type batchScratch struct {
+	tmp     []Frame                // pop destination, len = batch size
+	in      []inFrame              // fault-lottery survivors of one drain
+	bf      []dataplane.BatchFrame // the kernel's view of sc.in
+	bs      dataplane.BatchStats
+	txIdx   map[uint8]int // output port -> index into tx; persists across batches
+	tx      []txAccum
+	touched []int   // tx indices with frames this batch
+	flush   []Frame // per-port push buffer
+}
+
+func newBatchScratch(batchSize int) *batchScratch {
+	if batchSize <= 0 {
+		batchSize = DefaultBatchSize
+	}
+	return &batchScratch{
+		tmp:   make([]Frame, batchSize),
+		in:    make([]inFrame, 0, batchSize),
+		bf:    make([]dataplane.BatchFrame, 0, batchSize),
+		txIdx: make(map[uint8]int),
+	}
+}
+
+// runShard is a batched router worker: sweep the shard's pipes, forward
+// each drained batch, sleep on the doorbell when a full sweep comes up
+// empty.
+func (r *Router) runShard(sh *shard) {
+	sc := newBatchScratch(r.netw.cfg.batchSize)
+	for {
+		select {
+		case <-r.done:
+			return
+		default:
+		}
+		popped := 0
+		if pl := sh.pipes.Load(); pl != nil {
+			for _, p := range *pl {
+				sc.in = sc.in[:0]
+				popped += r.node.drainPipe(p, sc)
+				if len(sc.in) > 0 {
+					r.forwardBatch(sc)
+				}
+			}
+		}
+		if popped == 0 {
+			select {
+			case <-sh.bell:
+			case <-r.done:
+				return
+			}
+		}
+	}
+}
+
+// mirrorHop performs the §6.2 software-router byte surgery for one
+// authorized frame — swap the arrival header in place, build the
+// mirrored return segment, append it over the trailer descriptor — and
+// assembles the next-hop frame in the same buffer. ok is false when the
+// bytes are malformed (the caller drops DropNotSirpent). Shared by the
+// scalar forward and forwardBatch so the surgery is identical by
+// construction.
+func (r *Router) mirrorHop(inf *inFrame, seg *viper.Segment, rest []byte, ts *dataplane.TokenState) (Frame, bool) {
+	// The frame is ours, so the header is swapped in place and aliased;
+	// the mirrored append below copies the bytes into the trailer.
+	var hdrInfo []byte
+	if inf.frame.Hdr != nil {
+		if err := ethernet.SwapInPlace(inf.frame.Hdr); err != nil {
+			return Frame{}, false
+		}
+		hdrInfo = inf.frame.Hdr
+	}
+	ret := dataplane.ReturnSegment(inf.port, seg, hdrInfo, ts.Cache(), false)
+	// ret's fields alias the dead front region (token, header); the
+	// append writes only past the old trailer descriptor — disjoint.
+	out, err := dataplane.AppendTrailerSegment(rest, &ret)
+	if err != nil {
+		return Frame{}, false
+	}
+	f := Frame{Pkt: out, Trace: inf.frame.Trace, buf: inf.frame.buf}
+	if len(rest) > 0 && len(out) > 0 && &out[0] != &rest[0] {
+		// The headroom ran out and the append reallocated: out starts a
+		// fresh array (its own recycling target), and the old buffer —
+		// still aliased by the header and token — is left to the
+		// collector.
+		f.buf = out[:0]
+	}
+	if len(seg.PortInfo) > 0 {
+		// The next hop's header aliases the stripped segment's bytes in
+		// the dead front region; it travels with the buffer it aliases.
+		f.Hdr = seg.PortInfo
+	}
+	return f, true
+}
+
+// forwardBatch runs one drained batch through the batched hop kernel and
+// flushes the results port by port. Decisions (DecideBatch) and counter
+// publication (FlushBatch) amortize across the batch; the per-frame
+// sinks — flight events, trace hops, the byte surgery itself — run
+// frame-at-a-time in arrival order, exactly as the scalar forward.
+// Token deferrals resolve in batch order (InstallTokenBatched), so the
+// charge sequence matches N scalar hops.
+func (r *Router) forwardBatch(sc *batchScratch) {
+	ts := r.tok.Load()
+	sc.bf = sc.bf[:0]
+	for i := range sc.in {
+		inf := &sc.in[i]
+		// The charge size matches the simulator's FrameSize: the full
+		// pre-strip packet plus the arrival Ethernet header.
+		cb := uint64(len(inf.frame.Pkt))
+		if inf.frame.Hdr != nil {
+			cb += ethernet.HeaderLen
+		}
+		sc.bf = append(sc.bf, dataplane.BatchFrame{
+			InPort:      inf.port,
+			ChargeBytes: cb,
+			Pkt:         inf.frame.Pkt,
+		})
+	}
+	r.plane.DecideBatch(ts, sc.bf, &sc.bs)
+
+	for i := range sc.bf {
+		b := &sc.bf[i]
+		inf := &sc.in[i]
+		v := b.Verdict
+		if v.Action == dataplane.ActionAwaitToken {
+			// Block mode, as on the scalar path: the uncached token
+			// verifies synchronously, in batch order.
+			in := dataplane.HopInput{InPort: b.InPort, Seg: &b.Seg, ChargeBytes: b.ChargeBytes}
+			v = r.plane.InstallTokenBatched(ts, &in, &sc.bs)
+		}
+		switch v.Action {
+		case dataplane.ActionDrop:
+			r.plane.DropBatched(&sc.bs, v.Reason, inf.port, v.Account, inf.frame.Trace, inf.arrived)
+			inf.frame.release()
+			continue
+		case dataplane.ActionTree:
+			// Fanout re-enters the scalar forward per branch copy; its
+			// counters go through the scalar hooks, which is equivalent.
+			r.fanoutTree(*inf, &b.Seg, b.Rest)
+			continue
+		}
+		f, ok := r.mirrorHop(inf, &b.Seg, b.Rest, ts)
+		if !ok {
+			r.plane.DropBatched(&sc.bs, stats.DropNotSirpent, inf.port, 0, inf.frame.Trace, inf.arrived)
+			inf.frame.release()
+			continue
+		}
+		if v.Action == dataplane.ActionLocal {
+			r.plane.LocalBatched(&sc.bs, inf.port, f.Trace, inf.arrived)
+			if r.local != nil {
+				r.local(f.Pkt)
+			} else {
+				f.release()
+			}
+			continue
+		}
+		// The forward hop is traced now but transmitted at flush; the
+		// worker owns the frame until the ring push publishes it, so the
+		// append-before-send rule holds.
+		r.plane.TraceForward(f.Trace, inf.port, v.OutPort, inf.arrived)
+		r.accumulate(sc, v.OutPort, inFrame{port: inf.port, frame: f, arrived: inf.arrived})
+	}
+	r.flushTx(sc)
+	r.plane.FlushBatch(&sc.bs)
+	for i := range sc.in {
+		sc.in[i] = inFrame{}
+	}
+	for i := range sc.bf {
+		sc.bf[i] = dataplane.BatchFrame{}
+	}
+	sc.in = sc.in[:0]
+	sc.bf = sc.bf[:0]
+}
+
+// accumulate appends an outbound frame to its port's transmit batch.
+// txIdx persists across batches (a router's port set is stable), touched
+// records which accumulators hold frames this batch.
+func (r *Router) accumulate(sc *batchScratch, port uint8, item inFrame) {
+	idx, ok := sc.txIdx[port]
+	if !ok {
+		idx = len(sc.tx)
+		sc.tx = append(sc.tx, txAccum{port: port})
+		sc.txIdx[port] = idx
+	}
+	a := &sc.tx[idx]
+	if len(a.items) == 0 {
+		sc.touched = append(sc.touched, idx)
+	}
+	a.items = append(a.items, item)
+}
+
+// flushTx transmits every accumulated output batch: one pipe lookup and
+// one producer lock per port per batch instead of per frame. Frames that
+// cannot transmit are accounted as the scalar path would: DropBadPort
+// when the route names an unwired port, DropTxError on a shutdown race.
+// The trace record of a failed frame already carries its forward hop, so
+// it reads "attempted forward, then dropped" — same as scalar.
+func (r *Router) flushTx(sc *batchScratch) {
+	for _, idx := range sc.touched {
+		a := &sc.tx[idx]
+		r.node.mu.Lock()
+		p := r.node.outP[a.port]
+		r.node.mu.Unlock()
+		sent := 0
+		if p != nil {
+			if cap(sc.flush) < len(a.items) {
+				sc.flush = make([]Frame, len(a.items))
+			}
+			fl := sc.flush[:len(a.items)]
+			for i := range a.items {
+				fl[i] = a.items[i].frame
+			}
+			sent = p.push(fl, r.done)
+			for i := range fl {
+				fl[i] = Frame{}
+			}
+			r.counters.forwarded.Add(uint64(sent))
+		}
+		reason := stats.DropTxError
+		if p == nil {
+			reason = stats.DropBadPort
+		}
+		for i := sent; i < len(a.items); i++ {
+			it := &a.items[i]
+			r.plane.DropBatched(&sc.bs, reason, it.port, 0, it.frame.Trace, it.arrived)
+			it.frame.release()
+		}
+		for i := range a.items {
+			a.items[i] = inFrame{}
+		}
+		a.items = a.items[:0]
+	}
+	sc.touched = sc.touched[:0]
+}
+
+// runShard is the batched host receive loop: single shard, so a host's
+// deliveries stay in order across all its ports.
+func (h *Host) runShard(sh *shard) {
+	sc := newBatchScratch(h.netw.cfg.batchSize)
+	for {
+		select {
+		case <-h.done:
+			return
+		default:
+		}
+		popped := 0
+		if pl := sh.pipes.Load(); pl != nil {
+			for _, p := range *pl {
+				sc.in = sc.in[:0]
+				popped += h.node.drainPipe(p, sc)
+				for i := range sc.in {
+					h.receive(sc.in[i])
+					sc.in[i] = inFrame{}
+				}
+			}
+		}
+		if popped == 0 {
+			select {
+			case <-sh.bell:
+			case <-h.done:
+				return
+			}
+		}
+	}
+}

@@ -7,23 +7,56 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/ethernet"
+	"repro/internal/pool"
 	"repro/internal/viper"
 )
 
 // BenchResult is one forwarding-benchmark measurement, serialized into
-// BENCH_livenet.json by cmd/sirpent-bench. NsPerHop and AllocsPerHop are
-// normalized over router traversals (packets × hops); AllocsPerHop
-// includes the host-side encode/deliver work amortized across the
-// chain's hops, so long chains isolate the router fast path.
+// BENCH_livenet.json by cmd/sirpent-bench.
+//
+// Allocation cost is reported in two separately-measured columns, after
+// the earlier single allocs_per_hop column proved misleading (it read
+// ~7.0 at 1 hop and ~0.58 at 12 — the same per-packet injection
+// overhead divided by ever more hops):
+//
+//   - AllocsPerPkt: process-wide mallocs per delivered packet over the
+//     end-to-end run — host-side encode and injection, every router
+//     traversal, and delivery-side decode together. Depends on hops.
+//   - AllocsPerHop: the router hop in isolation, measured by driving the
+//     forward path directly (topology "isolated-hop"); 0 in steady
+//     state. Does not depend on hops; end-to-end rows leave it 0.
 type BenchResult struct {
 	Topology     string  `json:"topology"`
+	Mode         string  `json:"mode"`      // "scalar" or "batched"
+	Injection    string  `json:"injection"` // "encode" (Host.Send), "prepared" (Sender), or "none" (isolated hop)
 	Hops         int     `json:"hops"`
 	Flows        int     `json:"flows"`
+	GOMAXPROCS   int     `json:"gomaxprocs"`
 	Packets      uint64  `json:"packets"`
 	Seconds      float64 `json:"seconds"`
 	PktsPerSec   float64 `json:"pkts_per_sec"`
 	NsPerHop     float64 `json:"ns_per_hop"`
-	AllocsPerHop float64 `json:"allocs_per_hop"`
+	AllocsPerPkt float64 `json:"allocs_per_pkt"`
+	AllocsPerHop float64 `json:"allocs_per_hop,omitempty"`
+}
+
+// modeName labels a BenchResult row.
+func modeName(batched bool) string {
+	if batched {
+		return "batched"
+	}
+	return "scalar"
+}
+
+// benchNet builds the substrate under measurement. Batched networks get
+// one shard per expected concurrent flow so ingress ports spread across
+// workers.
+func benchNet(batched bool, shards int) *Network {
+	if !batched {
+		return NewNetwork()
+	}
+	return NewNetwork(WithBatching(), WithShards(shards))
 }
 
 // benchFlow is one source→sink stream for the benchmark runner.
@@ -46,18 +79,40 @@ func chainRoute(hops int, hostPort, outPort uint8) []viper.Segment {
 // the given duration, then drains, returning delivered packets, elapsed
 // time, and the process-wide malloc delta (runtime.MemStats.Mallocs, so
 // concurrent runtime activity is included — run flows one benchmark at a
-// time).
-func runFlows(flows []benchFlow, sinks []*Host, d time.Duration, window int) (uint64, time.Duration, uint64) {
+// time). With prepared injection each flow sends through a Sender and
+// sinks count raw frames, so endpoint overhead drops out of the
+// measurement; otherwise packets go through the full Host.Send encode
+// and endpoint-dispatch delivery.
+func runFlows(flows []benchFlow, sinks []*Host, d time.Duration, window int, prepared bool) (uint64, time.Duration, uint64) {
 	var delivered atomic.Uint64
 	tokens := make(chan struct{}, window)
 	for i := 0; i < window; i++ {
 		tokens <- struct{}{}
 	}
+	payload := []byte("sirpent-bench")
+	count := func() {
+		delivered.Add(1)
+		tokens <- struct{}{}
+	}
+	send := make([]func() error, len(flows))
+	for i, f := range flows {
+		if prepared {
+			snd, err := f.src.NewSender(f.route, len(payload))
+			if err != nil {
+				panic(err) // static benchmark route; an error is a harness bug
+			}
+			send[i] = func() error { return snd.Send(payload) }
+		} else {
+			f := f
+			send[i] = func() error { return f.src.Send(f.route, payload) }
+		}
+	}
 	for _, s := range sinks {
-		s.Handle(0, func(Delivery) {
-			delivered.Add(1)
-			tokens <- struct{}{}
-		})
+		if prepared {
+			s.SetRawHandler(func([]byte) { count() })
+		} else {
+			s.Handle(0, func(Delivery) { count() })
+		}
 	}
 
 	var ms0, ms1 runtime.MemStats
@@ -66,9 +121,8 @@ func runFlows(flows []benchFlow, sinks []*Host, d time.Duration, window int) (ui
 	start := time.Now()
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
-	payload := []byte("sirpent-bench")
-	for _, f := range flows {
-		f := f
+	for i := range flows {
+		snd := send[i]
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -78,7 +132,7 @@ func runFlows(flows []benchFlow, sinks []*Host, d time.Duration, window int) (ui
 					return
 				case <-tokens:
 				}
-				if f.src.Send(f.route, payload) != nil {
+				if snd() != nil {
 					return
 				}
 			}
@@ -100,9 +154,23 @@ func runFlows(flows []benchFlow, sinks []*Host, d time.Duration, window int) (ui
 }
 
 // BenchChain measures forwarding through a linear chain of hops routers
-// (host → r1 → … → rN → host) for roughly duration d.
-func BenchChain(hops int, d time.Duration) BenchResult {
-	n := NewNetwork()
+// (host → r1 → … → rN → host) for roughly duration d, on the scalar or
+// batched substrate.
+func BenchChain(hops int, d time.Duration, batched bool) BenchResult {
+	return benchChain(hops, d, batched, false)
+}
+
+// BenchChainPrepared is BenchChain with prepared injection: packets
+// enter through a Sender (the wire image encoded once) and leave
+// through a raw sink tap, so the row measures the network — links,
+// routers, hop kernel — without the per-packet endpoint encode/decode
+// that dominates short chains.
+func BenchChainPrepared(hops int, d time.Duration, batched bool) BenchResult {
+	return benchChain(hops, d, batched, true)
+}
+
+func benchChain(hops int, d time.Duration, batched, prepared bool) BenchResult {
+	n := benchNet(batched, 1)
 	defer n.Stop()
 	routers := make([]*Router, hops)
 	for i := range routers {
@@ -117,15 +185,15 @@ func BenchChain(hops int, d time.Duration) BenchResult {
 	n.Connect(routers[hops-1], 2, dst, 1, WithDepth(64))
 
 	flows := []benchFlow{{src: src, route: chainRoute(hops, 1, 2)}}
-	pkts, elapsed, mallocs := runFlows(flows, []*Host{dst}, d, 64)
-	return result("chain", hops, 1, pkts, elapsed, mallocs)
+	pkts, elapsed, mallocs := runFlows(flows, []*Host{dst}, d, 64, prepared)
+	return result("chain", batched, prepared, hops, 1, pkts, elapsed, mallocs)
 }
 
 // BenchMesh measures aggregate forwarding over a rows×cols router mesh:
 // one flow per row, entering at the left column and exiting at the
 // right, all rows concurrent. Packets traverse cols routers.
-func BenchMesh(rows, cols int, d time.Duration) BenchResult {
-	n := NewNetwork()
+func BenchMesh(rows, cols int, d time.Duration, batched bool) BenchResult {
+	n := benchNet(batched, 1)
 	defer n.Stop()
 	// Ports: 1 = left (host or west neighbor), 2 = right, 3 = up, 4 = down.
 	grid := make([][]*Router, rows)
@@ -155,22 +223,214 @@ func BenchMesh(rows, cols int, d time.Duration) BenchResult {
 		flows = append(flows, benchFlow{src: src, route: chainRoute(cols, 1, 2)})
 		sinks = append(sinks, dst)
 	}
-	pkts, elapsed, mallocs := runFlows(flows, sinks, d, 64)
-	return result(fmt.Sprintf("mesh%dx%d", rows, cols), cols, rows, pkts, elapsed, mallocs)
+	pkts, elapsed, mallocs := runFlows(flows, sinks, d, 64, false)
+	return result(fmt.Sprintf("mesh%dx%d", rows, cols), batched, false, cols, rows, pkts, elapsed, mallocs)
 }
 
-func result(topo string, hops, flows int, pkts uint64, elapsed time.Duration, mallocs uint64) BenchResult {
+// BenchFan measures flow-count scaling: `flows` independent host pairs
+// share one chain of `hops` routers, each flow entering the first router
+// and leaving the last on its own port pair, so every trunk link carries
+// the aggregate. Batched networks run one shard per flow on each router,
+// spreading the per-flow ingress ports across workers.
+func BenchFan(hops, flows int, d time.Duration, batched bool) BenchResult {
+	n := benchNet(batched, flows)
+	defer n.Stop()
+	routers := make([]*Router, hops)
+	for i := range routers {
+		routers[i] = n.NewRouter(fmt.Sprintf("r%d", i))
+	}
+	for i := 1; i < hops; i++ {
+		n.Connect(routers[i-1], 2, routers[i], 1, WithDepth(64))
+	}
+	bf := make([]benchFlow, 0, flows)
+	sinks := make([]*Host, 0, flows)
+	for i := 0; i < flows; i++ {
+		src := n.NewHost(fmt.Sprintf("src%d", i))
+		dst := n.NewHost(fmt.Sprintf("dst%d", i))
+		inPort := uint8(10 + i)
+		n.Connect(src, 1, routers[0], inPort, WithDepth(64))
+		n.Connect(routers[hops-1], inPort, dst, 1, WithDepth(64))
+		route := []viper.Segment{{Port: 1}}
+		for h := 0; h < hops-1; h++ {
+			route = append(route, viper.Segment{Port: 2, Flags: viper.FlagVNT})
+		}
+		route = append(route,
+			viper.Segment{Port: inPort, Flags: viper.FlagVNT},
+			viper.Segment{Port: viper.PortLocal})
+		bf = append(bf, benchFlow{src: src, route: route})
+		sinks = append(sinks, dst)
+	}
+	pkts, elapsed, mallocs := runFlows(bf, sinks, d, 64*flows, false)
+	return result(fmt.Sprintf("fan%d", flows), batched, false, hops, flows, pkts, elapsed, mallocs)
+}
+
+func result(topo string, batched, prepared bool, hops, flows int, pkts uint64, elapsed time.Duration, mallocs uint64) BenchResult {
+	injection := "encode"
+	if prepared {
+		injection = "prepared"
+	}
 	r := BenchResult{
-		Topology: topo,
-		Hops:     hops,
-		Flows:    flows,
-		Packets:  pkts,
-		Seconds:  elapsed.Seconds(),
+		Topology:   topo,
+		Mode:       modeName(batched),
+		Injection:  injection,
+		Hops:       hops,
+		Flows:      flows,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Packets:    pkts,
+		Seconds:    elapsed.Seconds(),
 	}
 	if pkts > 0 && elapsed > 0 {
 		r.PktsPerSec = float64(pkts) / elapsed.Seconds()
 		r.NsPerHop = float64(elapsed.Nanoseconds()) / float64(pkts*uint64(hops))
-		r.AllocsPerHop = float64(mallocs) / float64(pkts*uint64(hops))
+		r.AllocsPerPkt = float64(mallocs) / float64(pkts)
 	}
 	return r
+}
+
+// --- isolated hop measurement ------------------------------------------
+
+// hopHdrTemplate is the Ethernet header every benchmark frame arrives
+// with; forwarding swaps it in place, so drivers re-copy it per frame.
+var hopHdrTemplate = ethernet.Header{
+	Dst:  ethernet.Addr{0x02, 0, 0, 0, 0, 2},
+	Src:  ethernet.Addr{0x02, 0, 0, 0, 0, 1},
+	Type: viper.EtherTypeVIPER,
+}.Encode()
+
+// hopTemplateBytes encodes a two-segment packet (forward on port 2, then
+// local) with one trailer segment, as a first-hop router would see it.
+// The encoding is deterministic; failure is a programming error.
+func hopTemplateBytes() []byte {
+	route := []viper.Segment{
+		{Port: 2, Flags: viper.FlagVNT, PortToken: []byte{0xA1, 0xA2, 0xA3, 0xA4}},
+		{Port: viper.PortLocal},
+	}
+	pkt := viper.NewPacket(route, []byte("fastpath-hop-payload"))
+	pkt.Trailer = []viper.Segment{{Port: viper.PortLocal}}
+	b, err := pkt.Encode()
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// hopBenchBatch is the batch size the isolated batched driver amortizes
+// over — the substrate default.
+const hopBenchBatch = DefaultBatchSize
+
+// scalarHopDriver builds a router with no goroutine: forward is called
+// directly and the forwarded frame read back from a hand-wired port. The
+// unexported constructor wires the dataplane pipeline exactly as
+// NewRouter would, so the measurement is the production hop.
+func scalarHopDriver() (*Router, chan Frame) {
+	r := (&Network{}).newRouter("bench")
+	ch := make(chan Frame, 1)
+	r.node.out[2] = ch
+	return r, ch
+}
+
+// forwardOneHop pushes one pooled copy of the template through the
+// router and recycles the forwarded frame.
+func forwardOneHop(r *Router, ch chan Frame, tmpl []byte, hdr []byte) {
+	buf := pool.Get(len(tmpl) + frameHeadroom(2, len(tmpl)))
+	buf = append(buf, tmpl...)
+	copy(hdr, hopHdrTemplate)
+	r.forward(inFrame{port: 1, frame: Frame{Hdr: hdr, Pkt: buf, buf: buf[:0]}})
+	f := <-ch
+	f.release()
+}
+
+// batchedHopDriver builds a batched router with no worker goroutines:
+// forwardBatch is called directly and the flushed frames read back from
+// a hand-wired transmit pipe deep enough that a flush never parks. The
+// pipe's doorbell stays nil (a nil channel in a select with default is
+// never ready), so the measurement has no scheduler noise.
+func batchedHopDriver() (*Router, *pipe, *batchScratch) {
+	n := NewNetwork(WithBatching())
+	r := n.newRouter("bench")
+	sink := newNode("sink")
+	p := newPipe(4*hopBenchBatch, 2, nil, sink)
+	r.node.addTx(2, p)
+	return r, p, newBatchScratch(hopBenchBatch)
+}
+
+// forwardOneBatch stages a full batch of pooled template frames as a
+// drain would (sc.in), runs them through forwardBatch, and drains the
+// transmit ring, recycling every frame. hdrs holds one reusable header
+// buffer per batch slot — each frame's header is swapped in place.
+func forwardOneBatch(r *Router, p *pipe, sc *batchScratch, tmpl []byte, hdrs [][]byte, drain []Frame) {
+	for i := 0; i < hopBenchBatch; i++ {
+		buf := pool.Get(len(tmpl) + frameHeadroom(2, len(tmpl)))
+		buf = append(buf, tmpl...)
+		copy(hdrs[i], hopHdrTemplate)
+		sc.in = append(sc.in, inFrame{port: 1, frame: Frame{Hdr: hdrs[i], Pkt: buf, buf: buf[:0]}})
+	}
+	r.forwardBatch(sc)
+	got := 0
+	for got < hopBenchBatch {
+		n := p.r.PopBatch(drain)
+		for i := 0; i < n; i++ {
+			drain[i].release()
+			drain[i] = Frame{}
+		}
+		got += n
+	}
+}
+
+// BenchHop measures the router hop in isolation — no hosts, no
+// injection, no delivery — by driving the forward path directly for
+// iters hops after a warmup. This is the column that separates per-hop
+// cost from per-packet endpoint overhead: NsPerHop and AllocsPerHop
+// here are pure router numbers (AllocsPerHop is 0 in steady state on
+// both substrates).
+func BenchHop(batched bool, iters int) BenchResult {
+	tmpl := hopTemplateBytes()
+	var run func()
+	var perRun int
+	if batched {
+		r, p, sc := batchedHopDriver()
+		hdrs := make([][]byte, hopBenchBatch)
+		for i := range hdrs {
+			hdrs[i] = make([]byte, ethernet.HeaderLen)
+		}
+		drain := make([]Frame, hopBenchBatch)
+		run = func() { forwardOneBatch(r, p, sc, tmpl, hdrs, drain) }
+		perRun = hopBenchBatch
+	} else {
+		r, ch := scalarHopDriver()
+		hdr := make([]byte, ethernet.HeaderLen)
+		run = func() { forwardOneHop(r, ch, tmpl, hdr) }
+		perRun = 1
+	}
+	for i := 0; i < 4*hopBenchBatch; i++ {
+		run()
+	}
+	runs := iters / perRun
+	if runs < 1 {
+		runs = 1
+	}
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	for i := 0; i < runs; i++ {
+		run()
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	hops := uint64(runs * perRun)
+	return BenchResult{
+		Topology:     "isolated-hop",
+		Mode:         modeName(batched),
+		Injection:    "none",
+		Hops:         1,
+		Flows:        1,
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		Packets:      hops,
+		Seconds:      elapsed.Seconds(),
+		PktsPerSec:   float64(hops) / elapsed.Seconds(),
+		NsPerHop:     float64(elapsed.Nanoseconds()) / float64(hops),
+		AllocsPerPkt: float64(ms1.Mallocs-ms0.Mallocs) / float64(hops),
+		AllocsPerHop: float64(ms1.Mallocs-ms0.Mallocs) / float64(hops),
+	}
 }

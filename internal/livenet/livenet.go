@@ -91,14 +91,72 @@ type Network struct {
 	nodes   []interface{ close() }
 	tracer  atomic.Value // *tracerBox
 	flight  atomic.Pointer[ledger.FlightRecorder]
+	cfg     networkConfig
 }
 
 // tracerBox wraps the Tracer interface so atomic.Value always stores
 // one concrete type.
 type tracerBox struct{ t trace.Tracer }
 
-// NewNetwork creates an empty live network.
-func NewNetwork() *Network { return &Network{} }
+// networkConfig collects NewNetwork options. The zero value is the
+// scalar substrate: channel links, one frame per handoff.
+type networkConfig struct {
+	batched   bool
+	batchSize int
+	shards    int
+}
+
+// NetworkOption configures one NewNetwork call.
+type NetworkOption func(*networkConfig)
+
+// WithBatching selects the batched substrate: links are SPSC frame
+// rings instead of channels, routers forward through the dataplane
+// batch kernel, and handoff and hook costs amortize across up to
+// DefaultBatchSize frames per operation (see batch.go). Forwarding
+// results are equivalent frame for frame — the batch-vs-scalar
+// differential suite in internal/check enforces it.
+func WithBatching() NetworkOption {
+	return func(c *networkConfig) { c.batched = true }
+}
+
+// WithBatchSize bounds how many frames one batched dequeue, decision
+// pass, or transmit flush covers. Non-positive values are ignored.
+// Implies nothing about latency: partial batches are processed
+// immediately, never held back to fill.
+func WithBatchSize(n int) NetworkOption {
+	return func(c *networkConfig) {
+		if n > 0 {
+			c.batchSize = n
+		}
+	}
+}
+
+// WithShards sets how many forwarding workers each batched router runs.
+// Input ports are assigned to workers round-robin; each worker drains
+// only its own ports (the single-consumer half of the ring contract)
+// while transmit rings accept any worker through a per-ring producer
+// lock taken once per batch. Non-positive values are ignored.
+func WithShards(n int) NetworkOption {
+	return func(c *networkConfig) {
+		if n > 0 {
+			c.shards = n
+		}
+	}
+}
+
+// DefaultBatchSize is the per-dequeue frame budget of a batched network
+// created without WithBatchSize.
+const DefaultBatchSize = 64
+
+// NewNetwork creates an empty live network. With no options it is the
+// scalar substrate; WithBatching selects the batched one.
+func NewNetwork(opts ...NetworkOption) *Network {
+	n := &Network{cfg: networkConfig{batchSize: DefaultBatchSize, shards: 1}}
+	for _, o := range opts {
+		o(&n.cfg)
+	}
+	return n
+}
 
 // SetTracer installs (or with nil removes) the network's hop-level
 // tracer: every packet subsequently originated by any host of this
@@ -135,14 +193,21 @@ func (n *Network) Stop() {
 	n.wg.Wait()
 }
 
-// node is the common goroutine plumbing.
+// node is the common goroutine plumbing. On the scalar substrate ports
+// transmit on channels (out) and receive through pump goroutines feeding
+// inbox; on the batched substrate ports transmit on ring pipes (outP)
+// and receive by the node's own shard workers draining rx pipes — inbox
+// is unused.
 type node struct {
-	name  string
-	inbox chan inFrame
-	done  chan struct{}
-	once  sync.Once
-	out   map[uint8]chan<- Frame
-	mu    sync.Mutex
+	name   string
+	inbox  chan inFrame
+	done   chan struct{}
+	once   sync.Once
+	out    map[uint8]chan<- Frame
+	outP   map[uint8]*pipe // batched substrate only
+	rx     []*shard        // batched substrate only; len = worker count
+	nextRx int             // round-robin rx-port assignment cursor
+	mu     sync.Mutex
 }
 
 func newNode(name string) *node {
@@ -158,9 +223,21 @@ func (nd *node) close() { nd.once.Do(func() { close(nd.done) }) }
 
 // send transmits a frame on a port, transferring buffer ownership to the
 // receiving node; it reports false — and the caller keeps ownership — if
-// the port is unknown or the network is shutting down.
+// the port is unknown or the network is shutting down. On the batched
+// substrate this is the one-frame degenerate batch — hosts and the
+// multicast fanout re-entry use it; the router's bulk path flushes whole
+// batches per pipe instead (forwardBatch).
 func (nd *node) send(port uint8, f Frame) bool {
 	nd.mu.Lock()
+	if nd.outP != nil {
+		p := nd.outP[port]
+		nd.mu.Unlock()
+		if p == nil {
+			return false
+		}
+		one := [1]Frame{f}
+		return p.push(one[:], nd.done) == 1
+	}
 	ch, ok := nd.out[port]
 	nd.mu.Unlock()
 	if !ok {
@@ -180,15 +257,26 @@ func (nd *node) send(port uint8, f Frame) bool {
 func (nd *node) hasPort(port uint8) bool {
 	nd.mu.Lock()
 	_, ok := nd.out[port]
+	if !ok && nd.outP != nil {
+		_, ok = nd.outP[port]
+	}
 	nd.mu.Unlock()
 	return ok
 }
 
-// portDepth reports the occupancy of a port's transmit channel — the
+// portDepth reports the occupancy of a port's transmit queue — the
 // livenet analogue of an output-queue depth. Called only for traced
 // frames; the untraced path never takes this lock.
 func (nd *node) portDepth(port uint8) int {
 	nd.mu.Lock()
+	if nd.outP != nil {
+		p := nd.outP[port]
+		nd.mu.Unlock()
+		if p == nil {
+			return 0
+		}
+		return p.r.Len()
+	}
 	ch := nd.out[port]
 	nd.mu.Unlock()
 	if ch == nil {
@@ -341,18 +429,32 @@ func WithDown() LinkOption {
 // link's fault-injection handle. Options configure queue depth
 // (DefaultLinkDepth otherwise) and the initial fault state.
 func (n *Network) Connect(a Attachable, portA uint8, b Attachable, portB uint8, opts ...LinkOption) *Link {
-	cfg := linkConfig{depth: DefaultLinkDepth}
+	cfg := linkConfig{depth: cfg0Depth(n)}
 	for _, o := range opts {
 		o(&cfg)
 	}
-	ab := make(chan Frame, cfg.depth)
-	ba := make(chan Frame, cfg.depth)
 	l := &Link{name: a.base().name + "<->" + b.base().name, netw: n}
 	l.SetDown(cfg.down)
 	l.SetLossRatio(cfg.loss)
+	if n.cfg.batched {
+		n.connectBatched(a.base(), portA, b.base(), portB, cfg.depth, l)
+		return l
+	}
+	ab := make(chan Frame, cfg.depth)
+	ba := make(chan Frame, cfg.depth)
 	n.attach(a.base(), portA, ab, ba, l)
 	n.attach(b.base(), portB, ba, ab, l)
 	return l
+}
+
+// cfg0Depth picks the default link depth: the batched substrate wants
+// room for at least one full batch in flight per direction, so bursts
+// flush without the producer parking between sub-pushes.
+func cfg0Depth(n *Network) int {
+	if n.cfg.batched && n.cfg.batchSize > DefaultLinkDepth {
+		return n.cfg.batchSize
+	}
+	return DefaultLinkDepth
 }
 
 // Attachable is implemented by livenet hosts and routers.
@@ -437,20 +539,38 @@ func (n *Network) newRouter(name string) *Router {
 		// synchronously on the forwarding goroutine (see forward).
 		Mode: token.Block,
 		Hooks: dataplane.Hooks{
-			CountDrop:            func(reason stats.DropReason) { r.counters.drops[reason].Add(1) },
-			CountLocal:           func() { r.counters.local.Add(1) },
-			CountTokenAuthorized: func() { r.counters.tokenAuthorized.Add(1) },
-			Flight:               r.currentFlight,
-			QueueDepth:           r.portDepth,
+			CountDrop:             func(reason stats.DropReason) { r.counters.drops[reason].Add(1) },
+			CountLocal:            func() { r.counters.local.Add(1) },
+			CountTokenAuthorized:  func() { r.counters.tokenAuthorized.Add(1) },
+			CountDropN:            func(reason stats.DropReason, k uint64) { r.counters.drops[reason].Add(k) },
+			CountLocalN:           func(k uint64) { r.counters.local.Add(k) },
+			CountTokenAuthorizedN: func(k uint64) { r.counters.tokenAuthorized.Add(k) },
+			Flight:                r.currentFlight,
+			QueueDepth:            r.portDepth,
 		},
+	}
+	if n.cfg.batched {
+		r.node.rx = newShards(n.cfg.shards)
 	}
 	return r
 }
 
-// NewRouter creates and starts a router goroutine.
+// NewRouter creates and starts a router: one forwarding goroutine on the
+// scalar substrate, one worker per shard on the batched one.
 func (n *Network) NewRouter(name string) *Router {
 	r := n.newRouter(name)
 	n.nodes = append(n.nodes, r.node)
+	if n.cfg.batched {
+		for _, sh := range r.node.rx {
+			sh := sh
+			n.wg.Add(1)
+			go func() {
+				defer n.wg.Done()
+				r.runShard(sh)
+			}()
+		}
+		return r
+	}
 	n.wg.Add(1)
 	go func() {
 		defer n.wg.Done()
@@ -542,46 +662,22 @@ func (r *Router) forward(inf inFrame) {
 		r.fanoutTree(inf, &seg, rest)
 		return
 	}
-	// Build the return segment: arrival port, swapped arrival header.
-	// The frame is ours, so the header is swapped in place and aliased;
-	// the mirrored append below copies the bytes into the trailer.
-	var hdrInfo []byte
-	if inf.frame.Hdr != nil {
-		if err := ethernet.SwapInPlace(inf.frame.Hdr); err != nil {
-			r.drop(stats.DropNotSirpent, inf)
-			return
-		}
-		hdrInfo = inf.frame.Hdr
-	}
-	ret := dataplane.ReturnSegment(inf.port, &seg, hdrInfo, ts.Cache(), false)
-	// ret's fields alias the dead front region (token, header); the
-	// append writes only past the old trailer descriptor — disjoint.
-	out, err := dataplane.AppendTrailerSegment(rest, &ret)
-	if err != nil {
+	// Mirror the stripped segment onto the trailer (§6.2 byte surgery),
+	// shared with the batched path so both substrates' surgery is
+	// identical by construction.
+	f, ok := r.mirrorHop(&inf, &seg, rest, ts)
+	if !ok {
 		r.drop(stats.DropNotSirpent, inf)
 		return
-	}
-	f := Frame{Pkt: out, Trace: inf.frame.Trace, buf: inf.frame.buf}
-	if len(rest) > 0 && len(out) > 0 && &out[0] != &rest[0] {
-		// The headroom ran out and the append reallocated: out starts a
-		// fresh array (its own recycling target), and the old buffer —
-		// still aliased by the header and token — is left to the
-		// collector.
-		f.buf = out[:0]
 	}
 	if v.Action == dataplane.ActionLocal {
 		r.plane.Local(inf.port, f.Trace, inf.arrived)
 		if r.local != nil {
-			r.local(out)
+			r.local(f.Pkt)
 		} else {
 			f.release()
 		}
 		return
-	}
-	if len(seg.PortInfo) > 0 {
-		// The next hop's header aliases the stripped segment's bytes in
-		// the dead front region; it travels with the buffer it aliases.
-		f.Hdr = seg.PortInfo
 	}
 	// The forward hop is appended BEFORE the send: the channel send
 	// transfers ownership of the record with the buffer, and touching it
@@ -669,12 +765,24 @@ type Host struct {
 	netw     *Network
 	mu       sync.Mutex
 	handlers map[uint8]func(Delivery)
+	raw      atomic.Pointer[func(pkt []byte)] // pre-decode tap, see SetRawHandler
 }
 
-// NewHost creates and starts a host goroutine.
+// NewHost creates and starts a host goroutine. Hosts are single-sharded
+// on the batched substrate: deliveries to one host stay ordered.
 func (n *Network) NewHost(name string) *Host {
 	h := &Host{node: newNode(name), netw: n, handlers: make(map[uint8]func(Delivery))}
 	n.nodes = append(n.nodes, h.node)
+	if n.cfg.batched {
+		h.node.rx = newShards(1)
+		sh := h.node.rx[0]
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			h.runShard(sh)
+		}()
+		return h
+	}
 	n.wg.Add(1)
 	go func() {
 		defer n.wg.Done()
@@ -773,6 +881,12 @@ func (h *Host) closeReceive(inf inFrame, action trace.Action, reason stats.DropR
 }
 
 func (h *Host) receive(inf inFrame) {
+	if fn := h.rawTap(); fn != nil {
+		h.closeReceive(inf, trace.ActionLocal, 0)
+		fn(inf.frame.Pkt)
+		inf.frame.release()
+		return
+	}
 	pkt, err := viper.Decode(inf.frame.Pkt)
 	if err != nil || len(pkt.Route) == 0 {
 		h.closeReceive(inf, trace.ActionDrop, stats.DropNotSirpent)

@@ -1,0 +1,127 @@
+package livenet
+
+import (
+	"fmt"
+
+	"repro/internal/clock"
+	"repro/internal/pool"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/viper"
+)
+
+// Sender is a prepared injection path for one route: route sealing,
+// packet layout, and wire encoding happen once at construction, so each
+// Send stamps the payload into a pooled copy of the wire image and
+// enqueues it — the per-packet analogue of a prepared statement. Host
+// injection otherwise costs ~7 allocations per packet (route clone,
+// sealing, packet assembly, encode), which dominates short-chain
+// throughput measurements; a Sender injects with zero allocations in
+// steady state.
+//
+// Payload length is fixed at construction — the encoded image embeds
+// it, and the trailing descriptor's position depends on it.
+type Sender struct {
+	h        *Host
+	port     uint8
+	hdr      []byte // first-hop link header template, nil when the route has none
+	wire     []byte // full encoded packet with a zero payload
+	dataOff  int    // payload offset within wire
+	dataLen  int
+	headroom int
+}
+
+// NewSender prepares a route for repeated injection. The route is
+// interpreted exactly as Host.Send interprets it: the first segment is
+// the sender's own directive (out port, link header), the rest is the
+// source route carried by the packet.
+func (h *Host) NewSender(route []viper.Segment, dataLen int) (*Sender, error) {
+	if len(route) == 0 {
+		return nil, fmt.Errorf("livenet: empty route")
+	}
+	own := route[0]
+	rest := make([]viper.Segment, len(route)-1)
+	for i := range rest {
+		rest[i] = route[i+1].Clone()
+	}
+	if err := viper.SealRoute(rest); err != nil {
+		return nil, err
+	}
+	pkt := viper.NewPacket(rest, make([]byte, dataLen))
+	pkt.Trailer = append(pkt.Trailer, viper.Segment{Port: viper.PortLocal, Priority: own.Priority})
+	wire, err := pkt.Encode()
+	if err != nil {
+		return nil, err
+	}
+	s := &Sender{
+		h:        h,
+		port:     own.Port,
+		wire:     wire,
+		dataOff:  pkt.HeaderLen(),
+		dataLen:  dataLen,
+		headroom: frameHeadroom(len(rest), pkt.HeaderLen()),
+	}
+	if len(own.PortInfo) > 0 {
+		s.hdr = append([]byte(nil), own.PortInfo...)
+	}
+	return s, nil
+}
+
+// Send injects one packet carrying data, which must have the prepared
+// length. Tracing, when enabled on the network, records the origin hop
+// exactly as Host.Send does.
+func (s *Sender) Send(data []byte) error {
+	if len(data) != s.dataLen {
+		return fmt.Errorf("livenet: prepared sender wants %d payload bytes, got %d", s.dataLen, len(data))
+	}
+	buf := pool.Get(len(s.wire) + s.headroom)
+	buf = append(buf, s.wire...)
+	copy(buf[s.dataOff:], data)
+	f := Frame{Pkt: buf, buf: buf[:0]}
+	if s.hdr != nil {
+		// Copied per send: the first-hop router swaps the header in place.
+		f.Hdr = append([]byte(nil), s.hdr...)
+	}
+	if pt := trace.Start(s.h.netw.currentTracer(), data); pt != nil {
+		pt.Add(trace.HopEvent{
+			Node: s.h.name, OutPort: s.port, Action: trace.ActionForward,
+			At: clock.Wall.NowNanos(),
+		})
+		f.Trace = pt
+	}
+	if !s.h.send(s.port, f) {
+		if f.Trace != nil {
+			f.Trace.Add(trace.HopEvent{
+				Node: s.h.name, Action: trace.ActionDrop, Reason: stats.DropTxError,
+				At: clock.Wall.NowNanos(),
+			})
+			f.Trace.Done()
+		}
+		f.release()
+		return fmt.Errorf("livenet: no interface %d on %s", s.port, s.h.name)
+	}
+	return nil
+}
+
+// SetRawHandler installs a pre-decode delivery tap: every frame arriving
+// at the host is handed to fn as the raw encoded packet and consumed,
+// skipping VIPER decode, endpoint dispatch, and return-route
+// construction. The bytes alias the frame's pooled buffer and are valid
+// only until fn returns. For sinks that only count or copy — packet
+// mirrors, benchmark endpoints — this removes the per-delivery decode
+// allocations. Pass nil to restore normal endpoint dispatch.
+func (h *Host) SetRawHandler(fn func(pkt []byte)) {
+	if fn == nil {
+		h.raw.Store(nil)
+		return
+	}
+	h.raw.Store(&fn)
+}
+
+// rawTap returns the installed raw handler, or nil.
+func (h *Host) rawTap() func(pkt []byte) {
+	if p := h.raw.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
