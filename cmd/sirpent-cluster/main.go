@@ -1,0 +1,227 @@
+// Command sirpent-cluster launches a localhost Sirpent cluster: one
+// `sirpentd dir` process serving the directory, plus N `sirpentd peer`
+// processes that each realize one partition of a seeded conformance
+// scenario and carry cross-partition links over real UDP sockets.
+//
+// After every peer exits, the launcher collects their reports from the
+// directory and renders a verdict: every flow delivered and echoed
+// exactly once across process boundaries, the merged per-account
+// ledger internally reconciled, and per-account totals identical to a
+// single-process livenet run of the same seed. Exit status 0 means the
+// whole verdict passed; anything else is a failure (and CI treats it
+// as such — see the cluster-smoke job).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/daemon"
+	"repro/internal/directory"
+)
+
+func main() {
+	n := flag.Int("n", 3, "number of peer processes")
+	seed := flag.Int64("seed", 0, "scenario seed (0 = first seed with enough routers and cross-links)")
+	sirpentd := flag.String("sirpentd", "", "path to the sirpentd binary (default: next to this launcher, else $PATH)")
+	settle := flag.Duration("settle", 30*time.Second, "per-peer quiesce deadline")
+	flag.Parse()
+
+	if err := run(*n, *seed, *sirpentd, *settle); err != nil {
+		fmt.Fprintln(os.Stderr, "sirpent-cluster:", err)
+		os.Exit(1)
+	}
+}
+
+func run(n int, seed int64, sirpentd string, settle time.Duration) error {
+	if n < 2 {
+		return fmt.Errorf("-n must be at least 2 (got %d)", n)
+	}
+	bin, err := findSirpentd(sirpentd)
+	if err != nil {
+		return err
+	}
+	if seed == 0 {
+		seed, err = autoSeed(n)
+		if err != nil {
+			return err
+		}
+	}
+	sc := check.Generate(seed)
+	fmt.Printf("cluster: %d peers, seed %d (%d routers, %d hosts, %d flows, %d cross-links)\n",
+		n, seed, sc.NRouters, len(sc.HostRouter), len(sc.Flows), len(check.CrossLinks(sc, n)))
+
+	// The directory must outlive the peers: they report to it, and we
+	// read the reports back out of it. Kill it last.
+	dir := exec.Command(bin, "dir", "-addr", "127.0.0.1:0",
+		"-seed", fmt.Sprint(seed), "-peers", fmt.Sprint(n))
+	dir.Stderr = os.Stderr
+	dirOut, err := dir.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	if err := dir.Start(); err != nil {
+		return fmt.Errorf("start dir: %w", err)
+	}
+	defer func() {
+		dir.Process.Signal(os.Interrupt)
+		dir.Wait()
+	}()
+
+	url, err := readDirURL(dirOut)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cluster: directory at %s\n", url)
+
+	peers := make([]*exec.Cmd, n)
+	for i := 0; i < n; i++ {
+		p := exec.Command(bin, "peer",
+			"-index", fmt.Sprint(i), "-peers", fmt.Sprint(n),
+			"-seed", fmt.Sprint(seed), "-dir", url,
+			"-settle", settle.String())
+		p.Stdout = prefixWriter(check.PeerName(i))
+		p.Stderr = prefixWriter(check.PeerName(i))
+		if err := p.Start(); err != nil {
+			killAll(peers[:i])
+			return fmt.Errorf("start peer %d: %w", i, err)
+		}
+		peers[i] = p
+	}
+	var failed bool
+	for i, p := range peers {
+		if err := p.Wait(); err != nil {
+			fmt.Fprintf(os.Stderr, "cluster: peer %d exited: %v\n", i, err)
+			failed = true
+		}
+	}
+
+	// Fetch the reports even when a peer failed — incomplete peers
+	// still post theirs before exiting, and the counters localize the
+	// fault (tunnel drop vs router drop vs wire loss).
+	client := directory.NewClient(url)
+	raw, err := client.Reports(10 * time.Second)
+	if err != nil {
+		if failed {
+			return fmt.Errorf("one or more peers failed (and reports unavailable: %v)", err)
+		}
+		return fmt.Errorf("collect reports: %w", err)
+	}
+	reports, err := daemon.DecodeReports(raw)
+	if err != nil {
+		return err
+	}
+	fmt.Print(daemon.FormatReports(reports))
+	if failed {
+		return fmt.Errorf("one or more peers failed")
+	}
+
+	if problems := daemon.VerifyCluster(sc, n, reports); len(problems) > 0 {
+		return fmt.Errorf("cluster verdict failed (%d problems):\n  %s",
+			len(problems), strings.Join(problems, "\n  "))
+	}
+	diffs, err := daemon.CompareWithSingleProcess(seed, daemon.ClusterLedger(reports), 15*time.Second)
+	if err != nil {
+		return err
+	}
+	if len(diffs) > 0 {
+		return fmt.Errorf("ledger diverges from single-process run:\n  %s",
+			strings.Join(diffs, "\n  "))
+	}
+	fmt.Println("cluster: PASS — all flows delivered and echoed exactly once; ledgers reconcile and match the single-process run")
+	return nil
+}
+
+// findSirpentd resolves the sirpentd binary: explicit flag, then a
+// sibling of this launcher, then $PATH.
+func findSirpentd(explicit string) (string, error) {
+	if explicit != "" {
+		return explicit, nil
+	}
+	if self, err := os.Executable(); err == nil {
+		sib := filepath.Join(filepath.Dir(self), "sirpentd")
+		if st, err := os.Stat(sib); err == nil && !st.IsDir() {
+			return sib, nil
+		}
+	}
+	if p, err := exec.LookPath("sirpentd"); err == nil {
+		return p, nil
+	}
+	return "", fmt.Errorf("sirpentd binary not found (use -sirpentd)")
+}
+
+// autoSeed picks the first seed whose scenario gives every peer at
+// least one router and actually crosses the partition, so the run
+// exercises the UDP tunnels rather than degenerating to one process
+// doing all the work.
+func autoSeed(n int) (int64, error) {
+	for seed := int64(1); seed < 1000; seed++ {
+		sc := check.Generate(seed)
+		if sc.NRouters >= n && len(check.CrossLinks(sc, n)) > 0 {
+			return seed, nil
+		}
+	}
+	return 0, fmt.Errorf("no seed under 1000 yields >=%d routers with cross-links at %d peers", n, n)
+}
+
+// readDirURL scans the dir process's stdout for its
+// SIRPENT_DIR_URL=... line (the port is dynamically bound), then keeps
+// draining the pipe in the background.
+func readDirURL(r interface{ Read([]byte) (int, error) }) (string, error) {
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		if url, ok := strings.CutPrefix(line, "SIRPENT_DIR_URL="); ok {
+			go func() {
+				for sc.Scan() {
+					fmt.Printf("dir | %s\n", sc.Text())
+				}
+			}()
+			return url, nil
+		}
+		fmt.Printf("dir | %s\n", line)
+	}
+	if err := sc.Err(); err != nil {
+		return "", fmt.Errorf("reading dir output: %w", err)
+	}
+	return "", fmt.Errorf("dir exited without printing SIRPENT_DIR_URL")
+}
+
+func killAll(cmds []*exec.Cmd) {
+	for _, c := range cmds {
+		if c != nil && c.Process != nil {
+			c.Process.Kill()
+		}
+	}
+}
+
+// prefixWriter returns a writer that prefixes each line with the peer
+// name, keeping interleaved child output attributable.
+func prefixWriter(name string) *lineWriter {
+	return &lineWriter{prefix: name + " | "}
+}
+
+type lineWriter struct {
+	prefix string
+	buf    []byte
+}
+
+func (w *lineWriter) Write(p []byte) (int, error) {
+	w.buf = append(w.buf, p...)
+	for {
+		i := strings.IndexByte(string(w.buf), '\n')
+		if i < 0 {
+			break
+		}
+		fmt.Printf("%s%s\n", w.prefix, w.buf[:i])
+		w.buf = w.buf[i+1:]
+	}
+	return len(p), nil
+}

@@ -1,222 +1,159 @@
-// Command sirpentd runs a live goroutine Sirpent internetwork: hosts and
-// routers are goroutines, links are channels, and each hop performs the
-// §6.2 software-router byte surgery on real wire bytes. It drives a
-// configurable number of concurrent request/response transactions through
-// a token-guarded two-router backbone and reports forwarding statistics
-// and per-account billing.
+// Command sirpentd is the Sirpent daemon. It has three roles, selected
+// by subcommand:
 //
-//	sirpentd -clients 4 -requests 100
+//	sirpentd run  [-clients N] [-requests N] [-metrics :8080] [-hold 1m]
+//	sirpentd dir  [-addr 127.0.0.1:0] [-seed N] [-peers N]
+//	sirpentd peer [-index I] [-peers N] [-seed N] [-dir URL] [-udp 127.0.0.1:0]
 //
-// With -metrics, every packet is hop-traced into an aggregate
-// trace.Metrics and the live observability surface is served over HTTP:
+// `run` is the historical single-process demo: hosts and routers are
+// goroutines, links are channels, and each hop performs the §6.2
+// software-router byte surgery on real wire bytes, driving concurrent
+// request/response transactions through a token-guarded two-router
+// backbone. For compatibility, invoking sirpentd with bare flags
+// (`sirpentd -clients 4`) is an alias for `run`.
 //
-//	sirpentd -clients 4 -requests 10000 -metrics :8080 -hold 1m &
-//	curl -s localhost:8080/debug/vars | python3 -m json.tool
-//	curl -s localhost:8080/healthz
-//	curl -s localhost:8080/debug/ledger
-//	curl -s localhost:8080/debug/flightrec
+// `dir` serves the internetwork directory (§3) as a network service:
+// peers register their UDP socket addresses with it, discover each
+// other, and fetch source routes whose segments carry port tokens —
+// route and token issue are deterministic, so any number of processes
+// agree on the wire bytes. The first stdout line is
+// `SIRPENT_DIR_URL=<url>` so launchers can find a dynamically bound
+// port.
 //
-// /debug/vars carries the hop-trace snapshot under the "sirpent" key
-// (metric names pinned by internal/stats's stability test); /debug/ledger
-// serves the periodically swept per-account usage ledger; /debug/flightrec
-// dumps the always-on anomaly ring. The server is shut down gracefully
-// after the workload (and any -hold) completes, before the network stops,
-// so a late request never races node teardown.
+// `peer` realizes one partition of a seeded conformance scenario on a
+// local livenet substrate, with cross-partition links carried over
+// real UDP sockets (Sirpent-over-IP encapsulation, §2.3), runs its
+// share of the workload, reports evidence to the directory, and exits.
+//
+// cmd/sirpent-cluster orchestrates `dir` plus N `peer` processes into
+// a full localhost cluster run with verification.
 package main
 
 import (
-	"context"
-	"encoding/json"
-	"expvar"
 	"flag"
 	"fmt"
-	"net/http"
 	"os"
-	"sync"
+	"os/signal"
+	"strings"
+	"syscall"
 	"time"
 
-	"repro/internal/ledger"
-	"repro/internal/livenet"
-	"repro/internal/token"
-	"repro/internal/trace"
-	"repro/internal/viper"
+	"repro/internal/daemon"
 )
 
 func main() {
-	nClients := flag.Int("clients", 4, "concurrent client hosts")
-	nReq := flag.Int("requests", 100, "transactions per client")
-	metricsAddr := flag.String("metrics", "", "serve metrics, ledger and flight recorder on this address (e.g. :8080)")
-	hold := flag.Duration("hold", 0, "keep serving -metrics this long after the workload finishes")
-	flag.Parse()
-
-	net := livenet.NewNetwork()
-	defer net.Stop()
-
-	// The flight recorder is always on: it only records anomalies, so a
-	// clean run costs nothing and a broken one leaves evidence.
-	flight := ledger.NewFlightRecorder(0)
-	net.SetFlightRecorder(flight)
-
-	r1 := net.NewRouter("r1")
-	r2 := net.NewRouter("r2")
-	server := net.NewHost("server")
-	net.Connect(r1, 100, r2, 1, livenet.WithDepth(64))
-	net.Connect(r2, 2, server, 1, livenet.WithDepth(64))
-
-	// Guard the backbone (§2.2): both routers share one region key, the
-	// trunk and server ports demand tokens, and each client is billed to
-	// its own account.
-	auth := token.NewAuthority([]byte("sirpentd-region"))
-	r1.SetTokenAuthority(auth)
-	r2.SetTokenAuthority(auth)
-	r1.RequireToken(100)
-	r2.RequireToken(2)
-
-	// Sweep both routers' token caches into a network-wide ledger.
-	col := ledger.NewCollector(ledger.New())
-	col.AddAccountSource("r1", r1.TokenCache().AccountTotals)
-	col.AddAccountSource("r2", r2.TokenCache().AccountTotals)
-	stopSweep := col.Run(100 * time.Millisecond)
-	col.Ledger().Publish("sirpent-ledger")
-	flight.Publish("sirpent-flightrec")
-
-	var metrics *trace.Metrics
-	var srv *http.Server
-	if *metricsAddr != "" {
-		metrics = trace.NewMetrics()
-		net.SetTracer(metrics)
-		metrics.Publish("sirpent")
-
-		mux := http.NewServeMux()
-		mux.Handle("/debug/vars", expvar.Handler())
-		mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-			fmt.Fprintln(w, "ok")
-		})
-		mux.HandleFunc("/debug/ledger", func(w http.ResponseWriter, _ *http.Request) {
-			serveJSON(w, col.Ledger().Snapshot())
-		})
-		mux.HandleFunc("/debug/flightrec", func(w http.ResponseWriter, _ *http.Request) {
-			serveJSON(w, flight.Snapshot())
-		})
-		srv = &http.Server{Addr: *metricsAddr, Handler: mux}
-		go func() {
-			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-				fmt.Fprintln(os.Stderr, "metrics server:", err)
-			}
-		}()
+	args := os.Args[1:]
+	sub := "run"
+	// Bare flags alias `run`, keeping historical invocations working.
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		sub = args[0]
+		args = args[1:]
 	}
+	var err error
+	switch sub {
+	case "run":
+		err = runCmd(args)
+	case "dir":
+		err = dirCmd(args)
+	case "peer":
+		err = peerCmd(args)
+	case "help":
+		usage(os.Stdout)
+	default:
+		fmt.Fprintf(os.Stderr, "sirpentd: unknown subcommand %q\n\n", sub)
+		usage(os.Stderr)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sirpentd:", err)
+		os.Exit(1)
+	}
+}
 
-	server.Handle(0, func(d livenet.Delivery) {
-		if err := server.Send(d.ReturnRoute, append([]byte("ack:"), d.Data...)); err != nil {
-			fmt.Fprintln(os.Stderr, "server:", err)
-		}
+func usage(w *os.File) {
+	fmt.Fprintln(w, `usage: sirpentd [run|dir|peer] [flags]
+
+  run   single-process demo workload (default; bare flags alias this role)
+  dir   serve the directory service for a cluster
+  peer  join a cluster as one partition of the scenario
+
+Run 'sirpentd <role> -h' for the role's flags.`)
+}
+
+func runCmd(args []string) error {
+	fs := flag.NewFlagSet("sirpentd run", flag.ExitOnError)
+	clients := fs.Int("clients", 4, "concurrent client hosts")
+	requests := fs.Int("requests", 100, "transactions per client")
+	metrics := fs.String("metrics", "", "serve metrics, ledger and flight recorder on this address (e.g. :8080)")
+	hold := fs.Duration("hold", 0, "keep serving -metrics this long after the workload finishes")
+	fs.Parse(args)
+	return daemon.Run(daemon.RunConfig{
+		Clients:  *clients,
+		Requests: *requests,
+		Metrics:  *metrics,
+		Hold:     *hold,
+		Out:      os.Stdout,
+		Errout:   os.Stderr,
 	})
-
-	start := time.Now()
-	var wg sync.WaitGroup
-	for c := 0; c < *nClients; c++ {
-		c := c
-		h := net.NewHost(fmt.Sprintf("client%d", c))
-		net.Connect(h, 1, r1, uint8(1+c), livenet.WithDepth(64))
-		account := uint32(1 + c)
-		route := []viper.Segment{
-			{Port: 1}, // client interface
-			{Port: 100, Flags: viper.FlagVNT, // r1 -> r2 trunk
-				PortToken: auth.Issue(token.Spec{Account: account, Port: 100, ReverseOK: true})},
-			{Port: 2, Flags: viper.FlagVNT, // r2 -> server
-				PortToken: auth.Issue(token.Spec{Account: account, Port: 2, ReverseOK: true})},
-			{Port: viper.PortLocal},
-		}
-		resp := make(chan struct{}, 1)
-		h.Handle(0, func(d livenet.Delivery) { resp <- struct{}{} })
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := 0; i < *nReq; i++ {
-				if err := h.Send(route, []byte(fmt.Sprintf("c%d/%d", c, i))); err != nil {
-					fmt.Fprintln(os.Stderr, "client:", err)
-					return
-				}
-				select {
-				case <-resp:
-				case <-time.After(5 * time.Second):
-					fmt.Fprintf(os.Stderr, "client %d: timeout on request %d\n", c, i)
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	elapsed := time.Since(start)
-
-	total := *nClients * *nReq
-	fmt.Printf("completed %d transactions in %v (%.0f txn/s)\n",
-		total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds())
-	for _, r := range []*livenet.Router{r1, r2} {
-		s := r.Stats()
-		fmt.Printf("  %-3s forwarded=%d local=%d token-auth=%d drops=%d\n",
-			rName(r, r1), s.Forwarded, s.Local, s.TokenAuthorized, s.TotalDrops())
-	}
-	printBilling(col)
-	if n := flight.Total(); n > 0 {
-		fmt.Printf("flight recorder captured %d anomalies:\n%s", n, flight.Format())
-	}
-
-	if metrics != nil {
-		s := metrics.Snapshot()
-		fmt.Printf("traced %d packets / %d hops: hop latency mean=%.0fns p50=%dns p99=%dns\n",
-			s.Packets, s.Hops, s.HopLatencyMeanNs, s.HopLatencyP50Ns, s.HopLatencyP99Ns)
-		if len(s.Drops) > 0 {
-			fmt.Printf("  drops: %v\n", s.Drops)
-		}
-		if *hold > 0 {
-			fmt.Printf("serving on %s: /debug/vars /debug/ledger /debug/flightrec /healthz for %v\n",
-				*metricsAddr, *hold)
-			time.Sleep(*hold)
-		}
-	}
-
-	// Teardown order matters: drain the HTTP server first (a late curl
-	// gets its response, new connections are refused), stop the ledger
-	// sweeper, and only then — via the deferred Stop — the network.
-	if srv != nil {
-		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		if err := srv.Shutdown(ctx); err != nil {
-			fmt.Fprintln(os.Stderr, "metrics server shutdown:", err)
-		}
-		cancel()
-	}
-	stopSweep()
 }
 
-// printBilling performs a final ledger sweep and renders the per-account
-// table.
-func printBilling(col *ledger.Collector) {
-	col.Collect()
-	snap := col.Ledger().Snapshot()
-	if len(snap.Accounts) == 0 {
-		return
+func dirCmd(args []string) error {
+	fs := flag.NewFlagSet("sirpentd dir", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:0", "TCP listen address")
+	seed := fs.Int64("seed", 1, "conformance scenario seed")
+	peers := fs.Int("peers", 2, "expected cluster size")
+	fs.Parse(args)
+
+	ds, err := daemon.StartDir(daemon.DirConfig{Addr: *addr, Seed: *seed, Peers: *peers})
+	if err != nil {
+		return err
 	}
-	fmt.Printf("per-account ledger (%d sweeps):\n", snap.Sweeps)
-	fmt.Printf("  %-8s %10s %12s %8s\n", "account", "packets", "bytes", "denials")
-	for _, row := range snap.Accounts {
-		fmt.Printf("  %-8d %10d %12d %8d\n", row.Account, row.Packets, row.Bytes, row.Denials)
-	}
+	// Machine-readable first line: launchers parse this to find a
+	// dynamically bound port.
+	fmt.Printf("SIRPENT_DIR_URL=%s\n", ds.URL)
+	fmt.Printf("serving scenario seed=%d (%d routers, %d hosts, %d flows) for %d peers\n",
+		*seed, ds.Scenario.NRouters, len(ds.Scenario.HostRouter), len(ds.Scenario.Flows), *peers)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		ds.Close()
+	}()
+	return ds.Wait()
 }
 
-func serveJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(v); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+func peerCmd(args []string) error {
+	fs := flag.NewFlagSet("sirpentd peer", flag.ExitOnError)
+	index := fs.Int("index", 0, "this peer's index (0-based)")
+	peers := fs.Int("peers", 2, "cluster size")
+	seed := fs.Int64("seed", 1, "conformance scenario seed (must match the directory's)")
+	dir := fs.String("dir", "", "directory service base URL (required)")
+	udp := fs.String("udp", "127.0.0.1:0", "UDP bridge listen address")
+	settle := fs.Duration("settle", 30*time.Second, "quiesce deadline")
+	loss := fs.Float64("loss", 0, "injected tunnel loss ratio (fault experiments)")
+	fs.Parse(args)
+	if *dir == "" {
+		return fmt.Errorf("peer: -dir is required")
 	}
-}
-
-func rName(r, r1 *livenet.Router) string {
-	if r == r1 {
-		return "r1"
+	rep, err := daemon.Peer(daemon.PeerConfig{
+		Index:         *index,
+		Total:         *peers,
+		Seed:          *seed,
+		DirURL:        *dir,
+		UDPAddr:       *udp,
+		SettleTimeout: *settle,
+		LossRatio:     *loss,
+		Logf: func(format string, a ...any) {
+			fmt.Printf(format+"\n", a...)
+		},
+	})
+	if err != nil {
+		return err
 	}
-	return "r2"
+	if !rep.Complete {
+		return fmt.Errorf("peer %d: settle deadline passed before quiesce (%d delivered, %d replied)",
+			*index, len(rep.Delivered), len(rep.Replied))
+	}
+	return nil
 }

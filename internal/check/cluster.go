@@ -1,0 +1,41 @@
+package check
+
+import "fmt"
+
+// Cross-process partitioning of a scenario: the distributed runtime
+// (internal/daemon) splits one generated scenario across N peer
+// processes, each realizing the routers it owns — plus their attached
+// hosts — on its own livenet substrate, with the links that cross the
+// partition carried over UDP tunnels (internal/udpnet). The partition
+// function lives here so the daemon, the cluster launcher, and the
+// parity verification all agree on who owns what without exchanging
+// topology state: everything derives from the seed.
+
+// PeerName returns the canonical name of cluster peer i.
+func PeerName(i int) string { return fmt.Sprintf("peer%d", i) }
+
+// Owner returns the index of the peer that owns router ri in an
+// nPeers-way partition. Round-robin keeps every peer loaded even when
+// the scenario has few routers, and guarantees adjacent routers
+// usually land on different peers — maximizing cross-process links,
+// which is the interesting case.
+func Owner(ri, nPeers int) int { return ri % nPeers }
+
+// HostOwner returns the peer owning host hi: hosts live with the
+// router they attach to, so the host-router link never crosses a
+// process boundary.
+func HostOwner(sc *Scenario, hi, nPeers int) int { return Owner(sc.HostRouter[hi], nPeers) }
+
+// CrossLinks returns the indices into sc.Links of every router-router
+// link whose ends are owned by different peers — the links that must
+// become UDP tunnels. The global link index doubles as the tunnel's
+// wire linkID, so both ends pick the same demux key independently.
+func CrossLinks(sc *Scenario, nPeers int) []int {
+	var out []int
+	for i, l := range sc.Links {
+		if Owner(l.A, nPeers) != Owner(l.B, nPeers) {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,211 @@
+package daemon
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/directory"
+)
+
+// The cluster tests exercise the distributed runtime for real: peers
+// are separate livenet substrates joined over localhost UDP sockets,
+// with routes and tokens fetched from the directory service over
+// HTTP. The four-node test runs each peer in its own OS process by
+// re-executing the test binary (TestMain dispatches on an env var),
+// which is the acceptance shape: a launcher-started 4-node cluster
+// completing a seeded workload with zero lost transactions and exact
+// ledger parity with the single-process run of the same seed.
+
+const (
+	roleEnv  = "SIRPENTD_TEST_ROLE"
+	indexEnv = "SIRPENTD_TEST_INDEX"
+	totalEnv = "SIRPENTD_TEST_TOTAL"
+	seedEnv  = "SIRPENTD_TEST_SEED"
+	dirEnv   = "SIRPENTD_TEST_DIR"
+)
+
+func TestMain(m *testing.M) {
+	if os.Getenv(roleEnv) == "peer" {
+		childPeer()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// childPeer is the re-exec entry: the test binary, relaunched as a
+// cluster peer.
+func childPeer() {
+	idx, _ := strconv.Atoi(os.Getenv(indexEnv))
+	total, _ := strconv.Atoi(os.Getenv(totalEnv))
+	seed, _ := strconv.ParseInt(os.Getenv(seedEnv), 10, 64)
+	_, err := Peer(PeerConfig{
+		Index:         idx,
+		Total:         total,
+		Seed:          seed,
+		DirURL:        os.Getenv(dirEnv),
+		SettleTimeout: 20 * time.Second,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "peer:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// clusterSeed returns the first seed whose scenario has at least
+// minRouters routers and at least one link crossing a total-way
+// partition — so the workload genuinely exercises the UDP tunnels.
+func clusterSeed(t *testing.T, minRouters, total int) int64 {
+	t.Helper()
+	for seed := int64(1); seed < 1000; seed++ {
+		sc := check.Generate(seed)
+		if sc.NRouters >= minRouters && len(check.CrossLinks(sc, total)) > 0 {
+			return seed
+		}
+	}
+	t.Fatalf("no seed under 1000 yields >=%d routers with cross-links at %d peers", minRouters, total)
+	return 0
+}
+
+// verifyCluster collects the reports from a finished run and applies
+// the full verdict: per-flow delivery/echo exactness, internal ledger
+// reconciliation, and per-account parity against the single-process
+// livenet run of the same seed.
+func verifyCluster(t *testing.T, ds *DirServer, seed int64, total int) {
+	t.Helper()
+	client := directory.NewClient(ds.URL)
+	raw, err := client.Reports(10 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, err := DecodeReports(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if problems := VerifyCluster(ds.Scenario, total, reports); len(problems) > 0 {
+		t.Fatalf("cluster verdict (%d problems):\n%s\n%s",
+			len(problems), joinLines(problems), FormatReports(reports))
+	}
+	diffs, err := CompareWithSingleProcess(seed, ClusterLedger(reports), 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) > 0 {
+		t.Fatalf("cluster ledger diverges from single-process run:\n%s\n%s",
+			joinLines(diffs), FormatReports(reports))
+	}
+
+	// The directory's own billing database must agree too: every peer
+	// posted its per-router sweeps there (§3's accounting story).
+	bill, err := client.Bill()
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := ClusterLedger(reports).Totals()
+	for account, e := range merged {
+		if u := bill[account]; u.Packets != e.Packets || u.Bytes != e.Bytes {
+			t.Fatalf("directory bill for account %d = %+v, cluster ledger %+v", account, bill[account], e)
+		}
+	}
+}
+
+func joinLines(lines []string) string {
+	var b bytes.Buffer
+	for _, l := range lines {
+		b.WriteString("  ")
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestClusterTwoPeerInProcess runs a 2-peer cluster with both peers
+// in this process (separate livenet substrates, real UDP between
+// them) — fast coverage of the whole join/route/quiesce/report
+// protocol without process management.
+func TestClusterTwoPeerInProcess(t *testing.T) {
+	const total = 2
+	seed := clusterSeed(t, 2, total)
+	ds, err := StartDir(DirConfig{Addr: "127.0.0.1:0", Seed: seed, Peers: total})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+
+	var wg sync.WaitGroup
+	errs := make([]error, total)
+	for i := 0; i < total; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, errs[i] = Peer(PeerConfig{
+				Index: i, Total: total, Seed: seed, DirURL: ds.URL,
+				SettleTimeout: 15 * time.Second, Logf: t.Logf,
+			})
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("peer %d: %v", i, err)
+		}
+	}
+	verifyCluster(t, ds, seed, total)
+}
+
+// TestClusterFourProcessParity is the acceptance run: four peer
+// processes (re-execed test binary) over localhost UDP, seeded
+// conformance workload, zero lost transactions, and per-account
+// ledger totals identical to the single-process livenet run.
+func TestClusterFourProcessParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process cluster run in -short mode")
+	}
+	const total = 4
+	seed := clusterSeed(t, 4, total)
+	ds, err := StartDir(DirConfig{Addr: "127.0.0.1:0", Seed: seed, Peers: total})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmds := make([]*exec.Cmd, total)
+	outs := make([]bytes.Buffer, total)
+	for i := 0; i < total; i++ {
+		cmd := exec.Command(exe)
+		cmd.Env = append(os.Environ(),
+			roleEnv+"=peer",
+			fmt.Sprintf("%s=%d", indexEnv, i),
+			fmt.Sprintf("%s=%d", totalEnv, total),
+			fmt.Sprintf("%s=%d", seedEnv, seed),
+			dirEnv+"="+ds.URL,
+		)
+		cmd.Stdout = &outs[i]
+		cmd.Stderr = &outs[i]
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("start peer %d: %v", i, err)
+		}
+		cmds[i] = cmd
+	}
+	for i, cmd := range cmds {
+		if err := cmd.Wait(); err != nil {
+			t.Errorf("peer %d exited: %v\n%s", i, err, outs[i].String())
+		}
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	verifyCluster(t, ds, seed, total)
+}

@@ -1,0 +1,317 @@
+package daemon
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/directory"
+	"repro/internal/ledger"
+	"repro/internal/livenet"
+	"repro/internal/token"
+	"repro/internal/udpnet"
+)
+
+// PeerConfig configures one cluster peer: the daemon realizing its
+// share of a seeded scenario on a local livenet substrate, with
+// cross-partition links carried over UDP.
+type PeerConfig struct {
+	// Index identifies this peer (0-based); Total is the cluster size.
+	Index, Total int
+	// Seed selects the scenario; must match the directory's.
+	Seed int64
+	// DirURL is the directory service base URL.
+	DirURL string
+	// UDPAddr is the bridge listen address; default "127.0.0.1:0".
+	UDPAddr string
+	// SettleTimeout bounds the wait for local quiesce; default 30s.
+	SettleTimeout time.Duration
+	// LossRatio injects loss on every tunnel this peer terminates
+	// (fault-injection runs; 0 for conformance).
+	LossRatio float64
+	// Logf, when set, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (c *PeerConfig) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// Peer runs the peer role to completion: build owned topology, join
+// the cluster, push the owned share of the workload, quiesce, report,
+// and tear down. The returned Report is what was posted to the
+// directory.
+func Peer(cfg PeerConfig) (*Report, error) {
+	if cfg.Total <= 0 || cfg.Index < 0 || cfg.Index >= cfg.Total {
+		return nil, fmt.Errorf("daemon: peer index %d out of range for %d peers", cfg.Index, cfg.Total)
+	}
+	if cfg.UDPAddr == "" {
+		cfg.UDPAddr = "127.0.0.1:0"
+	}
+	if cfg.SettleTimeout == 0 {
+		cfg.SettleTimeout = 30 * time.Second
+	}
+	name := check.PeerName(cfg.Index)
+	sc := check.Generate(cfg.Seed)
+
+	// Local substrate: owned routers (token-guarded exactly as the
+	// single-process ledgered run guards them), their hosts, and every
+	// link with both ends owned.
+	fr := ledger.NewFlightRecorder(0)
+	col := ledger.NewCollector(ledger.New())
+	netw := livenet.NewNetwork(
+		livenet.WithFlightRecorder(fr),
+		livenet.WithLedgerCollector(col),
+	)
+	defer netw.Stop()
+
+	routers := make(map[int]*livenet.Router)
+	for ri := 0; ri < sc.NRouters; ri++ {
+		if check.Owner(ri, cfg.Total) != cfg.Index {
+			continue
+		}
+		r := netw.NewRouter(check.RouterName(ri))
+		r.SetTokenAuthority(token.NewAuthority(check.TokenKey(ri)))
+		for _, p := range check.RouterPorts(sc, ri) {
+			r.RequireToken(p)
+		}
+		routers[ri] = r
+	}
+	hosts := make(map[int]*livenet.Host)
+	for hi := range sc.HostRouter {
+		if check.HostOwner(sc, hi, cfg.Total) != cfg.Index {
+			continue
+		}
+		hosts[hi] = netw.NewHost(check.HostName(hi))
+		netw.Connect(hosts[hi], 1, routers[sc.HostRouter[hi]], sc.HostPort[hi], livenet.WithDepth(64))
+	}
+	for _, l := range sc.Links {
+		if check.Owner(l.A, cfg.Total) == cfg.Index && check.Owner(l.B, cfg.Total) == cfg.Index {
+			netw.Connect(routers[l.A], l.APort, routers[l.B], l.BPort, livenet.WithDepth(64))
+		}
+	}
+
+	// Cross-partition links become UDP tunnels; the global link index
+	// is the wire linkID, so both ends agree without coordination.
+	bridge, err := udpnet.Listen(cfg.UDPAddr)
+	if err != nil {
+		return nil, err
+	}
+	defer bridge.Close()
+	type pending struct {
+		tun      *udpnet.Tunnel
+		farOwner int
+	}
+	var tunnels []pending
+	for _, li := range check.CrossLinks(sc, cfg.Total) {
+		l := sc.Links[li]
+		var ri int
+		var port uint8
+		var far int
+		switch cfg.Index {
+		case check.Owner(l.A, cfg.Total):
+			ri, port, far = l.A, l.APort, check.Owner(l.B, cfg.Total)
+		case check.Owner(l.B, cfg.Total):
+			ri, port, far = l.B, l.BPort, check.Owner(l.A, cfg.Total)
+		default:
+			continue
+		}
+		tun, err := bridge.Attach(netw, routers[ri], port, uint16(li))
+		if err != nil {
+			return nil, err
+		}
+		if cfg.LossRatio > 0 {
+			tun.SetLossRatio(cfg.LossRatio)
+		}
+		tunnels = append(tunnels, pending{tun: tun, farOwner: far})
+	}
+
+	// Workload receivers: the echo protocol of the conformance harness,
+	// scoped to owned hosts. Requests are recorded and answered along
+	// the accumulated return route; replies are recorded at the origin.
+	// Handlers MUST be live before the "up" barrier below — a faster
+	// peer injects the moment the barrier clears, and a request
+	// arriving at a handlerless host would be dropped.
+	rep := &Report{
+		Peer:        name,
+		Delivered:   make(map[uint64]string),
+		Replied:     make(map[uint64]string),
+		RouterUsage: make(map[string]map[uint32]token.Usage),
+		Tunnels:     make(map[uint16]udpnet.Stats),
+	}
+	var mu sync.Mutex
+	for hi, h := range hosts {
+		hname := check.HostName(hi)
+		h := h
+		h.Handle(0, func(d livenet.Delivery) {
+			id, kind, ok := check.ParseData(d.Data)
+			if !ok || id == 0 || int(id) > len(sc.Flows) {
+				mu.Lock()
+				rep.Garbled++
+				mu.Unlock()
+				return
+			}
+			switch kind {
+			case check.KindRequest:
+				f := sc.Flows[id-1]
+				mu.Lock()
+				if _, dup := rep.Delivered[id]; dup {
+					rep.Duplicates++
+				}
+				rep.Delivered[id] = hname
+				if !bytes.Equal(d.Data, check.FlowData(f)) {
+					rep.DataBad++
+				}
+				mu.Unlock()
+				if err := h.Send(d.ReturnRoute, check.ReplyData(id)); err != nil {
+					mu.Lock()
+					rep.SendErrs++
+					mu.Unlock()
+				}
+			case check.KindReply:
+				mu.Lock()
+				if _, dup := rep.Replied[id]; dup {
+					rep.Duplicates++
+				}
+				rep.Replied[id] = hname
+				mu.Unlock()
+			default:
+				mu.Lock()
+				rep.Garbled++
+				mu.Unlock()
+			}
+		})
+	}
+
+	// Join: register the bridge address, wait for the full roster,
+	// resolve every tunnel's far end, and barrier until the whole
+	// cluster is wired — no packet crosses a tunnel before both ends
+	// exist, so nothing is lost to startup order.
+	client := directory.NewClient(cfg.DirURL)
+	var ownedNodes []string
+	for ri := range routers {
+		ownedNodes = append(ownedNodes, check.RouterName(ri))
+	}
+	if _, err := client.Register(directory.PeerReg{
+		Name: name, UDPAddr: bridge.Addr().String(), Nodes: ownedNodes,
+	}); err != nil {
+		return nil, err
+	}
+	roster, err := client.WaitPeers(cfg.Total, cfg.SettleTimeout)
+	if err != nil {
+		return nil, err
+	}
+	addrOf := make(map[string]*net.UDPAddr, len(roster))
+	for _, p := range roster {
+		ua, err := net.ResolveUDPAddr("udp", p.UDPAddr)
+		if err != nil {
+			return nil, fmt.Errorf("daemon: peer %s has bad address %q: %w", p.Name, p.UDPAddr, err)
+		}
+		addrOf[p.Name] = ua
+	}
+	for _, pd := range tunnels {
+		far := check.PeerName(pd.farOwner)
+		ua, ok := addrOf[far]
+		if !ok {
+			return nil, fmt.Errorf("daemon: tunnel %d's far owner %s never registered", pd.tun.LinkID(), far)
+		}
+		pd.tun.SetRemote(ua)
+	}
+	if err := client.Barrier(name, "up"); err != nil {
+		return nil, err
+	}
+	cfg.logf("%s: cluster up, %d routers %d hosts %d tunnels", name, len(routers), len(hosts), len(tunnels))
+
+	// Inject owned flows, with routes — and tokens — fetched from the
+	// directory over the wire, the same queries the single-process run
+	// makes in-process.
+	var wantDelivered, wantReplied []uint64
+	for _, f := range sc.Flows {
+		if check.HostOwner(sc, f.Dst, cfg.Total) == cfg.Index {
+			wantDelivered = append(wantDelivered, f.ID)
+		}
+		if check.HostOwner(sc, f.Src, cfg.Total) != cfg.Index {
+			continue
+		}
+		wantReplied = append(wantReplied, f.ID)
+		routes, err := client.Routes(directory.Query{
+			From:     check.HostName(f.Src),
+			To:       check.HostName(f.Dst),
+			Priority: f.Prio,
+			Account:  check.AccountFor(f),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("daemon: route for flow %d: %w", f.ID, err)
+		}
+		if err := hosts[f.Src].Send(routes[0].Segments, check.FlowData(f)); err != nil {
+			mu.Lock()
+			rep.SendErrs++
+			mu.Unlock()
+		}
+	}
+
+	// Quiesce: local completeness is every owned destination seeing
+	// its request and every owned source seeing its reply. When all
+	// peers are locally complete, no data packet is in flight anywhere
+	// — the "drained" barrier then makes the ledger sweep a snapshot
+	// of a quiet network.
+	deadline := time.Now().Add(cfg.SettleTimeout)
+	for {
+		mu.Lock()
+		done := len(rep.Delivered) >= len(wantDelivered) && len(rep.Replied) >= len(wantReplied)
+		mu.Unlock()
+		if done {
+			rep.Complete = true
+			break
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := client.Barrier(name, "drained"); err != nil {
+		return nil, err
+	}
+
+	// Evidence: sweep owned routers' token caches (the construction-
+	// time collector registered them), post per-router usage to the
+	// directory's billing database, and file the report.
+	col.Collect()
+	mu.Lock()
+	defer mu.Unlock()
+	for ri, r := range routers {
+		rn := check.RouterName(ri)
+		totals := r.TokenCache().AccountTotals()
+		rep.RouterUsage[rn] = totals
+		if err := client.ReportUsage(rn, totals); err != nil {
+			return nil, err
+		}
+		s := r.Stats()
+		rep.TokenAuthorized += s.TokenAuthorized
+		rep.Forwarded += s.Forwarded
+		rep.RouterDrops += s.TotalDrops()
+	}
+	for _, pd := range tunnels {
+		st := pd.tun.Stats()
+		rep.Tunnels[pd.tun.LinkID()] = st
+		rep.TunnelDropped += st.Dropped
+	}
+	rep.Anomalies = fr.Total()
+	if err := client.Report(name, rep); err != nil {
+		return nil, err
+	}
+
+	// Exit barrier: nobody tears down their bridge while a peer might
+	// still want its reports served or late frames delivered.
+	if err := client.Barrier(name, "done"); err != nil {
+		return nil, err
+	}
+	cfg.logf("%s: done — %d delivered, %d replied, complete=%v",
+		name, len(rep.Delivered), len(rep.Replied), rep.Complete)
+	return rep, nil
+}

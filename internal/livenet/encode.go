@@ -1,0 +1,75 @@
+package livenet
+
+import (
+	"fmt"
+
+	"repro/internal/viper"
+)
+
+// This file is the shared wire-image assembly used by both injection
+// paths: Host.Send encodes straight into a pooled buffer per packet,
+// and Host.NewSender encodes once into its prepared template. Neither
+// materializes a viper.Packet or clones the caller's route — the
+// continuation fixes SealRoute would apply are computed on stack copies
+// of each segment, so the caller's segments are never mutated and the
+// encode allocates nothing beyond the destination buffer.
+
+// routeWireLen returns the encoded size of the carried route (the
+// sender's own directive already stripped).
+func routeWireLen(route []viper.Segment) int {
+	n := 0
+	for i := range route {
+		n += route[i].WireLen()
+	}
+	return n
+}
+
+// originTrailer is the origin host's own trailer segment: the packet
+// starts its life with one return segment naming the local stack, so a
+// full round trip ends where it began.
+func originTrailer(ownPrio viper.Priority) viper.Segment {
+	return viper.Segment{Port: viper.PortLocal, Priority: ownPrio}
+}
+
+// appendWireImage appends the full wire form of an origin packet —
+// sealed route, data, mirrored origin trailer segment, descriptor — to
+// buf. route is the carried source route (without the sender's own
+// directive); it is read, never written: continuation flags are fixed
+// up on per-segment stack copies, exactly as viper.SealRoute would fix
+// them in place.
+func appendWireImage(buf []byte, route []viper.Segment, data []byte, ownPrio viper.Priority) ([]byte, error) {
+	if len(route) == 0 {
+		return nil, fmt.Errorf("livenet: empty route")
+	}
+	if len(route) > viper.MaxRouteSegments {
+		return nil, viper.ErrTooManySegments
+	}
+	var err error
+	for i := range route {
+		seg := route[i] // stack copy: flag fixes must not touch the caller's route
+		if i == len(route)-1 {
+			seg.Flags &^= viper.FlagVNT
+			if seg.Continues() {
+				return nil, fmt.Errorf("livenet: final segment portInfo carries VIPER continuation tag")
+			}
+		} else if !seg.Continues() {
+			seg.Flags |= viper.FlagVNT
+		}
+		if buf, err = viper.AppendSegment(buf, &seg); err != nil {
+			return nil, err
+		}
+	}
+	buf = append(buf, data...)
+	tr := originTrailer(ownPrio)
+	if buf, err = viper.AppendSegmentMirrored(buf, &tr); err != nil {
+		return nil, err
+	}
+	return viper.AppendTrailerDescriptor(buf, 1, false)
+}
+
+// wireImageLen returns the exact byte length appendWireImage will
+// produce for the given route and payload length.
+func wireImageLen(route []viper.Segment, dataLen int, ownPrio viper.Priority) int {
+	tr := originTrailer(ownPrio)
+	return routeWireLen(route) + dataLen + tr.WireLen() + 4
+}

@@ -104,6 +104,9 @@ type networkConfig struct {
 	batched   bool
 	batchSize int
 	shards    int
+	tracer    trace.Tracer
+	flight    *ledger.FlightRecorder
+	collector *ledger.Collector
 }
 
 // NetworkOption configures one NewNetwork call.
@@ -144,6 +147,32 @@ func WithShards(n int) NetworkOption {
 	}
 }
 
+// WithTracer installs the network's hop-level tracer at construction:
+// every packet originated by any host of this network carries a trace
+// record from the first Send on. This is the wiring SetTracer performs
+// post hoc, promoted to a construction-time option so a network is born
+// fully instrumented.
+func WithTracer(t trace.Tracer) NetworkOption {
+	return func(c *networkConfig) { c.tracer = t }
+}
+
+// WithFlightRecorder installs the network's anomaly ring at
+// construction: drops, token denials, and link flaps across all routers
+// and links are recorded from the first frame on. The recording sites
+// sit only on anomaly paths, so the happy forwarding path pays nothing.
+func WithFlightRecorder(fr *ledger.FlightRecorder) NetworkOption {
+	return func(c *networkConfig) { c.flight = fr }
+}
+
+// WithLedgerCollector registers every router this network creates as an
+// account source on col: once a router is token-guarded
+// (SetTokenAuthority), the collector's sweeps pick up its cache's
+// per-account totals under the router's name. This replaces the manual
+// per-router AddAccountSource wiring.
+func WithLedgerCollector(col *ledger.Collector) NetworkOption {
+	return func(c *networkConfig) { c.collector = col }
+}
+
 // DefaultBatchSize is the per-dequeue frame budget of a batched network
 // created without WithBatchSize.
 const DefaultBatchSize = 64
@@ -155,6 +184,12 @@ func NewNetwork(opts ...NetworkOption) *Network {
 	for _, o := range opts {
 		o(&n.cfg)
 	}
+	if n.cfg.tracer != nil {
+		n.SetTracer(n.cfg.tracer)
+	}
+	if n.cfg.flight != nil {
+		n.SetFlightRecorder(n.cfg.flight)
+	}
 	return n
 }
 
@@ -162,6 +197,9 @@ func NewNetwork(opts ...NetworkOption) *Network {
 // tracer: every packet subsequently originated by any host of this
 // network carries a trace record. Safe to call while traffic flows;
 // in-flight packets keep whatever record they started with.
+//
+// Deprecated: prefer the construction-time WithTracer option; this
+// setter remains for callers that enable tracing mid-run.
 func (n *Network) SetTracer(t trace.Tracer) { n.tracer.Store(&tracerBox{t}) }
 
 // currentTracer returns the installed tracer, nil when tracing is off.
@@ -177,6 +215,9 @@ func (n *Network) currentTracer() trace.Tracer {
 // links of this network are recorded into it. Safe to call while traffic
 // flows. The recording sites sit only on anomaly paths, so the happy
 // forwarding path pays nothing either way.
+//
+// Deprecated: prefer the construction-time WithFlightRecorder option;
+// this setter remains for callers that swap recorders mid-run.
 func (n *Network) SetFlightRecorder(fr *ledger.FlightRecorder) { n.flight.Store(fr) }
 
 // currentFlight returns the installed recorder, nil when disabled.
@@ -560,6 +601,17 @@ func (n *Network) newRouter(name string) *Router {
 func (n *Network) NewRouter(name string) *Router {
 	r := n.newRouter(name)
 	n.nodes = append(n.nodes, r.node)
+	if col := n.cfg.collector; col != nil {
+		// The cache appears only once the router is token-guarded; the
+		// closure resolves it per sweep so registration order and
+		// guarding order are independent.
+		col.AddAccountSource(name, func() map[uint32]token.Usage {
+			if c := r.TokenCache(); c != nil {
+				return c.AccountTotals()
+			}
+			return nil
+		})
+	}
 	if n.cfg.batched {
 		for _, sh := range r.node.rx {
 			sh := sh
@@ -802,25 +854,21 @@ func (h *Host) Handle(endpoint uint8, fn func(Delivery)) {
 }
 
 // Send originates a packet along a source route (sender directive
-// first, as in the simulator's Host). The packet is encoded into a
-// pooled buffer with enough headroom for every hop's trailer growth, so
-// the frame crosses the network without further allocation.
+// first, as in the simulator's Host). The wire image is assembled
+// directly into a pooled buffer by the same machinery NewSender uses
+// for its prepared template — no route clone, no intermediate Packet —
+// with enough headroom for every hop's trailer growth, so injection
+// and the frame's whole transit are allocation-free in steady state
+// (pinned by TestSendAllocs).
 func (h *Host) Send(route []viper.Segment, data []byte) error {
 	if len(route) == 0 {
 		return fmt.Errorf("livenet: empty route")
 	}
 	own := route[0]
-	rest := make([]viper.Segment, len(route)-1)
-	for i := range rest {
-		rest[i] = route[i+1].Clone()
-	}
-	if err := viper.SealRoute(rest); err != nil {
-		return err
-	}
-	pkt := viper.NewPacket(rest, data)
-	pkt.Trailer = append(pkt.Trailer, viper.Segment{Port: viper.PortLocal, Priority: own.Priority})
-	buf := pool.Get(pkt.WireLen() + frameHeadroom(len(rest), pkt.HeaderLen()))
-	b, err := pkt.EncodeAppend(buf)
+	rest := route[1:]
+	headerLen := routeWireLen(rest)
+	buf := pool.Get(wireImageLen(rest, len(data), own.Priority) + frameHeadroom(len(rest), headerLen))
+	b, err := appendWireImage(buf, rest, data, own.Priority)
 	if err != nil {
 		pool.Put(buf)
 		return err
@@ -854,6 +902,25 @@ func (h *Host) Send(route []viper.Segment, data []byte) error {
 	return nil
 }
 
+// SendRaw transmits an already-encoded VIPER packet on one of the
+// host's interfaces, exactly as received: no route interpretation, no
+// segment strip, no origin trailer. It is the injection half of an
+// encapsulation gateway (internal/udpnet, §2.3's "one logical hop"
+// story): bytes that crossed a foreign transport re-enter the Sirpent
+// network here, and the adjacent node sees an ordinary arrival on its
+// end of the link. The bytes are copied into a pooled buffer with
+// forwarding headroom; the caller keeps pkt.
+func (h *Host) SendRaw(ifPort uint8, pkt []byte) error {
+	buf := pool.Get(len(pkt) + frameHeadroom(4, len(pkt)))
+	buf = append(buf, pkt...)
+	f := Frame{Pkt: buf, buf: buf[:0]}
+	if !h.send(ifPort, f) {
+		f.release()
+		return fmt.Errorf("livenet: no interface %d on %s", ifPort, h.name)
+	}
+	return nil
+}
+
 func (h *Host) run() {
 	for {
 		select {
@@ -880,6 +947,22 @@ func (h *Host) closeReceive(inf inFrame, action trace.Action, reason stats.DropR
 	pt.Done()
 }
 
+// recordDrop makes a host-side discard visible in the network's flight
+// recorder. Hosts have no counter plane, so without this a packet
+// reaching a host that cannot decode it — or one with no handler on
+// the addressed endpoint — would vanish without evidence; this exact
+// silence once hid a cluster startup race (a request arriving before
+// the receiving daemon installed its handler) until tunnel counters
+// were cross-checked by hand.
+func (h *Host) recordDrop(port uint8, reason stats.DropReason) {
+	if fr := h.netw.currentFlight(); fr != nil {
+		fr.Record(ledger.Event{
+			At: clock.Wall.NowNanos(), Node: h.name, Port: port,
+			Kind: dataplane.DropKind(reason), Reason: reason.String(),
+		})
+	}
+}
+
 func (h *Host) receive(inf inFrame) {
 	if fn := h.rawTap(); fn != nil {
 		h.closeReceive(inf, trace.ActionLocal, 0)
@@ -890,6 +973,7 @@ func (h *Host) receive(inf inFrame) {
 	pkt, err := viper.Decode(inf.frame.Pkt)
 	if err != nil || len(pkt.Route) == 0 {
 		h.closeReceive(inf, trace.ActionDrop, stats.DropNotSirpent)
+		h.recordDrop(inf.port, stats.DropNotSirpent)
 		inf.frame.release()
 		return
 	}
@@ -910,6 +994,7 @@ func (h *Host) receive(inf inFrame) {
 		fn(Delivery{Data: pkt.Data, ReturnRoute: pkt.ReturnRoute(), Endpoint: seg.Port})
 	} else {
 		h.closeReceive(inf, trace.ActionDrop, stats.DropBadPort)
+		h.recordDrop(inf.port, stats.DropBadPort)
 	}
 	inf.frame.release()
 }

@@ -40,16 +40,10 @@ func (h *Host) NewSender(route []viper.Segment, dataLen int) (*Sender, error) {
 		return nil, fmt.Errorf("livenet: empty route")
 	}
 	own := route[0]
-	rest := make([]viper.Segment, len(route)-1)
-	for i := range rest {
-		rest[i] = route[i+1].Clone()
-	}
-	if err := viper.SealRoute(rest); err != nil {
-		return nil, err
-	}
-	pkt := viper.NewPacket(rest, make([]byte, dataLen))
-	pkt.Trailer = append(pkt.Trailer, viper.Segment{Port: viper.PortLocal, Priority: own.Priority})
-	wire, err := pkt.Encode()
+	rest := route[1:]
+	headerLen := routeWireLen(rest)
+	wire, err := appendWireImage(make([]byte, 0, wireImageLen(rest, dataLen, own.Priority)),
+		rest, make([]byte, dataLen), own.Priority)
 	if err != nil {
 		return nil, err
 	}
@@ -57,9 +51,9 @@ func (h *Host) NewSender(route []viper.Segment, dataLen int) (*Sender, error) {
 		h:        h,
 		port:     own.Port,
 		wire:     wire,
-		dataOff:  pkt.HeaderLen(),
+		dataOff:  headerLen,
 		dataLen:  dataLen,
-		headroom: frameHeadroom(len(rest), pkt.HeaderLen()),
+		headroom: frameHeadroom(len(rest), headerLen),
 	}
 	if len(own.PortInfo) > 0 {
 		s.hdr = append([]byte(nil), own.PortInfo...)

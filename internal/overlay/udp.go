@@ -1,0 +1,285 @@
+package overlay
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/ethernet"
+	"repro/internal/netsim"
+	"repro/internal/router"
+	"repro/internal/sim"
+	"repro/internal/viper"
+)
+
+// This file carries the §2.3 logical hop over a *real* datagram
+// internetwork: the host OS's UDP stack instead of the simulated
+// internal/ipnet substrate. The Sirpent side is unchanged — a
+// UDPEndpoint is a netsim.Medium exactly like Endpoint — but the
+// crossing is an actual socket, so delivery, loss, and reordering are
+// whatever the kernel produces, on wall-clock time.
+//
+// That creates a clock-coupling problem: the simulation engine runs
+// virtual time, while datagrams arrive in real time. UDPTunnel.Pump
+// solves it by refusing to advance virtual time past a pending timer
+// until the sockets have had a wall-clock grace period to deliver —
+// so a datagram in flight on the real network cannot be outrun by a
+// virtual-time retransmission timeout, yet a genuinely lost datagram
+// still lets the timeout fire and the transport recover.
+
+// UDPEndpoint is one side of a real-socket tunnel: a netsim.Medium
+// whose transmissions become UDP datagrams on an owned socket.
+type UDPEndpoint struct {
+	eng    *sim.Engine
+	conn   *net.UDPConn
+	remote *net.UDPAddr
+	local  *netsim.Port
+
+	rateBps float64
+	prop    sim.Time
+
+	// dropNext deterministically discards the next n egress datagrams
+	// after encoding — the socketpair analogue of a lossy wire, used to
+	// force transport retransmission without a random lottery.
+	dropNext int
+
+	Stats Stats
+}
+
+// UDPTunnel joins two Sirpent routers across the host's real UDP
+// stack. Both endpoints live in one process (a socketpair over
+// loopback), sharing one arrival stream for the pump.
+type UDPTunnel struct {
+	eng      *sim.Engine
+	A, B     *UDPEndpoint
+	arrivals chan arrival
+	closed   chan struct{}
+	once     sync.Once
+}
+
+type arrival struct {
+	ep   *UDPEndpoint
+	data []byte
+}
+
+// NewUDPTunnel binds routerA's portA to routerB's portB over a fresh
+// loopback UDP socketpair. The caller must drive the engine with Pump
+// (not Run) so real arrivals are injected, and Close the tunnel when
+// done.
+func NewUDPTunnel(eng *sim.Engine, ra *router.Router, portA uint8, rb *router.Router, portB uint8, cfg Config) (*UDPTunnel, error) {
+	cfg = cfg.withDefaults()
+	connA, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, fmt.Errorf("overlay: udp listen: %w", err)
+	}
+	connB, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		connA.Close()
+		return nil, fmt.Errorf("overlay: udp listen: %w", err)
+	}
+	t := &UDPTunnel{
+		eng:      eng,
+		arrivals: make(chan arrival, 256),
+		closed:   make(chan struct{}),
+	}
+	t.A = &UDPEndpoint{eng: eng, conn: connA, remote: connB.LocalAddr().(*net.UDPAddr),
+		rateBps: cfg.RateBps, prop: cfg.Prop}
+	t.B = &UDPEndpoint{eng: eng, conn: connB, remote: connA.LocalAddr().(*net.UDPAddr),
+		rateBps: cfg.RateBps, prop: cfg.Prop}
+
+	t.A.local = &netsim.Port{Node: ra, ID: portA, Medium: t.A}
+	t.B.local = &netsim.Port{Node: rb, ID: portB, Medium: t.B}
+	ra.AttachPort(t.A.local)
+	rb.AttachPort(t.B.local)
+
+	go t.readLoop(t.A)
+	go t.readLoop(t.B)
+	return t, nil
+}
+
+// Close shuts both sockets down; the read loops exit.
+func (t *UDPTunnel) Close() {
+	t.once.Do(func() {
+		close(t.closed)
+		t.A.conn.Close()
+		t.B.conn.Close()
+	})
+}
+
+// readLoop moves datagrams from one endpoint's socket into the shared
+// arrival stream. It owns nothing of the simulation: decoding and
+// injection happen on the pump goroutine, keeping the engine
+// single-threaded.
+func (t *UDPTunnel) readLoop(ep *UDPEndpoint) {
+	buf := make([]byte, 64*1024)
+	for {
+		n, _, err := ep.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-t.closed:
+				return
+			default:
+				continue
+			}
+		}
+		data := make([]byte, n)
+		copy(data, buf[:n])
+		select {
+		case t.arrivals <- arrival{ep: ep, data: data}:
+		case <-t.closed:
+			return
+		}
+	}
+}
+
+// Pump drives the engine against the real sockets until done reports
+// true or maxWall of wall-clock time elapses (returning whether done
+// was reached). Events at the current virtual instant run freely;
+// before a step that would advance virtual time — a timeout about to
+// fire — the sockets get `grace` of wall-clock quiet first, so real
+// in-flight datagrams beat virtual timers, and only actual loss makes
+// a retransmission timer fire.
+func (t *UDPTunnel) Pump(done func() bool, maxWall, grace time.Duration) bool {
+	wallDeadline := time.Now().Add(maxWall)
+	for !done() {
+		if time.Now().After(wallDeadline) {
+			return false
+		}
+		if t.drain() {
+			continue
+		}
+		next, ok := t.eng.NextAt()
+		if !ok || next > t.eng.Now() {
+			// Idle engine, or the next event is a clock advance: let the
+			// real network speak first.
+			if t.waitArrival(grace) {
+				continue
+			}
+			if !ok {
+				// Nothing scheduled and the wire stayed quiet — only a
+				// real arrival could create work, so keep listening
+				// until one lands or the wall deadline passes.
+				continue
+			}
+		}
+		t.eng.Step()
+	}
+	return true
+}
+
+// drain injects every queued arrival, reporting whether any landed.
+func (t *UDPTunnel) drain() bool {
+	any := false
+	for {
+		select {
+		case a := <-t.arrivals:
+			a.ep.inject(a.data)
+			any = true
+		default:
+			return any
+		}
+	}
+}
+
+// waitArrival blocks up to grace for one arrival and injects it.
+func (t *UDPTunnel) waitArrival(grace time.Duration) bool {
+	timer := time.NewTimer(grace)
+	defer timer.Stop()
+	select {
+	case a := <-t.arrivals:
+		a.ep.inject(a.data)
+		return true
+	case <-timer.C:
+		return false
+	}
+}
+
+// DropNext makes the endpoint discard its next n egress datagrams
+// after encoding — deterministic wire loss for transport-recovery
+// tests.
+func (e *UDPEndpoint) DropNext(n int) { e.dropNext = n }
+
+// Addr returns the endpoint's bound socket address, for tests that
+// address the socketpair directly (e.g. to inject garbage datagrams).
+func (e *UDPEndpoint) Addr() *net.UDPAddr { return e.conn.LocalAddr().(*net.UDPAddr) }
+
+// --- netsim.Medium implementation ---
+
+// RateBps implements netsim.Medium.
+func (e *UDPEndpoint) RateBps() float64 { return e.rateBps }
+
+// PropDelay implements netsim.Medium.
+func (e *UDPEndpoint) PropDelay() sim.Time { return e.prop }
+
+// FreeAt implements netsim.Medium: the kernel does the queueing.
+func (e *UDPEndpoint) FreeAt(now sim.Time) sim.Time { return now }
+
+// MTU implements netsim.Medium: UDP/IP fragments below us.
+func (e *UDPEndpoint) MTU() int { return 0 }
+
+// IsDown implements netsim.Medium.
+func (e *UDPEndpoint) IsDown() bool { return false }
+
+// Current implements netsim.Medium; nothing inside the kernel is
+// preemptible.
+func (e *UDPEndpoint) Current() *netsim.Transmission { return nil }
+
+// Abort implements netsim.Medium (no-op: the datagram is gone).
+func (e *UDPEndpoint) Abort(tx *netsim.Transmission) {}
+
+// Transmit implements netsim.Medium: encode the VIPER packet and write
+// it to the peer socket. Runs on the engine goroutine (inside a Step).
+func (e *UDPEndpoint) Transmit(from *netsim.Port, pkt netsim.Payload, hdr *ethernet.Header, prio viper.Priority) (*netsim.Transmission, error) {
+	if hdr != nil {
+		return nil, fmt.Errorf("overlay: tunnels carry no network header")
+	}
+	vp, ok := pkt.(*viper.Packet)
+	if !ok {
+		return nil, fmt.Errorf("overlay: tunnel carries only VIPER packets")
+	}
+	b, err := vp.Encode()
+	if err != nil {
+		return nil, fmt.Errorf("overlay: encode: %w", err)
+	}
+	if e.dropNext > 0 {
+		e.dropNext--
+		e.Stats.Encapsulated++ // it left the gateway; the wire ate it
+	} else if _, err := e.conn.WriteToUDP(b, e.remote); err != nil {
+		e.Stats.SendErrors++
+		return nil, fmt.Errorf("overlay: udp send: %w", err)
+	} else {
+		e.Stats.Encapsulated++
+	}
+	return &netsim.Transmission{
+		Pkt:    pkt,
+		From:   from,
+		Start:  e.eng.Now(),
+		TxTime: netsim.TxTime(len(b), e.rateBps),
+		Prio:   prio,
+	}, nil
+}
+
+// inject decodes one received datagram and delivers it to the local
+// router as a completed arrival. Runs on the pump goroutine between
+// engine steps, so the engine stays single-threaded.
+func (e *UDPEndpoint) inject(data []byte) {
+	pkt, err := viper.Decode(data)
+	if err != nil {
+		e.Stats.DecodeErrors++
+		return
+	}
+	e.Stats.Decapsulated++
+	e.local.Node.Arrive(&netsim.Arrival{
+		Pkt:   pkt,
+		In:    e.local,
+		Start: e.eng.Now(),
+		// The datagram emerged whole from the kernel: its trailing edge
+		// is already here.
+		TxTime: 0,
+		Tx: &netsim.Transmission{
+			Pkt:   pkt,
+			Start: e.eng.Now(),
+		},
+	})
+}

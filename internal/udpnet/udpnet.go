@@ -1,0 +1,398 @@
+// Package udpnet bridges livenet ports onto real UDP sockets, so
+// separate OS processes — each running its own livenet substrate —
+// form one Sirpent internetwork. It is the process-boundary analogue
+// of a livenet Link: a Tunnel carries the encoded VIPER bytes of one
+// logical link inside UDP datagrams (the Sirpent-over-IP story of
+// §2.3: the entire foreign transport is one source-route hop), and
+// exposes the same fault handles a Link does — down, loss ratio,
+// bounded depth — so conformance workloads can run over sockets with
+// the exact failure vocabulary they use in-process.
+//
+// Topology-wise a Tunnel is a gateway Host wired to the bridged
+// router port: frames the router transmits toward the gateway are
+// tapped pre-decode (Host.SetRawHandler), framed, and written to the
+// peer's socket; datagrams arriving from the peer are unframed and
+// re-injected with Host.SendRaw. The router on each side sees an
+// ordinary arrival on an ordinary port, so §6.2 trailer surgery,
+// return routes, token charges, and ledger byte counts are identical
+// to a direct in-process link — the property the cross-process
+// conformance parity run (internal/daemon) pins.
+//
+// Encapsulation framing (all integers big-endian):
+//
+//	0      4       5      6        8
+//	+------+-------+------+--------+----------------------+
+//	| SIRP | vers  | type | linkID | encoded VIPER packet |
+//	+------+-------+------+--------+----------------------+
+//
+// linkID names the logical link, not the peer: two processes may run
+// parallel tunnels between the same socket pair, demuxed by linkID
+// alone. Datagrams failing the header check are counted and dropped,
+// never delivered.
+package udpnet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/livenet"
+)
+
+// Framing constants.
+const (
+	Version = 1
+
+	// TypeData carries one encoded VIPER packet.
+	TypeData = 0x01
+
+	// HeaderLen is the encapsulation header size in bytes.
+	HeaderLen = 8
+
+	// MaxDatagram bounds a received datagram; UDP itself cannot carry
+	// more.
+	MaxDatagram = 64 * 1024
+)
+
+var magic = [4]byte{'S', 'I', 'R', 'P'}
+
+// DefaultTunnelDepth is the egress queue depth, in frames, of a
+// Tunnel created without WithDepth — the socket-side analogue of
+// livenet.DefaultLinkDepth.
+const DefaultTunnelDepth = 64
+
+// Stats is a point-in-time snapshot of one tunnel's counters.
+type Stats struct {
+	Encapsulated uint64 // frames framed and handed to the socket
+	Decapsulated uint64 // datagrams unframed and injected into livenet
+	DecodeErrors uint64 // datagrams for this link with a bad type or empty payload
+	SendErrors   uint64 // socket write failures and injections into a stopped network
+	Dropped      uint64 // fault-injection and queue-overflow discards
+}
+
+// Bridge owns one UDP socket and demuxes inbound datagrams to the
+// tunnels attached to it. One Bridge per process is the intended
+// shape — every tunnel the process terminates shares the socket, and
+// peers address the process by its single UDP address.
+type Bridge struct {
+	conn *net.UDPConn
+
+	mu      sync.RWMutex
+	tunnels map[uint16]*Tunnel
+
+	decodeErrors atomic.Uint64 // header-level garbage: bad magic/version/length, unknown link
+
+	closed    chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// Listen opens the bridge socket. addr is a UDP listen address such
+// as "127.0.0.1:0"; the chosen port is available from Addr.
+func Listen(addr string) (*Bridge, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("udpnet: resolve %q: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, fmt.Errorf("udpnet: listen %q: %w", addr, err)
+	}
+	b := &Bridge{
+		conn:    conn,
+		tunnels: make(map[uint16]*Tunnel),
+		closed:  make(chan struct{}),
+	}
+	b.wg.Add(1)
+	go b.readLoop()
+	return b, nil
+}
+
+// Addr returns the socket's bound address.
+func (b *Bridge) Addr() *net.UDPAddr { return b.conn.LocalAddr().(*net.UDPAddr) }
+
+// DecodeErrors counts datagrams discarded before demux: short, wrong
+// magic, wrong version, or naming a link no tunnel terminates.
+func (b *Bridge) DecodeErrors() uint64 { return b.decodeErrors.Load() }
+
+// Close tears the bridge down: the socket closes, the read loop and
+// every tunnel's writer exit, and attached gateways stop forwarding.
+// Safe to call more than once.
+func (b *Bridge) Close() error {
+	b.closeOnce.Do(func() {
+		close(b.closed)
+		b.conn.Close()
+	})
+	b.wg.Wait()
+	return nil
+}
+
+// readLoop is the demux pump: one goroutine per bridge reads
+// datagrams and hands payloads to the owning tunnel. The buffer is
+// reused across reads — Tunnel.ingress must copy before returning,
+// which Host.SendRaw's pooled copy already does.
+func (b *Bridge) readLoop() {
+	defer b.wg.Done()
+	buf := make([]byte, MaxDatagram)
+	for {
+		n, _, err := b.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-b.closed:
+				return
+			default:
+			}
+			// Transient socket errors (e.g. ICMP port unreachable
+			// surfacing on connected reads) must not kill the pump.
+			continue
+		}
+		dg := buf[:n]
+		if n < HeaderLen || [4]byte(dg[0:4]) != magic || dg[4] != Version {
+			b.decodeErrors.Add(1)
+			continue
+		}
+		linkID := binary.BigEndian.Uint16(dg[6:8])
+		b.mu.RLock()
+		t := b.tunnels[linkID]
+		b.mu.RUnlock()
+		if t == nil {
+			b.decodeErrors.Add(1)
+			continue
+		}
+		t.ingress(dg[5], dg[HeaderLen:])
+	}
+}
+
+// tunnelConfig collects Attach options.
+type tunnelConfig struct {
+	depth    int
+	lossSeed int64
+	remote   *net.UDPAddr
+}
+
+// TunnelOption configures one Attach call.
+type TunnelOption func(*tunnelConfig)
+
+// WithDepth sets the tunnel's egress queue depth in frames.
+// Non-positive values are ignored.
+func WithDepth(n int) TunnelOption {
+	return func(c *tunnelConfig) {
+		if n > 0 {
+			c.depth = n
+		}
+	}
+}
+
+// WithLossSeed seeds the tunnel's fault lottery, making injected loss
+// reproducible run to run.
+func WithLossSeed(seed int64) TunnelOption {
+	return func(c *tunnelConfig) { c.lossSeed = seed }
+}
+
+// WithRemote sets the peer address at attach time; otherwise set it
+// later with SetRemote once directory registration has resolved it.
+func WithRemote(addr *net.UDPAddr) TunnelOption {
+	return func(c *tunnelConfig) { c.remote = addr }
+}
+
+// Tunnel carries one logical link over the bridge's socket. Its fault
+// handles mirror livenet.Link: SetDown cuts both directions, a loss
+// ratio discards each frame independently (seeded, so reproducible),
+// and Dropped attributes every discard for conservation checks.
+type Tunnel struct {
+	bridge *Bridge
+	linkID uint16
+	gw     *livenet.Host
+	gwPort uint8
+
+	remote atomic.Pointer[net.UDPAddr]
+
+	down     atomic.Bool
+	lossBits atomic.Uint64 // math.Float64bits of the loss probability
+	rngMu    sync.Mutex
+	rng      *rand.Rand
+
+	out chan []byte // framed datagrams awaiting the writer
+
+	encapsulated atomic.Uint64
+	decapsulated atomic.Uint64
+	decodeErrors atomic.Uint64
+	sendErrors   atomic.Uint64
+	dropped      atomic.Uint64
+}
+
+// Attach bridges port `port` of node `at` (a livenet Router or Host)
+// onto the UDP socket as logical link linkID. It creates the gateway
+// host and the in-process link to it; the returned Tunnel is live
+// immediately, though frames sent before a remote address is known
+// count as send errors. linkID must be unique on this bridge.
+func (b *Bridge) Attach(netw *livenet.Network, at livenet.Attachable, port uint8, linkID uint16, opts ...TunnelOption) (*Tunnel, error) {
+	cfg := tunnelConfig{depth: DefaultTunnelDepth, lossSeed: int64(linkID)}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	t := &Tunnel{
+		bridge: b,
+		linkID: linkID,
+		gwPort: 1,
+		rng:    rand.New(rand.NewSource(cfg.lossSeed)),
+		out:    make(chan []byte, cfg.depth),
+	}
+	if cfg.remote != nil {
+		t.remote.Store(cfg.remote)
+	}
+	b.mu.Lock()
+	_, dup := b.tunnels[linkID]
+	b.mu.Unlock()
+	if dup {
+		return nil, fmt.Errorf("udpnet: link %d already attached", linkID)
+	}
+
+	// Wire the gateway completely before publishing the tunnel: the
+	// moment it is in b.tunnels, the read loop may hand it a datagram.
+	t.gw = netw.NewHost(fmt.Sprintf("udpgw-%d", linkID))
+	netw.Connect(at, port, t.gw, t.gwPort)
+	t.gw.SetRawHandler(t.egress)
+
+	b.mu.Lock()
+	if _, dup := b.tunnels[linkID]; dup {
+		// Lost a concurrent attach race for the same ID (caller bug; the
+		// gateway host above is orphaned but harmless).
+		b.mu.Unlock()
+		return nil, fmt.Errorf("udpnet: link %d already attached", linkID)
+	}
+	b.tunnels[linkID] = t
+	b.mu.Unlock()
+
+	b.wg.Add(1)
+	go t.writeLoop()
+	return t, nil
+}
+
+// SetRemote points the tunnel at its peer's socket address.
+func (t *Tunnel) SetRemote(addr *net.UDPAddr) { t.remote.Store(addr) }
+
+// Remote returns the current peer address, nil before discovery.
+func (t *Tunnel) Remote() *net.UDPAddr { return t.remote.Load() }
+
+// LinkID returns the tunnel's logical link identifier.
+func (t *Tunnel) LinkID() uint16 { return t.linkID }
+
+// Gateway returns the livenet host terminating the tunnel, useful for
+// inspection in tests.
+func (t *Tunnel) Gateway() *livenet.Host { return t.gw }
+
+// SetDown fails (true) or restores (false) both directions.
+func (t *Tunnel) SetDown(down bool) { t.down.Store(down) }
+
+// IsDown reports whether the tunnel is failed.
+func (t *Tunnel) IsDown() bool { return t.down.Load() }
+
+// SetLossRatio makes each egress frame be discarded with probability
+// p (0 disables). The lottery is drawn from the tunnel's seeded
+// source, so a given seed and traffic sequence loses the same frames
+// every run.
+func (t *Tunnel) SetLossRatio(p float64) { t.lossBits.Store(math.Float64bits(p)) }
+
+// Dropped returns the number of frames discarded by fault injection
+// and egress queue overflow.
+func (t *Tunnel) Dropped() uint64 { return t.dropped.Load() }
+
+// Stats returns a snapshot of the tunnel's counters.
+func (t *Tunnel) Stats() Stats {
+	return Stats{
+		Encapsulated: t.encapsulated.Load(),
+		Decapsulated: t.decapsulated.Load(),
+		DecodeErrors: t.decodeErrors.Load(),
+		SendErrors:   t.sendErrors.Load(),
+		Dropped:      t.dropped.Load(),
+	}
+}
+
+// drops draws the fault lottery for one frame.
+func (t *Tunnel) drops() bool {
+	if t.down.Load() {
+		t.dropped.Add(1)
+		return true
+	}
+	if p := math.Float64frombits(t.lossBits.Load()); p > 0 {
+		t.rngMu.Lock()
+		lost := t.rng.Float64() < p
+		t.rngMu.Unlock()
+		if lost {
+			t.dropped.Add(1)
+			return true
+		}
+	}
+	return false
+}
+
+// egress is the gateway host's raw tap: every frame the router
+// transmits onto the bridged port lands here as encoded VIPER bytes
+// valid only for the duration of the call. The frame is framed into a
+// fresh datagram and queued for the writer; a full queue drops, as an
+// overrun link queue would.
+func (t *Tunnel) egress(pkt []byte) {
+	dg := make([]byte, HeaderLen+len(pkt))
+	copy(dg[0:4], magic[:])
+	dg[4] = Version
+	dg[5] = TypeData
+	binary.BigEndian.PutUint16(dg[6:8], t.linkID)
+	copy(dg[HeaderLen:], pkt)
+	select {
+	case t.out <- dg:
+	default:
+		t.dropped.Add(1)
+	}
+}
+
+// writeLoop drains the egress queue onto the socket. Fault lottery
+// and remote resolution happen here, not in egress, so a flapping
+// tunnel drops queued frames too — matching a cut cable, which loses
+// what is in flight.
+func (t *Tunnel) writeLoop() {
+	defer t.bridge.wg.Done()
+	for {
+		select {
+		case dg := <-t.out:
+			if t.drops() {
+				continue
+			}
+			remote := t.remote.Load()
+			if remote == nil {
+				t.sendErrors.Add(1)
+				continue
+			}
+			if _, err := t.bridge.conn.WriteToUDP(dg, remote); err != nil {
+				t.sendErrors.Add(1)
+				continue
+			}
+			t.encapsulated.Add(1)
+		case <-t.bridge.closed:
+			return
+		}
+	}
+}
+
+// ingress delivers one unframed payload into the livenet substrate.
+// Runs on the bridge's read loop; payload aliases the read buffer and
+// is copied by SendRaw before this returns.
+func (t *Tunnel) ingress(typ byte, payload []byte) {
+	if typ != TypeData || len(payload) == 0 {
+		t.decodeErrors.Add(1)
+		return
+	}
+	if t.down.Load() {
+		t.dropped.Add(1)
+		return
+	}
+	if err := t.gw.SendRaw(t.gwPort, payload); err != nil {
+		t.sendErrors.Add(1)
+		return
+	}
+	t.decapsulated.Add(1)
+}

@@ -194,6 +194,24 @@ func (p *Packet) EncodeAppend(b []byte) ([]byte, error) {
 	return append(b, desc[:]...), nil
 }
 
+// AppendTrailerDescriptor appends the 4-byte descriptor that closes a
+// wire image carrying n mirrored trailer segments. It is the tail
+// EncodeAppend writes, exported so callers assembling wire images
+// segment by segment (prepared senders, encapsulation gateways) can
+// close them without materializing a Packet.
+func AppendTrailerDescriptor(b []byte, n int, truncated bool) ([]byte, error) {
+	if n < 0 || n > MaxRouteSegments {
+		return nil, ErrTooManySegments
+	}
+	var desc [trailerDescLen]byte
+	binary.BigEndian.PutUint16(desc[0:2], uint16(n))
+	if truncated {
+		desc[2] |= trailerTruncFlag
+	}
+	desc[3] = trailerMagic
+	return append(b, desc[:]...), nil
+}
+
 // Decode parses an encoded packet. Forward segments are parsed from the
 // front for as long as each segment declares a continuation (VNT flag or a
 // VIPER type tag in its portInfo); the trailer is parsed backwards from
