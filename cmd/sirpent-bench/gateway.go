@@ -1,0 +1,158 @@
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/daemon"
+	"repro/internal/gateway"
+)
+
+// Gateway benchmark: the end-to-end SOCKS relay path (DESIGN.md §13)
+// measured as an application would see it — a hash-verified echo
+// transfer through ingress → token-guarded chain → egress, swept over
+// chain lengths. Alongside throughput it records the relays' group
+// round-trip distribution and retransmission counters, and asserts
+// the ledger reconciles after each run (a benchmark whose billing is
+// wrong measures the wrong system).
+
+type gatewayBenchResult struct {
+	Hops            int     `json:"hops"`
+	BytesEachWay    int64   `json:"bytes_each_way"`
+	Seconds         float64 `json:"seconds"`
+	ThroughputMBps  float64 `json:"throughput_mbps"` // 2×bytes / elapsed
+	GroupsSent      uint64  `json:"groups_sent"`
+	GroupRTTp50us   int64   `json:"group_rtt_p50_us"`
+	GroupRTTp99us   int64   `json:"group_rtt_p99_us"`
+	GroupRTTMeanus  float64 `json:"group_rtt_mean_us"`
+	Retransmissions uint64  `json:"retransmissions"`
+	BilledPackets   uint64  `json:"billed_packets"`
+	BilledBytes     uint64  `json:"billed_bytes"`
+}
+
+func runGateway(out string, total int64) error {
+	var results []gatewayBenchResult
+	for _, hops := range []int{1, 2, 4} {
+		r, err := benchGateway(hops, total)
+		if err != nil {
+			return fmt.Errorf("gateway bench hops=%d: %w", hops, err)
+		}
+		fmt.Printf("gateway hops=%d  %8.1f MB/s  rtt p50=%dus p99=%dus  groups=%d retx=%d billed=%dB\n",
+			r.Hops, r.ThroughputMBps, r.GroupRTTp50us, r.GroupRTTp99us,
+			r.GroupsSent, r.Retransmissions, r.BilledBytes)
+		results = append(results, r)
+	}
+	blob, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
+func benchGateway(hops int, total int64) (gatewayBenchResult, error) {
+	var res gatewayBenchResult
+	gs, err := daemon.StartGateway(daemon.GatewayConfig{Hops: hops})
+	if err != nil {
+		return res, err
+	}
+	defer gs.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return res, err
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				io.Copy(c, c)
+				if tc, ok := c.(*net.TCPConn); ok {
+					tc.CloseWrite()
+				}
+			}(c)
+		}
+	}()
+
+	conn, err := gateway.DialSocks(gs.Addr(), ln.Addr().String())
+	if err != nil {
+		return res, err
+	}
+	defer conn.Close()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	var sentSum, gotSum [32]byte
+	var got int64
+	var readErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		h := sha256.New()
+		got, readErr = io.Copy(h, conn)
+		h.Sum(gotSum[:0])
+	}()
+	h := sha256.New()
+	rnd := rand.New(rand.NewSource(7))
+	buf := make([]byte, 256<<10)
+	for left := total; left > 0; {
+		n := int64(len(buf))
+		if left < n {
+			n = left
+		}
+		rnd.Read(buf[:n])
+		h.Write(buf[:n])
+		if _, err := conn.Write(buf[:n]); err != nil {
+			return res, fmt.Errorf("write: %w", err)
+		}
+		left -= n
+	}
+	h.Sum(sentSum[:0])
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.CloseWrite()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	switch {
+	case readErr != nil:
+		return res, fmt.Errorf("read back: %w", readErr)
+	case got != total:
+		return res, fmt.Errorf("echoed %d bytes, want %d", got, total)
+	case sentSum != gotSum:
+		return res, fmt.Errorf("hash mismatch")
+	}
+	if problems := gs.Reconcile(); len(problems) > 0 {
+		return res, fmt.Errorf("ledger reconciliation failed: %v", problems)
+	}
+
+	is := gs.IngressStats()
+	bill := gs.Bill()[check.GatewayAccount]
+	return gatewayBenchResult{
+		Hops:            hops,
+		BytesEachWay:    total,
+		Seconds:         elapsed.Seconds(),
+		ThroughputMBps:  float64(2*total) / elapsed.Seconds() / 1e6,
+		GroupsSent:      is.GroupsSent,
+		GroupRTTp50us:   is.GroupRTTp50us,
+		GroupRTTp99us:   is.GroupRTTp99us,
+		GroupRTTMeanus:  is.GroupRTTMeanus,
+		Retransmissions: is.VMTP.Retransmissions + is.VMTP.SelectiveResends,
+		BilledPackets:   bill.Packets,
+		BilledBytes:     bill.Bytes,
+	}, nil
+}

@@ -10,6 +10,7 @@
 //	sirpent-bench -live      # livenet forwarding benchmark -> BENCH_livenet.json
 //	sirpent-bench -trace     # replay seeded topologies with per-hop traces
 //	sirpent-bench -ledger    # token-authorized billing cross-check
+//	sirpent-bench -gateway   # SOCKS relay path benchmark -> BENCH_gateway.json
 //
 // Trace mode replays the conformance harness's seeded scenarios with
 // hop-level tracing enabled on both substrates, prints a per-hop timing
@@ -47,6 +48,9 @@ func main() {
 	traceFlow := flag.Uint64("trace-flow", 0, "print only this flow ID in -trace output (0: all flows)")
 	ledgerMode := flag.Bool("ledger", false, "run token-authorized seeded scenarios on both substrates and cross-check per-account billing")
 	ledgerSeeds := flag.String("ledger-seeds", "1,2,3", "comma-separated scenario seeds for -ledger")
+	gatewayMode := flag.Bool("gateway", false, "benchmark the SOCKS gateway relay path over chain lengths")
+	gatewayOut := flag.String("gateway-out", "BENCH_gateway.json", "output path for -gateway results")
+	gatewayBytes := flag.Int64("gateway-bytes", 16<<20, "bytes to transfer each way per -gateway run")
 	flag.Parse()
 
 	if *list {
@@ -66,6 +70,14 @@ func main() {
 
 	if *traceMode {
 		if err := runTrace(*traceSeeds, *traceFlow); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *gatewayMode {
+		if err := runGateway(*gatewayOut, *gatewayBytes); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}

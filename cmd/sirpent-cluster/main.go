@@ -10,21 +10,35 @@
 // single-process livenet run of the same seed. Exit status 0 means the
 // whole verdict passed; anything else is a failure (and CI treats it
 // as such — see the cluster-smoke job).
+//
+// With -gateway, the peers additionally bind SOCKS gateway relays on
+// the scenario's deterministic gateway hosts, and the launcher pushes
+// a hash-verified TCP transfer (-gateway-bytes each way) through
+// SOCKS → multi-process mesh → egress → a local echo server before
+// raising the directory's shutdown latch. The verdict then also
+// requires stream byte conservation across the relays and the gateway
+// account billed in the merged ledger (DESIGN.md §13).
 package main
 
 import (
 	"bufio"
+	"crypto/sha256"
 	"flag"
 	"fmt"
+	"io"
+	"math/rand"
+	"net"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/check"
 	"repro/internal/daemon"
 	"repro/internal/directory"
+	"repro/internal/gateway"
 )
 
 func main() {
@@ -32,15 +46,17 @@ func main() {
 	seed := flag.Int64("seed", 0, "scenario seed (0 = first seed with enough routers and cross-links)")
 	sirpentd := flag.String("sirpentd", "", "path to the sirpentd binary (default: next to this launcher, else $PATH)")
 	settle := flag.Duration("settle", 30*time.Second, "per-peer quiesce deadline")
+	gw := flag.Bool("gateway", false, "gateway mode: run peers with SOCKS relays and push a hash-verified TCP transfer through the cluster")
+	gwBytes := flag.Int64("gateway-bytes", 10<<20, "bytes to transfer each way through the gateway (gateway mode)")
 	flag.Parse()
 
-	if err := run(*n, *seed, *sirpentd, *settle); err != nil {
+	if err := run(*n, *seed, *sirpentd, *settle, *gw, *gwBytes); err != nil {
 		fmt.Fprintln(os.Stderr, "sirpent-cluster:", err)
 		os.Exit(1)
 	}
 }
 
-func run(n int, seed int64, sirpentd string, settle time.Duration) error {
+func run(n int, seed int64, sirpentd string, settle time.Duration, gw bool, gwBytes int64) error {
 	if n < 2 {
 		return fmt.Errorf("-n must be at least 2 (got %d)", n)
 	}
@@ -83,10 +99,14 @@ func run(n int, seed int64, sirpentd string, settle time.Duration) error {
 
 	peers := make([]*exec.Cmd, n)
 	for i := 0; i < n; i++ {
-		p := exec.Command(bin, "peer",
+		args := []string{"peer",
 			"-index", fmt.Sprint(i), "-peers", fmt.Sprint(n),
 			"-seed", fmt.Sprint(seed), "-dir", url,
-			"-settle", settle.String())
+			"-settle", settle.String()}
+		if gw {
+			args = append(args, "-gateway")
+		}
+		p := exec.Command(bin, args...)
 		p.Stdout = prefixWriter(check.PeerName(i))
 		p.Stderr = prefixWriter(check.PeerName(i))
 		if err := p.Start(); err != nil {
@@ -94,6 +114,27 @@ func run(n int, seed int64, sirpentd string, settle time.Duration) error {
 			return fmt.Errorf("start peer %d: %w", i, err)
 		}
 		peers[i] = p
+	}
+	client := directory.NewClient(url)
+
+	// Gateway mode: with the peers running (they hold their drain
+	// barrier for our shutdown latch), push a hash-verified transfer
+	// through SOCKS → mesh → egress → local echo server, then raise
+	// the latch so the peers drain and report.
+	if gw {
+		if err := driveGateway(client, gwBytes); err != nil {
+			client.Shutdown() // release the peers regardless
+			killErr := err
+			for i, p := range peers {
+				if err := p.Wait(); err != nil {
+					fmt.Fprintf(os.Stderr, "cluster: peer %d exited: %v\n", i, err)
+				}
+			}
+			return killErr
+		}
+		if err := client.Shutdown(); err != nil {
+			return fmt.Errorf("raise shutdown latch: %w", err)
+		}
 	}
 	var failed bool
 	for i, p := range peers {
@@ -106,7 +147,6 @@ func run(n int, seed int64, sirpentd string, settle time.Duration) error {
 	// Fetch the reports even when a peer failed — incomplete peers
 	// still post theirs before exiting, and the counters localize the
 	// fault (tunnel drop vs router drop vs wire loss).
-	client := directory.NewClient(url)
 	raw, err := client.Reports(10 * time.Second)
 	if err != nil {
 		if failed {
@@ -127,6 +167,17 @@ func run(n int, seed int64, sirpentd string, settle time.Duration) error {
 		return fmt.Errorf("cluster verdict failed (%d problems):\n  %s",
 			len(problems), strings.Join(problems, "\n  "))
 	}
+	if gw {
+		// The gateway account only exists in the distributed run, so
+		// the single-process ledger diff does not apply; the gateway
+		// verdict checks stream conservation and billing instead.
+		if problems := daemon.VerifyGatewayCluster(sc, n, reports, uint64(gwBytes)); len(problems) > 0 {
+			return fmt.Errorf("gateway verdict failed (%d problems):\n  %s",
+				len(problems), strings.Join(problems, "\n  "))
+		}
+		fmt.Println("cluster: PASS — flows delivered exactly once AND the SOCKS transfer crossed the cluster hash-intact with the gateway account billed and ledgers reconciling")
+		return nil
+	}
 	diffs, err := daemon.CompareWithSingleProcess(seed, daemon.ClusterLedger(reports), 15*time.Second)
 	if err != nil {
 		return err
@@ -137,6 +188,112 @@ func run(n int, seed int64, sirpentd string, settle time.Duration) error {
 	}
 	fmt.Println("cluster: PASS — all flows delivered and echoed exactly once; ledgers reconcile and match the single-process run")
 	return nil
+}
+
+// driveGateway runs the launcher's half of a gateway-mode run: an echo
+// server as the "real destination", a SOCKS dial through whichever
+// peer registered an ingress, and a hash-verified bidirectional
+// transfer of total bytes.
+func driveGateway(client *directory.Client, total int64) error {
+	socks, err := waitSocks(client, 30*time.Second)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				io.Copy(c, c)
+				if cw, ok := c.(*net.TCPConn); ok {
+					cw.CloseWrite()
+				}
+			}(c)
+		}
+	}()
+	fmt.Printf("cluster: SOCKS ingress at %s, echoing %d bytes through the mesh...\n", socks, total)
+
+	conn, err := gateway.DialSocks(socks, ln.Addr().String())
+	if err != nil {
+		return fmt.Errorf("SOCKS dial: %w", err)
+	}
+	defer conn.Close()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	var sentSum, gotSum [32]byte
+	var got int64
+	var readErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		h := sha256.New()
+		got, readErr = io.Copy(h, conn)
+		h.Sum(gotSum[:0])
+	}()
+	h := sha256.New()
+	rnd := rand.New(rand.NewSource(42))
+	buf := make([]byte, 256<<10)
+	for left := total; left > 0; {
+		n := int64(len(buf))
+		if left < n {
+			n = left
+		}
+		rnd.Read(buf[:n])
+		h.Write(buf[:n])
+		if _, err := conn.Write(buf[:n]); err != nil {
+			return fmt.Errorf("gateway write: %w", err)
+		}
+		left -= n
+	}
+	h.Sum(sentSum[:0])
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.CloseWrite()
+	}
+	wg.Wait()
+	if readErr != nil {
+		return fmt.Errorf("gateway read back: %w", readErr)
+	}
+	if got != total {
+		return fmt.Errorf("echoed %d bytes, want %d", got, total)
+	}
+	if sentSum != gotSum {
+		return fmt.Errorf("echo bytes differ from sent bytes (hash mismatch)")
+	}
+	el := time.Since(start)
+	fmt.Printf("cluster: transfer OK — %d bytes each way in %v (%.1f MB/s round trip), hashes match\n",
+		total, el.Round(time.Millisecond), float64(2*total)/el.Seconds()/1e6)
+	return nil
+}
+
+// waitSocks polls registrations until a peer advertises its SOCKS
+// ingress address.
+func waitSocks(client *directory.Client, deadline time.Duration) (string, error) {
+	end := time.Now().Add(deadline)
+	for {
+		peers, err := client.Peers()
+		if err == nil {
+			for _, p := range peers {
+				if p.Socks != "" {
+					return p.Socks, nil
+				}
+			}
+		}
+		if time.Now().After(end) {
+			if err == nil {
+				err = fmt.Errorf("no peer registered a SOCKS ingress")
+			}
+			return "", err
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
 }
 
 // findSirpentd resolves the sirpentd binary: explicit flag, then a

@@ -1,9 +1,11 @@
-// Command sirpentd is the Sirpent daemon. It has three roles, selected
+// Command sirpentd is the Sirpent daemon. It has four roles, selected
 // by subcommand:
 //
-//	sirpentd run  [-clients N] [-requests N] [-metrics :8080] [-hold 1m]
-//	sirpentd dir  [-addr 127.0.0.1:0] [-seed N] [-peers N]
-//	sirpentd peer [-index I] [-peers N] [-seed N] [-dir URL] [-udp 127.0.0.1:0]
+//	sirpentd run     [-clients N] [-requests N] [-metrics :8080] [-hold 1m]
+//	sirpentd dir     [-addr 127.0.0.1:0] [-seed N] [-peers N]
+//	sirpentd peer    [-index I] [-peers N] [-seed N] [-dir URL] [-udp 127.0.0.1:0]
+//	                 [-gateway] [-gateway-listen 127.0.0.1:0]
+//	sirpentd gateway [-listen 127.0.0.1:1080] [-hops N]
 //
 // `run` is the historical single-process demo: hosts and routers are
 // goroutines, links are channels, and each hop performs the §6.2
@@ -24,6 +26,17 @@
 // local livenet substrate, with cross-partition links carried over
 // real UDP sockets (Sirpent-over-IP encapsulation, §2.3), runs its
 // share of the workload, reports evidence to the directory, and exits.
+// With -gateway, the peers owning the scenario's gateway hosts also
+// bind a SOCKS5 ingress and a dialing egress on them (DESIGN.md §13),
+// so real TCP streams transit the same cluster, and every peer holds
+// its drain barrier until the launcher raises the directory's
+// shutdown latch.
+//
+// `gateway` is the standalone single-process proxy: a SOCKS5 listener
+// whose accepted streams ride VMTP packet groups across an in-process
+// token-guarded router chain to a dialing egress. Point curl at it:
+// `curl --socks5-hostname <addr> http://example.com/`. The first
+// stdout line is `SIRPENT_SOCKS_ADDR=<addr>`.
 //
 // cmd/sirpent-cluster orchestrates `dir` plus N `peer` processes into
 // a full localhost cluster run with verification.
@@ -57,6 +70,8 @@ func main() {
 		err = dirCmd(args)
 	case "peer":
 		err = peerCmd(args)
+	case "gateway":
+		err = gatewayCmd(args)
 	case "help":
 		usage(os.Stdout)
 	default:
@@ -71,11 +86,12 @@ func main() {
 }
 
 func usage(w *os.File) {
-	fmt.Fprintln(w, `usage: sirpentd [run|dir|peer] [flags]
+	fmt.Fprintln(w, `usage: sirpentd [run|dir|peer|gateway] [flags]
 
-  run   single-process demo workload (default; bare flags alias this role)
-  dir   serve the directory service for a cluster
-  peer  join a cluster as one partition of the scenario
+  run      single-process demo workload (default; bare flags alias this role)
+  dir      serve the directory service for a cluster
+  peer     join a cluster as one partition of the scenario
+  gateway  serve a SOCKS5 proxy whose streams ride a token-guarded Sirpent chain
 
 Run 'sirpentd <role> -h' for the role's flags.`)
 }
@@ -132,6 +148,9 @@ func peerCmd(args []string) error {
 	udp := fs.String("udp", "127.0.0.1:0", "UDP bridge listen address")
 	settle := fs.Duration("settle", 30*time.Second, "quiesce deadline")
 	loss := fs.Float64("loss", 0, "injected tunnel loss ratio (fault experiments)")
+	gw := fs.Bool("gateway", false, "gateway mode: bind SOCKS relays on the scenario's gateway hosts and hold for the launcher's shutdown latch")
+	gwListen := fs.String("gateway-listen", "127.0.0.1:0", "ingress SOCKS listen address (gateway mode)")
+	gwWait := fs.Duration("gateway-wait", 2*time.Minute, "bound on the wait for the shutdown latch (gateway mode)")
 	fs.Parse(args)
 	if *dir == "" {
 		return fmt.Errorf("peer: -dir is required")
@@ -144,6 +163,9 @@ func peerCmd(args []string) error {
 		UDPAddr:       *udp,
 		SettleTimeout: *settle,
 		LossRatio:     *loss,
+		Gateway:       *gw,
+		GatewayListen: *gwListen,
+		GatewayWait:   *gwWait,
 		Logf: func(format string, a ...any) {
 			fmt.Printf(format+"\n", a...)
 		},
@@ -154,6 +176,40 @@ func peerCmd(args []string) error {
 	if !rep.Complete {
 		return fmt.Errorf("peer %d: settle deadline passed before quiesce (%d delivered, %d replied)",
 			*index, len(rep.Delivered), len(rep.Replied))
+	}
+	return nil
+}
+
+func gatewayCmd(args []string) error {
+	fs := flag.NewFlagSet("sirpentd gateway", flag.ExitOnError)
+	listen := fs.String("listen", "127.0.0.1:1080", "SOCKS5 listen address")
+	hops := fs.Int("hops", 2, "routers in the token-guarded chain")
+	fs.Parse(args)
+
+	gs, err := daemon.StartGateway(daemon.GatewayConfig{Hops: *hops, Listen: *listen})
+	if err != nil {
+		return err
+	}
+	defer gs.Close()
+	// Machine-readable first line, like `dir`: launchers and scripts
+	// parse this to find a dynamically bound port.
+	fmt.Printf("SIRPENT_SOCKS_ADDR=%s\n", gs.Addr())
+	fmt.Printf("SOCKS5 proxy over a %d-router token-guarded chain; ^C to stop\n", *hops)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+
+	is, es := gs.IngressStats(), gs.EgressStats()
+	fmt.Printf("ingress: streams=%d clean=%d resets=%d in=%dB out=%dB socks-errs=%d\n",
+		is.Streams, is.CleanCloses, is.Resets, is.BytesIn, is.BytesOut, is.SocksErrors)
+	fmt.Printf("egress:  streams=%d clean=%d resets=%d in=%dB out=%dB dial-errs=%d\n",
+		es.Streams, es.CleanCloses, es.Resets, es.BytesIn, es.BytesOut, es.DialErrors)
+	for acct, u := range gs.Bill() {
+		fmt.Printf("account %d billed: %d packets, %d bytes\n", acct, u.Packets, u.Bytes)
+	}
+	if problems := gs.Reconcile(); len(problems) > 0 {
+		return fmt.Errorf("ledger reconciliation failed: %v", problems)
 	}
 	return nil
 }

@@ -26,6 +26,48 @@ func Owner(ri, nPeers int) int { return ri % nPeers }
 // process boundary.
 func HostOwner(sc *Scenario, hi, nPeers int) int { return Owner(sc.HostRouter[hi], nPeers) }
 
+// Gateway placement within a partitioned scenario. The SOCKS gateway
+// (internal/gateway) rides on ordinary scenario hosts as an extra
+// service endpoint: the conformance echo protocol keeps endpoint 0 and
+// the gateway relays bind GatewayEndpoint, so both run over the same
+// token-guarded routers concurrently. Everything below is a pure
+// function of the scenario, so every peer — and the launcher — agrees
+// on the placement without exchanging state.
+const (
+	// GatewayEndpoint is the intra-host endpoint (§2.2 addressing) the
+	// gateway relays bind on their hosts; endpoint 0 stays the echo
+	// handler's.
+	GatewayEndpoint uint8 = 7
+	// GatewayAccount is the billing account all gateway stream traffic
+	// is charged to — distinct from the per-source flow accounts
+	// (AccountFor), so the gateway's bill is separable in the merged
+	// ledger.
+	GatewayAccount uint32 = 9000
+	// GatewayIngressEntity and GatewayEgressEntity are the VMTP entity
+	// identifiers of the two relays.
+	GatewayIngressEntity uint64 = 0x16
+	GatewayEgressEntity  uint64 = 0xE6
+)
+
+// GatewayHosts picks the ingress and egress host indices for a
+// scenario: the ingress is host 0, and the egress is the first host
+// owned by a different peer — maximizing the chance the stream path
+// crosses UDP tunnels — falling back to any other host when one peer
+// owns everything.
+func GatewayHosts(sc *Scenario, nPeers int) (ingress, egress int) {
+	ingress = 0
+	egress = -1
+	for hi := 1; hi < len(sc.HostRouter); hi++ {
+		if HostOwner(sc, hi, nPeers) != HostOwner(sc, ingress, nPeers) {
+			return ingress, hi
+		}
+		if egress < 0 {
+			egress = hi
+		}
+	}
+	return ingress, egress
+}
+
 // CrossLinks returns the indices into sc.Links of every router-router
 // link whose ends are owned by different peers — the links that must
 // become UDP tunnels. The global link index doubles as the tunnel's

@@ -9,10 +9,12 @@ import (
 
 	"repro/internal/check"
 	"repro/internal/directory"
+	"repro/internal/gateway"
 	"repro/internal/ledger"
 	"repro/internal/livenet"
 	"repro/internal/token"
 	"repro/internal/udpnet"
+	"repro/internal/vmtp"
 )
 
 // PeerConfig configures one cluster peer: the daemon realizing its
@@ -32,6 +34,18 @@ type PeerConfig struct {
 	// LossRatio injects loss on every tunnel this peer terminates
 	// (fault-injection runs; 0 for conformance).
 	LossRatio float64
+	// Gateway runs the cluster in gateway mode: the peers owning the
+	// scenario's deterministic gateway hosts (check.GatewayHosts) bind
+	// SOCKS ingress / dialing egress relays on them, and every peer
+	// holds the drain barrier until the launcher raises the directory's
+	// shutdown latch — so the ledger sweep still sees a quiet network.
+	Gateway bool
+	// GatewayListen is the ingress SOCKS listen address; default
+	// "127.0.0.1:0".
+	GatewayListen string
+	// GatewayWait bounds the wait for the launcher's shutdown latch in
+	// gateway mode; default 2m.
+	GatewayWait time.Duration
 	// Logf, when set, receives progress lines.
 	Logf func(format string, args ...any)
 }
@@ -55,6 +69,12 @@ func Peer(cfg PeerConfig) (*Report, error) {
 	}
 	if cfg.SettleTimeout == 0 {
 		cfg.SettleTimeout = 30 * time.Second
+	}
+	if cfg.GatewayListen == "" {
+		cfg.GatewayListen = "127.0.0.1:0"
+	}
+	if cfg.GatewayWait == 0 {
+		cfg.GatewayWait = 2 * time.Minute
 	}
 	name := check.PeerName(cfg.Index)
 	sc := check.Generate(cfg.Seed)
@@ -188,18 +208,64 @@ func Peer(cfg PeerConfig) (*Report, error) {
 		})
 	}
 
+	// Gateway relays, when this peer owns a gateway host: the egress
+	// (a dialing relay needing no route of its own) and the SOCKS
+	// ingress, whose ingress→egress source route — tokens included —
+	// comes from the directory like any flow's. Both bind
+	// check.GatewayEndpoint, leaving endpoint 0 to the echo protocol
+	// above; their VMTP return traffic addresses that endpoint via the
+	// origin trailer, so stream acks never collide with flow replies.
+	client := directory.NewClient(cfg.DirURL)
+	gin, geg := check.GatewayHosts(sc, cfg.Total)
+	var gwIngress *gateway.Ingress
+	var gwEgress *gateway.Egress
+	if cfg.Gateway {
+		gwRT := vmtp.RTConfig{BaseTimeout: 50 * time.Millisecond, CallTimeout: 60 * time.Second}
+		if h, ok := hosts[geg]; ok {
+			gwEgress = gateway.NewEgress(h, check.GatewayEndpoint, gateway.Config{
+				Entity: check.GatewayEgressEntity, RT: gwRT,
+			})
+			defer gwEgress.Close()
+		}
+		if h, ok := hosts[gin]; ok {
+			routes, err := client.Routes(directory.Query{
+				From:     check.HostName(gin),
+				To:       check.HostName(geg),
+				Endpoint: check.GatewayEndpoint,
+				Account:  check.GatewayAccount,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("daemon: gateway route %s->%s: %w",
+					check.HostName(gin), check.HostName(geg), err)
+			}
+			ln, err := net.Listen("tcp", cfg.GatewayListen)
+			if err != nil {
+				return nil, fmt.Errorf("daemon: gateway listen: %w", err)
+			}
+			gwIngress = gateway.NewIngress(ln, h, check.GatewayEndpoint, gateway.Config{
+				Entity: check.GatewayIngressEntity,
+				Peer:   check.GatewayEgressEntity,
+				Route:  routes[0].Segments,
+				RT:     gwRT,
+			})
+			defer gwIngress.Close()
+			cfg.logf("%s: SOCKS ingress on %s (route %v)", name, gwIngress.Addr(), routes[0].Path)
+		}
+	}
+
 	// Join: register the bridge address, wait for the full roster,
 	// resolve every tunnel's far end, and barrier until the whole
 	// cluster is wired — no packet crosses a tunnel before both ends
 	// exist, so nothing is lost to startup order.
-	client := directory.NewClient(cfg.DirURL)
 	var ownedNodes []string
 	for ri := range routers {
 		ownedNodes = append(ownedNodes, check.RouterName(ri))
 	}
-	if _, err := client.Register(directory.PeerReg{
-		Name: name, UDPAddr: bridge.Addr().String(), Nodes: ownedNodes,
-	}); err != nil {
+	reg := directory.PeerReg{Name: name, UDPAddr: bridge.Addr().String(), Nodes: ownedNodes}
+	if gwIngress != nil {
+		reg.Socks = gwIngress.Addr()
+	}
+	if _, err := client.Register(reg); err != nil {
 		return nil, err
 	}
 	roster, err := client.WaitPeers(cfg.Total, cfg.SettleTimeout)
@@ -273,6 +339,48 @@ func Peer(cfg PeerConfig) (*Report, error) {
 			break
 		}
 		time.Sleep(2 * time.Millisecond)
+	}
+	// Gateway mode: the workload is driven from outside (the launcher's
+	// SOCKS transfer), so every peer — whether it hosts a relay or just
+	// forwards stream traffic — holds here until the launcher raises
+	// the shutdown latch. Relays then drain their streams and close
+	// BEFORE the drain barrier, so the ledger sweep below is still a
+	// snapshot of a quiet network.
+	if cfg.Gateway {
+		gwDeadline := time.Now().Add(cfg.GatewayWait)
+		for {
+			sd, err := client.ShutdownRequested()
+			if err == nil && sd {
+				break
+			}
+			if time.Now().After(gwDeadline) {
+				rep.Complete = false
+				cfg.logf("%s: gateway shutdown latch never raised", name)
+				break
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+		waitIdle := func(active func() int) {
+			d := time.Now().Add(5 * time.Second)
+			for active() > 0 && time.Now().Before(d) {
+				time.Sleep(5 * time.Millisecond)
+			}
+		}
+		if gwIngress != nil {
+			waitIdle(func() int { return gwIngress.Stats().ActiveStreams })
+			gwIngress.Close()
+			rep.Gateways = append(rep.Gateways, GatewayReport{
+				Role: "ingress", Host: check.HostName(gin),
+				Socks: gwIngress.Addr(), Stats: gwIngress.Stats(),
+			})
+		}
+		if gwEgress != nil {
+			waitIdle(func() int { return gwEgress.Stats().ActiveStreams })
+			gwEgress.Close()
+			rep.Gateways = append(rep.Gateways, GatewayReport{
+				Role: "egress", Host: check.HostName(geg), Stats: gwEgress.Stats(),
+			})
+		}
 	}
 	if err := client.Barrier(name, "drained"); err != nil {
 		return nil, err

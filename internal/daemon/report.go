@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/check"
+	"repro/internal/gateway"
 	"repro/internal/ledger"
 	"repro/internal/stats"
 	"repro/internal/token"
@@ -34,6 +35,20 @@ type Report struct {
 	Tunnels       map[uint16]udpnet.Stats `json:"tunnels,omitempty"`
 	TunnelDropped uint64                  `json:"tunnel_dropped"`
 	Anomalies     uint64                  `json:"anomalies"`
+
+	// Gateways holds the stats of any gateway relays this peer ran
+	// (gateway-mode clusters only; a peer can own both roles).
+	Gateways []GatewayReport `json:"gateways,omitempty"`
+}
+
+// GatewayReport is the end-of-run snapshot of one gateway relay a peer
+// hosted: which role, on which scenario host, and the relay's stream
+// and transport counters.
+type GatewayReport struct {
+	Role  string        `json:"role"`            // "ingress" or "egress"
+	Host  string        `json:"host"`            // scenario host name, e.g. "h0"
+	Socks string        `json:"socks,omitempty"` // ingress listen address
+	Stats gateway.Stats `json:"stats"`
 }
 
 // DecodeReports unmarshals the directory's raw report map into typed
@@ -130,6 +145,76 @@ func VerifyCluster(sc *check.Scenario, total int, reports map[string]*Report) []
 	return problems
 }
 
+// VerifyGatewayCluster checks the gateway half of a gateway-mode
+// cluster run: exactly one ingress and one egress relay reported, on
+// the scenario's deterministic gateway hosts; every stream closed
+// cleanly (the launcher's transfer is hash-verified separately, so a
+// reset here means the mesh tore a stream down mid-flight); the two
+// relays' byte counters agree side to side and carry at least
+// wantBytes in each direction; and the merged ledger billed the
+// gateway account — stream traffic transited token-guarded routers
+// and was charged like any other traffic.
+func VerifyGatewayCluster(sc *check.Scenario, total int, reports map[string]*Report, wantBytes uint64) []string {
+	var problems []string
+	badf := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+
+	gin, geg := check.GatewayHosts(sc, total)
+	var ingress, egress *GatewayReport
+	for peer, rep := range reports {
+		for i := range rep.Gateways {
+			g := &rep.Gateways[i]
+			switch g.Role {
+			case "ingress":
+				if ingress != nil {
+					badf("duplicate ingress gateway report (from %s)", peer)
+				}
+				ingress = g
+			case "egress":
+				if egress != nil {
+					badf("duplicate egress gateway report (from %s)", peer)
+				}
+				egress = g
+			default:
+				badf("%s: unknown gateway role %q", peer, g.Role)
+			}
+		}
+	}
+	if ingress == nil || egress == nil {
+		badf("gateway reports incomplete: ingress=%v egress=%v", ingress != nil, egress != nil)
+		return problems
+	}
+	if ingress.Host != check.HostName(gin) {
+		badf("ingress ran on %s, want %s", ingress.Host, check.HostName(gin))
+	}
+	if egress.Host != check.HostName(geg) {
+		badf("egress ran on %s, want %s", egress.Host, check.HostName(geg))
+	}
+	is, es := ingress.Stats, egress.Stats
+	if is.Streams == 0 {
+		badf("ingress opened no streams")
+	}
+	if is.Resets > 0 || es.Resets > 0 {
+		badf("streams reset mid-flight: ingress=%d egress=%d", is.Resets, es.Resets)
+	}
+	if is.CleanCloses != es.CleanCloses || is.CleanCloses == 0 {
+		badf("clean closes disagree: ingress=%d egress=%d", is.CleanCloses, es.CleanCloses)
+	}
+	if is.BytesIn != es.BytesOut || es.BytesIn != is.BytesOut {
+		badf("stream byte conservation violated: ingress in/out %d/%d vs egress out/in %d/%d",
+			is.BytesIn, is.BytesOut, es.BytesOut, es.BytesIn)
+	}
+	if is.BytesIn < wantBytes || es.BytesIn < wantBytes {
+		badf("transferred %d up / %d down stream bytes, want >= %d each way",
+			is.BytesIn, es.BytesIn, wantBytes)
+	}
+	if u := ClusterLedger(reports).Totals()[check.GatewayAccount]; u.Packets == 0 || u.Bytes == 0 {
+		badf("gateway account %d unbilled in the merged ledger (usage %+v)", check.GatewayAccount, u)
+	}
+	return problems
+}
+
 // CompareWithSingleProcess runs the identical seeded workload on one
 // in-process livenet substrate — the same routes, tokens, guards and
 // accounts, fetched through the in-process directory — and diffs the
@@ -177,6 +262,12 @@ func FormatReports(reports map[string]*Report) string {
 			s := r.Tunnels[uint16(id)]
 			out += fmt.Sprintf("  link %d: encap=%d decap=%d decode-errs=%d send-errs=%d dropped=%d\n",
 				id, s.Encapsulated, s.Decapsulated, s.DecodeErrors, s.SendErrors, s.Dropped)
+		}
+		for _, g := range r.Gateways {
+			s := g.Stats
+			out += fmt.Sprintf("  gateway %s on %s: streams=%d clean=%d resets=%d in=%dB out=%dB groups=%d rtt-p50=%dus p99=%dus retx=%d\n",
+				g.Role, g.Host, s.Streams, s.CleanCloses, s.Resets, s.BytesIn, s.BytesOut,
+				s.GroupsSent, s.GroupRTTp50us, s.GroupRTTp99us, s.VMTP.Retransmissions+s.VMTP.SelectiveResends)
 		}
 	}
 	return out

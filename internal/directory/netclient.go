@@ -119,6 +119,18 @@ func (c *Client) Bill() (map[uint32]token.Usage, error) {
 	return bill, err
 }
 
+// Shutdown raises the cluster-wide shutdown latch.
+func (c *Client) Shutdown() error {
+	return c.post("/v1/shutdown", struct{}{}, nil)
+}
+
+// ShutdownRequested reports whether the shutdown latch has been raised.
+func (c *Client) ShutdownRequested() (bool, error) {
+	var sd bool
+	_, err := c.get("/v1/shutdown", &sd)
+	return sd, err
+}
+
 // Report posts this peer's end-of-run result blob.
 func (c *Client) Report(peer string, body any) error {
 	raw, err := json.Marshal(body)

@@ -32,11 +32,14 @@ import (
 // HMAC, which is what makes cross-process ledger parity checkable.
 
 // PeerReg is one daemon's registration: its name, the UDP address of
-// its udpnet bridge, and the topology nodes it hosts.
+// its udpnet bridge, the topology nodes it hosts, and — when the peer
+// runs a SOCKS ingress gateway — the TCP address clients proxy
+// through.
 type PeerReg struct {
 	Name    string   `json:"name"`
 	UDPAddr string   `json:"udp_addr"`
 	Nodes   []string `json:"nodes,omitempty"`
+	Socks   string   `json:"socks,omitempty"`
 }
 
 // RegisterReply acknowledges a registration with the full peer set
@@ -78,6 +81,7 @@ type NetService struct {
 	peers    map[string]PeerReg
 	reports  map[string]json.RawMessage
 	barriers map[string]*barrier
+	shutdown bool
 }
 
 type barrier struct {
@@ -110,6 +114,8 @@ func (ns *NetService) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/bill", ns.handleBill)
 	mux.HandleFunc("POST /v1/report", ns.handleReport)
 	mux.HandleFunc("GET /v1/reports", ns.handleReports)
+	mux.HandleFunc("POST /v1/shutdown", ns.handleShutdownSet)
+	mux.HandleFunc("GET /v1/shutdown", ns.handleShutdownGet)
 	return mux
 }
 
@@ -236,6 +242,25 @@ func (ns *NetService) handleReport(w http.ResponseWriter, r *http.Request) {
 	ns.reports[rep.Peer] = rep.Body
 	ns.mu.Unlock()
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// Shutdown is a one-way latch the launcher raises when its externally
+// driven workload (the gateway transfer) is done; long-running peers
+// poll it to know when to stop serving and proceed to the drain
+// barrier. It is coordination state, not topology, so it lives here
+// with the barriers rather than in the route model.
+func (ns *NetService) handleShutdownSet(w http.ResponseWriter, r *http.Request) {
+	ns.mu.Lock()
+	ns.shutdown = true
+	ns.mu.Unlock()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (ns *NetService) handleShutdownGet(w http.ResponseWriter, r *http.Request) {
+	ns.mu.Lock()
+	sd := ns.shutdown
+	ns.mu.Unlock()
+	writeJSON(w, http.StatusOK, sd)
 }
 
 func (ns *NetService) handleReports(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,171 @@
+package gateway
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// socksExchange runs ReadRequest against a scripted client: the client
+// writes `in`, the server side returns, and the bytes the server wrote
+// back are captured.
+func socksExchange(t *testing.T, in []byte) (target string, reqErr error, wrote []byte) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	cli, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	srv, err := ln.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		target, reqErr = ReadRequest(srv)
+		srv.Close() // unblock the client
+	}()
+
+	cli.SetDeadline(time.Now().Add(5 * time.Second))
+	cli.Write(in)
+	// Half-close: a deliberately truncated script must read as EOF on
+	// the server side, not hang it mid-io.ReadFull.
+	cli.(*net.TCPConn).CloseWrite()
+	buf := make([]byte, 64)
+	for {
+		n, err := cli.Read(buf)
+		wrote = append(wrote, buf[:n]...)
+		if err != nil {
+			break
+		}
+	}
+	<-done
+	return target, reqErr, wrote
+}
+
+func wantSocksError(t *testing.T, err error, code uint8) *SocksError {
+	t.Helper()
+	var se *SocksError
+	if !errors.As(err, &se) {
+		t.Fatalf("want *SocksError, got %v", err)
+	}
+	if se.Code != code {
+		t.Fatalf("SocksError code = %d, want %d (%v)", se.Code, code, err)
+	}
+	return se
+}
+
+func TestSocksBadVersionGreeting(t *testing.T) {
+	// SOCKS4-style greeting: version 4.
+	_, err, wrote := socksExchange(t, []byte{4, 1, methodNoAuth})
+	wantSocksError(t, err, ReplyGeneralFailure)
+	if len(wrote) != 0 {
+		t.Fatalf("server wrote %x to a bad-version greeting; want silence", wrote)
+	}
+}
+
+func TestSocksEmptyMethodList(t *testing.T) {
+	_, err, _ := socksExchange(t, []byte{socksVersion, 0})
+	wantSocksError(t, err, ReplyGeneralFailure)
+}
+
+func TestSocksNoAcceptableMethod(t *testing.T) {
+	// Client offers only GSSAPI (1) and username/password (2).
+	_, err, wrote := socksExchange(t, []byte{socksVersion, 2, 1, 2})
+	wantSocksError(t, err, ReplyGeneralFailure)
+	if len(wrote) != 2 || wrote[0] != socksVersion || wrote[1] != methodNoneOK {
+		t.Fatalf("method rejection = %x, want [%d %#x]", wrote, socksVersion, methodNoneOK)
+	}
+}
+
+func TestSocksTruncatedRequest(t *testing.T) {
+	// Valid greeting, then the connection goes quiet mid-request.
+	_, err, _ := socksExchange(t, []byte{socksVersion, 1, methodNoAuth, socksVersion, cmdConnect})
+	wantSocksError(t, err, ReplyGeneralFailure)
+}
+
+// bindRequest assembles greeting + request for a given command/atyp
+// against 127.0.0.1:80.
+func socksRequest(cmd, atyp byte) []byte {
+	req := []byte{socksVersion, 1, methodNoAuth, socksVersion, cmd, 0, atyp}
+	switch atyp {
+	case atypIPv4:
+		req = append(req, 127, 0, 0, 1)
+	case atypDomain:
+		req = append(req, 9)
+		req = append(req, "localhost"...)
+	}
+	return append(req, 0, 80)
+}
+
+func TestSocksBindRejected(t *testing.T) {
+	for _, cmd := range []byte{2 /* BIND */, 3 /* UDP ASSOCIATE */} {
+		_, err, wrote := socksExchange(t, socksRequest(cmd, atypIPv4))
+		wantSocksError(t, err, ReplyCmdNotSupported)
+		// Skip the 2-byte method reply; the final reply must carry code 7.
+		if len(wrote) < 4 || wrote[2] != socksVersion || wrote[3] != ReplyCmdNotSupported {
+			t.Fatalf("cmd %d: reply bytes %x, want code %d", cmd, wrote, ReplyCmdNotSupported)
+		}
+	}
+}
+
+func TestSocksBadAddressType(t *testing.T) {
+	_, err, wrote := socksExchange(t, socksRequest(cmdConnect, 9))
+	wantSocksError(t, err, ReplyAddrNotSupported)
+	if len(wrote) < 4 || wrote[3] != ReplyAddrNotSupported {
+		t.Fatalf("reply bytes %x, want code %d", wrote, ReplyAddrNotSupported)
+	}
+}
+
+func TestSocksConnectTargets(t *testing.T) {
+	target, err, _ := socksExchange(t, socksRequest(cmdConnect, atypIPv4))
+	if err != nil {
+		t.Fatalf("IPv4 CONNECT: %v", err)
+	}
+	if target != "127.0.0.1:80" {
+		t.Fatalf("IPv4 target = %q", target)
+	}
+	target, err, _ = socksExchange(t, socksRequest(cmdConnect, atypDomain))
+	if err != nil {
+		t.Fatalf("domain CONNECT: %v", err)
+	}
+	if target != "localhost:80" {
+		t.Fatalf("domain target = %q", target)
+	}
+}
+
+func TestDialErrorReplyMapping(t *testing.T) {
+	cases := []struct {
+		err  error
+		want uint8
+	}{
+		{nil, ReplySuccess},
+		{errors.New("dial tcp 127.0.0.1:1: connect: connection refused"), ReplyConnRefused},
+		{errors.New("dial tcp: connect: network is unreachable"), ReplyNetUnreachable},
+		{errors.New("dial tcp: connect: no route to host"), ReplyHostUnreachable},
+		{&net.DNSError{Err: "no such host", Name: "nope.invalid"}, ReplyHostUnreachable},
+		{&net.OpError{Op: "dial", Err: timeoutError{}}, ReplyHostUnreachable},
+		{io.ErrUnexpectedEOF, ReplyGeneralFailure},
+	}
+	for _, c := range cases {
+		if got := DialErrorReply(c.err); got != c.want {
+			t.Errorf("DialErrorReply(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}
+
+type timeoutError struct{}
+
+func (timeoutError) Error() string   { return "i/o timeout" }
+func (timeoutError) Timeout() bool   { return true }
+func (timeoutError) Temporary() bool { return true }

@@ -1,0 +1,137 @@
+package gateway
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Stream messages ride as VMTP transaction payloads: one Msg per
+// transaction. The layout is deliberately tiny — VMTP already provides
+// entities, transactions, segmentation, and retransmission, so the
+// gateway only needs to name the stream, order its groups, and mark
+// open/close:
+//
+//	[0]    op       (OpOpen | OpData | OpClose)
+//	[1]    flags    (FlagFin)
+//	[2:6]  stream   big-endian uint32
+//	[6:10] seq      big-endian uint32 (data group sequence within the stream)
+//	OpOpen: [10:12] addr length, then the destination "host:port"
+//	OpData: [10:]   payload bytes
+//
+// Replies are one byte: a SOCKS5 reply code (0 success), so egress
+// dial outcomes map onto the SOCKS reply the ingress must send without
+// translation.
+
+// Msg ops.
+const (
+	OpOpen  uint8 = 1 // open a stream toward Addr; Seq is 0
+	OpData  uint8 = 2 // in-order payload group (possibly empty with Fin)
+	OpClose uint8 = 3 // hard teardown (error or client abort)
+)
+
+// FlagFin on an OpData message marks the sender's half of the stream
+// done (TCP FIN): no groups after Seq will follow.
+const FlagFin uint8 = 0x01
+
+// SOCKS5 reply codes (RFC 1928 §6), doubling as gateway reply codes.
+const (
+	ReplySuccess          uint8 = 0
+	ReplyGeneralFailure   uint8 = 1
+	ReplyNetUnreachable   uint8 = 3
+	ReplyHostUnreachable  uint8 = 4
+	ReplyConnRefused      uint8 = 5
+	ReplyTTLExpired       uint8 = 6
+	ReplyCmdNotSupported  uint8 = 7
+	ReplyAddrNotSupported uint8 = 8
+)
+
+const msgHeaderLen = 10
+
+// maxAddrLen bounds OpOpen destination strings (a full domain name
+// plus port fits well within this).
+const maxAddrLen = 512
+
+// Msg is one gateway stream message.
+type Msg struct {
+	Op     uint8
+	Fin    bool
+	Stream uint32
+	Seq    uint32
+	Addr   string // OpOpen only
+	Data   []byte // OpData only
+}
+
+// Encode renders the message to wire bytes.
+func (m *Msg) Encode() []byte {
+	n := msgHeaderLen
+	switch m.Op {
+	case OpOpen:
+		n += 2 + len(m.Addr)
+	case OpData:
+		n += len(m.Data)
+	}
+	b := make([]byte, n)
+	b[0] = m.Op
+	if m.Fin {
+		b[1] |= FlagFin
+	}
+	binary.BigEndian.PutUint32(b[2:6], m.Stream)
+	binary.BigEndian.PutUint32(b[6:10], m.Seq)
+	switch m.Op {
+	case OpOpen:
+		binary.BigEndian.PutUint16(b[10:12], uint16(len(m.Addr)))
+		copy(b[12:], m.Addr)
+	case OpData:
+		copy(b[msgHeaderLen:], m.Data)
+	}
+	return b
+}
+
+// Decode errors.
+var (
+	ErrMsgTruncated = errors.New("gateway: truncated message")
+	ErrMsgBadOp     = errors.New("gateway: unknown message op")
+)
+
+// DecodeMsg parses wire bytes into a Msg. The returned Data aliases b.
+func DecodeMsg(b []byte) (*Msg, error) {
+	if len(b) < msgHeaderLen {
+		return nil, ErrMsgTruncated
+	}
+	m := &Msg{
+		Op:     b[0],
+		Fin:    b[1]&FlagFin != 0,
+		Stream: binary.BigEndian.Uint32(b[2:6]),
+		Seq:    binary.BigEndian.Uint32(b[6:10]),
+	}
+	switch m.Op {
+	case OpOpen:
+		if len(b) < msgHeaderLen+2 {
+			return nil, ErrMsgTruncated
+		}
+		alen := int(binary.BigEndian.Uint16(b[10:12]))
+		if alen > maxAddrLen || len(b) < msgHeaderLen+2+alen {
+			return nil, ErrMsgTruncated
+		}
+		m.Addr = string(b[12 : 12+alen])
+	case OpData:
+		m.Data = b[msgHeaderLen:]
+	case OpClose:
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrMsgBadOp, m.Op)
+	}
+	return m, nil
+}
+
+// EncodeReply renders a one-byte gateway reply.
+func EncodeReply(code uint8) []byte { return []byte{code} }
+
+// DecodeReply parses a gateway reply; a missing or truncated reply is
+// a general failure.
+func DecodeReply(b []byte) uint8 {
+	if len(b) < 1 {
+		return ReplyGeneralFailure
+	}
+	return b[0]
+}

@@ -111,6 +111,24 @@ func (p *pipe) push(frames []Frame, sdone <-chan struct{}) int {
 	return sent
 }
 
+// tryPush is push without the park: it transfers what fits and returns
+// immediately. Router flushes use it — a router worker parked on a full
+// ring can wedge against a neighbor parked on its ring in turn (see
+// node.trySend) — so the overflow is dropped DropQueueFull instead, as
+// the simulation substrate's outport does.
+func (p *pipe) tryPush(frames []Frame) int {
+	p.mu.Lock()
+	n := p.r.PushBatch(frames)
+	p.mu.Unlock()
+	if n > 0 {
+		select {
+		case p.bell <- struct{}{}:
+		default:
+		}
+	}
+	return n
+}
+
 // pop drains up to len(dst) frames and, if anything moved, rings the
 // space doorbell so a parked producer resumes. Consumer-side only.
 func (p *pipe) pop(dst []Frame) int {
@@ -417,11 +435,13 @@ func (r *Router) accumulate(sc *batchScratch, port uint8, item inFrame) {
 }
 
 // flushTx transmits every accumulated output batch: one pipe lookup and
-// one producer lock per port per batch instead of per frame. Frames that
-// cannot transmit are accounted as the scalar path would: DropBadPort
-// when the route names an unwired port, DropTxError on a shutdown race.
-// The trace record of a failed frame already carries its forward hop, so
-// it reads "attempted forward, then dropped" — same as scalar.
+// one producer lock per port per batch instead of per frame. The push
+// never parks (tryPush): frames that do not fit are dropped
+// DropQueueFull like the scalar path and the simulation outport, which
+// keeps router workers from wedging against each other on full rings.
+// DropBadPort covers an unwired port, DropTxError a shutdown race. The
+// trace record of a failed frame already carries its forward hop, so it
+// reads "attempted forward, then dropped" — same as scalar.
 func (r *Router) flushTx(sc *batchScratch) {
 	for _, idx := range sc.touched {
 		a := &sc.tx[idx]
@@ -429,6 +449,7 @@ func (r *Router) flushTx(sc *batchScratch) {
 		p := r.node.outP[a.port]
 		r.node.mu.Unlock()
 		sent := 0
+		reason := stats.DropBadPort
 		if p != nil {
 			if cap(sc.flush) < len(a.items) {
 				sc.flush = make([]Frame, len(a.items))
@@ -437,15 +458,17 @@ func (r *Router) flushTx(sc *batchScratch) {
 			for i := range a.items {
 				fl[i] = a.items[i].frame
 			}
-			sent = p.push(fl, r.done)
+			sent = p.tryPush(fl)
 			for i := range fl {
 				fl[i] = Frame{}
 			}
 			r.counters.forwarded.Add(uint64(sent))
-		}
-		reason := stats.DropTxError
-		if p == nil {
-			reason = stats.DropBadPort
+			reason = stats.DropQueueFull
+			select {
+			case <-r.done:
+				reason = stats.DropTxError
+			default:
+			}
 		}
 		for i := sent; i < len(a.items); i++ {
 			it := &a.items[i]

@@ -26,9 +26,12 @@ func routeWireLen(route []viper.Segment) int {
 
 // originTrailer is the origin host's own trailer segment: the packet
 // starts its life with one return segment naming the local stack, so a
-// full round trip ends where it began.
-func originTrailer(ownPrio viper.Priority) viper.Segment {
-	return viper.Segment{Port: viper.PortLocal, Priority: ownPrio}
+// full round trip ends where it began. origin is the local endpoint a
+// reply should address — PortLocal for plain Send, or a specific
+// endpoint for services (the gateway's VMTP endpoints) whose return
+// traffic must not land on the default handler.
+func originTrailer(origin uint8, ownPrio viper.Priority) viper.Segment {
+	return viper.Segment{Port: origin, Priority: ownPrio}
 }
 
 // appendWireImage appends the full wire form of an origin packet —
@@ -37,7 +40,7 @@ func originTrailer(ownPrio viper.Priority) viper.Segment {
 // directive); it is read, never written: continuation flags are fixed
 // up on per-segment stack copies, exactly as viper.SealRoute would fix
 // them in place.
-func appendWireImage(buf []byte, route []viper.Segment, data []byte, ownPrio viper.Priority) ([]byte, error) {
+func appendWireImage(buf []byte, route []viper.Segment, data []byte, origin uint8, ownPrio viper.Priority) ([]byte, error) {
 	if len(route) == 0 {
 		return nil, fmt.Errorf("livenet: empty route")
 	}
@@ -60,7 +63,7 @@ func appendWireImage(buf []byte, route []viper.Segment, data []byte, ownPrio vip
 		}
 	}
 	buf = append(buf, data...)
-	tr := originTrailer(ownPrio)
+	tr := originTrailer(origin, ownPrio)
 	if buf, err = viper.AppendSegmentMirrored(buf, &tr); err != nil {
 		return nil, err
 	}
@@ -70,6 +73,6 @@ func appendWireImage(buf []byte, route []viper.Segment, data []byte, ownPrio vip
 // wireImageLen returns the exact byte length appendWireImage will
 // produce for the given route and payload length.
 func wireImageLen(route []viper.Segment, dataLen int, ownPrio viper.Priority) int {
-	tr := originTrailer(ownPrio)
+	tr := originTrailer(viper.PortLocal, ownPrio)
 	return routeWireLen(route) + dataLen + tr.WireLen() + 4
 }

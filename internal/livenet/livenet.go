@@ -292,6 +292,59 @@ func (nd *node) send(port uint8, f Frame) bool {
 	}
 }
 
+// txStatus classifies a non-blocking transmit attempt for drop
+// accounting: the distinctions map onto DropQueueFull, DropBadPort,
+// and DropTxError.
+type txStatus uint8
+
+const (
+	txOK     txStatus = iota // frame transferred; ownership moved
+	txFull                   // output queue at limit; caller keeps ownership
+	txNoPort                 // port not wired; caller keeps ownership
+	txDown                   // network shutting down; caller keeps ownership
+)
+
+// trySend is the router's transmit: like send, but it never parks on a
+// full output queue — it reports txFull and the caller drops the frame
+// with DropQueueFull, as the simulation substrate's outport does. This
+// is what keeps the mesh deadlock-free: a blocking router transmit lets
+// two adjacent routers wedge each other under bidirectional saturation
+// (each parked on the other's full queue, so neither drains), a
+// circular wait no amount of queue depth removes. Hosts keep the
+// blocking send — their backpressure cannot cycle because routers
+// always drain.
+func (nd *node) trySend(port uint8, f Frame) txStatus {
+	nd.mu.Lock()
+	if nd.outP != nil {
+		p := nd.outP[port]
+		nd.mu.Unlock()
+		if p == nil {
+			return txNoPort
+		}
+		one := [1]Frame{f}
+		if p.tryPush(one[:]) == 1 {
+			return txOK
+		}
+		return txFull
+	}
+	ch, ok := nd.out[port]
+	nd.mu.Unlock()
+	if !ok {
+		return txNoPort
+	}
+	select {
+	case ch <- f:
+		return txOK
+	default:
+	}
+	select {
+	case <-nd.done:
+		return txDown
+	default:
+		return txFull
+	}
+}
+
 // hasPort reports whether a port is wired, distinguishing a bad route
 // (unknown port) from a transmit failure (shutdown race) for drop
 // accounting.
@@ -737,16 +790,16 @@ func (r *Router) forward(inf inFrame) {
 	// returns ownership, and drop then appends the terminal hop after
 	// this one — the record reads "attempted forward, then dropped".
 	r.plane.TraceForward(f.Trace, inf.port, v.OutPort, inf.arrived)
-	if !r.send(v.OutPort, f) {
-		out := inFrame{port: inf.port, frame: f, arrived: inf.arrived}
-		if r.hasPort(v.OutPort) {
-			r.drop(stats.DropTxError, out)
-		} else {
-			r.drop(stats.DropBadPort, out)
-		}
-		return
+	switch r.trySend(v.OutPort, f) {
+	case txOK:
+		r.counters.forwarded.Add(1)
+	case txFull:
+		r.drop(stats.DropQueueFull, inFrame{port: inf.port, frame: f, arrived: inf.arrived})
+	case txNoPort:
+		r.drop(stats.DropBadPort, inFrame{port: inf.port, frame: f, arrived: inf.arrived})
+	case txDown:
+		r.drop(stats.DropTxError, inFrame{port: inf.port, frame: f, arrived: inf.arrived})
 	}
-	r.counters.forwarded.Add(1)
 }
 
 // fanoutTree handles tree-structured multicast (§2): fan one copy of the
@@ -861,6 +914,16 @@ func (h *Host) Handle(endpoint uint8, fn func(Delivery)) {
 // and the frame's whole transit are allocation-free in steady state
 // (pinned by TestSendAllocs).
 func (h *Host) Send(route []viper.Segment, data []byte) error {
+	return h.SendFrom(viper.PortLocal, route, data)
+}
+
+// SendFrom is Send with an explicit origin endpoint: the packet's
+// origin trailer names this endpoint instead of PortLocal, so replies
+// along the accumulated return route deliver to the Handle(endpoint)
+// handler rather than the default one. Services multiplexed beside
+// other traffic on one host (the gateway's VMTP endpoints) use this to
+// keep their return traffic off endpoint 0.
+func (h *Host) SendFrom(endpoint uint8, route []viper.Segment, data []byte) error {
 	if len(route) == 0 {
 		return fmt.Errorf("livenet: empty route")
 	}
@@ -868,7 +931,7 @@ func (h *Host) Send(route []viper.Segment, data []byte) error {
 	rest := route[1:]
 	headerLen := routeWireLen(rest)
 	buf := pool.Get(wireImageLen(rest, len(data), own.Priority) + frameHeadroom(len(rest), headerLen))
-	b, err := appendWireImage(buf, rest, data, own.Priority)
+	b, err := appendWireImage(buf, rest, data, endpoint, own.Priority)
 	if err != nil {
 		pool.Put(buf)
 		return err

@@ -43,7 +43,7 @@ func (h *Host) NewSender(route []viper.Segment, dataLen int) (*Sender, error) {
 	rest := route[1:]
 	headerLen := routeWireLen(rest)
 	wire, err := appendWireImage(make([]byte, 0, wireImageLen(rest, dataLen, own.Priority)),
-		rest, make([]byte, dataLen), own.Priority)
+		rest, make([]byte, dataLen), viper.PortLocal, own.Priority)
 	if err != nil {
 		return nil, err
 	}

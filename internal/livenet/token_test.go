@@ -118,7 +118,10 @@ func TestLiveTokenConcurrentAccounts(t *testing.T) {
 	r1.SetTokenAuthority(auth)
 
 	dst := n.NewHost("dst")
-	n.Connect(r1, 9, dst, 1)
+	// Deep enough for every packet in the test: the router drops
+	// DropQueueFull on a full output queue (as the simulator's outport
+	// does), and this test's subject is token accounting, not loss.
+	n.Connect(r1, 9, dst, 1, WithDepth(256))
 	r1.RequireToken(9)
 
 	var delivered atomic.Uint64

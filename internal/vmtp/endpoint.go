@@ -82,6 +82,7 @@ type Stats struct {
 	Misdelivered     uint64 // entity identifier mismatch (§4.1)
 	DupRequests      uint64 // answered from the response cache
 	AcksSent         uint64
+	QueueDrops       uint64 // RT receive-queue overflow (real-time endpoints only)
 }
 
 // Handler serves requests: it receives the caller's entity identifier

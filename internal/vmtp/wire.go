@@ -64,7 +64,7 @@ type Header struct {
 	Kind     Kind
 	PktIndex uint8  // index within the packet group
 	NPkts    uint8  // packets in the group
-	Flags    uint8  // reserved
+	Flags    uint8  // FlagProbe; other bits reserved
 	Mask     uint32 // delivery mask (acks)
 	TotalLen uint32 // total message length across the group
 	// Timestamp is the creation time in milliseconds (§4.2); receivers
