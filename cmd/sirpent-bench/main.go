@@ -12,6 +12,12 @@
 //	sirpent-bench -ledger    # token-authorized billing cross-check
 //	sirpent-bench -gateway   # SOCKS relay path benchmark -> BENCH_gateway.json
 //
+// Any mode combines with -cpuprofile and/or -memprofile to capture
+// pprof-format profiles of the selected workload:
+//
+//	sirpent-bench -live -live-dur 250ms -cpuprofile cpu.pprof -memprofile mem.pprof
+//	go tool pprof cpu.pprof
+//
 // Trace mode replays the conformance harness's seeded scenarios with
 // hop-level tracing enabled on both substrates, prints a per-hop timing
 // table for every flow (narrow to one with -trace-flow), and exits
@@ -30,6 +36,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -51,6 +58,8 @@ func main() {
 	gatewayMode := flag.Bool("gateway", false, "benchmark the SOCKS gateway relay path over chain lengths")
 	gatewayOut := flag.String("gateway-out", "BENCH_gateway.json", "output path for -gateway results")
 	gatewayBytes := flag.Int64("gateway-bytes", 16<<20, "bytes to transfer each way per -gateway run")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected workload to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
 
 	if *list {
@@ -60,57 +69,109 @@ func main() {
 		return
 	}
 
-	if *live {
-		if err := runLive(*liveOut, *liveDur); err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(2)
+	// The workload body returns an exit code instead of calling os.Exit
+	// so profile teardown (StopCPUProfile, the heap snapshot) always
+	// runs — os.Exit skips deferred writes.
+	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(2)
+	}
+	code := func() int {
+		if *live {
+			if err := runLive(*liveOut, *liveDur); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				return 2
+			}
+			return 0
 		}
-		return
-	}
 
-	if *traceMode {
-		if err := runTrace(*traceSeeds, *traceFlow); err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
+		if *traceMode {
+			if err := runTrace(*traceSeeds, *traceFlow); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				return 1
+			}
+			return 0
 		}
-		return
-	}
 
-	if *gatewayMode {
-		if err := runGateway(*gatewayOut, *gatewayBytes); err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
+		if *gatewayMode {
+			if err := runGateway(*gatewayOut, *gatewayBytes); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				return 1
+			}
+			return 0
 		}
-		return
-	}
 
-	if *ledgerMode {
-		if err := runLedger(*ledgerSeeds); err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
+		if *ledgerMode {
+			if err := runLedger(*ledgerSeeds); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				return 1
+			}
+			return 0
 		}
-		return
-	}
 
-	ids := experiments.IDs()
-	if *runID != "" {
-		ids = strings.Split(*runID, ",")
-	}
+		ids := experiments.IDs()
+		if *runID != "" {
+			ids = strings.Split(*runID, ",")
+		}
 
-	failed := 0
-	for _, id := range ids {
-		t, err := experiments.Run(strings.TrimSpace(id))
+		failed := 0
+		for _, id := range ids {
+			t, err := experiments.Run(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				return 2
+			}
+			t.Fprint(os.Stdout)
+			failed += len(t.Failed())
+		}
+		if failed > 0 {
+			fmt.Fprintf(os.Stderr, "%d shape checks FAILED\n", failed)
+			return 1
+		}
+		return 0
+	}()
+	stopProfiles()
+	os.Exit(code)
+}
+
+// startProfiles begins CPU profiling and arranges a heap snapshot at
+// stop; either path may be empty. The returned stop must run before
+// os.Exit.
+func startProfiles(cpu, mem string) (func(), error) {
+	var cpuF *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(2)
+			return nil, err
 		}
-		t.Fprint(os.Stdout)
-		failed += len(t.Failed())
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuF = f
 	}
-	if failed > 0 {
-		fmt.Fprintf(os.Stderr, "%d shape checks FAILED\n", failed)
-		os.Exit(1)
-	}
+	return func() {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			cpuF.Close()
+			fmt.Printf("wrote %s\n", cpu)
+		}
+		if mem == "" {
+			return
+		}
+		f, err := os.Create(mem)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+			return
+		}
+		runtime.GC() // materialize the final live set
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+		}
+		f.Close()
+		fmt.Printf("wrote %s\n", mem)
+	}, nil
 }
 
 // printLive renders one result row for the console.

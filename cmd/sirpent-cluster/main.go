@@ -48,15 +48,16 @@ func main() {
 	settle := flag.Duration("settle", 30*time.Second, "per-peer quiesce deadline")
 	gw := flag.Bool("gateway", false, "gateway mode: run peers with SOCKS relays and push a hash-verified TCP transfer through the cluster")
 	gwBytes := flag.Int64("gateway-bytes", 10<<20, "bytes to transfer each way through the gateway (gateway mode)")
+	report := flag.Bool("report", false, "print the merged cluster telemetry report after the run")
 	flag.Parse()
 
-	if err := run(*n, *seed, *sirpentd, *settle, *gw, *gwBytes); err != nil {
+	if err := run(*n, *seed, *sirpentd, *settle, *gw, *gwBytes, *report); err != nil {
 		fmt.Fprintln(os.Stderr, "sirpent-cluster:", err)
 		os.Exit(1)
 	}
 }
 
-func run(n int, seed int64, sirpentd string, settle time.Duration, gw bool, gwBytes int64) error {
+func run(n int, seed int64, sirpentd string, settle time.Duration, gw bool, gwBytes int64, report bool) error {
 	if n < 2 {
 		return fmt.Errorf("-n must be at least 2 (got %d)", n)
 	}
@@ -163,9 +164,26 @@ func run(n int, seed int64, sirpentd string, settle time.Duration, gw bool, gwBy
 		return fmt.Errorf("one or more peers failed")
 	}
 
+	// Merged telemetry: the same scrape a human would do against
+	// /debug/cluster, folded into the verdict. Peers ship it by default;
+	// a cluster explicitly run without it just merges zero nodes.
+	cluster, err := client.Cluster()
+	if err != nil {
+		return fmt.Errorf("fetch cluster telemetry: %w", err)
+	}
+	if report {
+		fmt.Print(daemon.FormatClusterReport(cluster))
+	}
+
 	if problems := daemon.VerifyCluster(sc, n, reports); len(problems) > 0 {
 		return fmt.Errorf("cluster verdict failed (%d problems):\n  %s",
 			len(problems), strings.Join(problems, "\n  "))
+	}
+	if len(cluster.Nodes) > 0 {
+		if problems := daemon.VerifyClusterTelemetry(cluster); len(problems) > 0 {
+			return fmt.Errorf("telemetry verdict failed (%d problems):\n  %s",
+				len(problems), strings.Join(problems, "\n  "))
+		}
 	}
 	if gw {
 		// The gateway account only exists in the distributed run, so
@@ -175,7 +193,7 @@ func run(n int, seed int64, sirpentd string, settle time.Duration, gw bool, gwBy
 			return fmt.Errorf("gateway verdict failed (%d problems):\n  %s",
 				len(problems), strings.Join(problems, "\n  "))
 		}
-		fmt.Println("cluster: PASS — flows delivered exactly once AND the SOCKS transfer crossed the cluster hash-intact with the gateway account billed and ledgers reconciling")
+		fmt.Println("cluster: PASS — flows delivered exactly once AND the SOCKS transfer crossed the cluster hash-intact with the gateway account billed, ledgers reconciling, and trace spans accounting for every traced crossing")
 		return nil
 	}
 	diffs, err := daemon.CompareWithSingleProcess(seed, daemon.ClusterLedger(reports), 15*time.Second)

@@ -5,7 +5,9 @@
 //	sirpentd dir     [-addr 127.0.0.1:0] [-seed N] [-peers N]
 //	sirpentd peer    [-index I] [-peers N] [-seed N] [-dir URL] [-udp 127.0.0.1:0]
 //	                 [-gateway] [-gateway-listen 127.0.0.1:0]
+//	                 [-telemetry] [-trace-sample N]
 //	sirpentd gateway [-listen 127.0.0.1:1080] [-hops N]
+//	sirpentd report  [-dir URL]
 //
 // `run` is the historical single-process demo: hosts and routers are
 // goroutines, links are channels, and each hop performs the §6.2
@@ -30,7 +32,13 @@
 // bind a SOCKS5 ingress and a dialing egress on them (DESIGN.md §13),
 // so real TCP streams transit the same cluster, and every peer holds
 // its drain barrier until the launcher raises the directory's
-// shutdown latch.
+// shutdown latch. Peers ship cluster telemetry — trace spans, tunnel
+// counters, flight-recorder anomalies — to the directory by default
+// (-telemetry=false disables it; -trace-sample N samples one packet
+// in N), where GET /debug/cluster serves the merged view.
+//
+// `report` fetches that merged view from a running cluster's directory
+// and renders the per-node, per-stage and per-tunnel tables.
 //
 // `gateway` is the standalone single-process proxy: a SOCKS5 listener
 // whose accepted streams ride VMTP packet groups across an in-process
@@ -52,6 +60,7 @@ import (
 	"time"
 
 	"repro/internal/daemon"
+	"repro/internal/directory"
 )
 
 func main() {
@@ -72,6 +81,8 @@ func main() {
 		err = peerCmd(args)
 	case "gateway":
 		err = gatewayCmd(args)
+	case "report":
+		err = reportCmd(args)
 	case "help":
 		usage(os.Stdout)
 	default:
@@ -86,12 +97,13 @@ func main() {
 }
 
 func usage(w *os.File) {
-	fmt.Fprintln(w, `usage: sirpentd [run|dir|peer|gateway] [flags]
+	fmt.Fprintln(w, `usage: sirpentd [run|dir|peer|gateway|report] [flags]
 
   run      single-process demo workload (default; bare flags alias this role)
   dir      serve the directory service for a cluster
   peer     join a cluster as one partition of the scenario
   gateway  serve a SOCKS5 proxy whose streams ride a token-guarded Sirpent chain
+  report   fetch and render a cluster's merged telemetry from its directory
 
 Run 'sirpentd <role> -h' for the role's flags.`)
 }
@@ -151,6 +163,8 @@ func peerCmd(args []string) error {
 	gw := fs.Bool("gateway", false, "gateway mode: bind SOCKS relays on the scenario's gateway hosts and hold for the launcher's shutdown latch")
 	gwListen := fs.String("gateway-listen", "127.0.0.1:0", "ingress SOCKS listen address (gateway mode)")
 	gwWait := fs.Duration("gateway-wait", 2*time.Minute, "bound on the wait for the shutdown latch (gateway mode)")
+	telemetry := fs.Bool("telemetry", true, "trace packets across process boundaries and ship telemetry to the directory")
+	traceSample := fs.Int("trace-sample", 1, "trace one originated packet in N (with -telemetry; 1 traces all)")
 	fs.Parse(args)
 	if *dir == "" {
 		return fmt.Errorf("peer: -dir is required")
@@ -166,6 +180,8 @@ func peerCmd(args []string) error {
 		Gateway:       *gw,
 		GatewayListen: *gwListen,
 		GatewayWait:   *gwWait,
+		Telemetry:     *telemetry,
+		TraceSample:   *traceSample,
 		Logf: func(format string, a ...any) {
 			fmt.Printf(format+"\n", a...)
 		},
@@ -177,6 +193,21 @@ func peerCmd(args []string) error {
 		return fmt.Errorf("peer %d: settle deadline passed before quiesce (%d delivered, %d replied)",
 			*index, len(rep.Delivered), len(rep.Replied))
 	}
+	return nil
+}
+
+func reportCmd(args []string) error {
+	fs := flag.NewFlagSet("sirpentd report", flag.ExitOnError)
+	dir := fs.String("dir", "", "directory service base URL (required)")
+	fs.Parse(args)
+	if *dir == "" {
+		return fmt.Errorf("report: -dir is required")
+	}
+	cr, err := directory.NewClient(*dir).Cluster()
+	if err != nil {
+		return err
+	}
+	fmt.Print(daemon.FormatClusterReport(cr))
 	return nil
 }
 

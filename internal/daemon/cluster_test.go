@@ -6,6 +6,7 @@ import (
 	"os"
 	"os/exec"
 	"strconv"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -159,6 +160,69 @@ func TestClusterTwoPeerInProcess(t *testing.T) {
 		}
 	}
 	verifyCluster(t, ds, seed, total)
+}
+
+// TestClusterTelemetryParity runs the two-peer cluster with telemetry
+// on and checks the directory's merged observability view alongside
+// the usual ledger verdict: every peer shipped a report, no peer
+// leaked trace records, the cluster-wide wire-span count equals the
+// tunnels' traced decapsulations, and at least one trace genuinely
+// crossed the substrate boundary (wire spans exist, since clusterSeed
+// guarantees cross-links).
+func TestClusterTelemetryParity(t *testing.T) {
+	const total = 2
+	seed := clusterSeed(t, 2, total)
+	ds, err := StartDir(DirConfig{Addr: "127.0.0.1:0", Seed: seed, Peers: total})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+
+	var wg sync.WaitGroup
+	errs := make([]error, total)
+	for i := 0; i < total; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, errs[i] = Peer(PeerConfig{
+				Index: i, Total: total, Seed: seed, DirURL: ds.URL,
+				SettleTimeout: 15 * time.Second, Logf: t.Logf,
+				Telemetry: true, TraceSample: 1,
+			})
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("peer %d: %v", i, err)
+		}
+	}
+	verifyCluster(t, ds, seed, total)
+
+	cr, err := directory.NewClient(ds.URL).Cluster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if problems := VerifyClusterTelemetry(cr); len(problems) > 0 {
+		t.Fatalf("telemetry verdict (%d problems):\n%s\n%s",
+			len(problems), joinLines(problems), FormatClusterReport(cr))
+	}
+	var wire, origin int64
+	for _, st := range cr.Stages {
+		if strings.HasPrefix(st.Stage, "wire:") {
+			wire += st.Count
+		}
+		if st.Stage == "origin" {
+			origin += st.Count
+		}
+	}
+	if wire == 0 {
+		t.Fatalf("no wire spans recorded despite cross-links:\n%s", FormatClusterReport(cr))
+	}
+	if origin == 0 {
+		t.Fatalf("no origin spans recorded with trace-all sampling:\n%s", FormatClusterReport(cr))
+	}
 }
 
 // TestClusterFourProcessParity is the acceptance run: four peer

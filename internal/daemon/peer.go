@@ -13,6 +13,7 @@ import (
 	"repro/internal/ledger"
 	"repro/internal/livenet"
 	"repro/internal/token"
+	"repro/internal/trace"
 	"repro/internal/udpnet"
 	"repro/internal/vmtp"
 )
@@ -46,6 +47,15 @@ type PeerConfig struct {
 	// GatewayWait bounds the wait for the launcher's shutdown latch in
 	// gateway mode; default 2m.
 	GatewayWait time.Duration
+	// Telemetry enables cluster observability: a ClusterTracer samples
+	// packets on the substrate (trace contexts ride the tunnel and
+	// gateway wire formats across process boundaries), and the peer
+	// ships cumulative TelemetryReports to the directory — periodically
+	// while running, once synchronously at quiesce.
+	Telemetry bool
+	// TraceSample traces one originated packet in N (<= 1 traces all).
+	// Only meaningful with Telemetry.
+	TraceSample int
 	// Logf, when set, receives progress lines.
 	Logf func(format string, args ...any)
 }
@@ -84,10 +94,25 @@ func Peer(cfg PeerConfig) (*Report, error) {
 	// link with both ends owned.
 	fr := ledger.NewFlightRecorder(0)
 	col := ledger.NewCollector(ledger.New())
-	netw := livenet.NewNetwork(
+	netOpts := []livenet.NetworkOption{
 		livenet.WithFlightRecorder(fr),
 		livenet.WithLedgerCollector(col),
-	)
+	}
+	// Cluster tracing: trace IDs originated here carry this peer's index
+	// above bit 48, so IDs are cluster-unique and any process can tell
+	// "my trace" from "a trace I'm forwarding" without coordination.
+	var spans *trace.Spans
+	var tracer *trace.ClusterTracer
+	if cfg.Telemetry {
+		sample := cfg.TraceSample
+		if sample < 1 {
+			sample = 1
+		}
+		spans = trace.NewSpans(0)
+		tracer = trace.NewClusterTracer(name, uint64(cfg.Index+1)<<48, uint64(sample), spans, trace.NewMetrics())
+		netOpts = append(netOpts, livenet.WithTracer(tracer))
+	}
+	netw := livenet.NewNetwork(netOpts...)
 	defer netw.Stop()
 
 	routers := make(map[int]*livenet.Router)
@@ -118,7 +143,8 @@ func Peer(cfg PeerConfig) (*Report, error) {
 
 	// Cross-partition links become UDP tunnels; the global link index
 	// is the wire linkID, so both ends agree without coordination.
-	bridge, err := udpnet.Listen(cfg.UDPAddr)
+	bridge, err := udpnet.Listen(cfg.UDPAddr,
+		udpnet.WithFlightRecorder(fr), udpnet.WithTelemetry(name, spans))
 	if err != nil {
 		return nil, err
 	}
@@ -224,6 +250,7 @@ func Peer(cfg PeerConfig) (*Report, error) {
 		if h, ok := hosts[geg]; ok {
 			gwEgress = gateway.NewEgress(h, check.GatewayEndpoint, gateway.Config{
 				Entity: check.GatewayEgressEntity, RT: gwRT,
+				Telemetry: spans, TraceEvery: cfg.TraceSample, Node: name,
 			})
 			defer gwEgress.Close()
 		}
@@ -243,10 +270,11 @@ func Peer(cfg PeerConfig) (*Report, error) {
 				return nil, fmt.Errorf("daemon: gateway listen: %w", err)
 			}
 			gwIngress = gateway.NewIngress(ln, h, check.GatewayEndpoint, gateway.Config{
-				Entity: check.GatewayIngressEntity,
-				Peer:   check.GatewayEgressEntity,
-				Route:  routes[0].Segments,
-				RT:     gwRT,
+				Entity:    check.GatewayIngressEntity,
+				Peer:      check.GatewayEgressEntity,
+				Route:     routes[0].Segments,
+				RT:        gwRT,
+				Telemetry: spans, TraceEvery: cfg.TraceSample, Node: name,
 			})
 			defer gwIngress.Close()
 			cfg.logf("%s: SOCKS ingress on %s (route %v)", name, gwIngress.Addr(), routes[0].Path)
@@ -292,6 +320,50 @@ func Peer(cfg PeerConfig) (*Report, error) {
 		return nil, err
 	}
 	cfg.logf("%s: cluster up, %d routers %d hosts %d tunnels", name, len(routers), len(hosts), len(tunnels))
+
+	// Telemetry shipping: cumulative snapshots flow to the directory
+	// every half second while the workload runs, and once more
+	// synchronously at quiesce (below) so the merged cluster view is
+	// final-state exact, not last-tick approximate.
+	var tp *telemetryPeer
+	stopShip := make(chan struct{})
+	var shipDone <-chan struct{}
+	if cfg.Telemetry {
+		tp = &telemetryPeer{
+			name:   name,
+			tracer: tracer,
+			flight: fr,
+			tunnels: func() []directory.TunnelTelemetry {
+				out := make([]directory.TunnelTelemetry, 0, len(tunnels))
+				for _, pd := range tunnels {
+					st := pd.tun.Stats()
+					out = append(out, directory.TunnelTelemetry{
+						LinkID:       pd.tun.LinkID(),
+						Peer:         check.PeerName(pd.farOwner),
+						Encapsulated: st.Encapsulated,
+						Decapsulated: st.Decapsulated,
+						DecodeErrors: st.DecodeErrors,
+						SendErrors:   st.SendErrors,
+						Dropped:      st.Dropped,
+						TracedSent:   st.TracedSent,
+						TracedRecv:   st.TracedRecv,
+					})
+				}
+				return out
+			},
+			gateways: func() []directory.GatewayTelemetry {
+				var out []directory.GatewayTelemetry
+				if gwIngress != nil {
+					out = append(out, gatewayTelemetry("ingress", gwIngress.Stats(), gwIngress.PeerRTTs()))
+				}
+				if gwEgress != nil {
+					out = append(out, gatewayTelemetry("egress", gwEgress.Stats(), gwEgress.PeerRTTs()))
+				}
+				return out
+			},
+		}
+		shipDone = tp.run(client, 500*time.Millisecond, stopShip)
+	}
 
 	// Inject owned flows, with routes — and tokens — fetched from the
 	// directory over the wire, the same queries the single-process run
@@ -410,6 +482,17 @@ func Peer(cfg PeerConfig) (*Report, error) {
 		rep.TunnelDropped += st.Dropped
 	}
 	rep.Anomalies = fr.Total()
+	// Final telemetry ship, after the drain barrier and the sweeps above:
+	// the network is quiet, so this snapshot is the one the cluster
+	// verifier reconciles (span-leak and wire-span invariants hold only
+	// at quiesce). Synchronous and fatal, unlike the periodic posts.
+	if tp != nil {
+		close(stopShip)
+		<-shipDone
+		if err := tp.ship(client); err != nil {
+			return nil, fmt.Errorf("daemon: final telemetry ship: %w", err)
+		}
+	}
 	if err := client.Report(name, rep); err != nil {
 		return nil, err
 	}

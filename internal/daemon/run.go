@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 	"time"
 
@@ -112,6 +113,14 @@ func Run(cfg RunConfig) error {
 		mux.HandleFunc("/debug/flightrec", func(w http.ResponseWriter, _ *http.Request) {
 			serveJSON(w, flight.Snapshot())
 		})
+		// Profiling rides the same opt-in debug mux: CPU, heap, goroutine
+		// and execution-trace profiles against the live workload, with no
+		// cost until a profile is actually requested.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		srv = &http.Server{Addr: cfg.Metrics, Handler: mux}
 		go func() {
 			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
@@ -187,7 +196,7 @@ func Run(cfg RunConfig) error {
 			fmt.Fprintf(cfg.out(), "  drops: %v\n", s.Drops)
 		}
 		if cfg.Hold > 0 {
-			fmt.Fprintf(cfg.out(), "serving on %s: /debug/vars /debug/ledger /debug/flightrec /healthz for %v\n",
+			fmt.Fprintf(cfg.out(), "serving on %s: /debug/vars /debug/ledger /debug/flightrec /debug/pprof /healthz for %v\n",
 				cfg.Metrics, cfg.Hold)
 			time.Sleep(cfg.Hold)
 		}

@@ -25,6 +25,8 @@ import (
 //	GET  /v1/bill                         -> map[account]token.Usage (merged)
 //	POST /v1/report    PeerReport         -> 204 (opaque per-peer result blob)
 //	GET  /v1/reports                      -> map[peer]RawMessage, 202 until all in
+//	POST /v1/telemetry TelemetryReport    -> 204 (latest-wins per peer; telemetry.go)
+//	GET  /debug/cluster                   -> ClusterReport (merged observability view)
 //
 // Route segments serialize with their port tokens intact (JSON base64),
 // so a token minted here verifies unchanged on the guarded router in
@@ -77,11 +79,12 @@ type NetService struct {
 	mu  sync.Mutex
 	svc *Service
 
-	expect   int
-	peers    map[string]PeerReg
-	reports  map[string]json.RawMessage
-	barriers map[string]*barrier
-	shutdown bool
+	expect    int
+	peers     map[string]PeerReg
+	reports   map[string]json.RawMessage
+	barriers  map[string]*barrier
+	telemetry map[string]TelemetryReport // latest report per peer (highest Seq wins)
+	shutdown  bool
 }
 
 type barrier struct {
@@ -92,11 +95,12 @@ type barrier struct {
 // NewNetService wraps svc for network consumption by expect peers.
 func NewNetService(svc *Service, expect int) *NetService {
 	return &NetService{
-		svc:      svc,
-		expect:   expect,
-		peers:    make(map[string]PeerReg),
-		reports:  make(map[string]json.RawMessage),
-		barriers: make(map[string]*barrier),
+		svc:       svc,
+		expect:    expect,
+		peers:     make(map[string]PeerReg),
+		reports:   make(map[string]json.RawMessage),
+		barriers:  make(map[string]*barrier),
+		telemetry: make(map[string]TelemetryReport),
 	}
 }
 
@@ -116,6 +120,8 @@ func (ns *NetService) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/reports", ns.handleReports)
 	mux.HandleFunc("POST /v1/shutdown", ns.handleShutdownSet)
 	mux.HandleFunc("GET /v1/shutdown", ns.handleShutdownGet)
+	mux.HandleFunc("POST /v1/telemetry", ns.handleTelemetry)
+	mux.HandleFunc("GET /debug/cluster", ns.handleCluster)
 	return mux
 }
 

@@ -1,0 +1,152 @@
+package directory
+
+import (
+	"net/http"
+	"sort"
+
+	"repro/internal/ledger"
+	"repro/internal/token"
+	"repro/internal/trace"
+)
+
+// This file is the directory's telemetry sink: the §3 directory already
+// aggregates authorization and accounting state for the cluster, and
+// observability rides the same channel. Peers periodically POST a
+// TelemetryReport — span aggregates, hop metrics, tunnel counters,
+// flight-recorder anomalies — and anyone (the launcher, a human with
+// curl) GETs the merged cluster-wide view:
+//
+//	POST /v1/telemetry  TelemetryReport -> 204 (latest-wins per peer by Seq)
+//	GET  /debug/cluster                 -> ClusterReport
+//
+// Reports are cumulative snapshots, not deltas, so the merge is
+// stateless: keep the highest-Seq report per peer, fold the per-stage
+// histograms together with trace.MergeStages. A late or duplicate POST
+// (retried HTTP request, slow peer) can never double-count.
+
+// TunnelTelemetry is one udpnet tunnel's counters as its owning peer
+// reported them.
+type TunnelTelemetry struct {
+	LinkID       uint16 `json:"link_id"`
+	Peer         string `json:"peer,omitempty"` // remote peer name, when known
+	Encapsulated uint64 `json:"encapsulated"`
+	Decapsulated uint64 `json:"decapsulated"`
+	DecodeErrors uint64 `json:"decode_errors,omitempty"`
+	SendErrors   uint64 `json:"send_errors,omitempty"`
+	Dropped      uint64 `json:"dropped,omitempty"`
+	TracedSent   uint64 `json:"traced_sent"`
+	TracedRecv   uint64 `json:"traced_recv"`
+}
+
+// GatewayTelemetry summarizes one gateway relay (ingress or egress) for
+// the cluster report: stream and byte counters, group round-trip
+// percentiles, and the VMTP-level retransmission behaviour underneath.
+type GatewayTelemetry struct {
+	Role            string           `json:"role"` // "ingress" | "egress"
+	Streams         uint64           `json:"streams"`
+	ActiveStreams   int              `json:"active_streams"`
+	CleanCloses     uint64           `json:"clean_closes"`
+	Resets          uint64           `json:"resets"`
+	BytesIn         uint64           `json:"bytes_in"`
+	BytesOut        uint64           `json:"bytes_out"`
+	GroupsSent      uint64           `json:"groups_sent"`
+	GroupRTTp50us   int64            `json:"group_rtt_p50_us"`
+	GroupRTTp99us   int64            `json:"group_rtt_p99_us"`
+	Retransmissions uint64           `json:"retransmissions"`
+	DupRequests     uint64           `json:"dup_requests"`
+	PeerRTTNs       map[string]int64 `json:"peer_rtt_ns,omitempty"` // smoothed VMTP RTT by peer entity (hex)
+}
+
+// TelemetryReport is one peer's cumulative telemetry snapshot. Seq
+// increases with every shipment from the same peer; the directory keeps
+// the highest.
+type TelemetryReport struct {
+	Peer string `json:"peer"`
+	Seq  uint64 `json:"seq"`
+	AtNs int64  `json:"at_ns"` // sender's wall clock at snapshot time
+
+	// Span-leak accounting: at quiesce TraceFinished must equal
+	// TraceBegun + TraceResumed, or this peer leaked trace records.
+	TraceBegun    uint64 `json:"trace_begun"`
+	TraceResumed  uint64 `json:"trace_resumed"`
+	TraceFinished uint64 `json:"trace_finished"`
+
+	Spans   trace.SpansSnapshot `json:"spans"`
+	Metrics trace.Snapshot      `json:"metrics"`
+
+	Tunnels  []TunnelTelemetry  `json:"tunnels,omitempty"`
+	Gateways []GatewayTelemetry `json:"gateways,omitempty"`
+
+	// FlightTotal counts every anomaly the peer's flight recorder ever
+	// saw; Flight holds the retained tail.
+	FlightTotal uint64         `json:"flight_total"`
+	Flight      []ledger.Event `json:"flight,omitempty"`
+}
+
+// ClusterReport is the merged cluster-wide observability view served at
+// /debug/cluster.
+type ClusterReport struct {
+	Expect int               `json:"expect"` // cluster size
+	Nodes  []TelemetryReport `json:"nodes"`  // latest report per peer, sorted by name
+	// Stages is the cluster-wide per-stage latency view: every node's
+	// span histograms absorbed stage-by-stage, so counts are exact.
+	Stages []trace.StageStats     `json:"stages,omitempty"`
+	Bill   map[uint32]token.Usage `json:"bill,omitempty"`
+}
+
+// Complete reports whether every expected peer has shipped telemetry.
+func (cr ClusterReport) Complete() bool { return len(cr.Nodes) >= cr.Expect }
+
+func (ns *NetService) handleTelemetry(w http.ResponseWriter, r *http.Request) {
+	var rep TelemetryReport
+	if !readJSON(w, r, &rep) {
+		return
+	}
+	if rep.Peer == "" {
+		http.Error(w, "telemetry needs a peer name", http.StatusBadRequest)
+		return
+	}
+	ns.mu.Lock()
+	if prev, ok := ns.telemetry[rep.Peer]; !ok || rep.Seq >= prev.Seq {
+		ns.telemetry[rep.Peer] = rep
+	}
+	ns.mu.Unlock()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (ns *NetService) handleCluster(w http.ResponseWriter, r *http.Request) {
+	ns.mu.Lock()
+	rep := ns.clusterLocked()
+	ns.mu.Unlock()
+	writeJSON(w, http.StatusOK, rep)
+}
+
+// clusterLocked merges the latest per-peer telemetry into one report.
+func (ns *NetService) clusterLocked() ClusterReport {
+	out := ClusterReport{Expect: ns.expect, Bill: ns.svc.Bill()}
+	names := make([]string, 0, len(ns.telemetry))
+	for k := range ns.telemetry {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	groups := make([][]trace.StageStats, 0, len(names))
+	for _, k := range names {
+		rep := ns.telemetry[k]
+		out.Nodes = append(out.Nodes, rep)
+		groups = append(groups, rep.Spans.Stages)
+	}
+	out.Stages = trace.MergeStages(groups...)
+	return out
+}
+
+// Telemetry ships one cumulative telemetry snapshot to the directory.
+func (c *Client) Telemetry(rep TelemetryReport) error {
+	return c.post("/v1/telemetry", rep, nil)
+}
+
+// Cluster fetches the merged cluster-wide telemetry report.
+func (c *Client) Cluster() (ClusterReport, error) {
+	var rep ClusterReport
+	_, err := c.get("/debug/cluster", &rep)
+	return rep, err
+}

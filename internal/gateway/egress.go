@@ -18,6 +18,7 @@ type Egress struct {
 // NewEgress binds an egress relay to a livenet host endpoint.
 func NewEgress(host *livenet.Host, endpoint uint8, cfg Config) *Egress {
 	e := &Egress{}
+	e.sendStage, e.recvStage = "stream-return", "stream-egress"
 	e.bindRT(host, endpoint, cfg)
 	e.open = e.onOpen
 	return e

@@ -44,6 +44,7 @@ import (
 
 	"repro/internal/livenet"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/viper"
 	"repro/internal/vmtp"
 )
@@ -78,13 +79,30 @@ type Config struct {
 	MaxStreams int
 	// RT tunes the underlying real-time VMTP endpoint.
 	RT vmtp.RTConfig
+	// Telemetry, when set, receives per-stage stream spans: the sender
+	// side records each sampled data group's full mesh round trip
+	// ("stream-ingress" uplink, "stream-return" downlink), the
+	// receiving side the one-way transit ("stream-transit") and its
+	// destination-socket write ("stream-egress" at the egress,
+	// "stream-client-write" at the ingress) — all under one trace ID
+	// carried in the message's FlagTraced context. nil disables stream
+	// tracing entirely (no wire bytes, no clock reads).
+	Telemetry *trace.Spans
+	// TraceEvery samples one data group in N for stage tracing; <= 1
+	// traces every group. Ignored when Telemetry is nil.
+	TraceEvery int
+	// Node names this relay's process in recorded spans.
+	Node string
 }
 
 func (c Config) withDefaults() Config {
 	if c.Window == 0 {
 		c.Window = 4
 	}
-	maxGroup := vmtp.MaxGroupPackets*vmtp.MaxPacketData - msgHeaderLen
+	// The trace context is reserved unconditionally so a sampled group
+	// never overflows the VMTP group capacity a full unsampled group
+	// fits exactly (17 bytes in ~32 KiB).
+	maxGroup := vmtp.MaxGroupPackets*vmtp.MaxPacketData - msgHeaderLen - trace.ContextWireLen
 	if c.GroupBytes == 0 || c.GroupBytes > maxGroup {
 		c.GroupBytes = maxGroup
 	}
@@ -156,6 +174,12 @@ type relay struct {
 	latMu sync.Mutex
 	lat   stats.Log2Histogram
 
+	// Stream-stage tracing (nil cfg.Telemetry leaves all of it idle).
+	sendStage string // span stage for groups this relay sends
+	recvStage string // span stage for groups this relay applies
+	ctxBase   uint64 // OR-ed into stream trace IDs
+	traceSeq  atomic.Uint64
+
 	nStreams    atomic.Uint64
 	cleanCloses atomic.Uint64
 	resets      atomic.Uint64
@@ -179,6 +203,10 @@ type relay struct {
 func (r *relay) bindRT(host *livenet.Host, endpoint uint8, cfg Config) {
 	r.cfg = cfg.withDefaults()
 	r.streams = make(map[streamKey]*stream)
+	// Stream trace IDs live in their own namespace (top byte 0x67,
+	// "g") so they can share a Spans store with packet-level traces
+	// without colliding.
+	r.ctxBase = uint64(0x67)<<56 | (cfg.Entity&0xFF)<<48
 	carrier := vmtp.CarrierFunc(func(route []viper.Segment, data []byte) error {
 		return host.SendFrom(endpoint, route, data)
 	})
@@ -312,6 +340,11 @@ func (r *relay) sendGroup(st *stream, data []byte, fin bool) bool {
 		defer r.wg.Done()
 		defer func() { <-st.window }()
 		m := &Msg{Op: OpData, Fin: fin, Stream: st.key.id, Seq: seq, Data: data}
+		if r.cfg.Telemetry != nil {
+			if n := r.traceSeq.Add(1); r.cfg.TraceEvery <= 1 || n%uint64(r.cfg.TraceEvery) == 0 {
+				m.Ctx = trace.Context{ID: r.ctxBase | n, Origin: time.Now().UnixNano(), Budget: trace.DefaultHopBudget}
+			}
+		}
 		start := time.Now()
 		rep, err := r.rt.Call(st.key.peer, st.route, m.Encode())
 		if err == nil && DecodeReply(rep) == ReplySuccess {
@@ -320,7 +353,33 @@ func (r *relay) sendGroup(st *stream, data []byte, fin bool) bool {
 			r.latMu.Unlock()
 			r.groupsSent.Add(1)
 			r.bytesIn.Add(uint64(len(data)))
+			if m.Ctx.Valid() {
+				// The group's whole mesh round trip — segmentation, every
+				// tunnel crossing, relay forwarding, the far socket write,
+				// and the reply — as the sending side observed it.
+				r.cfg.Telemetry.Record(trace.Span{
+					Trace: m.Ctx.ID, Stage: r.sendStage, Node: r.cfg.Node,
+					Start: m.Ctx.Origin, End: time.Now().UnixNano(),
+				})
+			}
 			if fin {
+				// Quiesce the window before declaring our half done: the
+				// FIN's in-order delivery proves every earlier group was
+				// applied remotely, but their sender goroutines may not
+				// have counted bytes yet. Holding every slot at once means
+				// they all released — i.e. finished accounting — so stats
+				// taken after a clean close reconcile exactly (the cluster
+				// telemetry verifier leans on this).
+				for i := 0; i < cap(st.window)-1; i++ {
+					select {
+					case st.window <- struct{}{}:
+					case <-st.done:
+						return
+					}
+				}
+				for i := 0; i < cap(st.window)-1; i++ {
+					<-st.window
+				}
 				st.finSent.Store(true)
 				r.maybeFinish(st)
 			}
@@ -364,6 +423,10 @@ func (r *relay) onData(st *stream, m *Msg) []byte {
 	if st == nil {
 		return EncodeReply(ReplyGeneralFailure)
 	}
+	var arrived int64
+	if r.cfg.Telemetry != nil && m.Ctx.Valid() {
+		arrived = time.Now().UnixNano()
+	}
 	if err := st.inSeq.Admit(m.Seq); err != nil {
 		if errors.Is(err, vmtp.ErrReplayed) {
 			// The peer retried a group we already applied (its reply
@@ -391,6 +454,22 @@ func (r *relay) onData(st *stream, m *Msg) []byte {
 	}
 	if finish {
 		r.maybeFinish(st)
+	}
+	if arrived != 0 {
+		// Recorded only on first apply (retried groups return through the
+		// ErrReplayed path above), so receive-side span counts match the
+		// sender's successful-group count on a clean run. The transit
+		// span leans on the cluster's shared wall clock, like the
+		// tunnels' wire spans.
+		done := time.Now().UnixNano()
+		r.cfg.Telemetry.Record(trace.Span{
+			Trace: m.Ctx.ID, Stage: "stream-transit", Node: r.cfg.Node,
+			Start: m.Ctx.Origin, End: arrived,
+		})
+		r.cfg.Telemetry.Record(trace.Span{
+			Trace: m.Ctx.ID, Stage: r.recvStage, Node: r.cfg.Node,
+			Start: arrived, End: done,
+		})
 	}
 	return EncodeReply(ReplySuccess)
 }
@@ -450,4 +529,16 @@ func (r *relay) Stats() Stats {
 		GroupRTTMeanus: mean,
 		VMTP:           r.rt.Stats(),
 	}
+}
+
+// PeerRTTs reports the relay's smoothed VMTP round-trip estimate toward
+// each peer entity it has called, in nanoseconds — the per-peer latency
+// the daemon folds into its telemetry report.
+func (r *relay) PeerRTTs() map[uint64]int64 {
+	rtts := r.rt.RTTs()
+	out := make(map[uint64]int64, len(rtts))
+	for k, v := range rtts {
+		out[k] = v.Nanoseconds()
+	}
+	return out
 }

@@ -23,6 +23,7 @@ type Ingress struct {
 // from here on.
 func NewIngress(ln net.Listener, host *livenet.Host, endpoint uint8, cfg Config) *Ingress {
 	in := &Ingress{ln: ln, accepted: make(chan struct{})}
+	in.sendStage, in.recvStage = "stream-ingress", "stream-client-write"
 	in.bindRT(host, endpoint, cfg)
 	go in.serve()
 	return in

@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+
+	"repro/internal/trace"
 )
 
 // Stream messages ride as VMTP transaction payloads: one Msg per
@@ -13,11 +15,12 @@ import (
 // open/close:
 //
 //	[0]    op       (OpOpen | OpData | OpClose)
-//	[1]    flags    (FlagFin)
+//	[1]    flags    (FlagFin | FlagTraced)
 //	[2:6]  stream   big-endian uint32
 //	[6:10] seq      big-endian uint32 (data group sequence within the stream)
 //	OpOpen: [10:12] addr length, then the destination "host:port"
-//	OpData: [10:]   payload bytes
+//	OpData: [10:]   payload bytes — or, with FlagTraced, a 17-byte
+//	        trace.Context first, then the payload
 //
 // Replies are one byte: a SOCKS5 reply code (0 success), so egress
 // dial outcomes map onto the SOCKS reply the ingress must send without
@@ -33,6 +36,11 @@ const (
 // FlagFin on an OpData message marks the sender's half of the stream
 // done (TCP FIN): no groups after Seq will follow.
 const FlagFin uint8 = 0x01
+
+// FlagTraced on an OpData message means the header is followed by a
+// wire-form trace.Context (sampled stream-stage tracing): the receiver
+// records its transit and write stages against that trace ID.
+const FlagTraced uint8 = 0x02
 
 // SOCKS5 reply codes (RFC 1928 §6), doubling as gateway reply codes.
 const (
@@ -58,17 +66,22 @@ type Msg struct {
 	Fin    bool
 	Stream uint32
 	Seq    uint32
-	Addr   string // OpOpen only
-	Data   []byte // OpData only
+	Addr   string        // OpOpen only
+	Data   []byte        // OpData only
+	Ctx    trace.Context // OpData only; zero = untraced (no wire bytes)
 }
 
 // Encode renders the message to wire bytes.
 func (m *Msg) Encode() []byte {
+	traced := m.Op == OpData && m.Ctx.Valid()
 	n := msgHeaderLen
 	switch m.Op {
 	case OpOpen:
 		n += 2 + len(m.Addr)
 	case OpData:
+		if traced {
+			n += trace.ContextWireLen
+		}
 		n += len(m.Data)
 	}
 	b := make([]byte, n)
@@ -83,7 +96,12 @@ func (m *Msg) Encode() []byte {
 		binary.BigEndian.PutUint16(b[10:12], uint16(len(m.Addr)))
 		copy(b[12:], m.Addr)
 	case OpData:
-		copy(b[msgHeaderLen:], m.Data)
+		off := msgHeaderLen
+		if traced {
+			b[1] |= FlagTraced
+			off += m.Ctx.Encode(b[off:])
+		}
+		copy(b[off:], m.Data)
 	}
 	return b
 }
@@ -116,7 +134,16 @@ func DecodeMsg(b []byte) (*Msg, error) {
 		}
 		m.Addr = string(b[12 : 12+alen])
 	case OpData:
-		m.Data = b[msgHeaderLen:]
+		rest := b[msgHeaderLen:]
+		if b[1]&FlagTraced != 0 {
+			ctx, ok := trace.DecodeContext(rest)
+			if !ok {
+				return nil, ErrMsgTruncated
+			}
+			m.Ctx = ctx
+			rest = rest[trace.ContextWireLen:]
+		}
+		m.Data = rest
 	case OpClose:
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrMsgBadOp, m.Op)

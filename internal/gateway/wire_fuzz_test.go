@@ -3,6 +3,8 @@ package gateway
 import (
 	"bytes"
 	"testing"
+
+	"repro/internal/trace"
 )
 
 // FuzzDecodeMsg drives the stream-message decoder with arbitrary bytes:
@@ -12,6 +14,8 @@ import (
 func FuzzDecodeMsg(f *testing.F) {
 	f.Add((&Msg{Op: OpOpen, Stream: 1, Seq: 0, Addr: "example.com:80"}).Encode())
 	f.Add((&Msg{Op: OpData, Stream: 7, Seq: 3, Data: []byte("payload")}).Encode())
+	f.Add((&Msg{Op: OpData, Stream: 7, Seq: 4, Data: []byte("traced"),
+		Ctx: trace.Context{ID: 0x42, Origin: 123456789, Budget: 5}}).Encode())
 	f.Add((&Msg{Op: OpData, Fin: true, Stream: 7, Seq: 9}).Encode())
 	f.Add((&Msg{Op: OpClose, Stream: 2}).Encode())
 	f.Add([]byte{})
@@ -29,6 +33,11 @@ func FuzzDecodeMsg(f *testing.F) {
 		if back.Op != m.Op || back.Fin != m.Fin || back.Stream != m.Stream ||
 			back.Seq != m.Seq || back.Addr != m.Addr || !bytes.Equal(back.Data, m.Data) {
 			t.Fatalf("round trip changed message: %+v -> %+v", m, back)
+		}
+		// A valid context must survive the trip; an ID-0 context is
+		// "untraced" and may legitimately normalize away.
+		if m.Ctx.Valid() && back.Ctx != m.Ctx {
+			t.Fatalf("round trip changed trace context: %+v -> %+v", m.Ctx, back.Ctx)
 		}
 	})
 }

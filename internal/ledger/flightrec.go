@@ -1,6 +1,7 @@
 package ledger
 
 import (
+	"encoding/json"
 	"expvar"
 	"fmt"
 	"strings"
@@ -19,12 +20,16 @@ const (
 	KindTokenDenied               // token check refused a packet
 	KindRateLimit                 // a congestion signal imposed or re-pinned a limit
 	KindLinkFlap                  // a link went down or came back
+	KindDecodeError               // a tunnel datagram failed SIRP frame validation
+	KindUnknownLink               // a tunnel datagram named a linkID with no attached tunnel
+	KindSendError                 // a tunnel datagram could not be written to the socket
 
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"drop", "preempt", "queue-overflow", "token-denied", "rate-limit", "link-flap",
+	"decode-error", "unknown-link", "send-error",
 }
 
 func (k Kind) String() string {
@@ -37,6 +42,25 @@ func (k Kind) String() string {
 // MarshalJSON exports the kind as its stable name.
 func (k Kind) MarshalJSON() ([]byte, error) {
 	return []byte(fmt.Sprintf("%q", k.String())), nil
+}
+
+// UnmarshalJSON inverts MarshalJSON, so events survive the trip
+// through a telemetry report. Unrecognized names decode as numKinds
+// ("unknown") rather than erroring: a newer peer's event kinds must
+// not make an older aggregator reject the whole report.
+func (k *Kind) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		return err
+	}
+	for i, n := range kindNames {
+		if n == name {
+			*k = Kind(i)
+			return nil
+		}
+	}
+	*k = numKinds
+	return nil
 }
 
 // Event is one recorded anomaly. At is nanoseconds on the substrate's

@@ -87,6 +87,9 @@ func TestEventKindNamesStable(t *testing.T) {
 		KindTokenDenied:   "token-denied",
 		KindRateLimit:     "rate-limit",
 		KindLinkFlap:      "link-flap",
+		KindDecodeError:   "decode-error",
+		KindUnknownLink:   "unknown-link",
+		KindSendError:     "send-error",
 	}
 	if len(want) != int(numKinds) {
 		t.Fatalf("stability table covers %d kinds, enum has %d — pin the new name here",
@@ -100,5 +103,33 @@ func TestEventKindNamesStable(t *testing.T) {
 	b, _ := json.Marshal(Event{Kind: KindLinkFlap, Reason: "down"})
 	if !strings.Contains(string(b), `"link-flap"`) {
 		t.Fatalf("event marshal = %s", b)
+	}
+}
+
+// TestEventJSONRoundTrip pins that an Event survives marshal/unmarshal
+// intact — telemetry reports carry flight events through the directory
+// as JSON, and an asymmetric Kind codec rejects the whole report.
+func TestEventJSONRoundTrip(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		in := Event{Seq: 7, At: 42, Node: "r1", Port: 3, Kind: k, Reason: "x"}
+		blob, err := json.Marshal(in)
+		if err != nil {
+			t.Fatalf("kind %v: marshal: %v", k, err)
+		}
+		var out Event
+		if err := json.Unmarshal(blob, &out); err != nil {
+			t.Fatalf("kind %v: unmarshal: %v", k, err)
+		}
+		if out != in {
+			t.Fatalf("kind %v: round trip changed event: %+v != %+v", k, out, in)
+		}
+	}
+	// Unknown names decode without error (forward compatibility).
+	var k Kind
+	if err := json.Unmarshal([]byte(`"not-a-kind"`), &k); err != nil {
+		t.Fatalf("unknown kind name: %v", err)
+	}
+	if k.String() != "unknown" {
+		t.Fatalf("unknown kind name decoded as %q", k)
 	}
 }

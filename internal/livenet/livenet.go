@@ -870,7 +870,7 @@ type Host struct {
 	netw     *Network
 	mu       sync.Mutex
 	handlers map[uint8]func(Delivery)
-	raw      atomic.Pointer[func(pkt []byte)] // pre-decode tap, see SetRawHandler
+	raw      atomic.Pointer[func(pkt []byte, ctx trace.Context)] // pre-decode tap, see SetRawHandler/SetRawTap
 }
 
 // NewHost creates and starts a host goroutine. Hosts are single-sharded
@@ -974,10 +974,37 @@ func (h *Host) SendFrom(endpoint uint8, route []viper.Segment, data []byte) erro
 // end of the link. The bytes are copied into a pooled buffer with
 // forwarding headroom; the caller keeps pkt.
 func (h *Host) SendRaw(ifPort uint8, pkt []byte) error {
+	return h.SendRawTraced(ifPort, pkt, trace.Context{})
+}
+
+// SendRawTraced is SendRaw for packets that arrived with a
+// cross-process trace context: when ctx is valid and the network's
+// tracer can resume foreign traces (trace.Resumer), the injected frame
+// carries a resumed record, so the packet's transit of *this* process
+// is recorded under the same cluster-wide trace ID it left the
+// previous process with. With a zero ctx or a non-resuming tracer it
+// behaves exactly like SendRaw.
+func (h *Host) SendRawTraced(ifPort uint8, pkt []byte, ctx trace.Context) error {
 	buf := pool.Get(len(pkt) + frameHeadroom(4, len(pkt)))
 	buf = append(buf, pkt...)
 	f := Frame{Pkt: buf, buf: buf[:0]}
+	if ctx.Valid() {
+		if pt := trace.Resume(h.netw.currentTracer(), ctx); pt != nil {
+			pt.Add(trace.HopEvent{
+				Node: h.name, OutPort: ifPort, Action: trace.ActionForward,
+				At: clock.Wall.NowNanos(),
+			})
+			f.Trace = pt
+		}
+	}
 	if !h.send(ifPort, f) {
+		if f.Trace != nil {
+			f.Trace.Add(trace.HopEvent{
+				Node: h.name, Action: trace.ActionDrop, Reason: stats.DropTxError,
+				At: clock.Wall.NowNanos(),
+			})
+			f.Trace.Done()
+		}
 		f.release()
 		return fmt.Errorf("livenet: no interface %d on %s", ifPort, h.name)
 	}
@@ -1028,8 +1055,16 @@ func (h *Host) recordDrop(port uint8, reason stats.DropReason) {
 
 func (h *Host) receive(inf inFrame) {
 	if fn := h.rawTap(); fn != nil {
+		// A traced frame hands its cross-process context to the tap
+		// before the record closes, so an encapsulation gateway can
+		// carry the trace onto its foreign transport. Untraced frames
+		// pass the zero Context — a stack value, no allocation.
+		var ctx trace.Context
+		if pt := inf.frame.Trace; pt != nil {
+			ctx = pt.Ctx
+		}
 		h.closeReceive(inf, trace.ActionLocal, 0)
-		fn(inf.frame.Pkt)
+		fn(inf.frame.Pkt, ctx)
 		inf.frame.release()
 		return
 	}

@@ -109,11 +109,25 @@ func (h *Host) SetRawHandler(fn func(pkt []byte)) {
 		h.raw.Store(nil)
 		return
 	}
+	wrapped := func(pkt []byte, _ trace.Context) { fn(pkt) }
+	h.raw.Store(&wrapped)
+}
+
+// SetRawTap is SetRawHandler for sinks that forward frames to another
+// process (internal/udpnet's tunnels): fn additionally receives the
+// frame's cross-process trace context — zero for untraced frames — so
+// the tap can carry the trace onto its transport. Pass nil to restore
+// normal endpoint dispatch.
+func (h *Host) SetRawTap(fn func(pkt []byte, ctx trace.Context)) {
+	if fn == nil {
+		h.raw.Store(nil)
+		return
+	}
 	h.raw.Store(&fn)
 }
 
 // rawTap returns the installed raw handler, or nil.
-func (h *Host) rawTap() func(pkt []byte) {
+func (h *Host) rawTap() func(pkt []byte, ctx trace.Context) {
 	if p := h.raw.Load(); p != nil {
 		return *p
 	}

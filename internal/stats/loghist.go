@@ -39,6 +39,30 @@ func (h *Log2Histogram) Add(v int64) {
 // Total returns the number of observations.
 func (h *Log2Histogram) Total() int64 { return h.total }
 
+// Sum returns the sum of all observations.
+func (h *Log2Histogram) Sum() int64 { return h.sum }
+
+// Absorb merges an exported bucket list (as produced by Buckets,
+// possibly after a trip through JSON from another process) into h.
+// sum is the source histogram's observation sum, carried separately
+// because a bucket list does not retain it. Buckets are matched by
+// their lower edge, so only lists produced by a Log2Histogram merge
+// exactly.
+func (h *Log2Histogram) Absorb(bs []Log2Bucket, sum int64) {
+	for _, b := range bs {
+		i := 0
+		if b.Lo > 0 {
+			i = bits.Len64(uint64(b.Lo))
+		}
+		if i >= log2Buckets {
+			i = log2Buckets - 1
+		}
+		h.counts[i] += b.Count
+		h.total += b.Count
+	}
+	h.sum += sum
+}
+
 // Mean returns the arithmetic mean, or 0 with no observations.
 func (h *Log2Histogram) Mean() float64 {
 	if h.total == 0 {
@@ -47,9 +71,12 @@ func (h *Log2Histogram) Mean() float64 {
 	return float64(h.sum) / float64(h.total)
 }
 
-// Percentile returns an upper bound for the p-th percentile (0-100):
-// the exclusive upper edge (2^i) of the bucket where the p-th
-// observation falls. Returns 0 with no observations.
+// Percentile estimates the p-th percentile (0-100) by locating the
+// bucket holding the rank-th observation and interpolating linearly
+// within it: observations are assumed uniform across [lo, hi), so the
+// estimate no longer lands on an exact power of two unless the rank
+// falls on a bucket edge. p=100 still returns the top occupied
+// bucket's upper edge. Returns 0 with no observations.
 func (h *Log2Histogram) Percentile(p float64) int64 {
 	if h.total == 0 {
 		return 0
@@ -63,12 +90,31 @@ func (h *Log2Histogram) Percentile(p float64) int64 {
 	}
 	var seen int64
 	for i, c := range h.counts {
-		seen += c
-		if seen >= rank {
-			return bucketHi(i)
+		if c == 0 {
+			continue
 		}
+		if seen+c >= rank {
+			lo, hi := bucketLo(i), bucketHi(i)
+			frac := float64(rank-seen) / float64(c)
+			// Clamp in float space: the top bucket's width is not
+			// exactly representable and lo+width would overflow int64.
+			off := frac * float64(hi-lo)
+			if off >= float64(hi-lo) {
+				return hi
+			}
+			return lo + int64(off)
+		}
+		seen += c
 	}
 	return bucketHi(log2Buckets - 1)
+}
+
+// bucketLo is the inclusive lower edge of bucket i.
+func bucketLo(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	return 1 << (i - 1)
 }
 
 // bucketHi is the exclusive upper edge of bucket i, saturating at
@@ -108,7 +154,7 @@ func (h *Log2Histogram) Buckets() []Log2Bucket {
 
 func (h *Log2Histogram) String() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "n=%d mean=%.4g p50<=%d p99<=%d", h.total, h.Mean(),
+	fmt.Fprintf(&sb, "n=%d mean=%.4g p50~%d p99~%d", h.total, h.Mean(),
 		h.Percentile(50), h.Percentile(99))
 	return sb.String()
 }

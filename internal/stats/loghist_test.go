@@ -41,8 +41,14 @@ func TestLog2HistogramPercentile(t *testing.T) {
 		h.Add(100) // bucket [64,128)
 	}
 	h.Add(1 << 20) // one outlier
-	if p50 := h.Percentile(50); p50 != 128 {
-		t.Fatalf("p50 = %d, want bucket edge 128", p50)
+	// Rank 50 of 100 sits 50/99ths of the way through the [64,128)
+	// bucket: 64 + int(50.0/99*64) = 96 — interpolated, not the bucket
+	// edge 128 the pre-interpolation readout reported.
+	if p50 := h.Percentile(50); p50 != 96 {
+		t.Fatalf("p50 = %d, want interpolated 96", p50)
+	}
+	if p50 := h.Percentile(50); p50&(p50-1) == 0 {
+		t.Fatalf("p50 = %d landed on a power of two; interpolation not applied", p50)
 	}
 	if p100 := h.Percentile(100); p100 != 1<<21 {
 		t.Fatalf("p100 = %d, want outlier bucket edge %d", p100, 1<<21)
@@ -65,5 +71,29 @@ func TestLog2HistogramExtremes(t *testing.T) {
 	}
 	if p := h.Percentile(100); p != math.MaxInt64 {
 		t.Fatalf("p100 = %d, want MaxInt64", p)
+	}
+}
+
+func TestLog2HistogramAbsorb(t *testing.T) {
+	var a, b, merged Log2Histogram
+	for _, v := range []int64{3, 100, 900, math.MaxInt64} {
+		a.Add(v)
+		merged.Add(v)
+	}
+	for _, v := range []int64{0, 100, 40_000} {
+		b.Add(v)
+		merged.Add(v)
+	}
+	var got Log2Histogram
+	got.Absorb(a.Buckets(), a.Sum())
+	got.Absorb(b.Buckets(), b.Sum())
+	if got.Total() != merged.Total() || got.Sum() != merged.Sum() {
+		t.Fatalf("absorb: total=%d sum=%d, want total=%d sum=%d",
+			got.Total(), got.Sum(), merged.Total(), merged.Sum())
+	}
+	for _, p := range []float64{50, 90, 99, 100} {
+		if got.Percentile(p) != merged.Percentile(p) {
+			t.Fatalf("p%g = %d after absorb, want %d", p, got.Percentile(p), merged.Percentile(p))
+		}
 	}
 }

@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// ClusterTracer is the Tracer a distributed sirpentd peer installs: it
+// both samples new traces at the origin (stamping each record with a
+// cluster-unique Context so tunnels and gateways can carry it across
+// process boundaries) and resumes traces that arrive from other
+// processes. Finished records fold into two places: an optional
+// embedded Metrics (hop-level aggregates, exactly as in a
+// single-process run) and a Spans aggregator, as one span per record
+// covering the packet's transit of this process — stage "origin" for
+// records begun here, "forward" for resumed ones.
+//
+// The begun/resumed/finished counters give the span-leak invariant the
+// cluster verifier checks at quiesce: every record opened in this
+// process (either way) must have been finished — delivered, dropped,
+// or handed off at a tunnel tap — so finished == begun + resumed.
+type ClusterTracer struct {
+	node    string
+	idBase  uint64
+	every   uint64
+	spans   *Spans
+	metrics *Metrics
+
+	seq      atomic.Uint64
+	begun    atomic.Uint64
+	resumed  atomic.Uint64
+	finished atomic.Uint64
+}
+
+// NewClusterTracer creates a tracer for one peer. idBase is OR-ed into
+// every originated trace ID and must not collide across peers (the
+// daemon uses (peerIndex+1)<<48); every samples one originated packet
+// in N (<= 1 traces all); spans and metrics may each be nil.
+func NewClusterTracer(node string, idBase uint64, every uint64, spans *Spans, metrics *Metrics) *ClusterTracer {
+	if every < 1 {
+		every = 1
+	}
+	return &ClusterTracer{node: node, idBase: idBase, every: every, spans: spans, metrics: metrics}
+}
+
+// Begin implements Tracer: sample and stamp a new cluster-wide trace.
+func (c *ClusterTracer) Begin(payload []byte) *PacketTrace {
+	n := c.seq.Add(1)
+	if c.every > 1 && n%c.every != 0 {
+		return nil
+	}
+	c.begun.Add(1)
+	id := c.idBase | n
+	return &PacketTrace{
+		ID:   id,
+		Ctx:  Context{ID: id, Origin: time.Now().UnixNano(), Budget: DefaultHopBudget},
+		Hops: make([]HopEvent, 0, 8),
+	}
+}
+
+// Resume implements Resumer: re-open a record for a context that
+// crossed a process boundary.
+func (c *ClusterTracer) Resume(ctx Context) *PacketTrace {
+	c.resumed.Add(1)
+	return &PacketTrace{ID: ctx.ID, Ctx: ctx, Hops: make([]HopEvent, 0, 8)}
+}
+
+// Finish implements Tracer: fold the record into the hop-level metrics
+// and record this process's segment of the packet's journey as a span.
+// Hop stamps share one process-local base, so the span duration
+// (last hop At - first hop At) is exact even though the base is not
+// comparable across processes.
+func (c *ClusterTracer) Finish(pt *PacketTrace) {
+	c.finished.Add(1)
+	if c.metrics != nil {
+		c.metrics.Finish(pt)
+	}
+	if c.spans != nil && len(pt.Hops) > 0 {
+		stage := "forward"
+		if pt.Ctx.ID&idBaseMask == c.idBase&idBaseMask {
+			stage = "origin"
+		}
+		c.spans.Record(Span{
+			Trace: pt.Ctx.ID,
+			Stage: stage,
+			Node:  c.node,
+			Start: pt.Hops[0].At,
+			End:   pt.Hops[len(pt.Hops)-1].At,
+		})
+	}
+}
+
+// idBaseMask selects the peer-identity bits of a trace ID (the daemon
+// packs the peer index above bit 48).
+const idBaseMask uint64 = 0xFFFF << 48
+
+// Counts returns how many records this tracer originated, resumed,
+// and finished. At quiesce finished == begun + resumed, or spans have
+// leaked.
+func (c *ClusterTracer) Counts() (begun, resumed, finished uint64) {
+	return c.begun.Load(), c.resumed.Load(), c.finished.Load()
+}
+
+// Metrics returns the embedded hop-level aggregator (nil if none).
+func (c *ClusterTracer) Metrics() *Metrics { return c.metrics }
+
+// Spans returns the embedded span aggregator (nil if none).
+func (c *ClusterTracer) Spans() *Spans { return c.spans }

@@ -1,0 +1,100 @@
+package trace
+
+import "encoding/binary"
+
+// Context is the compact trace identity that crosses process
+// boundaries alongside a packet: enough for the receiving process to
+// resume the packet's story under the same cluster-wide trace ID
+// without shipping the accumulated hop records themselves. It rides in
+// the SIRP framing of internal/udpnet tunnels and in the gateway's
+// stream messages.
+//
+// Origin is a Unix wall-clock timestamp (time.Now().UnixNano() at the
+// node that began the trace) — unlike hop-event stamps, which use the
+// process-local monotonic clock.Source base, the origin must be
+// comparable across processes so receivers can attribute one-way wire
+// time. On a single machine (the cluster launcher's deployment) the
+// processes share one clock; across machines the skew bound is
+// whatever the deployment's clock sync provides (§4.2 discusses the
+// analogous bound for VMTP timestamps).
+//
+// Budget bounds how many more process crossings the context may make;
+// each tunnel or gateway crossing decrements it, so a routing loop
+// cannot ship trace headers forever. A context with ID 0 is "not
+// traced" — the wire encodings omit it entirely, preserving the
+// zero-overhead contract for untraced traffic.
+type Context struct {
+	ID     uint64 // cluster-unique trace ID (0: untraced)
+	Origin int64  // Unix ns at the originating node
+	Budget uint8  // remaining process crossings
+}
+
+// ContextWireLen is the encoded size of a Context: ID (8) + Origin (8)
+// + Budget (1).
+const ContextWireLen = 17
+
+// DefaultHopBudget is the initial process-crossing allowance for a new
+// trace. Cluster topologies are small; 8 crossings outlasts any
+// non-looping route.
+const DefaultHopBudget = 8
+
+// Valid reports whether c identifies a live trace.
+func (c Context) Valid() bool { return c.ID != 0 }
+
+// CanHop reports whether c may cross one more process boundary.
+func (c Context) CanHop() bool { return c.ID != 0 && c.Budget > 0 }
+
+// Next returns the context to put on the wire for one process
+// crossing: the same identity with one less hop budget.
+func (c Context) Next() Context {
+	if c.Budget > 0 {
+		c.Budget--
+	}
+	return c
+}
+
+// Encode writes the wire form into dst, which must hold at least
+// ContextWireLen bytes, and returns the bytes written.
+func (c Context) Encode(dst []byte) int {
+	binary.BigEndian.PutUint64(dst[0:8], c.ID)
+	binary.BigEndian.PutUint64(dst[8:16], uint64(c.Origin))
+	dst[16] = c.Budget
+	return ContextWireLen
+}
+
+// DecodeContext parses a wire-form Context; ok is false when b is too
+// short.
+func DecodeContext(b []byte) (c Context, ok bool) {
+	if len(b) < ContextWireLen {
+		return Context{}, false
+	}
+	c.ID = binary.BigEndian.Uint64(b[0:8])
+	c.Origin = int64(binary.BigEndian.Uint64(b[8:16]))
+	c.Budget = b[16]
+	return c, true
+}
+
+// Resumer is implemented by Tracers that can re-open a record for a
+// packet whose trace began in another process. Resume is the
+// cross-process analogue of Begin: it may decline by returning nil,
+// and the returned record keeps the context's cluster-wide ID.
+type Resumer interface {
+	Tracer
+	Resume(ctx Context) *PacketTrace
+}
+
+// Resume re-opens a record against t for a context that arrived from
+// another process, tolerating a nil tracer or one that cannot resume:
+// the result is nil exactly when this process will not trace the
+// packet, and every downstream Add/Done is then a no-op.
+func Resume(t Tracer, ctx Context) *PacketTrace {
+	r, ok := t.(Resumer)
+	if !ok || !ctx.Valid() {
+		return nil
+	}
+	pt := r.Resume(ctx)
+	if pt != nil {
+		pt.sink = t
+	}
+	return pt
+}

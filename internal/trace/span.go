@@ -1,0 +1,184 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/stats"
+)
+
+// Span is one named stage of a packet's or stream group's journey
+// through the cluster: a trace ID, a stage name, and a start/end
+// timestamp pair. Stage names are a small stable vocabulary —
+// "origin" and "forward" for a packet's transit of one process,
+// "wire:<linkID>" for a tunnel crossing, and the gateway's
+// "stream-ingress" / "stream-transit" / "stream-egress" /
+// "stream-return" / "stream-client-write" family — so the directory
+// can merge per-stage latency across nodes without coordination.
+//
+// Timestamp bases vary by stage: wire and stream stages use Unix
+// wall-clock nanoseconds (comparable across same-machine processes),
+// origin/forward spans use the process-monotonic clock.Source base.
+// Only the duration End-Start is aggregated; raw stamps are kept for
+// the recent-span ring so individual traces can be followed by ID.
+type Span struct {
+	Trace uint64 `json:"trace"`
+	Stage string `json:"stage"`
+	Node  string `json:"node,omitempty"`
+	Start int64  `json:"start_ns"`
+	End   int64  `json:"end_ns"`
+}
+
+// DurationNs returns the span's duration, clamped at zero (cross-
+// process stamps can be slightly skewed).
+func (s Span) DurationNs() int64 {
+	if d := s.End - s.Start; d > 0 {
+		return d
+	}
+	return 0
+}
+
+// Spans aggregates spans by stage name: a count, a duration sum, and a
+// log2 latency histogram per stage, plus a small ring of recent raw
+// spans for trace-following. Safe for concurrent use; nil-safe Record
+// so call sites need no guard when telemetry is off.
+type Spans struct {
+	mu     sync.Mutex
+	stages map[string]*stats.Log2Histogram
+	recent []Span
+	next   int
+}
+
+// defaultRecentSpans bounds the raw-span ring when NewSpans is given a
+// non-positive capacity.
+const defaultRecentSpans = 256
+
+// NewSpans creates an empty aggregator keeping up to recentCap raw
+// spans (<= 0 selects a default).
+func NewSpans(recentCap int) *Spans {
+	if recentCap <= 0 {
+		recentCap = defaultRecentSpans
+	}
+	return &Spans{
+		stages: make(map[string]*stats.Log2Histogram),
+		recent: make([]Span, 0, recentCap),
+	}
+}
+
+// Record folds one span into its stage's aggregate. No-op on a nil
+// receiver.
+func (s *Spans) Record(sp Span) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := s.stages[sp.Stage]
+	if h == nil {
+		h = &stats.Log2Histogram{}
+		s.stages[sp.Stage] = h
+	}
+	h.Add(sp.DurationNs())
+	if len(s.recent) < cap(s.recent) {
+		s.recent = append(s.recent, sp)
+	} else if cap(s.recent) > 0 {
+		s.recent[s.next] = sp
+		s.next = (s.next + 1) % cap(s.recent)
+	}
+}
+
+// StageStats is the exported aggregate for one stage. Buckets carry
+// the full histogram (not just percentiles) so a central aggregator
+// can merge stages from many nodes exactly, via MergeStages.
+type StageStats struct {
+	Stage   string          `json:"stage"`
+	Count   int64           `json:"count"`
+	SumNs   int64           `json:"sum_ns"`
+	MeanNs  float64         `json:"mean_ns"`
+	P50Ns   int64           `json:"p50_ns"`
+	P99Ns   int64           `json:"p99_ns"`
+	Buckets []LatencyBucket `json:"buckets,omitempty"`
+}
+
+// SpansSnapshot is a point-in-time JSON-marshalable view of a Spans.
+type SpansSnapshot struct {
+	Stages []StageStats `json:"stages,omitempty"`
+	Recent []Span       `json:"recent,omitempty"`
+}
+
+// Snapshot returns the current aggregates, stages sorted by name.
+// Safe on a nil receiver (empty snapshot).
+func (s *Spans) Snapshot() SpansSnapshot {
+	if s == nil {
+		return SpansSnapshot{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out SpansSnapshot
+	names := make([]string, 0, len(s.stages))
+	for k := range s.stages {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		h := s.stages[k]
+		st := StageStats{
+			Stage:  k,
+			Count:  h.Total(),
+			SumNs:  h.Sum(),
+			MeanNs: h.Mean(),
+			P50Ns:  h.Percentile(50),
+			P99Ns:  h.Percentile(99),
+		}
+		for _, b := range h.Buckets() {
+			st.Buckets = append(st.Buckets, LatencyBucket{Lo: b.Lo, Hi: b.Hi, Count: b.Count})
+		}
+		out.Stages = append(out.Stages, st)
+	}
+	out.Recent = append(out.Recent, s.recent...)
+	return out
+}
+
+// MergeStages combines per-stage aggregates from many nodes into one
+// cluster-wide view: same-named stages have their histograms absorbed
+// bucket-by-bucket, so merged counts are exact and merged percentiles
+// are as good as any single node's. Results are sorted by stage name.
+func MergeStages(groups ...[]StageStats) []StageStats {
+	merged := make(map[string]*stats.Log2Histogram)
+	for _, g := range groups {
+		for _, st := range g {
+			h := merged[st.Stage]
+			if h == nil {
+				h = &stats.Log2Histogram{}
+				merged[st.Stage] = h
+			}
+			bs := make([]stats.Log2Bucket, 0, len(st.Buckets))
+			for _, b := range st.Buckets {
+				bs = append(bs, stats.Log2Bucket{Lo: b.Lo, Hi: b.Hi, Count: b.Count})
+			}
+			h.Absorb(bs, st.SumNs)
+		}
+	}
+	names := make([]string, 0, len(merged))
+	for k := range merged {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	out := make([]StageStats, 0, len(names))
+	for _, k := range names {
+		h := merged[k]
+		st := StageStats{
+			Stage:  k,
+			Count:  h.Total(),
+			SumNs:  h.Sum(),
+			MeanNs: h.Mean(),
+			P50Ns:  h.Percentile(50),
+			P99Ns:  h.Percentile(99),
+		}
+		for _, b := range h.Buckets() {
+			st.Buckets = append(st.Buckets, LatencyBucket{Lo: b.Lo, Hi: b.Hi, Count: b.Count})
+		}
+		out = append(out, st)
+	}
+	return out
+}

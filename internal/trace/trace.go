@@ -110,6 +110,12 @@ type PacketTrace struct {
 	ID   uint64
 	Hops []HopEvent
 
+	// Ctx is the packet's cross-process trace identity, if any: set by
+	// cluster-aware tracers (ClusterTracer) so a frame leaving this
+	// process through a tunnel or gateway can carry its trace on the
+	// wire. Zero for process-local records.
+	Ctx Context
+
 	sink Tracer
 }
 

@@ -28,7 +28,20 @@
 // linkID names the logical link, not the peer: two processes may run
 // parallel tunnels between the same socket pair, demuxed by linkID
 // alone. Datagrams failing the header check are counted and dropped,
-// never delivered.
+// never delivered — and, when the bridge has a flight recorder, each
+// such anomaly (decode failure, unknown linkID, send error) is
+// recorded with a stable ledger.Kind instead of vanishing into a bare
+// counter.
+//
+// Frames whose livenet record carries a cross-process trace context
+// (trace.Context, sampled by the peer's ClusterTracer) are framed as
+// TypeTraced instead of TypeData: the header is followed by the
+// 17-byte context plus the sender's wall-clock send stamp, then the
+// VIPER bytes. The receiving tunnel records a "wire:<linkID>" span
+// (send stamp → arrival, covering both queue dwell and socket time)
+// and re-injects with the context so the trace continues in the next
+// process. Untraced traffic is framed exactly as before — the traced
+// path costs nothing when tracing is off.
 package udpnet
 
 import (
@@ -39,8 +52,11 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/ledger"
 	"repro/internal/livenet"
+	"repro/internal/trace"
 )
 
 // Framing constants.
@@ -50,8 +66,18 @@ const (
 	// TypeData carries one encoded VIPER packet.
 	TypeData = 0x01
 
+	// TypeTraced carries one encoded VIPER packet prefixed by its
+	// trace context and the sender's send stamp (tracedPrefixLen
+	// bytes).
+	TypeTraced = 0x02
+
 	// HeaderLen is the encapsulation header size in bytes.
 	HeaderLen = 8
+
+	// tracedPrefixLen is the trace prefix of a TypeTraced payload:
+	// the wire-form trace.Context followed by the sender's Unix-ns
+	// send stamp.
+	tracedPrefixLen = trace.ContextWireLen + 8
 
 	// MaxDatagram bounds a received datagram; UDP itself cannot carry
 	// more.
@@ -72,6 +98,8 @@ type Stats struct {
 	DecodeErrors uint64 // datagrams for this link with a bad type or empty payload
 	SendErrors   uint64 // socket write failures and injections into a stopped network
 	Dropped      uint64 // fault-injection and queue-overflow discards
+	TracedSent   uint64 // of Encapsulated: frames carrying a trace context
+	TracedRecv   uint64 // of Decapsulated: frames whose context resumed a trace (one "wire" span each)
 }
 
 // Bridge owns one UDP socket and demuxes inbound datagrams to the
@@ -79,7 +107,10 @@ type Stats struct {
 // shape — every tunnel the process terminates shares the socket, and
 // peers address the process by its single UDP address.
 type Bridge struct {
-	conn *net.UDPConn
+	conn   *net.UDPConn
+	node   string                 // name recorded on flight events, default "udpnet"
+	flight *ledger.FlightRecorder // anomaly sink, nil when unset (Record is nil-safe)
+	spans  *trace.Spans           // wire-span sink, nil when unset (Record is nil-safe)
 
 	mu      sync.RWMutex
 	tunnels map[uint16]*Tunnel
@@ -91,9 +122,30 @@ type Bridge struct {
 	wg        sync.WaitGroup
 }
 
+// BridgeOption configures one Listen call.
+type BridgeOption func(*Bridge)
+
+// WithFlightRecorder routes tunnel-level anomalies — frame decode
+// failures, unknown linkIDs, socket send errors — into fr as events
+// with stable kinds, instead of leaving them as bare counters.
+func WithFlightRecorder(fr *ledger.FlightRecorder) BridgeOption {
+	return func(b *Bridge) { b.flight = fr }
+}
+
+// WithTelemetry names this bridge's process (for flight events) and
+// routes per-crossing "wire:<linkID>" spans of traced frames into sp.
+func WithTelemetry(node string, sp *trace.Spans) BridgeOption {
+	return func(b *Bridge) {
+		if node != "" {
+			b.node = node
+		}
+		b.spans = sp
+	}
+}
+
 // Listen opens the bridge socket. addr is a UDP listen address such
 // as "127.0.0.1:0"; the chosen port is available from Addr.
-func Listen(addr string) (*Bridge, error) {
+func Listen(addr string, opts ...BridgeOption) (*Bridge, error) {
 	ua, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("udpnet: resolve %q: %w", addr, err)
@@ -104,8 +156,12 @@ func Listen(addr string) (*Bridge, error) {
 	}
 	b := &Bridge{
 		conn:    conn,
+		node:    "udpnet",
 		tunnels: make(map[uint16]*Tunnel),
 		closed:  make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(b)
 	}
 	b.wg.Add(1)
 	go b.readLoop()
@@ -153,6 +209,10 @@ func (b *Bridge) readLoop() {
 		dg := buf[:n]
 		if n < HeaderLen || [4]byte(dg[0:4]) != magic || dg[4] != Version {
 			b.decodeErrors.Add(1)
+			b.flight.Record(ledger.Event{
+				At: time.Now().UnixNano(), Node: b.node,
+				Kind: ledger.KindDecodeError, Reason: fmt.Sprintf("bad frame header (%d bytes)", n),
+			})
 			continue
 		}
 		linkID := binary.BigEndian.Uint16(dg[6:8])
@@ -161,6 +221,10 @@ func (b *Bridge) readLoop() {
 		b.mu.RUnlock()
 		if t == nil {
 			b.decodeErrors.Add(1)
+			b.flight.Record(ledger.Event{
+				At: time.Now().UnixNano(), Node: b.node,
+				Kind: ledger.KindUnknownLink, Reason: fmt.Sprintf("link %d not attached", linkID),
+			})
 			continue
 		}
 		t.ingress(dg[5], dg[HeaderLen:])
@@ -209,6 +273,8 @@ type Tunnel struct {
 	gw     *livenet.Host
 	gwPort uint8
 
+	wireStage string // span stage name, "wire:<linkID>"
+
 	remote atomic.Pointer[net.UDPAddr]
 
 	down     atomic.Bool
@@ -223,6 +289,8 @@ type Tunnel struct {
 	decodeErrors atomic.Uint64
 	sendErrors   atomic.Uint64
 	dropped      atomic.Uint64
+	tracedSent   atomic.Uint64
+	tracedRecv   atomic.Uint64
 }
 
 // Attach bridges port `port` of node `at` (a livenet Router or Host)
@@ -236,11 +304,12 @@ func (b *Bridge) Attach(netw *livenet.Network, at livenet.Attachable, port uint8
 		o(&cfg)
 	}
 	t := &Tunnel{
-		bridge: b,
-		linkID: linkID,
-		gwPort: 1,
-		rng:    rand.New(rand.NewSource(cfg.lossSeed)),
-		out:    make(chan []byte, cfg.depth),
+		bridge:    b,
+		linkID:    linkID,
+		gwPort:    1,
+		wireStage: fmt.Sprintf("wire:%d", linkID),
+		rng:       rand.New(rand.NewSource(cfg.lossSeed)),
+		out:       make(chan []byte, cfg.depth),
 	}
 	if cfg.remote != nil {
 		t.remote.Store(cfg.remote)
@@ -256,7 +325,7 @@ func (b *Bridge) Attach(netw *livenet.Network, at livenet.Attachable, port uint8
 	// moment it is in b.tunnels, the read loop may hand it a datagram.
 	t.gw = netw.NewHost(fmt.Sprintf("udpgw-%d", linkID))
 	netw.Connect(at, port, t.gw, t.gwPort)
-	t.gw.SetRawHandler(t.egress)
+	t.gw.SetRawTap(t.egress)
 
 	b.mu.Lock()
 	if _, dup := b.tunnels[linkID]; dup {
@@ -310,6 +379,8 @@ func (t *Tunnel) Stats() Stats {
 		DecodeErrors: t.decodeErrors.Load(),
 		SendErrors:   t.sendErrors.Load(),
 		Dropped:      t.dropped.Load(),
+		TracedSent:   t.tracedSent.Load(),
+		TracedRecv:   t.tracedRecv.Load(),
 	}
 }
 
@@ -336,13 +407,30 @@ func (t *Tunnel) drops() bool {
 // valid only for the duration of the call. The frame is framed into a
 // fresh datagram and queued for the writer; a full queue drops, as an
 // overrun link queue would.
-func (t *Tunnel) egress(pkt []byte) {
-	dg := make([]byte, HeaderLen+len(pkt))
+//
+// A frame whose in-process record carried a trace context crosses as
+// TypeTraced with one less hop budget and the send stamp taken here —
+// so the receiver's "wire:<linkID>" span covers egress-queue dwell as
+// well as socket time, which is exactly the dwell a congested tunnel
+// needs attributed. The local record has already been closed by the
+// host's tap delivery; losing the datagram afterwards loses only the
+// wire copy of the context, never an open record.
+func (t *Tunnel) egress(pkt []byte, ctx trace.Context) {
+	var dg []byte
+	if ctx.CanHop() {
+		dg = make([]byte, HeaderLen+tracedPrefixLen+len(pkt))
+		dg[5] = TypeTraced
+		ctx.Next().Encode(dg[HeaderLen:])
+		binary.BigEndian.PutUint64(dg[HeaderLen+trace.ContextWireLen:], uint64(time.Now().UnixNano()))
+		copy(dg[HeaderLen+tracedPrefixLen:], pkt)
+	} else {
+		dg = make([]byte, HeaderLen+len(pkt))
+		dg[5] = TypeData
+		copy(dg[HeaderLen:], pkt)
+	}
 	copy(dg[0:4], magic[:])
 	dg[4] = Version
-	dg[5] = TypeData
 	binary.BigEndian.PutUint16(dg[6:8], t.linkID)
-	copy(dg[HeaderLen:], pkt)
 	select {
 	case t.out <- dg:
 	default:
@@ -365,13 +453,24 @@ func (t *Tunnel) writeLoop() {
 			remote := t.remote.Load()
 			if remote == nil {
 				t.sendErrors.Add(1)
+				t.bridge.flight.Record(ledger.Event{
+					At: time.Now().UnixNano(), Node: t.bridge.node,
+					Kind: ledger.KindSendError, Reason: fmt.Sprintf("link %d: no remote address", t.linkID),
+				})
 				continue
 			}
 			if _, err := t.bridge.conn.WriteToUDP(dg, remote); err != nil {
 				t.sendErrors.Add(1)
+				t.bridge.flight.Record(ledger.Event{
+					At: time.Now().UnixNano(), Node: t.bridge.node,
+					Kind: ledger.KindSendError, Reason: fmt.Sprintf("link %d: %v", t.linkID, err),
+				})
 				continue
 			}
 			t.encapsulated.Add(1)
+			if dg[5] == TypeTraced {
+				t.tracedSent.Add(1)
+			}
 		case <-t.bridge.closed:
 			return
 		}
@@ -380,19 +479,64 @@ func (t *Tunnel) writeLoop() {
 
 // ingress delivers one unframed payload into the livenet substrate.
 // Runs on the bridge's read loop; payload aliases the read buffer and
-// is copied by SendRaw before this returns.
+// is copied by SendRaw before this returns. TypeTraced payloads shed
+// their trace prefix first: the crossing is recorded as a
+// "wire:<linkID>" span and the context rides into livenet so the
+// network's tracer (if it resumes) follows the packet onward.
 func (t *Tunnel) ingress(typ byte, payload []byte) {
-	if typ != TypeData || len(payload) == 0 {
+	var ctx trace.Context
+	var sent int64
+	switch typ {
+	case TypeData:
+	case TypeTraced:
+		var ok bool
+		if ctx, ok = trace.DecodeContext(payload); !ok || len(payload) < tracedPrefixLen {
+			t.decodeErrors.Add(1)
+			t.bridge.flight.Record(ledger.Event{
+				At: time.Now().UnixNano(), Node: t.bridge.node,
+				Kind: ledger.KindDecodeError, Reason: fmt.Sprintf("link %d: short trace prefix (%d bytes)", t.linkID, len(payload)),
+			})
+			return
+		}
+		sent = int64(binary.BigEndian.Uint64(payload[trace.ContextWireLen:tracedPrefixLen]))
+		payload = payload[tracedPrefixLen:]
+	default:
 		t.decodeErrors.Add(1)
+		t.bridge.flight.Record(ledger.Event{
+			At: time.Now().UnixNano(), Node: t.bridge.node,
+			Kind: ledger.KindDecodeError, Reason: fmt.Sprintf("link %d: unknown frame type 0x%02x", t.linkID, typ),
+		})
+		return
+	}
+	if len(payload) == 0 {
+		t.decodeErrors.Add(1)
+		t.bridge.flight.Record(ledger.Event{
+			At: time.Now().UnixNano(), Node: t.bridge.node,
+			Kind: ledger.KindDecodeError, Reason: fmt.Sprintf("link %d: empty payload", t.linkID),
+		})
 		return
 	}
 	if t.down.Load() {
 		t.dropped.Add(1)
 		return
 	}
-	if err := t.gw.SendRaw(t.gwPort, payload); err != nil {
+	arrived := int64(0)
+	if ctx.Valid() {
+		arrived = time.Now().UnixNano()
+	}
+	if err := t.gw.SendRawTraced(t.gwPort, payload, ctx); err != nil {
 		t.sendErrors.Add(1)
 		return
 	}
 	t.decapsulated.Add(1)
+	if ctx.Valid() {
+		// Counted and recorded only for frames that actually entered the
+		// substrate, so wire-span counts reconcile exactly with
+		// TracedRecv across the cluster.
+		t.tracedRecv.Add(1)
+		t.bridge.spans.Record(trace.Span{
+			Trace: ctx.ID, Stage: t.wireStage, Node: t.bridge.node,
+			Start: sent, End: arrived,
+		})
+	}
 }

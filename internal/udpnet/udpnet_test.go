@@ -1,12 +1,15 @@
 package udpnet_test
 
 import (
+	"fmt"
 	"net"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/livenet"
+	"repro/internal/trace"
 	"repro/internal/udpnet"
 	"repro/internal/viper"
 )
@@ -266,4 +269,120 @@ func TestSendWithoutRemote(t *testing.T) {
 		t.Fatal(err)
 	}
 	waitFor(t, "delivery after SetRemote", func() bool { return delivered.Load() == 1 })
+}
+
+// TestTracePropagationUnderLoss is the impairment contract for
+// cluster tracing: with seeded loss on the forward tunnel and an
+// application-level resend loop riding over it, every frame that does
+// get through resumes the sender's trace ID on the far substrate —
+// and no record leaks on either side. Specifically, at quiesce:
+// finished == begun + resumed on both tracers, the receiver's
+// "wire:<link>" span count equals its TracedRecv exactly, and every
+// wire span's trace ID carries the sender's identity bits.
+func TestTracePropagationUnderLoss(t *testing.T) {
+	spansA, spansB := trace.NewSpans(64), trace.NewSpans(64)
+	tracerA := trace.NewClusterTracer("A", 1<<48, 1, spansA, nil)
+	tracerB := trace.NewClusterTracer("B", 2<<48, 1, spansB, nil)
+	netA := livenet.NewNetwork(livenet.WithTracer(tracerA))
+	t.Cleanup(netA.Stop)
+	netB := livenet.NewNetwork(livenet.WithTracer(tracerB))
+	t.Cleanup(netB.Stop)
+
+	bA, err := udpnet.Listen("127.0.0.1:0", udpnet.WithTelemetry("A", spansA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { bA.Close() })
+	bB, err := udpnet.Listen("127.0.0.1:0", udpnet.WithTelemetry("B", spansB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { bB.Close() })
+
+	rA := netA.NewRouter("rA")
+	src := netA.NewHost("srcH")
+	netA.Connect(src, 1, rA, 1)
+	rB := netB.NewRouter("rB")
+	dst := netB.NewHost("dstH")
+	netB.Connect(rB, 3, dst, 1)
+
+	ta, err := bA.Attach(netA, rA, 2, 7, udpnet.WithRemote(bB.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := bB.Attach(netB, rB, 2, 7, udpnet.WithRemote(bA.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	seen := make(map[string]bool)
+	dst.Handle(0, func(d livenet.Delivery) {
+		mu.Lock()
+		seen[string(d.Data)] = true
+		mu.Unlock()
+	})
+
+	// Lossy forward path, reliable by retry: resend each message until
+	// the receiving substrate has it. The resend loop is the impairment
+	// — duplicates of the same payload carry distinct trace IDs (each
+	// send is its own traced packet), so nothing about tracing may
+	// assume at-most-once delivery.
+	ta.SetLossRatio(0.5)
+	const msgs = 10
+	for i := 0; i < msgs; i++ {
+		payload := []byte(fmt.Sprintf("m%02d", i))
+		arrived := func() bool {
+			mu.Lock()
+			defer mu.Unlock()
+			return seen[string(payload)]
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for !arrived() {
+			if time.Now().After(deadline) {
+				t.Fatalf("message %d never crossed the lossy tunnel", i)
+			}
+			if err := src.Send(crossRoute(), payload); err != nil {
+				t.Fatal(err)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	if ta.Dropped() == 0 {
+		t.Fatal("loss ratio 0.5 dropped nothing — impairment not exercised")
+	}
+
+	// Quiesce: both tracers must account for every record they opened.
+	waitFor(t, "tracer quiesce", func() bool {
+		ba, ra, fa := tracerA.Counts()
+		bb, rb, fb := tracerB.Counts()
+		return fa == ba+ra && fb == bb+rb && fb > 0
+	})
+	begunA, _, _ := tracerA.Counts()
+	_, resumedB, _ := tracerB.Counts()
+	if begunA == 0 || resumedB == 0 {
+		t.Fatalf("tracing never engaged: begunA=%d resumedB=%d", begunA, resumedB)
+	}
+
+	// The receiver's wire spans reconcile exactly with its traced
+	// decapsulations, and every one names a trace the sender originated.
+	snap := spansB.Snapshot()
+	var wireCount int64
+	for _, st := range snap.Stages {
+		if st.Stage == "wire:7" {
+			wireCount = st.Count
+		}
+	}
+	tracedRecv := tb.Stats().TracedRecv
+	if wireCount == 0 || uint64(wireCount) != tracedRecv {
+		t.Fatalf("wire spans = %d, traced decapsulations = %d; want equal and nonzero", wireCount, tracedRecv)
+	}
+	for _, sp := range snap.Recent {
+		if sp.Stage != "wire:7" {
+			continue
+		}
+		if sp.Trace>>48 != 1 {
+			t.Fatalf("wire span %x did not originate at sender A (identity bits %d)", sp.Trace, sp.Trace>>48)
+		}
+	}
 }

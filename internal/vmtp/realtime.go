@@ -269,6 +269,19 @@ func (rt *RT) RTT(server uint64) time.Duration {
 	return rt.srtt[server]
 }
 
+// RTTs returns a copy of every smoothed round-trip estimate, keyed by
+// server entity — the per-peer latency view telemetry reports ship to
+// the directory.
+func (rt *RT) RTTs() map[uint64]time.Duration {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make(map[uint64]time.Duration, len(rt.srtt))
+	for k, v := range rt.srtt {
+		out[k] = v
+	}
+	return out
+}
+
 // Close shuts the endpoint down: outstanding calls fail with
 // ErrClosed, timers are cancelled, and in-flight handler goroutines
 // are waited for.
