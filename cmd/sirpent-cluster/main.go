@@ -39,6 +39,7 @@ import (
 	"repro/internal/daemon"
 	"repro/internal/directory"
 	"repro/internal/gateway"
+	"repro/internal/viper"
 )
 
 func main() {
@@ -49,15 +50,16 @@ func main() {
 	gw := flag.Bool("gateway", false, "gateway mode: run peers with SOCKS relays and push a hash-verified TCP transfer through the cluster")
 	gwBytes := flag.Int64("gateway-bytes", 10<<20, "bytes to transfer each way through the gateway (gateway mode)")
 	report := flag.Bool("report", false, "print the merged cluster telemetry report after the run")
+	failover := flag.Bool("failover", false, "failover smoke: kill one cross-partition tunnel mid-run and require zero lost transactions (flow routes carry in-header alternates)")
 	flag.Parse()
 
-	if err := run(*n, *seed, *sirpentd, *settle, *gw, *gwBytes, *report); err != nil {
+	if err := run(*n, *seed, *sirpentd, *settle, *gw, *gwBytes, *report, *failover); err != nil {
 		fmt.Fprintln(os.Stderr, "sirpent-cluster:", err)
 		os.Exit(1)
 	}
 }
 
-func run(n int, seed int64, sirpentd string, settle time.Duration, gw bool, gwBytes int64, report bool) error {
+func run(n int, seed int64, sirpentd string, settle time.Duration, gw bool, gwBytes int64, report, failover bool) error {
 	if n < 2 {
 		return fmt.Errorf("-n must be at least 2 (got %d)", n)
 	}
@@ -66,7 +68,7 @@ func run(n int, seed int64, sirpentd string, settle time.Duration, gw bool, gwBy
 		return err
 	}
 	if seed == 0 {
-		seed, err = autoSeed(n)
+		seed, err = autoSeed(n, failover)
 		if err != nil {
 			return err
 		}
@@ -74,6 +76,16 @@ func run(n int, seed int64, sirpentd string, settle time.Duration, gw bool, gwBy
 	sc := check.Generate(seed)
 	fmt.Printf("cluster: %d peers, seed %d (%d routers, %d hosts, %d flows, %d cross-links)\n",
 		n, seed, sc.NRouters, len(sc.HostRouter), len(sc.Flows), len(check.CrossLinks(sc, n)))
+	blip := -1
+	if failover {
+		blip, err = pickBlipLink(sc, n)
+		if err != nil {
+			return err
+		}
+		l := sc.Links[blip]
+		fmt.Printf("cluster: failover smoke — link %d (r%d:%d <-> r%d:%d) dies between flow waves\n",
+			blip, l.A, l.APort, l.B, l.BPort)
+	}
 
 	// The directory must outlive the peers: they report to it, and we
 	// read the reports back out of it. Kill it last.
@@ -106,6 +118,9 @@ func run(n int, seed int64, sirpentd string, settle time.Duration, gw bool, gwBy
 			"-settle", settle.String()}
 		if gw {
 			args = append(args, "-gateway")
+		}
+		if blip >= 0 {
+			args = append(args, "-alternates", "2", "-failover-link", fmt.Sprint(blip))
 		}
 		p := exec.Command(bin, args...)
 		p.Stdout = prefixWriter(check.PeerName(i))
@@ -194,6 +209,21 @@ func run(n int, seed int64, sirpentd string, settle time.Duration, gw bool, gwBy
 				len(problems), strings.Join(problems, "\n  "))
 		}
 		fmt.Println("cluster: PASS — flows delivered exactly once AND the SOCKS transfer crossed the cluster hash-intact with the gateway account billed, ledgers reconciling, and trace spans accounting for every traced crossing")
+		return nil
+	}
+	if failover {
+		// The detour bills the branch actually taken, so the healthy-mesh
+		// single-process ledger diff does not apply; the verdict above
+		// already proved internal reconciliation and exactly-once
+		// delivery — zero lost transactions despite the dead tunnel.
+		var fo uint64
+		for _, r := range reports {
+			fo += r.Failovers
+		}
+		if fo == 0 {
+			return fmt.Errorf("failover smoke: tunnel died but no in-header failovers were recorded")
+		}
+		fmt.Printf("cluster: PASS — link %d died mid-run, %d in-header failovers diverted every crossing transaction, all flows delivered and echoed exactly once, ledgers reconcile\n", blip, fo)
 		return nil
 	}
 	diffs, err := daemon.CompareWithSingleProcess(seed, daemon.ClusterLedger(reports), 15*time.Second)
@@ -314,6 +344,75 @@ func waitSocks(client *directory.Client, deadline time.Duration) (string, error)
 	}
 }
 
+// pickBlipLink chooses the cross-partition link the failover smoke
+// kills. Wave-1 flows (odd scenario indexes) run after the link dies,
+// so every one of them crossing it must do so at a DAG hop — a linear
+// hop into a dead link is a lost transaction — and at least one must
+// actually cross, or the smoke proves nothing. Routes are computed
+// locally with the same directory code the dir process serves, so the
+// walk sees exactly the segment lists the peers will inject.
+func pickBlipLink(sc *check.Scenario, n int) (int, error) {
+	net := check.BuildNetsim(sc)
+	routes, err := check.FlowRoutesAlt(net, sc, 2)
+	if err != nil {
+		return -1, fmt.Errorf("failover smoke: compute routes: %w", err)
+	}
+	best, bestCount := -1, 0
+	for _, li := range check.CrossLinks(sc, n) {
+		count, ok := 0, true
+		for fi, f := range sc.Flows {
+			if fi%2 != 1 {
+				continue // wave-0 flow: completes before the link dies
+			}
+			dag, crossed := crossesLink(sc, routes[f.ID], f.Src, li)
+			if !crossed {
+				continue
+			}
+			if !dag {
+				ok = false
+				break
+			}
+			count++
+		}
+		if ok && count > bestCount {
+			best, bestCount = li, count
+		}
+	}
+	if best < 0 {
+		return -1, fmt.Errorf("failover smoke: no cross-link is crossed only at DAG hops by wave-1 flows (try another -seed)")
+	}
+	return best, nil
+}
+
+// crossesLink walks a flow's primary route across the topology and
+// reports whether it traverses global link li — and if so, whether
+// the hop entering the link carries in-header alternates.
+func crossesLink(sc *check.Scenario, route []viper.Segment, src, li int) (dag, crossed bool) {
+	cur := sc.HostRouter[src]
+	for i := 1; i < len(route); i++ {
+		seg := &route[i]
+		next := -1
+		for j, l := range sc.Links {
+			if l.A == cur && l.APort == seg.Port {
+				next = l.B
+			} else if l.B == cur && l.BPort == seg.Port {
+				next = l.A
+			} else {
+				continue
+			}
+			if j == li {
+				return viper.IsDAGSegment(seg), true
+			}
+			break
+		}
+		if next < 0 {
+			return false, false // left the trunk mesh: host-attachment hop
+		}
+		cur = next
+	}
+	return false, false
+}
+
 // findSirpentd resolves the sirpentd binary: explicit flag, then a
 // sibling of this launcher, then $PATH.
 func findSirpentd(explicit string) (string, error) {
@@ -335,15 +434,22 @@ func findSirpentd(explicit string) (string, error) {
 // autoSeed picks the first seed whose scenario gives every peer at
 // least one router and actually crosses the partition, so the run
 // exercises the UDP tunnels rather than degenerating to one process
-// doing all the work.
-func autoSeed(n int) (int64, error) {
+// doing all the work. In failover mode the scenario must additionally
+// admit a blippable cross-link (pickBlipLink's conditions).
+func autoSeed(n int, failover bool) (int64, error) {
 	for seed := int64(1); seed < 1000; seed++ {
 		sc := check.Generate(seed)
-		if sc.NRouters >= n && len(check.CrossLinks(sc, n)) > 0 {
-			return seed, nil
+		if sc.NRouters < n || len(check.CrossLinks(sc, n)) == 0 {
+			continue
 		}
+		if failover {
+			if _, err := pickBlipLink(sc, n); err != nil {
+				continue
+			}
+		}
+		return seed, nil
 	}
-	return 0, fmt.Errorf("no seed under 1000 yields >=%d routers with cross-links at %d peers", n, n)
+	return 0, fmt.Errorf("no seed under 1000 yields a %d-peer scenario (failover=%v)", n, failover)
 }
 
 // readDirURL scans the dir process's stdout for its

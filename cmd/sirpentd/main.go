@@ -160,6 +160,8 @@ func peerCmd(args []string) error {
 	udp := fs.String("udp", "127.0.0.1:0", "UDP bridge listen address")
 	settle := fs.Duration("settle", 30*time.Second, "quiesce deadline")
 	loss := fs.Float64("loss", 0, "injected tunnel loss ratio (fault experiments)")
+	alternates := fs.Int("alternates", 0, "ranked failover alternates per router hop on flow routes (0-3)")
+	failoverLink := fs.Int("failover-link", -1, "failover smoke: global link index whose tunnel goes down between flow waves (-1 = off)")
 	gw := fs.Bool("gateway", false, "gateway mode: bind SOCKS relays on the scenario's gateway hosts and hold for the launcher's shutdown latch")
 	gwListen := fs.String("gateway-listen", "127.0.0.1:0", "ingress SOCKS listen address (gateway mode)")
 	gwWait := fs.Duration("gateway-wait", 2*time.Minute, "bound on the wait for the shutdown latch (gateway mode)")
@@ -177,6 +179,9 @@ func peerCmd(args []string) error {
 		UDPAddr:       *udp,
 		SettleTimeout: *settle,
 		LossRatio:     *loss,
+		Alternates:    *alternates,
+		Failover:      *failoverLink >= 0,
+		BlipLink:      *failoverLink,
 		Gateway:       *gw,
 		GatewayListen: *gwListen,
 		GatewayWait:   *gwWait,

@@ -5,7 +5,9 @@
 // receiver's return-route construction.
 //
 // With -hex, it instead decodes a hex-encoded packet from the argument or
-// stdin.
+// stdin. With -dag, it runs the failover-DAG walk-through: a route whose
+// router hop carries ranked alternate next-hops, printed as a branch
+// tree. DAG hops found in -hex input are expanded the same way.
 package main
 
 import (
@@ -13,6 +15,7 @@ import (
 	"encoding/hex"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -22,13 +25,17 @@ import (
 
 func main() {
 	hexIn := flag.Bool("hex", false, "decode a hex packet from args or stdin instead of running the demo")
+	dagIn := flag.Bool("dag", false, "run the failover-DAG demo instead of the §2 walk-through")
 	flag.Parse()
 
-	if *hexIn {
+	switch {
+	case *hexIn:
 		decodeHex()
-		return
+	case *dagIn:
+		dagDemo()
+	default:
+		demo()
 	}
-	demo()
 }
 
 func decodeHex() {
@@ -52,6 +59,92 @@ func decodeHex() {
 		os.Exit(1)
 	}
 	fmt.Println(pkt)
+	for i := range pkt.Route {
+		if viper.IsDAGSegment(&pkt.Route[i]) {
+			fmt.Printf("route[%d] expanded:\n", i)
+			printSegments(os.Stdout, pkt.Route[i:i+1], "  ")
+		}
+	}
+}
+
+// printSegments renders a segment list one per line, expanding DAG
+// hops into a branch tree of their primary and ranked alternates.
+func printSegments(w io.Writer, segs []viper.Segment, indent string) {
+	for i := range segs {
+		s := &segs[i]
+		if !viper.IsDAGSegment(s) {
+			fmt.Fprintf(w, "%s[%d] %v\n", indent, i, s)
+			continue
+		}
+		var ports [viper.MaxAlternates]uint8
+		n, ok := viper.DAGAlternatePorts(s, &ports)
+		if !ok {
+			fmt.Fprintf(w, "%s[%d] DAG hop port=%d: MALFORMED\n", indent, i, s.Port)
+			continue
+		}
+		pi, _ := viper.DAGPrimaryInfo(s)
+		fmt.Fprintf(w, "%s[%d] DAG hop: primary port=%d prio=%d token=%dB info=%x, %d alternate(s)\n",
+			indent, i, s.Port, uint8(s.Priority), len(s.PortToken), pi, n)
+		for r := 0; r < n; r++ {
+			branch := "├─"
+			cont := "│   "
+			if r == n-1 {
+				branch, cont = "└─", "    "
+			}
+			alt, err := viper.DAGAlternate(s, r)
+			if err != nil {
+				fmt.Fprintf(w, "%s  %s rank %d via port %d: DECODE ERROR: %v\n", indent, branch, r+1, ports[r], err)
+				continue
+			}
+			fmt.Fprintf(w, "%s  %s rank %d via port %d (%d segment(s)):\n", indent, branch, r+1, ports[r], len(alt))
+			printSegments(w, alt, indent+"  "+cont)
+		}
+	}
+}
+
+// dagDemo builds the failover walk-through: a route whose router hop
+// carries two ranked alternates, each a complete tokened path.
+func dagDemo() {
+	alt1 := []viper.Segment{
+		{Port: 3, Priority: 2, PortToken: []byte("tok-r-p3"), Flags: viper.FlagVNT},
+		{Port: 1, Priority: 2, PortToken: []byte("tok-r2-p1"), Flags: viper.FlagVNT},
+		{Port: viper.PortLocal},
+	}
+	alt2 := []viper.Segment{
+		{Port: 4, Priority: 2, PortToken: []byte("tok-r-p4"), Flags: viper.FlagVNT},
+		{Port: viper.PortLocal},
+	}
+	primaryHdr := ethernet.Header{
+		Dst:  ethernet.AddrFromUint64(0xD),
+		Src:  ethernet.AddrFromUint64(0xA2),
+		Type: viper.EtherTypeVIPER,
+	}.Encode()
+	dagSeg, err := viper.DAGSegment(2, 2, []byte("tok-r-p2"), primaryHdr, [][]viper.Segment{alt1, alt2})
+	if err != nil {
+		panic(err)
+	}
+	route := []viper.Segment{
+		{Port: 1, PortInfo: ethernet.Header{
+			Dst:  ethernet.AddrFromUint64(0xA1),
+			Src:  ethernet.AddrFromUint64(0x5),
+			Type: viper.EtherTypeVIPER,
+		}.Encode()},
+		dagSeg,
+		{Port: viper.PortLocal},
+	}
+	if err := viper.SealRoute(route); err != nil {
+		panic(err)
+	}
+	fmt.Println("=== Failover-DAG route: the router hop carries ranked alternates ===")
+	printSegments(os.Stdout, route, "  ")
+	fmt.Println()
+
+	pkt := viper.NewPacket(cloneSegs(route[1:]), []byte("data"))
+	pkt.Trailer = append(pkt.Trailer, viper.Segment{Port: viper.PortLocal})
+	dump("On the wire, S -> R (DAG hop at the head)", pkt)
+	fmt.Println("If R's port 2 is down, R rewrites the header in place to the")
+	fmt.Println("best live branch (rank 1 first) and forwards — no directory")
+	fmt.Println("re-query, and the branch's own tokens pay for the detour.")
 }
 
 func demo() {

@@ -84,13 +84,21 @@ func BuildNetsimTokened(sc *Scenario) *core.Internetwork {
 // billing account, so the directory attaches a port token for every
 // guarded router hop. The tokened segment lists feed both substrates.
 func FlowRoutesAccounted(net *core.Internetwork, sc *Scenario) (map[uint64][]viper.Segment, error) {
+	return FlowRoutesAccountedAlt(net, sc, 0)
+}
+
+// FlowRoutesAccountedAlt is FlowRoutesAccounted with in-header failover
+// alternates: DAG hops carry a token for every router on every branch,
+// all billed to the flow's account.
+func FlowRoutesAccountedAlt(net *core.Internetwork, sc *Scenario, alternates int) (map[uint64][]viper.Segment, error) {
 	routes := make(map[uint64][]viper.Segment, len(sc.Flows))
 	for _, f := range sc.Flows {
 		rs, err := net.Routes(directory.Query{
-			From:     HostName(f.Src),
-			To:       HostName(f.Dst),
-			Priority: f.Prio,
-			Account:  AccountFor(f),
+			From:       HostName(f.Src),
+			To:         HostName(f.Dst),
+			Priority:   f.Prio,
+			Account:    AccountFor(f),
+			Alternates: alternates,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("route %s->%s: %w", HostName(f.Src), HostName(f.Dst), err)

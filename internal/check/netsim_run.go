@@ -54,12 +54,21 @@ func NetsimRouterCounters(net *core.Internetwork, sc *Scenario) stats.Counters {
 // are fed these exact segment lists, so any behavioral divergence is in
 // the forwarding planes, not the routing.
 func FlowRoutes(net *core.Internetwork, sc *Scenario) (map[uint64][]viper.Segment, error) {
+	return FlowRoutesAlt(net, sc, 0)
+}
+
+// FlowRoutesAlt is FlowRoutes with in-header failover alternates: each
+// query asks the directory for up to alternates ranked detours per
+// router hop, so the returned segment lists carry DAG hops wherever the
+// topology admits a port-disjoint detour.
+func FlowRoutesAlt(net *core.Internetwork, sc *Scenario, alternates int) (map[uint64][]viper.Segment, error) {
 	routes := make(map[uint64][]viper.Segment, len(sc.Flows))
 	for _, f := range sc.Flows {
 		rs, err := net.Routes(directory.Query{
-			From:     HostName(f.Src),
-			To:       HostName(f.Dst),
-			Priority: f.Prio,
+			From:       HostName(f.Src),
+			To:         HostName(f.Dst),
+			Priority:   f.Prio,
+			Alternates: alternates,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("route %s->%s: %w", HostName(f.Src), HostName(f.Dst), err)

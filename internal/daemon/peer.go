@@ -47,6 +47,21 @@ type PeerConfig struct {
 	// GatewayWait bounds the wait for the launcher's shutdown latch in
 	// gateway mode; default 2m.
 	GatewayWait time.Duration
+	// Alternates asks the directory for up to N ranked failover
+	// alternates per router hop on every flow route, so DAG hops can
+	// divert mid-flight when a tunnel dies (DESIGN.md §15).
+	Alternates int
+	// Failover runs the two-wave failover smoke: the first half of the
+	// flows (even scenario indexes) runs on the healthy mesh and drains
+	// cluster-wide; every peer terminating cross-link BlipLink then
+	// takes its tunnel end down behind a barrier, and the second half
+	// must keep delivering by diverting onto its in-header alternates —
+	// no directory re-query, zero lost transactions.
+	Failover bool
+	// BlipLink is the global link index (into the scenario's Links) the
+	// failover smoke takes down. Both terminating peers match on it, so
+	// the link dies in both directions without coordination.
+	BlipLink int
 	// Telemetry enables cluster observability: a ClusterTracer samples
 	// packets on the substrate (trace contexts ride the tunnel and
 	// gateway wire formats across process boundaries), and the peer
@@ -367,50 +382,80 @@ func Peer(cfg PeerConfig) (*Report, error) {
 
 	// Inject owned flows, with routes — and tokens — fetched from the
 	// directory over the wire, the same queries the single-process run
-	// makes in-process.
-	var wantDelivered, wantReplied []uint64
-	for _, f := range sc.Flows {
-		if check.HostOwner(sc, f.Dst, cfg.Total) == cfg.Index {
-			wantDelivered = append(wantDelivered, f.ID)
-		}
-		if check.HostOwner(sc, f.Src, cfg.Total) != cfg.Index {
-			continue
-		}
-		wantReplied = append(wantReplied, f.ID)
-		routes, err := client.Routes(directory.Query{
-			From:     check.HostName(f.Src),
-			To:       check.HostName(f.Dst),
-			Priority: f.Prio,
-			Account:  check.AccountFor(f),
-		})
-		if err != nil {
-			return nil, fmt.Errorf("daemon: route for flow %d: %w", f.ID, err)
-		}
-		if err := hosts[f.Src].Send(routes[0].Segments, check.FlowData(f)); err != nil {
-			mu.Lock()
-			rep.SendErrs++
-			mu.Unlock()
-		}
+	// makes in-process. Normally one wave; the failover smoke splits the
+	// flows in two so the blip link dies on a provably quiet network
+	// (wave 0 drained cluster-wide) and wave 1 exercises mid-flight
+	// failover with nothing racing the SetDown.
+	waves := 1
+	if cfg.Failover {
+		waves = 2
 	}
-
-	// Quiesce: local completeness is every owned destination seeing
-	// its request and every owned source seeing its reply. When all
-	// peers are locally complete, no data packet is in flight anywhere
-	// — the "drained" barrier then makes the ledger sweep a snapshot
-	// of a quiet network.
 	deadline := time.Now().Add(cfg.SettleTimeout)
-	for {
-		mu.Lock()
-		done := len(rep.Delivered) >= len(wantDelivered) && len(rep.Replied) >= len(wantReplied)
-		mu.Unlock()
-		if done {
-			rep.Complete = true
-			break
+	var wantDelivered, wantReplied int
+	for w := 0; w < waves; w++ {
+		for fi, f := range sc.Flows {
+			if fi%waves != w {
+				continue
+			}
+			if check.HostOwner(sc, f.Dst, cfg.Total) == cfg.Index {
+				wantDelivered++
+			}
+			if check.HostOwner(sc, f.Src, cfg.Total) != cfg.Index {
+				continue
+			}
+			wantReplied++
+			routes, err := client.Routes(directory.Query{
+				From:       check.HostName(f.Src),
+				To:         check.HostName(f.Dst),
+				Priority:   f.Prio,
+				Account:    check.AccountFor(f),
+				Alternates: cfg.Alternates,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("daemon: route for flow %d: %w", f.ID, err)
+			}
+			if err := hosts[f.Src].Send(routes[0].Segments, check.FlowData(f)); err != nil {
+				mu.Lock()
+				rep.SendErrs++
+				mu.Unlock()
+			}
 		}
-		if time.Now().After(deadline) {
-			break
+
+		// Quiesce: local completeness is every owned destination seeing
+		// its request and every owned source seeing its reply. When all
+		// peers are locally complete, no data packet is in flight
+		// anywhere — the "drained" barrier then makes the ledger sweep a
+		// snapshot of a quiet network (and the failover blip a cut on a
+		// quiet one).
+		for {
+			mu.Lock()
+			done := len(rep.Delivered) >= wantDelivered && len(rep.Replied) >= wantReplied
+			mu.Unlock()
+			if done {
+				rep.Complete = true
+				break
+			}
+			if time.Now().After(deadline) {
+				rep.Complete = false
+				break
+			}
+			time.Sleep(2 * time.Millisecond)
 		}
-		time.Sleep(2 * time.Millisecond)
+
+		if cfg.Failover && w == 0 {
+			if err := client.Barrier(name, "wave0-drained"); err != nil {
+				return nil, err
+			}
+			for _, pd := range tunnels {
+				if int(pd.tun.LinkID()) == cfg.BlipLink {
+					pd.tun.SetDown(true)
+					cfg.logf("%s: tunnel %d down — wave 1 must fail over in-header", name, pd.tun.LinkID())
+				}
+			}
+			if err := client.Barrier(name, "blipped"); err != nil {
+				return nil, err
+			}
+		}
 	}
 	// Gateway mode: the workload is driven from outside (the launcher's
 	// SOCKS transfer), so every peer — whether it hosts a relay or just
@@ -482,6 +527,11 @@ func Peer(cfg PeerConfig) (*Report, error) {
 		rep.TunnelDropped += st.Dropped
 	}
 	rep.Anomalies = fr.Total()
+	for _, ev := range fr.Events() {
+		if ev.Kind == ledger.KindFailover {
+			rep.Failovers++
+		}
+	}
 	// Final telemetry ship, after the drain barrier and the sweeps above:
 	// the network is quiet, so this snapshot is the one the cluster
 	// verifier reconciles (span-leak and wire-span invariants hold only

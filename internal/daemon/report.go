@@ -35,6 +35,9 @@ type Report struct {
 	Tunnels       map[uint16]udpnet.Stats `json:"tunnels,omitempty"`
 	TunnelDropped uint64                  `json:"tunnel_dropped"`
 	Anomalies     uint64                  `json:"anomalies"`
+	// Failovers counts in-header DAG diversions this peer's routers
+	// performed (flight-recorder KindFailover events, DESIGN.md §15).
+	Failovers uint64 `json:"failovers,omitempty"`
 
 	// Gateways holds the stats of any gateway relays this peer ran
 	// (gateway-mode clusters only; a peer can own both roles).
@@ -251,8 +254,8 @@ func FormatReports(reports map[string]*Report) string {
 	var out string
 	for _, n := range names {
 		r := reports[n]
-		out += fmt.Sprintf("%s: complete=%v delivered=%d replied=%d forwarded=%d token-auth=%d drops=%d tunnel-drops=%d anomalies=%d\n",
-			n, r.Complete, len(r.Delivered), len(r.Replied), r.Forwarded, r.TokenAuthorized, r.RouterDrops, r.TunnelDropped, r.Anomalies)
+		out += fmt.Sprintf("%s: complete=%v delivered=%d replied=%d forwarded=%d token-auth=%d drops=%d tunnel-drops=%d anomalies=%d failovers=%d\n",
+			n, r.Complete, len(r.Delivered), len(r.Replied), r.Forwarded, r.TokenAuthorized, r.RouterDrops, r.TunnelDropped, r.Anomalies, r.Failovers)
 		links := make([]int, 0, len(r.Tunnels))
 		for id := range r.Tunnels {
 			links = append(links, int(id))

@@ -155,7 +155,7 @@ func FuzzDecideBatch(f *testing.F) {
 		// Scalar side: the same frames, one at a time, in the same order.
 		for i, fr := range frames {
 			want := resolveScalar(&ps, tsS, fr)
-			if settled[i] != want {
+			if !settled[i].Equal(want) {
 				t.Fatalf("frame %d/%d: batch verdict %+v, scalar verdict %+v", i, n, settled[i], want)
 			}
 			seg, rest, err := DecodeHop(fr)

@@ -90,7 +90,7 @@ func TestCrossSubstrateDecisionParity(t *testing.T) {
 				t.Fatalf("cfg %d hop %d: charge size diverges: netsim %d, livenet %d",
 					cfg, hop, simCharge, liveCharge)
 			}
-			if simV != liveV {
+			if !simV.Equal(liveV) {
 				t.Fatalf("cfg %d hop %d (%v): verdict diverges:\nnetsim : %+v\nlivenet: %+v",
 					cfg, hop, &hc.seg, simV, liveV)
 			}

@@ -56,6 +56,13 @@ const (
 	// applies its token.Mode on its own clock and calls InstallToken
 	// when the full verification completes.
 	ActionAwaitToken
+	// ActionFailover: the segment is a DAG hop whose primary out-port is
+	// down and a live ranked alternate exists. The substrate replaces the
+	// packet's remaining forward route with Verdict.AltRoute (in place on
+	// the wire substrate, via SpliceAltRoute) and re-enters the pipeline
+	// on the branch head, which carries its own token — so only the
+	// branch actually taken is charged.
+	ActionFailover
 )
 
 func (a Action) String() string {
@@ -70,6 +77,8 @@ func (a Action) String() string {
 		return "tree"
 	case ActionAwaitToken:
 		return "await-token"
+	case ActionFailover:
+		return "failover"
 	}
 	return "unknown"
 }
@@ -85,6 +94,29 @@ type Verdict struct {
 	// Account is the token account charged or refused, for flight-
 	// recorder attribution; 0 when no verified token was involved.
 	Account uint32
+	// AltRank (1-based, best first) and AltRoute describe the chosen
+	// branch of an ActionFailover verdict: AltRoute is the complete
+	// remaining route from this node, its head segment executing here
+	// with OutPort and its own token. Nil on every other action, so the
+	// no-failover path never allocates.
+	AltRank  uint8
+	AltRoute []viper.Segment
+}
+
+// Equal reports field-by-field verdict equality, comparing AltRoute
+// segment by segment. The AltRoute slice makes Verdict non-comparable
+// with ==, so the parity suites compare through this.
+func (v Verdict) Equal(o Verdict) bool {
+	if v.Action != o.Action || v.OutPort != o.OutPort || v.Reason != o.Reason ||
+		v.Account != o.Account || v.AltRank != o.AltRank || len(v.AltRoute) != len(o.AltRoute) {
+		return false
+	}
+	for i := range v.AltRoute {
+		if !v.AltRoute[i].Equal(&o.AltRoute[i]) {
+			return false
+		}
+	}
+	return true
 }
 
 // HopInput is one arrived packet at the decision point. Seg is the
@@ -105,8 +137,14 @@ type HopInput struct {
 // re-classifying tree-multicast branch heads.
 func Classify(seg *viper.Segment) Verdict {
 	// Tree multicast is checked before local delivery — a tree segment's
-	// port field is unused (§2).
+	// port field is unused (§2). A DAG blob under the same flag is a
+	// failover hop, not a fanout: it forwards on its primary port like a
+	// plain segment (the alternates only matter when that port is down,
+	// which Decide checks before classification).
 	if seg.Flags.Has(viper.FlagTRE) {
+		if viper.IsDAGInfo(seg.PortInfo) {
+			return Verdict{Action: ActionForward, OutPort: seg.Port}
+		}
 		return Verdict{Action: ActionTree, OutPort: seg.Port}
 	}
 	if seg.Port == viper.PortLocal {
@@ -161,6 +199,15 @@ func (p *Pipeline) Decide(ts *TokenState, in *HopInput) Verdict {
 // non-nil bs redirects the token-authorized count into the batch
 // accumulator (flushed once per batch); nil dispatches the scalar hook.
 func (p *Pipeline) decide(ts *TokenState, in *HopInput, bs *BatchStats) Verdict {
+	// Failover is checked before the token stage so a dead primary's
+	// token is never charged: the chosen branch head re-enters the
+	// pipeline carrying its own token, and exactly one branch per hop is
+	// billed — the one actually taken. Only DAG segments consult the
+	// link-health hook, so plain forwarding never pays the check.
+	if p.Hooks.PortUp != nil && in.Seg.Flags.Has(viper.FlagTRE) &&
+		viper.IsDAGInfo(in.Seg.PortInfo) && !p.Hooks.PortUp(in.Seg.Port) {
+		return p.failover(in.Seg)
+	}
 	if ts.active() && (len(in.Seg.PortToken) > 0 || ts.Requires(in.Seg.Port)) {
 		if v, settled := p.checkToken(ts, in, bs); settled {
 			return v

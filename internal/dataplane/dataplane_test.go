@@ -31,6 +31,7 @@ func TestDropKindMapping(t *testing.T) {
 		stats.DropOversize:    ledger.KindDrop,
 		stats.DropTxError:     ledger.KindDrop,
 		stats.DropNotSirpent:  ledger.KindDrop,
+		stats.DropLinkDown:    ledger.KindDrop,
 	}
 	if len(want) != int(stats.NumDropReasons) {
 		t.Fatalf("mapping table covers %d reasons, stats has %d — add the new row here",
@@ -65,7 +66,7 @@ func TestClassify(t *testing.T) {
 			Verdict{Action: ActionTree, OutPort: viper.PortLocal}},
 	}
 	for _, tc := range cases {
-		if got := Classify(&tc.seg); got != tc.want {
+		if got := Classify(&tc.seg); !got.Equal(tc.want) {
 			t.Errorf("%s: Classify = %+v, want %+v", tc.name, got, tc.want)
 		}
 	}
@@ -77,7 +78,7 @@ func TestDecideNoAuthority(t *testing.T) {
 	var p Pipeline
 	seg := viper.Segment{Port: 9, PortToken: []byte("irrelevant")}
 	in := HopInput{InPort: 1, Seg: &seg, ChargeBytes: 100}
-	if got := p.Decide(nil, &in); got != (Verdict{Action: ActionForward, OutPort: 9}) {
+	if got := p.Decide(nil, &in); !got.Equal(Verdict{Action: ActionForward, OutPort: 9}) {
 		t.Fatalf("nil token state: Decide = %+v, want plain forward", got)
 	}
 }

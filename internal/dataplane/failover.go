@@ -1,0 +1,110 @@
+package dataplane
+
+import (
+	"repro/internal/stats"
+	"repro/internal/viper"
+)
+
+// This file is the mid-flight failover stage of the hop kernel (ISSUE
+// 10, Slick-Packets-style in-header alternate routes). A DAG segment
+// carries up to viper.MaxAlternates ranked alternate routes; when the
+// substrate reports the primary out-port down, the decision stage picks
+// the best-ranked alternate whose head port is live and the substrate
+// rewrites the packet's remaining forward route to that branch — in
+// place on the wire substrate via SpliceAltRoute — with no directory
+// round trip. Ownership and ordering rules live in DESIGN.md §15.
+
+// MaxFailoverDepth bounds how many times one packet may take a failover
+// branch at a single node before being dropped. A crafted alternate
+// whose head is itself a DAG segment naming a dead primary could
+// otherwise re-enter the decision stage forever; legitimate routes
+// never nest deeper than the alternate count.
+const MaxFailoverDepth = 4
+
+// failover selects the best live alternate of a DAG segment whose
+// primary port is down. Called only from decide, only when
+// Hooks.PortUp reported the primary dead, so allocation here (decoding
+// the chosen branch) is off the fast path by construction.
+func (p *Pipeline) failover(seg *viper.Segment) Verdict {
+	var ports [viper.MaxAlternates]uint8
+	n, ok := viper.DAGAlternatePorts(seg, &ports)
+	if !ok {
+		return Verdict{Action: ActionDrop, Reason: stats.DropNotSirpent}
+	}
+	for i := 0; i < n; i++ {
+		if !p.Hooks.PortUp(ports[i]) {
+			continue
+		}
+		alt, err := viper.DAGAlternate(seg, i)
+		if err != nil {
+			return Verdict{Action: ActionDrop, Reason: stats.DropNotSirpent}
+		}
+		return Verdict{
+			Action: ActionFailover, OutPort: ports[i],
+			AltRank: uint8(i + 1), AltRoute: alt,
+		}
+	}
+	return Verdict{Action: ActionDrop, Reason: stats.DropLinkDown}
+}
+
+// SpliceAltRoute rewrites a wire packet's remaining forward route to
+// alt, in place when possible. pkt must start at the current (DAG)
+// segment; the region replaced runs through the last forward-parseable
+// segment (the route the dead primary would have taken), and the
+// payload plus trailer bytes that follow are preserved. alt is sealed
+// (VNT chaining) and encoded here — the caller passes Verdict.AltRoute,
+// whose segments are defensive copies, so the seal's flag writes are
+// safe.
+//
+// The returned slice aliases pkt whenever the rewrite fits pkt's
+// capacity: shrinking or equal-length rewrites always do (tail shifted
+// left with an overlapping copy), growth reuses spare capacity when
+// present and allocates only as a last resort. Failover is the one hop
+// outcome allowed to allocate; the no-failover path never reaches here.
+func SpliceAltRoute(pkt []byte, alt []viper.Segment) ([]byte, error) {
+	rest := pkt
+	for {
+		seg, r2, err := viper.DecodeSegmentNoCopy(rest)
+		if err != nil {
+			return nil, err
+		}
+		rest = r2
+		if !seg.Continues() {
+			break
+		}
+	}
+	oldLen := len(pkt) - len(rest)
+	if err := viper.SealRoute(alt); err != nil {
+		return nil, err
+	}
+	var hdr []byte
+	for i := range alt {
+		var err error
+		if hdr, err = viper.AppendSegment(hdr, &alt[i]); err != nil {
+			return nil, err
+		}
+	}
+	newLen := len(hdr)
+	switch {
+	case newLen == oldLen:
+		copy(pkt, hdr)
+		return pkt, nil
+	case newLen < oldLen:
+		copy(pkt, hdr)
+		copy(pkt[newLen:], pkt[oldLen:])
+		return pkt[:len(pkt)-(oldLen-newLen)], nil
+	default:
+		grow := newLen - oldLen
+		if cap(pkt) >= len(pkt)+grow {
+			out := pkt[:len(pkt)+grow]
+			// Overlapping rightward shift; Go's copy is memmove-safe.
+			copy(out[newLen:], pkt[oldLen:len(pkt)])
+			copy(out, hdr)
+			return out, nil
+		}
+		out := make([]byte, newLen+len(rest))
+		copy(out, hdr)
+		copy(out[newLen:], rest)
+		return out, nil
+	}
+}

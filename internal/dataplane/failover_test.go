@@ -1,0 +1,219 @@
+package dataplane
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/ledger"
+	"repro/internal/stats"
+	"repro/internal/token"
+	"repro/internal/viper"
+)
+
+// altRoute builds a branch whose head executes at the failover node on
+// headPort and whose tail delivers locally at the next node.
+func altRoute(headPort uint8, tok []byte) []viper.Segment {
+	return []viper.Segment{
+		{Port: headPort, Priority: 2, PortToken: tok, Flags: viper.FlagVNT},
+		{Port: viper.PortLocal},
+	}
+}
+
+func dagIn(t *testing.T, primaryPort uint8, tok []byte, alts [][]viper.Segment) (*viper.Segment, *HopInput) {
+	t.Helper()
+	seg, err := viper.DAGSegment(primaryPort, 2, tok, nil, alts)
+	if err != nil {
+		t.Fatalf("DAGSegment: %v", err)
+	}
+	return &seg, &HopInput{InPort: 1, Seg: &seg, ChargeBytes: 100}
+}
+
+func TestDecideDAGPrimaryUp(t *testing.T) {
+	var p Pipeline
+	p.Hooks.PortUp = func(port uint8) bool { return true }
+	_, in := dagIn(t, 4, nil, [][]viper.Segment{altRoute(9, nil)})
+	v := p.Decide(nil, in)
+	if v.Action != ActionForward || v.OutPort != 4 {
+		t.Fatalf("primary up: %+v, want forward out=4", v)
+	}
+	// Without a PortUp hook, DAG segments classify as plain forwards.
+	var p2 Pipeline
+	if v := p2.Decide(nil, in); v.Action != ActionForward || v.OutPort != 4 {
+		t.Fatalf("no hook: %+v, want forward out=4", v)
+	}
+}
+
+func TestDecideDAGFailover(t *testing.T) {
+	down := map[uint8]bool{4: true, 9: true}
+	var p Pipeline
+	p.Hooks.PortUp = func(port uint8) bool { return !down[port] }
+	alts := [][]viper.Segment{altRoute(9, nil), altRoute(8, nil), altRoute(7, nil)}
+	_, in := dagIn(t, 4, nil, alts)
+
+	// Rank 1 (port 9) is also down, so rank 2 (port 8) wins.
+	v := p.Decide(nil, in)
+	if v.Action != ActionFailover || v.OutPort != 8 || v.AltRank != 2 {
+		t.Fatalf("failover verdict: %+v, want failover out=8 rank=2", v)
+	}
+	if len(v.AltRoute) != 2 || v.AltRoute[0].Port != 8 || v.AltRoute[1].Port != viper.PortLocal {
+		t.Fatalf("alt route: %v", v.AltRoute)
+	}
+
+	// All alternates dead: link-down drop, not a stale forward.
+	down[8], down[7] = true, true
+	v = p.Decide(nil, in)
+	if v.Action != ActionDrop || v.Reason != stats.DropLinkDown {
+		t.Fatalf("all dead: %+v, want drop link-down", v)
+	}
+}
+
+// TestFailoverSkipsPrimaryToken pins the billing contract: the dead
+// primary's token is never checked or charged — the branch head carries
+// its own token and is charged on re-entry, so exactly one branch per
+// hop is billed.
+func TestFailoverSkipsPrimaryToken(t *testing.T) {
+	auth := token.NewAuthority([]byte("k"))
+	primaryTok := auth.Issue(token.Spec{Account: 1, Port: 4, MaxPriority: 7, Limit: 10})
+	branchTok := auth.Issue(token.Spec{Account: 2, Port: 9, MaxPriority: 7})
+	var ts *TokenState
+	ts = ts.WithAuthority(auth)
+	var p Pipeline
+	p.Hooks.PortUp = func(port uint8) bool { return port != 4 }
+	_, in := dagIn(t, 4, primaryTok, [][]viper.Segment{altRoute(9, branchTok)})
+
+	v := p.Decide(ts, in)
+	if v.Action != ActionFailover {
+		t.Fatalf("verdict: %+v, want failover", v)
+	}
+	// ChargeBytes (100) exceeds the primary token's 10-byte limit; had
+	// the token stage run first it would have denied or charged it.
+	if u := ts.Cache().AccountTotals()[1]; u != (token.Usage{}) {
+		t.Fatalf("primary account touched on failover: %+v", u)
+	}
+
+	// Re-entering on the branch head charges the branch token.
+	head := HopInput{InPort: 1, Seg: &v.AltRoute[0], ChargeBytes: 100}
+	bv := p.Decide(ts, &head)
+	if bv.Action == ActionAwaitToken {
+		bv = p.InstallToken(ts, &head)
+	}
+	if bv.Action != ActionForward || bv.OutPort != 9 {
+		t.Fatalf("branch head verdict: %+v, want forward out=9", bv)
+	}
+	if u := ts.Cache().AccountTotals()[2]; u.Bytes != 100 {
+		t.Fatalf("branch account charge = %+v, want 100 bytes", u)
+	}
+}
+
+func TestFailoverEmission(t *testing.T) {
+	fr := ledger.NewFlightRecorder(8)
+	p := Pipeline{Node: "r1"}
+	p.Hooks.Flight = func() *ledger.FlightRecorder { return fr }
+	p.Failover(1, 4, 8, 2, nil, 0)
+	evs := fr.Events()
+	if len(evs) != 1 {
+		t.Fatalf("recorded %d events, want 1", len(evs))
+	}
+	ev := evs[0]
+	if ev.Kind != ledger.KindFailover || ev.Node != "r1" || ev.Port != 4 {
+		t.Fatalf("event: %+v", ev)
+	}
+	if ev.Reason != "alt=2 out=8" {
+		t.Fatalf("event reason: %q", ev.Reason)
+	}
+}
+
+// spliceFixture builds an encoded wire packet whose forward route is
+// [DAG seg][tail seg], with payload and one trailer segment, and
+// returns the bytes plus the DAG verdict's alternate.
+func spliceFixture(t *testing.T, altSegs []viper.Segment) ([]byte, *viper.Packet) {
+	t.Helper()
+	dagSeg, err := viper.DAGSegment(4, 2, []byte("tk"), nil, [][]viper.Segment{altSegs})
+	if err != nil {
+		t.Fatalf("DAGSegment: %v", err)
+	}
+	pkt := &viper.Packet{
+		Route:   []viper.Segment{dagSeg, {Port: 5, PortToken: []byte("t5"), Flags: viper.FlagVNT}, {Port: viper.PortLocal}},
+		Data:    []byte("payload-bytes"),
+		Trailer: []viper.Segment{{Port: 2, PortToken: []byte("ret")}},
+	}
+	if err := viper.SealRoute(pkt.Route); err != nil {
+		t.Fatalf("SealRoute: %v", err)
+	}
+	b, err := pkt.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	return b, pkt
+}
+
+func TestSpliceAltRoute(t *testing.T) {
+	cases := []struct {
+		name string
+		alt  []viper.Segment
+	}{
+		{"shorter", []viper.Segment{{Port: 9}}},
+		{"longer", []viper.Segment{
+			{Port: 9, PortToken: bytes.Repeat([]byte("x"), 300), Flags: viper.FlagVNT},
+			{Port: 3, PortToken: []byte("t3"), Flags: viper.FlagVNT},
+			{Port: viper.PortLocal},
+		}},
+		{"similar", []viper.Segment{
+			{Port: 9, PortToken: []byte("tk"), Flags: viper.FlagVNT},
+			{Port: viper.PortLocal},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wire, orig := spliceFixture(t, tc.alt)
+			// Decode a defensive copy of the alternate the way the verdict
+			// carries it.
+			alt := make([]viper.Segment, len(tc.alt))
+			for i := range tc.alt {
+				alt[i] = tc.alt[i].Clone()
+			}
+			out, err := SpliceAltRoute(wire, alt)
+			if err != nil {
+				t.Fatalf("SpliceAltRoute: %v", err)
+			}
+			got, err := viper.Decode(out)
+			if err != nil {
+				t.Fatalf("Decode after splice: %v", err)
+			}
+			if len(got.Route) != len(tc.alt) {
+				t.Fatalf("route has %d segments, want %d", len(got.Route), len(tc.alt))
+			}
+			for i := range tc.alt {
+				want := tc.alt[i].Clone()
+				if i < len(tc.alt)-1 {
+					want.Flags |= viper.FlagVNT
+				}
+				if !got.Route[i].Equal(&want) {
+					t.Fatalf("route[%d] = %v, want %v", i, &got.Route[i], &want)
+				}
+			}
+			if !bytes.Equal(got.Data, orig.Data) {
+				t.Fatalf("payload changed: %q != %q", got.Data, orig.Data)
+			}
+			if len(got.Trailer) != 1 || !got.Trailer[0].Equal(&orig.Trailer[0]) {
+				t.Fatalf("trailer changed: %v", got.Trailer)
+			}
+		})
+	}
+}
+
+// TestSpliceAltRouteInPlace pins the ownership contract: when the
+// rewrite fits the buffer's capacity the result aliases the input, so
+// the pooled-buffer substrate keeps its frame.
+func TestSpliceAltRouteInPlace(t *testing.T) {
+	wire, _ := spliceFixture(t, []viper.Segment{{Port: 9}})
+	buf := make([]byte, len(wire), len(wire)+256)
+	copy(buf, wire)
+	out, err := SpliceAltRoute(buf, []viper.Segment{{Port: 9}})
+	if err != nil {
+		t.Fatalf("SpliceAltRoute: %v", err)
+	}
+	if &out[0] != &buf[0] {
+		t.Fatal("shrinking splice reallocated despite spare capacity")
+	}
+}

@@ -1,6 +1,8 @@
 package dataplane
 
 import (
+	"fmt"
+
 	"repro/internal/ledger"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -43,6 +45,15 @@ type Hooks struct {
 	// forward hops; nil reports 0. Probed only when a trace record is
 	// present, preserving the disabled-path contract.
 	QueueDepth func(port uint8) int
+
+	// PortUp reports whether an output port's link is currently usable;
+	// nil means all ports up. It is consulted only for DAG (failover)
+	// segments — the primary before classification, then each ranked
+	// alternate head when the primary is down — so plain forwarding
+	// never pays the probe and the 0 allocs/hop contract is untouched.
+	// Substrates back it with their link state: Medium down/flap on
+	// netsim, Link.SetDown plus tunnel peer-loss on livenet/udpnet.
+	PortUp func(port uint8) bool
 }
 
 // Drop accounts one discarded packet through every installed sink, in
@@ -122,6 +133,32 @@ func (p *Pipeline) TraceForward(pt *trace.PacketTrace, inPort, outPort uint8, ar
 		Action: trace.ActionForward, QueueDepth: depth,
 		At: now, LatencyNs: now - arrived,
 	})
+}
+
+// Failover accounts one mid-flight branch rewrite through the anomaly
+// sinks, in the pinned order: flight-recorder event (KindFailover,
+// stamped with the dead primary port; Reason names the chosen rank and
+// out-port), then a non-terminal ActionFailover trace hop. The
+// substrate calls it after the verdict and before re-entering its
+// forward path on the branch head, so the subsequent hops of the trace
+// show the branch actually taken.
+func (p *Pipeline) Failover(inPort, primaryPort, outPort, rank uint8, pt *trace.PacketTrace, arrived int64) {
+	if p.Hooks.Flight != nil {
+		if fr := p.Hooks.Flight(); fr != nil {
+			fr.Record(ledger.Event{
+				At: p.now(), Node: p.Node, Port: primaryPort,
+				Kind:   ledger.KindFailover,
+				Reason: fmt.Sprintf("alt=%d out=%d", rank, outPort),
+			})
+		}
+	}
+	if pt != nil {
+		now := p.now()
+		pt.Add(trace.HopEvent{
+			Node: p.Node, InPort: inPort, OutPort: outPort,
+			Action: trace.ActionFailover, At: now, LatencyNs: now - arrived,
+		})
+	}
 }
 
 // CloseFanout ends a traced packet's record at a multicast fanout

@@ -1,0 +1,117 @@
+// Failover-DAG route computation: k-disjoint detours per router hop,
+// merged into the primary route as DAG-encoded VIPER segments.
+//
+// The paper's directory returns multiple complete routes and leaves
+// failover to the source (§3: re-query on failure). The DAG extension
+// moves the first level of that resilience into the header itself:
+// for each router hop the directory precomputes up to
+// viper.MaxAlternates detours that avoid the hop's primary out-port,
+// ranks them by the query's own metric, and encodes each as a
+// complete remaining path — alternate out-port, its own port tokens,
+// its own network headers — so a router whose primary port is dead
+// diverts the packet mid-flight without consulting anyone.
+//
+// Disjointness is Suurballe-flavored but per-hop rather than global:
+// the detour search excludes every edge leaving the hop's router on
+// the primary out-port (a dead port kills all of them at once) and,
+// for later ranks, the ports already used by better-ranked
+// alternates — so the ranked branches leave the router on pairwise
+// distinct ports and a single port failure never kills two branches.
+package directory
+
+import (
+	"repro/internal/ethernet"
+	"repro/internal/viper"
+)
+
+// hopAlternates computes up to q.Alternates ranked alternate
+// continuations for the hop that executes at primary.From (a router)
+// and normally exits via primary.FromPort. Each returned branch is a
+// complete sealed segment path from that router to dst, starting with
+// the alternate out-port's segment (which carries the router's own
+// token — the branch head re-enters the hop kernel and is billed in
+// place of the dead primary).
+func (g *Graph) hopAlternates(primary *Edge, dst string, q Query, size int, tokens tokenFn) [][]viper.Segment {
+	want := q.Alternates
+	if want > viper.MaxAlternates {
+		want = viper.MaxAlternates
+	}
+	rtr := primary.From
+	avoid := map[*Edge]bool{}
+	avoidPort := func(port uint8) {
+		for _, e := range g.out[rtr] {
+			if e.FromPort == port {
+				avoid[e] = true
+			}
+		}
+	}
+	avoidPort(primary.FromPort)
+
+	var alts [][]viper.Segment
+	for len(alts) < want {
+		path := g.shortestPathAvoid(rtr, dst, q.Pref, size, nil, avoid)
+		if path == nil {
+			break
+		}
+		// Later ranks must leave the router on yet another port, so one
+		// port failure never takes out two branches.
+		avoidPort(path[0].FromPort)
+		if segs, ok := g.detourSegments(path, q, tokens); ok {
+			alts = append(alts, segs)
+		}
+	}
+	return alts
+}
+
+// detourSegments turns a detour edge path (starting at a router) into
+// sealed route segments ending with the destination host's endpoint
+// segment. Unlike buildRoute's primary loop, every edge here leaves a
+// router, so every segment gets a token.
+func (g *Graph) detourSegments(edges []*Edge, q Query, tokens tokenFn) ([]viper.Segment, bool) {
+	segs := make([]viper.Segment, 0, len(edges)+1)
+	for _, e := range edges {
+		seg := viper.Segment{Port: e.FromPort, Priority: q.Priority}
+		if e.multiAccess() {
+			seg.PortInfo = ethernet.Header{
+				Dst:  e.ToStation,
+				Src:  e.FromStation,
+				Type: viper.EtherTypeVIPER,
+			}.Encode()
+		}
+		if tokens != nil {
+			if tok := tokens(e.From, e.FromPort, q.Priority, q.Account); tok != nil {
+				seg.PortToken = tok
+			}
+		}
+		segs = append(segs, seg)
+	}
+	segs = append(segs, viper.Segment{Port: q.Endpoint, Priority: q.Priority})
+	if err := viper.SealRoute(segs); err != nil {
+		return nil, false
+	}
+	return segs, true
+}
+
+// DisjointPaths computes a Suurballe-style pair of edge-disjoint
+// routes between two nodes under a preference: the shortest path, and
+// the shortest path in the graph with the first path's edges removed.
+// The second return is nil when the topology admits no disjoint
+// second path. Exposed for topology planning and tests; per-hop DAG
+// construction uses the same exclusion machinery via hopAlternates.
+func (g *Graph) DisjointPaths(src, dst string, pref Pref, size int) ([]*Edge, []*Edge) {
+	first := g.shortestPath(src, dst, pref, size, nil)
+	if first == nil {
+		return nil, nil
+	}
+	avoid := make(map[*Edge]bool, len(first))
+	for _, e := range first {
+		avoid[e] = true
+		// Exclude the reverse lane too: a failed link kills both
+		// directions, which is what disjointness is protecting against.
+		if r, ok := g.FindEdge(e.To, e.From); ok {
+			avoid[r] = true
+		}
+	}
+	second := g.shortestPathAvoid(src, dst, pref, size, nil, avoid)
+	return first, second
+}

@@ -1,0 +1,216 @@
+package directory
+
+import (
+	"testing"
+
+	"repro/internal/token"
+	"repro/internal/viper"
+)
+
+// braid builds a topology where every router hop of the primary route
+// has a port-disjoint detour:
+//
+//	hA -- R1 ---- R2 -- hB
+//	       \       |    /
+//	        R3 -- R4 --+
+//
+// Primary (MinHops) is hA-R1-R2-hB; R1 can detour via R3-R4, R2 via
+// R4. All links are point-to-point.
+func braid() *Graph {
+	g := NewGraph()
+	for _, n := range []string{"hA", "hB"} {
+		g.AddNode(n, KindHost)
+	}
+	for _, n := range []string{"R1", "R2", "R3", "R4"} {
+		g.AddNode(n, KindRouter)
+	}
+	attrs := EdgeAttrs{RateBps: 10e6, Secure: true}
+	p2p := func(from, to string, fp uint8) {
+		g.AddEdge(Edge{From: from, To: to, FromPort: fp, Attrs: attrs})
+	}
+	p2p("hA", "R1", 1)
+	p2p("R1", "hA", 1)
+	p2p("R1", "R2", 2)
+	p2p("R2", "R1", 1)
+	p2p("R2", "hB", 2)
+	p2p("hB", "R2", 1)
+	p2p("R1", "R3", 3)
+	p2p("R3", "R1", 1)
+	p2p("R3", "R4", 2)
+	p2p("R4", "R3", 1)
+	p2p("R4", "hB", 2)
+	p2p("hB", "R4", 2)
+	p2p("R2", "R4", 3)
+	p2p("R4", "R2", 3)
+	return g
+}
+
+func TestAlternatesEncodeDAGHops(t *testing.T) {
+	g := braid()
+	routes, err := g.routesBetween(Query{From: "hA", To: "hB", Pref: MinHops, Alternates: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := routes[0]
+	if got := []string{r.Path[1], r.Path[2]}; got[0] != "R1" || got[1] != "R2" {
+		t.Fatalf("primary path = %v, want via R1-R2", r.Path)
+	}
+	// Both router hops carry detours: R1 one (via R3-R4), R2 two (via
+	// R4, and back through R1 over the R3-R4 spine).
+	if r.AltHops != 2 || r.AltBranches != 3 {
+		t.Fatalf("AltHops=%d AltBranches=%d, want 2/3", r.AltHops, r.AltBranches)
+	}
+	if len(r.Segments) != 4 {
+		t.Fatalf("%d segments, want 4", len(r.Segments))
+	}
+	// The host directive and destination segments stay plain.
+	if viper.IsDAGSegment(&r.Segments[0]) || viper.IsDAGSegment(&r.Segments[3]) {
+		t.Fatal("host segments must not carry DAGs")
+	}
+
+	// R1's hop: primary port 2, alternate via port 3 over R3-R4.
+	r1 := &r.Segments[1]
+	if !viper.IsDAGSegment(r1) || r1.Port != 2 {
+		t.Fatalf("R1 segment = %+v, want DAG with primary port 2", r1)
+	}
+	alt, err := viper.DAGAlternate(r1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// R1 exit (port 3), R3 exit, R4 exit, destination endpoint.
+	if len(alt) != 4 || alt[0].Port != 3 || alt[3].Port != 0 {
+		t.Fatalf("R1 alternate = %v", alt)
+	}
+	if alt[3].Continues() {
+		t.Fatal("alternate's final segment must terminate the route")
+	}
+
+	// R2's hop: primary port 2 (to hB), alternate via port 3 over R4.
+	r2 := &r.Segments[2]
+	if !viper.IsDAGSegment(r2) || r2.Port != 2 {
+		t.Fatalf("R2 segment = %+v, want DAG with primary port 2", r2)
+	}
+	alt, err = viper.DAGAlternate(r2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alt) != 3 || alt[0].Port != 3 {
+		t.Fatalf("R2 alternate = %v", alt)
+	}
+	// R2's rank-2 branch leaves on yet another port (1, back via R1).
+	alt2, err := viper.DAGAlternate(r2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alt2[0].Port != 1 {
+		t.Fatalf("R2 rank-2 alternate head = %v, want port 1", alt2[0])
+	}
+}
+
+func TestAlternatesZeroKeepsLinearRoutes(t *testing.T) {
+	g := braid()
+	routes, err := g.routesBetween(Query{From: "hA", To: "hB", Pref: MinHops}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := routes[0]
+	if r.AltHops != 0 || r.AltBranches != 0 {
+		t.Fatalf("linear route reports alternates: %d/%d", r.AltHops, r.AltBranches)
+	}
+	for i := range r.Segments {
+		if viper.IsDAGSegment(&r.Segments[i]) {
+			t.Fatalf("segment %d is a DAG without Alternates requested", i)
+		}
+	}
+}
+
+// TestAlternateTokensIssued pins the billing side of the tentpole:
+// every router on every branch gets its own token, the branch head's
+// authorizing the alternate port at the diverting router itself.
+func TestAlternateTokensIssued(t *testing.T) {
+	g := braid()
+	auths := map[string]*token.Authority{}
+	for _, rtr := range []string{"R1", "R2", "R3", "R4"} {
+		auths[rtr] = token.NewAuthority([]byte("key-" + rtr))
+	}
+	withAuth := func(r string) (*token.Authority, bool) {
+		a, ok := auths[r]
+		return a, ok
+	}
+	routes, err := g.routesBetween(Query{From: "hA", To: "hB", Pref: MinHops, Alternates: 1, Account: 7}, withAuth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := &routes[0].Segments[1]
+	alt, err := viper.DAGAlternate(r1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Branch: R1(port 3), R3(port 2), R4(port 2), endpoint.
+	for i, issuer := range []string{"R1", "R3", "R4"} {
+		if len(alt[i].PortToken) == 0 {
+			t.Fatalf("branch segment %d (%s) lacks a token", i, issuer)
+		}
+		spec, err := auths[issuer].Verify(alt[i].PortToken)
+		if err != nil {
+			t.Fatalf("branch segment %d: %v", i, err)
+		}
+		if spec.Account != 7 || !spec.ReverseOK || spec.Port != alt[i].Port {
+			t.Fatalf("branch segment %d spec = %+v", i, spec)
+		}
+	}
+	// The primary's own token survives inside the DAG segment.
+	spec, err := auths["R1"].Verify(r1.PortToken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Port != 2 {
+		t.Fatalf("primary token port = %d, want 2", spec.Port)
+	}
+}
+
+// TestAlternatePortDiversity: ranked branches must leave the router on
+// pairwise distinct ports, so asking for more alternates than there
+// are disjoint exits returns only what exists.
+func TestAlternatePortDiversity(t *testing.T) {
+	g := braid()
+	routes, err := g.routesBetween(Query{From: "hA", To: "hB", Pref: MinHops, Alternates: 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// R1 has only one non-primary router exit (port 3): one branch.
+	r1 := &routes[0].Segments[1]
+	var ports [viper.MaxAlternates]uint8
+	n, ok := viper.DAGAlternatePorts(r1, &ports)
+	if !ok || n != 1 {
+		t.Fatalf("R1 alternates = %d (ok=%v), want exactly 1", n, ok)
+	}
+	if ports[0] == r1.Port {
+		t.Fatal("alternate reuses the primary port")
+	}
+}
+
+func TestDisjointPaths(t *testing.T) {
+	g := diamond()
+	first, second := g.DisjointPaths("hA", "hB", MinDelay, 576)
+	if first == nil || second == nil {
+		t.Fatal("diamond admits two disjoint paths")
+	}
+	if first[1].From != "R1" || second[1].From != "R3" {
+		t.Fatalf("paths = %v / %v, want fast then slow trunk", first[1].From, second[1].From)
+	}
+	used := map[*Edge]bool{}
+	for _, e := range first {
+		used[e] = true
+	}
+	for _, e := range second {
+		if used[e] {
+			t.Fatalf("paths share edge %s->%s", e.From, e.To)
+		}
+	}
+	// Sever the slow trunk: no disjoint second path remains.
+	g.SetDown("R3", "R4", true)
+	if _, second := g.DisjointPaths("hA", "hB", MinDelay, 576); second != nil {
+		t.Fatal("disjoint path reported across a down trunk")
+	}
+}

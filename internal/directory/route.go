@@ -65,6 +65,12 @@ type Route struct {
 	CostPerKB float64
 	// Secure reports whether every link on the path is secure.
 	Secure bool
+	// AltHops counts the router hops that carry failover alternates
+	// (DAG segments); 0 for plain linear routes.
+	AltHops int
+	// AltBranches is the total number of alternate branches across all
+	// DAG hops, each a complete tokened path to the destination.
+	AltBranches int
 }
 
 // BaseRTT returns twice the one-way base latency.
@@ -78,6 +84,14 @@ type Query struct {
 	// client can request and receive multiple routes to a service"
 	// (§3).
 	Count int
+	// Alternates asks for in-header failover: up to this many ranked
+	// alternate next-hops (0..viper.MaxAlternates) encoded into each
+	// router hop of the returned routes as a DAG segment. Each
+	// alternate carries its own remaining path to the destination and
+	// its own port tokens, so a router whose primary out-port is down
+	// diverts mid-flight without a directory re-query. 0 returns plain
+	// linear routes.
+	Alternates int
 	// Endpoint is the destination endpoint within the host (intra-host
 	// addressing, §2.2); 0 is the default endpoint.
 	Endpoint uint8
@@ -141,6 +155,14 @@ func (q *pq) Pop() any          { old := *q; it := old[len(old)-1]; *q = old[:le
 // multiplicative penalties (for alternate-route diversity). It returns
 // the edge sequence, or nil.
 func (g *Graph) shortestPath(src, dst string, pref Pref, size int, penalty map[*Edge]float64) []*Edge {
+	return g.shortestPathAvoid(src, dst, pref, size, penalty, nil)
+}
+
+// shortestPathAvoid is shortestPath with a hard exclusion set: avoided
+// edges are never relaxed, as if down. Disjoint-path computation uses
+// it to forbid the primary's edges outright, where a penalty would
+// merely discourage them.
+func (g *Graph) shortestPathAvoid(src, dst string, pref Pref, size int, penalty map[*Edge]float64, avoid map[*Edge]bool) []*Edge {
 	dist := map[string]float64{src: 0}
 	prev := map[string]*Edge{}
 	visited := map[string]bool{}
@@ -161,7 +183,7 @@ func (g *Graph) shortestPath(src, dst string, pref Pref, size int, penalty map[*
 			}
 		}
 		for _, e := range g.out[it.node] {
-			if e.Down {
+			if e.Down || avoid[e] {
 				continue
 			}
 			if pref == SecureOnly && !e.Attrs.Secure {
@@ -244,9 +266,16 @@ func (g *Graph) widestPath(src, dst string, penalty map[*Edge]float64) []*Edge {
 	return edges
 }
 
+// tokenFn supplies a port token authorizing transit of one router
+// port, or nil when the router has no registered authority.
+type tokenFn func(router string, port uint8, prio viper.Priority, account uint32) []byte
+
 // buildRoute turns an edge path into a Route with segments and
 // attributes. tokens, if non-nil, supplies port tokens per router.
-func (g *Graph) buildRoute(edges []*Edge, q Query, tokens func(router string, port uint8, prio viper.Priority, account uint32) []byte) (Route, error) {
+// When q.Alternates > 0, router hops with a disjoint detour to the
+// destination are emitted as DAG segments carrying up to q.Alternates
+// ranked alternate continuations (see dagroute.go).
+func (g *Graph) buildRoute(edges []*Edge, q Query, tokens tokenFn) (Route, error) {
 	size := q.EstimateSize
 	if size == 0 {
 		size = 576
@@ -268,6 +297,20 @@ func (g *Graph) buildRoute(edges []*Edge, q Query, tokens func(router string, po
 			// The segment executes at edges[i].From, a router.
 			if tok := tokens(e.From, e.FromPort, q.Priority, q.Account); tok != nil {
 				seg.PortToken = tok
+			}
+		}
+		if i > 0 && q.Alternates > 0 {
+			// Router hop: try to grow it into a failover DAG. A hop with
+			// no disjoint detour — or whose DAG would overflow the header
+			// budget — stays a plain segment, so growth is bounded and
+			// best-effort per hop.
+			dst := edges[len(edges)-1].To
+			if alts := g.hopAlternates(e, dst, q, size, tokens); len(alts) > 0 {
+				if ds, err := viper.DAGSegment(seg.Port, q.Priority, seg.PortToken, seg.PortInfo, alts); err == nil {
+					seg = ds
+					rt.AltHops++
+					rt.AltBranches += len(alts)
+				}
 			}
 		}
 		segs = append(segs, seg)

@@ -82,10 +82,11 @@ func ReadRequest(c net.Conn) (string, error) {
 	if req[0] != socksVersion {
 		return "", &SocksError{Code: ReplyGeneralFailure, Why: "bad request version"}
 	}
-	if req[1] != cmdConnect {
-		WriteReply(c, ReplyCmdNotSupported)
-		return "", &SocksError{Code: ReplyCmdNotSupported, Why: fmt.Sprintf("unsupported command %d", req[1])}
-	}
+	// Parse the address and port for ANY command before judging the
+	// command: a rejected BIND or UDP ASSOCIATE must still have its
+	// request fully drained, or closing a socket with unread bytes can
+	// reset the connection and discard the ReplyCmdNotSupported reply
+	// before the client reads it.
 	var host string
 	switch req[3] {
 	case atypIPv4:
@@ -117,6 +118,10 @@ func ReadRequest(c net.Conn) (string, error) {
 	var port [2]byte
 	if _, err := io.ReadFull(c, port[:]); err != nil {
 		return "", &SocksError{Code: ReplyGeneralFailure, Why: "short port"}
+	}
+	if req[1] != cmdConnect {
+		WriteReply(c, ReplyCmdNotSupported)
+		return "", &SocksError{Code: ReplyCmdNotSupported, Why: fmt.Sprintf("unsupported command %d", req[1])}
 	}
 	p := int(port[0])<<8 | int(port[1])
 	return net.JoinHostPort(host, strconv.Itoa(p)), nil

@@ -119,6 +119,56 @@ func TestSocksBindRejected(t *testing.T) {
 	}
 }
 
+// TestSocksRejectDrainsRequest pins the drain contract: a rejected
+// BIND/UDP-ASSOCIATE has its address and port fully consumed before
+// the ReplyCmdNotSupported reply, so closing the socket cannot RST
+// away the reply while request bytes sit unread. The domain address
+// type exercises the variable-length drain path.
+func TestSocksRejectDrainsRequest(t *testing.T) {
+	for _, atyp := range []byte{atypIPv4, atypDomain} {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cli, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := ln.Accept()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cli.SetDeadline(time.Now().Add(5 * time.Second))
+		srv.SetDeadline(time.Now().Add(5 * time.Second))
+		cli.Write(socksRequest(2 /* BIND */, atyp))
+		cli.(*net.TCPConn).CloseWrite()
+
+		_, reqErr := ReadRequest(srv)
+		wantSocksError(t, reqErr, ReplyCmdNotSupported)
+		// Everything the client sent must already be consumed: the next
+		// read sees the half-close EOF, not leftover request bytes.
+		if rest, _ := io.ReadAll(srv); len(rest) != 0 {
+			t.Fatalf("atyp %d: %d request byte(s) left unread after rejection: %x", atyp, len(rest), rest)
+		}
+		srv.Close()
+		reply, _ := io.ReadAll(cli)
+		if len(reply) < 4 || reply[3] != ReplyCmdNotSupported {
+			t.Fatalf("atyp %d: client saw reply %x, want code %d", atyp, reply, ReplyCmdNotSupported)
+		}
+		cli.Close()
+		ln.Close()
+	}
+}
+
+// A BIND whose request dies mid-address now fails on the address read
+// (the drain runs before the command verdict), not with a premature
+// command rejection.
+func TestSocksRejectTruncatedAddress(t *testing.T) {
+	in := []byte{socksVersion, 1, methodNoAuth, socksVersion, 2 /* BIND */, 0, atypDomain, 9, 'l', 'o'}
+	_, err, _ := socksExchange(t, in)
+	wantSocksError(t, err, ReplyGeneralFailure)
+}
+
 func TestSocksBadAddressType(t *testing.T) {
 	_, err, wrote := socksExchange(t, socksRequest(cmdConnect, 9))
 	wantSocksError(t, err, ReplyAddrNotSupported)

@@ -23,13 +23,14 @@ const (
 	KindDecodeError               // a tunnel datagram failed SIRP frame validation
 	KindUnknownLink               // a tunnel datagram named a linkID with no attached tunnel
 	KindSendError                 // a tunnel datagram could not be written to the socket
+	KindFailover                  // a DAG hop diverted to an in-header alternate route
 
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"drop", "preempt", "queue-overflow", "token-denied", "rate-limit", "link-flap",
-	"decode-error", "unknown-link", "send-error",
+	"decode-error", "unknown-link", "send-error", "failover",
 }
 
 func (k Kind) String() string {

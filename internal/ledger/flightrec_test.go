@@ -90,6 +90,7 @@ func TestEventKindNamesStable(t *testing.T) {
 		KindDecodeError:   "decode-error",
 		KindUnknownLink:   "unknown-link",
 		KindSendError:     "send-error",
+		KindFailover:      "failover",
 	}
 	if len(want) != int(numKinds) {
 		t.Fatalf("stability table covers %d kinds, enum has %d — pin the new name here",

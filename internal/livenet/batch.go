@@ -331,8 +331,20 @@ func (r *Router) mirrorHop(inf *inFrame, seg *viper.Segment, rest []byte, ts *da
 	}
 	if len(seg.PortInfo) > 0 {
 		// The next hop's header aliases the stripped segment's bytes in
-		// the dead front region; it travels with the buffer it aliases.
-		f.Hdr = seg.PortInfo
+		// the dead front region; it travels with the buffer it aliases. A
+		// DAG segment's PortInfo is the alternate blob — its primary
+		// network header is embedded inside and extracted without copying.
+		if viper.IsDAGSegment(seg) {
+			pi, ok := viper.DAGPrimaryInfo(seg)
+			if !ok {
+				return Frame{}, false
+			}
+			if len(pi) > 0 {
+				f.Hdr = pi
+			}
+		} else {
+			f.Hdr = seg.PortInfo
+		}
 	}
 	return f, true
 }
@@ -382,6 +394,13 @@ func (r *Router) forwardBatch(sc *batchScratch) {
 			// Fanout re-enters the scalar forward per branch copy; its
 			// counters go through the scalar hooks, which is equivalent.
 			r.fanoutTree(*inf, &b.Seg, b.Rest)
+			continue
+		case dataplane.ActionFailover:
+			// Failover splices the alternate and re-enters the scalar
+			// forward, like the fanout re-entry above — the diverted frame
+			// leaves the batch and its counters go through the scalar
+			// hooks.
+			r.failover(*inf, &b.Seg, v, 0)
 			continue
 		}
 		f, ok := r.mirrorHop(inf, &b.Seg, b.Rest, ts)

@@ -246,6 +246,7 @@ type node struct {
 	once   sync.Once
 	out    map[uint8]chan<- Frame
 	outP   map[uint8]*pipe // batched substrate only
+	links  map[uint8]*Link // port -> fault handle, for DAG failover link health
 	rx     []*shard        // batched substrate only; len = worker count
 	nextRx int             // round-robin rx-port assignment cursor
 	mu     sync.Mutex
@@ -257,6 +258,7 @@ func newNode(name string) *node {
 		inbox: make(chan inFrame, 64),
 		done:  make(chan struct{}),
 		out:   make(map[uint8]chan<- Frame),
+		links: make(map[uint8]*Link),
 	}
 }
 
@@ -343,6 +345,25 @@ func (nd *node) trySend(port uint8, f Frame) txStatus {
 	default:
 		return txFull
 	}
+}
+
+// setLink records the fault handle behind a port, so the dataplane's
+// link-health hook can consult it.
+func (nd *node) setLink(port uint8, l *Link) {
+	nd.mu.Lock()
+	nd.links[port] = l
+	nd.mu.Unlock()
+}
+
+// portUp reports whether a port's link is wired and not failed — the
+// dataplane's PortUp hook. The mutex is acceptable here because only
+// DAG-segment hops consult link health; plain forwarding never calls
+// it.
+func (nd *node) portUp(port uint8) bool {
+	nd.mu.Lock()
+	l := nd.links[port]
+	nd.mu.Unlock()
+	return l != nil && !l.IsDown()
 }
 
 // hasPort reports whether a port is wired, distinguishing a bad route
@@ -530,6 +551,8 @@ func (n *Network) Connect(a Attachable, portA uint8, b Attachable, portB uint8, 
 	l := &Link{name: a.base().name + "<->" + b.base().name, netw: n}
 	l.SetDown(cfg.down)
 	l.SetLossRatio(cfg.loss)
+	a.base().setLink(portA, l)
+	b.base().setLink(portB, l)
 	if n.cfg.batched {
 		n.connectBatched(a.base(), portA, b.base(), portB, cfg.depth, l)
 		return l
@@ -641,6 +664,7 @@ func (n *Network) newRouter(name string) *Router {
 			CountTokenAuthorizedN: func(k uint64) { r.counters.tokenAuthorized.Add(k) },
 			Flight:                r.currentFlight,
 			QueueDepth:            r.portDepth,
+			PortUp:                r.node.portUp,
 		},
 	}
 	if n.cfg.batched {
@@ -732,6 +756,14 @@ func (r *Router) run() {
 // appended over the trailer descriptor at the tail, and the frame moves
 // on in the same buffer. With pool headroom the hop allocates nothing.
 func (r *Router) forward(inf inFrame) {
+	r.forwardDepth(inf, 0)
+}
+
+// forwardDepth is forward's body, re-entered (depth+1) after a failover
+// spliced a DAG alternate into the buffer; the cap stops a crafted
+// alternate whose head is itself a dead-primary DAG segment from
+// cycling forever.
+func (r *Router) forwardDepth(inf inFrame, depth int) {
 	seg, rest, err := dataplane.DecodeHop(inf.frame.Pkt)
 	if err != nil {
 		r.drop(stats.DropNotSirpent, inf)
@@ -765,6 +797,9 @@ func (r *Router) forward(inf inFrame) {
 		return
 	case dataplane.ActionTree:
 		r.fanoutTree(inf, &seg, rest)
+		return
+	case dataplane.ActionFailover:
+		r.failover(inf, &seg, v, depth)
 		return
 	}
 	// Mirror the stripped segment onto the trailer (§6.2 byte surgery),
@@ -800,6 +835,36 @@ func (r *Router) forward(inf inFrame) {
 	case txDown:
 		r.drop(stats.DropTxError, inFrame{port: inf.port, frame: f, arrived: inf.arrived})
 	}
+}
+
+// failover realizes an ActionFailover verdict on the wire substrate:
+// record the diversion, splice the chosen alternate over the remaining
+// forward route in the frame's own buffer (SpliceAltRoute — in place
+// unless the branch header outgrows the buffer's capacity), and
+// re-enter the forward path on the branch head, which carries its own
+// token. The no-failover path never reaches here, so its 0 allocs/hop
+// contract is untouched.
+func (r *Router) failover(inf inFrame, seg *viper.Segment, v dataplane.Verdict, depth int) {
+	if depth >= dataplane.MaxFailoverDepth {
+		r.drop(stats.DropLinkDown, inf)
+		return
+	}
+	r.plane.Failover(inf.port, seg.Port, v.OutPort, v.AltRank, inf.frame.Trace, inf.arrived)
+	old := inf.frame.Pkt
+	out, err := dataplane.SpliceAltRoute(old, v.AltRoute)
+	if err != nil {
+		r.drop(stats.DropNotSirpent, inf)
+		return
+	}
+	f := inf.frame
+	f.Pkt = out
+	if len(old) > 0 && len(out) > 0 && &out[0] != &old[0] {
+		// The splice outgrew the buffer and reallocated: out starts a
+		// fresh array (its own recycling target); the old buffer, still
+		// aliased by the arrival header, is left to the collector.
+		f.buf = out[:0]
+	}
+	r.forwardDepth(inFrame{port: inf.port, frame: f, arrived: inf.arrived}, depth+1)
 }
 
 // fanoutTree handles tree-structured multicast (§2): fan one copy of the

@@ -80,6 +80,7 @@ const (
 	DropOversize    = stats.DropOversize    // cannot fit next hop even when empty
 	DropTxError     = stats.DropTxError     // medium refused the frame
 	DropNotSirpent  = stats.DropNotSirpent  // payload is not a VIPER packet
+	DropLinkDown    = stats.DropLinkDown    // primary port down, no live alternate
 )
 
 // vpkt extracts the VIPER packet from an arrival; Arrive has already
@@ -164,6 +165,10 @@ func New(eng *sim.Engine, name string, cfg Config) *Router {
 			CountLocal:           func() { r.Stats.Local++ },
 			CountTokenAuthorized: func() { r.Stats.TokenAuthorized++ },
 			Flight:               func() *ledger.FlightRecorder { return r.flight },
+			PortUp: func(port uint8) bool {
+				op, ok := r.ports[port]
+				return ok && !op.port.Medium.IsDown()
+			},
 		},
 	}
 	return r
@@ -340,6 +345,14 @@ func (r *Router) decide(arr *netsim.Arrival) {
 		r.dropArr(DropAborted, arr)
 		return
 	}
+	r.decideDepth(arr, 0)
+}
+
+// decideDepth is decide's body, re-entered (depth+1) after a failover
+// replaced the remaining route with a DAG alternate. The depth cap
+// stops a crafted alternate whose head is itself a dead-primary DAG
+// segment from cycling the decision stage forever.
+func (r *Router) decideDepth(arr *netsim.Arrival, depth int) {
 	seg := *vpkt(arr).Current()
 	in := dataplane.HopInput{
 		InPort:      arr.In.ID,
@@ -351,9 +364,34 @@ func (r *Router) decide(arr *netsim.Arrival) {
 		r.dropVerdict(v, arr)
 	case dataplane.ActionAwaitToken:
 		r.verifyToken(arr, seg, in.ChargeBytes)
+	case dataplane.ActionFailover:
+		r.failover(arr, v, depth)
 	default:
 		r.dispatch(arr, seg)
 	}
+}
+
+// failover realizes an ActionFailover verdict: record the diversion,
+// replace the packet's remaining route with the chosen branch (the
+// branch head executes here, carrying its own token), and re-enter the
+// decision stage on it.
+func (r *Router) failover(arr *netsim.Arrival, v dataplane.Verdict, depth int) {
+	if depth >= dataplane.MaxFailoverDepth {
+		r.dropArr(DropLinkDown, arr)
+		return
+	}
+	pkt := vpkt(arr)
+	alt := v.AltRoute
+	// Seal so the installed route carries the same continuation flags the
+	// wire substrate's in-place splice produces — the differential suite
+	// compares trailers byte for byte.
+	if err := viper.SealRoute(alt); err != nil {
+		r.dropArr(DropBadPort, arr)
+		return
+	}
+	r.plane.Failover(arr.In.ID, pkt.Current().Port, v.OutPort, v.AltRank, arr.Tx.Trace, int64(arr.Start))
+	pkt.Route = alt
+	r.decideDepth(arr, depth+1)
 }
 
 // verifyToken applies the configured uncached-token mode (§2.2) on the
@@ -525,9 +563,20 @@ func (r *Router) pickGroupMember(members []uint8) *outPort {
 func (r *Router) makeFrame(arr *netsim.Arrival, seg viper.Segment, op *outPort) (*frame, bool) {
 	vpkt(arr).ConsumeHead(r.returnSegment(arr, seg))
 
+	// A DAG segment's PortInfo is the alternate blob; the primary port's
+	// network header travels embedded inside it.
+	info := seg.PortInfo
+	if viper.IsDAGSegment(&seg) {
+		pi, ok := viper.DAGPrimaryInfo(&seg)
+		if !ok {
+			r.dropArr(DropBadPort, arr)
+			return nil, false
+		}
+		info = pi
+	}
 	var hdr *ethernet.Header
-	if len(seg.PortInfo) > 0 {
-		h, err := ethernet.Decode(seg.PortInfo)
+	if len(info) > 0 {
+		h, err := ethernet.Decode(info)
 		if err != nil {
 			r.dropArr(DropBadPort, arr)
 			return nil, false

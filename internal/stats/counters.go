@@ -21,6 +21,7 @@ const (
 	DropOversize                      // cannot fit next hop even when empty
 	DropTxError                       // medium refused the frame
 	DropNotSirpent                    // payload is not a VIPER packet
+	DropLinkDown                      // primary port down and no live alternate
 
 	// NumDropReasons sizes per-reason bucket arrays.
 	NumDropReasons
@@ -34,6 +35,7 @@ const (
 var dropNames = [NumDropReasons]string{
 	"no-segment", "bad-port", "drop-if-blocked", "queue-full",
 	"token-denied", "aborted", "oversize", "tx-error", "not-sirpent",
+	"link-down",
 }
 
 // String returns the reason's stable metric identifier, the exact

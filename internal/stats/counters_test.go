@@ -67,6 +67,7 @@ func TestMetricNamesStable(t *testing.T) {
 		DropOversize:    "oversize",
 		DropTxError:     "tx-error",
 		DropNotSirpent:  "not-sirpent",
+		DropLinkDown:    "link-down",
 	}
 	if len(want) != int(NumDropReasons) {
 		t.Fatalf("stability table covers %d reasons, enum has %d — pin the new name here",

@@ -56,12 +56,16 @@ const (
 	// ActionLost: the packet died in flight — link fault injection or
 	// an aborted transmission — rather than by a router's decision.
 	ActionLost
+	// ActionFailover: the node found the hop's primary port down and
+	// rewrote the route to a ranked in-header alternate; OutPort is the
+	// alternate taken. Non-terminal — the next hops show the branch.
+	ActionFailover
 
 	numActions
 )
 
 var actionNames = [numActions]string{
-	"forward", "local", "drop", "preempt", "block", "lost",
+	"forward", "local", "drop", "preempt", "block", "lost", "failover",
 }
 
 func (a Action) String() string {

@@ -1,0 +1,97 @@
+package udpnet
+
+import (
+	"testing"
+
+	"repro/internal/ledger"
+	"repro/internal/livenet"
+)
+
+// detectorFixture builds a tunnel with a real inner link but no
+// socket, for driving the peer-loss state machine directly.
+func detectorFixture(t *testing.T) (*Tunnel, *ledger.FlightRecorder) {
+	t.Helper()
+	fr := ledger.NewFlightRecorder(16)
+	netw := livenet.NewNetwork()
+	t.Cleanup(func() { netw.Stop() })
+	r := netw.NewRouter("r")
+	h := netw.NewHost("gw")
+	link := netw.Connect(r, 2, h, 1)
+	return &Tunnel{
+		bridge: &Bridge{node: "proc", flight: fr},
+		linkID: 7,
+		inner:  link,
+	}, fr
+}
+
+// TestPeerLossDetector pins the consecutive-write-failure contract:
+// below the threshold nothing changes, at the threshold the peer is
+// declared lost and the inner link marked down (flight-recorded), and
+// one successful write restores both.
+func TestPeerLossDetector(t *testing.T) {
+	tun, fr := detectorFixture(t)
+
+	for i := 0; i < PeerLossThreshold-1; i++ {
+		tun.noteSendError()
+	}
+	if tun.PeerLost() || tun.inner.IsDown() {
+		t.Fatalf("peer declared lost after %d errors, threshold is %d", PeerLossThreshold-1, PeerLossThreshold)
+	}
+
+	tun.noteSendError()
+	if !tun.PeerLost() || !tun.inner.IsDown() || !tun.IsDown() {
+		t.Fatal("threshold reached but peer not declared lost / inner link not down")
+	}
+	var flaps int
+	for _, ev := range fr.Events() {
+		if ev.Kind == ledger.KindLinkFlap {
+			flaps++
+		}
+	}
+	if flaps == 0 {
+		t.Fatal("peer loss not flight-recorded as a link flap")
+	}
+
+	// Further errors must not re-record the transition.
+	tun.noteSendError()
+	var after int
+	for _, ev := range fr.Events() {
+		if ev.Kind == ledger.KindLinkFlap {
+			after++
+		}
+	}
+	if after != flaps {
+		t.Fatalf("repeated errors re-recorded the transition: %d -> %d flap events", flaps, after)
+	}
+
+	tun.noteSendOK()
+	if tun.PeerLost() || tun.inner.IsDown() || tun.IsDown() {
+		t.Fatal("successful write did not restore the peer")
+	}
+}
+
+// TestPeerLossRespectsExplicitDown checks recovery does not override
+// an operator's SetDown: after the peer comes back, an explicitly
+// downed tunnel keeps its inner link down.
+func TestPeerLossRespectsExplicitDown(t *testing.T) {
+	tun, _ := detectorFixture(t)
+
+	tun.SetDown(true)
+	if !tun.inner.IsDown() {
+		t.Fatal("SetDown(true) did not propagate to the inner link")
+	}
+	for i := 0; i < PeerLossThreshold; i++ {
+		tun.noteSendError()
+	}
+	tun.noteSendOK()
+	if tun.PeerLost() {
+		t.Fatal("recovery did not clear peer-loss state")
+	}
+	if !tun.inner.IsDown() {
+		t.Fatal("peer recovery overrode explicit SetDown")
+	}
+	tun.SetDown(false)
+	if tun.inner.IsDown() {
+		t.Fatal("SetDown(false) did not restore the inner link")
+	}
+}

@@ -91,6 +91,13 @@ var magic = [4]byte{'S', 'I', 'R', 'P'}
 // livenet.DefaultLinkDepth.
 const DefaultTunnelDepth = 64
 
+// PeerLossThreshold is the number of consecutive socket write failures
+// after which the tunnel declares its peer lost and marks the inner
+// in-process link down — so the bridged router's port reads as dead
+// and DAG-routed traffic fails over instead of draining into a black
+// hole. One successful write clears the state.
+const PeerLossThreshold = 3
+
 // Stats is a point-in-time snapshot of one tunnel's counters.
 type Stats struct {
 	Encapsulated uint64 // frames framed and handed to the socket
@@ -272,15 +279,18 @@ type Tunnel struct {
 	linkID uint16
 	gw     *livenet.Host
 	gwPort uint8
+	inner  *livenet.Link // in-process link to the bridged router port
 
 	wireStage string // span stage name, "wire:<linkID>"
 
 	remote atomic.Pointer[net.UDPAddr]
 
-	down     atomic.Bool
-	lossBits atomic.Uint64 // math.Float64bits of the loss probability
-	rngMu    sync.Mutex
-	rng      *rand.Rand
+	down       atomic.Bool   // explicit SetDown state
+	peerLost   atomic.Bool   // set by consecutive-write-failure detection
+	consecErrs atomic.Uint32 // socket write failures since the last success
+	lossBits   atomic.Uint64 // math.Float64bits of the loss probability
+	rngMu      sync.Mutex
+	rng        *rand.Rand
 
 	out chan []byte // framed datagrams awaiting the writer
 
@@ -324,7 +334,7 @@ func (b *Bridge) Attach(netw *livenet.Network, at livenet.Attachable, port uint8
 	// Wire the gateway completely before publishing the tunnel: the
 	// moment it is in b.tunnels, the read loop may hand it a datagram.
 	t.gw = netw.NewHost(fmt.Sprintf("udpgw-%d", linkID))
-	netw.Connect(at, port, t.gw, t.gwPort)
+	t.inner = netw.Connect(at, port, t.gw, t.gwPort)
 	t.gw.SetRawTap(t.egress)
 
 	b.mu.Lock()
@@ -355,11 +365,64 @@ func (t *Tunnel) LinkID() uint16 { return t.linkID }
 // inspection in tests.
 func (t *Tunnel) Gateway() *livenet.Host { return t.gw }
 
-// SetDown fails (true) or restores (false) both directions.
-func (t *Tunnel) SetDown(down bool) { t.down.Store(down) }
+// SetDown fails (true) or restores (false) both directions. The state
+// propagates to the inner in-process link, so the bridged router's
+// port-up view — and with it DAG failover — tracks the tunnel.
+// Restoring does not override an active peer-loss declaration.
+func (t *Tunnel) SetDown(down bool) {
+	t.down.Store(down)
+	t.syncInner()
+}
 
-// IsDown reports whether the tunnel is failed.
-func (t *Tunnel) IsDown() bool { return t.down.Load() }
+// IsDown reports whether the tunnel is failed, either explicitly or by
+// peer-loss detection.
+func (t *Tunnel) IsDown() bool { return t.down.Load() || t.peerLost.Load() }
+
+// PeerLost reports whether consecutive socket write failures have
+// declared the peer unreachable.
+func (t *Tunnel) PeerLost() bool { return t.peerLost.Load() }
+
+// InnerLink returns the in-process link between the bridged port and
+// the gateway host — the handle whose down state the router's failover
+// logic consults.
+func (t *Tunnel) InnerLink() *livenet.Link { return t.inner }
+
+// syncInner mirrors the tunnel's effective health onto the inner link.
+func (t *Tunnel) syncInner() {
+	if t.inner != nil {
+		t.inner.SetDown(t.down.Load() || t.peerLost.Load())
+	}
+}
+
+// noteSendError advances the peer-loss detector after one socket write
+// failure; at PeerLossThreshold consecutive failures the peer is
+// declared lost, the inner link marked down, and the transition
+// flight-recorded.
+func (t *Tunnel) noteSendError() {
+	if t.consecErrs.Add(1) < PeerLossThreshold {
+		return
+	}
+	if t.peerLost.CompareAndSwap(false, true) {
+		t.syncInner()
+		t.bridge.flight.Record(ledger.Event{
+			At: time.Now().UnixNano(), Node: t.bridge.node,
+			Kind: ledger.KindLinkFlap, Reason: fmt.Sprintf("link %d: peer lost after %d consecutive send errors", t.linkID, PeerLossThreshold),
+		})
+	}
+}
+
+// noteSendOK resets the detector after a successful write; a peer
+// previously declared lost is restored (unless explicitly down).
+func (t *Tunnel) noteSendOK() {
+	t.consecErrs.Store(0)
+	if t.peerLost.CompareAndSwap(true, false) {
+		t.syncInner()
+		t.bridge.flight.Record(ledger.Event{
+			At: time.Now().UnixNano(), Node: t.bridge.node,
+			Kind: ledger.KindLinkFlap, Reason: fmt.Sprintf("link %d: peer recovered", t.linkID),
+		})
+	}
+}
 
 // SetLossRatio makes each egress frame be discarded with probability
 // p (0 disables). The lottery is drawn from the tunnel's seeded
@@ -368,17 +431,27 @@ func (t *Tunnel) IsDown() bool { return t.down.Load() }
 func (t *Tunnel) SetLossRatio(p float64) { t.lossBits.Store(math.Float64bits(p)) }
 
 // Dropped returns the number of frames discarded by fault injection
-// and egress queue overflow.
-func (t *Tunnel) Dropped() uint64 { return t.dropped.Load() }
+// and egress queue overflow. Because a down tunnel marks its inner
+// in-process link down — so frames die at the link pump before ever
+// reaching the tunnel — the inner link's discards are included, keeping
+// the attribution complete for conservation checks.
+func (t *Tunnel) Dropped() uint64 {
+	n := t.dropped.Load()
+	if t.inner != nil {
+		n += t.inner.Dropped()
+	}
+	return n
+}
 
-// Stats returns a snapshot of the tunnel's counters.
+// Stats returns a snapshot of the tunnel's counters. Dropped includes
+// the inner link's discards, as Dropped() does.
 func (t *Tunnel) Stats() Stats {
 	return Stats{
 		Encapsulated: t.encapsulated.Load(),
 		Decapsulated: t.decapsulated.Load(),
 		DecodeErrors: t.decodeErrors.Load(),
 		SendErrors:   t.sendErrors.Load(),
-		Dropped:      t.dropped.Load(),
+		Dropped:      t.Dropped(),
 		TracedSent:   t.tracedSent.Load(),
 		TracedRecv:   t.tracedRecv.Load(),
 	}
@@ -461,12 +534,14 @@ func (t *Tunnel) writeLoop() {
 			}
 			if _, err := t.bridge.conn.WriteToUDP(dg, remote); err != nil {
 				t.sendErrors.Add(1)
+				t.noteSendError()
 				t.bridge.flight.Record(ledger.Event{
 					At: time.Now().UnixNano(), Node: t.bridge.node,
 					Kind: ledger.KindSendError, Reason: fmt.Sprintf("link %d: %v", t.linkID, err),
 				})
 				continue
 			}
+			t.noteSendOK()
 			t.encapsulated.Add(1)
 			if dg[5] == TypeTraced {
 				t.tracedSent.Add(1)

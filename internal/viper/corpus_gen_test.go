@@ -81,6 +81,46 @@ func corpusSeeds(t *testing.T) map[string]map[string][]byte {
 		"len_overrun":      {0xFF, 0, 9, 1, 0x00},
 	}
 
+	// DAG (failover) blobs and segments.
+	altShort := []Segment{
+		{Port: 3, Priority: 2, PortToken: []byte("alt-tok"), Flags: FlagVNT},
+		{Port: PortLocal},
+	}
+	altLong := []Segment{
+		{Port: 4, Priority: 2, PortInfo: tagInfo, Flags: FlagVNT},
+		{Port: 1, Priority: 2, Flags: FlagVNT},
+		{Port: PortLocal},
+	}
+	mustEncodeDAG := func(primary []byte, alts [][]Segment) []byte {
+		b, err := EncodeDAG(primary, alts)
+		if err != nil {
+			t.Fatalf("encode seed DAG: %v", err)
+		}
+		return b
+	}
+	dagOne := mustEncodeDAG(nil, [][]Segment{altShort})
+	dagRanked := mustEncodeDAG(tagInfo, [][]Segment{altShort, altLong, {{Port: 9}, {Port: PortLocal}}})
+	nested, err := DAGSegment(2, 2, []byte("tok"), tagInfo, [][]Segment{altShort})
+	if err != nil {
+		t.Fatalf("seed DAG segment: %v", err)
+	}
+	dagNested := mustEncodeDAG(nil, [][]Segment{{nested, {Port: PortLocal}}})
+
+	dags := map[string][]byte{
+		"one_alt_p2p":    dagOne,
+		"ranked_primary": dagRanked,
+		"nested_dag":     dagNested,
+		// Malformed framings the decoder must bounce, not misparse.
+		"zero_alts":      {0xDA, 0, 0, 0, 0, 0},
+		"bad_tag":        {0xDA, 1, 0, 4, 0, 0, 3, 0x12, 0, 0, 0, 0},
+		"branch_overrun": {0xDA, 2, 0, 4, 0, 0, 3, 0x12, 0, 9, 0, 0x5A},
+	}
+
+	// A DAG hop is also a segment and a route hop: seed the other targets
+	// so their mutations explore the DAG framing too.
+	segments["dag_hop"] = mustEncodeSeg(t, nested, false)
+	mirrored["dag_hop"] = mustEncodeSeg(t, nested, true)
+
 	// Packets.
 	simple := NewPacket([]Segment{{Port: 2}}, []byte("hello sirpent"))
 
@@ -102,8 +142,12 @@ func corpusSeeds(t *testing.T) map[string]map[string][]byte {
 	big.Trailer = []Segment{{Port: 6, PortInfo: bigInfo}}
 	big.Truncated = true
 
+	dagPkt := NewPacket([]Segment{nested.Clone(), {Port: PortLocal, Priority: 2}}, []byte("detour"))
+	dagPkt.Trailer = []Segment{{Port: PortLocal}}
+
 	full := mustEncodePkt(t, chain)
 	packets := map[string][]byte{
+		"dag_route":      mustEncodePkt(t, dagPkt),
 		"single_segment": mustEncodePkt(t, simple),
 		"vnt_chain":      full,
 		"padded":         mustEncodePkt(t, padded),
@@ -120,6 +164,7 @@ func corpusSeeds(t *testing.T) map[string]map[string][]byte {
 		"FuzzDecodeSegment":         segments,
 		"FuzzDecodeSegmentMirrored": mirrored,
 		"FuzzPacketRoundTrip":       packets,
+		"FuzzDecodeDAG":             dags,
 	}
 }
 

@@ -1,0 +1,297 @@
+package viper
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// DAG segments generalize tree segments from multicast fanout to
+// failover: instead of forwarding a copy per branch, the router forwards
+// on the segment's own (primary) port and holds the branches as ranked
+// alternates, used only when the primary port is down. This is the
+// Slick-Packets-style in-header alternate-route DAG: the source encodes
+// where each hop may divert, so mid-flight failover needs no directory
+// re-query.
+//
+// A DAG segment is a FlagTRE segment whose PortInfo starts with dagMagic
+// instead of a branch count. dagMagic (0xDA = 218) exceeds
+// MaxTreeBranches, so DecodeTree rejects DAG bytes and DecodeDAG rejects
+// tree bytes — the two interpretations of the TRE flag cannot be
+// confused. The flag nibble is fully allocated (VNT/DIB/RPF/TRE), which
+// is why the discriminator lives in the first PortInfo octet.
+//
+// DAG wire format inside PortInfo:
+//
+//	[0xDA:1][nAlt:1] { [len:2][alternate segments (forward encoding)] }*
+//	[pinfoLen:2][primary portInfo]  [tag:2]
+//
+// Each alternate is a complete remaining route: its first segment
+// executes at this node (alternate out-port, its own token, its own
+// network info) and the rest reach the destination. Because the
+// segment's own PortInfo octets are occupied by the DAG blob, the
+// primary port's network header travels embedded as the primary
+// portInfo field. The trailing 2-byte tag is EtherTypeRaw, so a DAG
+// segment never claims VIPER continuation on its own — SealRoute sets
+// VNT on mid-route DAG segments exactly as for plain hops.
+
+// dagMagic is the first PortInfo octet of a DAG segment. Chosen above
+// MaxTreeBranches so tree and DAG blobs are mutually invalid.
+const dagMagic = 0xDA
+
+// MaxAlternates bounds the ranked alternates at one DAG hop. Slick
+// Packets shows most of the resilience benefit comes from the first one
+// or two alternates; three keeps header growth bounded.
+const MaxAlternates = 3
+
+// ErrBadDAG reports a malformed DAG alternate list.
+var ErrBadDAG = errors.New("viper: malformed DAG segment")
+
+// IsDAGInfo reports whether PortInfo bytes carry a DAG alternate list.
+func IsDAGInfo(b []byte) bool {
+	return len(b) > 0 && b[0] == dagMagic
+}
+
+// IsDAGSegment reports whether s is a DAG (failover) segment: the TRE
+// flag with DAG-tagged PortInfo.
+func IsDAGSegment(s *Segment) bool {
+	return s.Flags.Has(FlagTRE) && IsDAGInfo(s.PortInfo)
+}
+
+// EncodeDAG serializes ranked alternates plus the primary port's network
+// info into DAG PortInfo bytes. Alternates are ordered best-first; each
+// must be a valid route whose first segment executes at this node.
+// primaryInfo may be empty (point-to-point primary link).
+func EncodeDAG(primaryInfo []byte, alternates [][]Segment) ([]byte, error) {
+	if len(alternates) == 0 || len(alternates) > MaxAlternates {
+		return nil, ErrBadDAG
+	}
+	out := []byte{dagMagic, byte(len(alternates))}
+	for _, alt := range alternates {
+		if len(alt) == 0 || len(alt) > MaxRouteSegments {
+			return nil, ErrBadDAG
+		}
+		var body []byte
+		var err error
+		for i := range alt {
+			if body, err = AppendSegment(body, &alt[i]); err != nil {
+				return nil, err
+			}
+		}
+		if len(body) > 0xFFFF {
+			return nil, ErrBadDAG
+		}
+		var l [2]byte
+		binary.BigEndian.PutUint16(l[:], uint16(len(body)))
+		out = append(out, l[:]...)
+		out = append(out, body...)
+	}
+	if len(primaryInfo) > 0xFFFF {
+		return nil, ErrBadDAG
+	}
+	var pl [2]byte
+	binary.BigEndian.PutUint16(pl[:], uint16(len(primaryInfo)))
+	out = append(out, pl[:]...)
+	out = append(out, primaryInfo...)
+	var tag [2]byte
+	binary.BigEndian.PutUint16(tag[:], EtherTypeRaw)
+	out = append(out, tag[:]...)
+	if len(out) > MaxFieldLen {
+		return nil, ErrBadDAG
+	}
+	return out, nil
+}
+
+// DecodeDAG parses DAG PortInfo bytes back into the primary network info
+// and the ranked alternates. Fields are defensive copies.
+func DecodeDAG(b []byte) (primaryInfo []byte, alternates [][]Segment, err error) {
+	if len(b) < 6 || b[0] != dagMagic {
+		return nil, nil, ErrBadDAG
+	}
+	n := int(b[1])
+	if n == 0 || n > MaxAlternates {
+		return nil, nil, ErrBadDAG
+	}
+	rest := b[2 : len(b)-2] // strip magic+count and trailing tag
+	if binary.BigEndian.Uint16(b[len(b)-2:]) != EtherTypeRaw {
+		return nil, nil, ErrBadDAG
+	}
+	out := make([][]Segment, 0, n)
+	for i := 0; i < n; i++ {
+		if len(rest) < 2 {
+			return nil, nil, ErrBadDAG
+		}
+		bl := int(binary.BigEndian.Uint16(rest[:2]))
+		rest = rest[2:]
+		if len(rest) < bl {
+			return nil, nil, ErrBadDAG
+		}
+		body := rest[:bl]
+		rest = rest[bl:]
+		var alt []Segment
+		for len(body) > 0 {
+			seg, r2, err := DecodeSegment(body)
+			if err != nil {
+				return nil, nil, err
+			}
+			alt = append(alt, seg)
+			body = r2
+			if len(alt) > MaxRouteSegments {
+				return nil, nil, ErrTooManySegments
+			}
+		}
+		if len(alt) == 0 {
+			return nil, nil, ErrBadDAG
+		}
+		out = append(out, alt)
+	}
+	if len(rest) < 2 {
+		return nil, nil, ErrBadDAG
+	}
+	pl := int(binary.BigEndian.Uint16(rest[:2]))
+	rest = rest[2:]
+	if len(rest) != pl {
+		return nil, nil, ErrBadDAG
+	}
+	if pl > 0 {
+		primaryInfo = append([]byte(nil), rest...)
+	}
+	return primaryInfo, out, nil
+}
+
+// DAGSegment builds a failover segment: the primary out-port with its
+// token and network info, plus ranked alternates encoded in PortInfo.
+func DAGSegment(port uint8, prio Priority, token, primaryInfo []byte, alternates [][]Segment) (Segment, error) {
+	info, err := EncodeDAG(primaryInfo, alternates)
+	if err != nil {
+		return Segment{}, err
+	}
+	return Segment{
+		Port:      port,
+		Flags:     FlagTRE,
+		Priority:  prio,
+		PortToken: token,
+		PortInfo:  info,
+	}, nil
+}
+
+// DAGPrimaryInfo extracts the embedded primary network info from a DAG
+// segment's PortInfo without decoding the alternates. The returned slice
+// aliases s.PortInfo (cap-limited), so the forwarding fast path pays no
+// allocation; callers must not retain it past the packet buffer's
+// lifetime. Returns ok=false when the bytes are not a well-formed DAG
+// blob.
+func DAGPrimaryInfo(s *Segment) ([]byte, bool) {
+	b := s.PortInfo
+	if len(b) < 6 || b[0] != dagMagic {
+		return nil, false
+	}
+	n := int(b[1])
+	if n == 0 || n > MaxAlternates {
+		return nil, false
+	}
+	rest := b[2 : len(b)-2]
+	for i := 0; i < n; i++ {
+		if len(rest) < 2 {
+			return nil, false
+		}
+		bl := int(binary.BigEndian.Uint16(rest[:2]))
+		rest = rest[2:]
+		if len(rest) < bl {
+			return nil, false
+		}
+		rest = rest[bl:]
+	}
+	if len(rest) < 2 {
+		return nil, false
+	}
+	pl := int(binary.BigEndian.Uint16(rest[:2]))
+	rest = rest[2:]
+	if len(rest) != pl {
+		return nil, false
+	}
+	if pl == 0 {
+		return nil, true
+	}
+	return rest[:pl:pl], true
+}
+
+// dagAlternate decodes only the rank-i alternate (0-based) of a DAG
+// blob, with defensive copies. It exists for the failover path, where
+// allocation is acceptable and only the chosen branch is needed.
+func dagAlternate(b []byte, rank int) ([]Segment, error) {
+	if len(b) < 6 || b[0] != dagMagic {
+		return nil, ErrBadDAG
+	}
+	n := int(b[1])
+	if n == 0 || n > MaxAlternates || rank < 0 || rank >= n {
+		return nil, ErrBadDAG
+	}
+	rest := b[2 : len(b)-2]
+	for i := 0; i <= rank; i++ {
+		if len(rest) < 2 {
+			return nil, ErrBadDAG
+		}
+		bl := int(binary.BigEndian.Uint16(rest[:2]))
+		rest = rest[2:]
+		if len(rest) < bl {
+			return nil, ErrBadDAG
+		}
+		if i < rank {
+			rest = rest[bl:]
+			continue
+		}
+		body := rest[:bl]
+		var alt []Segment
+		for len(body) > 0 {
+			seg, r2, err := DecodeSegment(body)
+			if err != nil {
+				return nil, err
+			}
+			alt = append(alt, seg)
+			body = r2
+			if len(alt) > MaxRouteSegments {
+				return nil, ErrTooManySegments
+			}
+		}
+		if len(alt) == 0 {
+			return nil, ErrBadDAG
+		}
+		return alt, nil
+	}
+	return nil, ErrBadDAG
+}
+
+// DAGAlternate decodes the rank-i alternate (0-based, best first) of a
+// DAG segment.
+func DAGAlternate(s *Segment, rank int) ([]Segment, error) {
+	return dagAlternate(s.PortInfo, rank)
+}
+
+// DAGAlternatePorts lists the head out-port of each alternate, rank
+// order, without decoding the branch bodies. The failover check scans
+// this to find the best live alternate; only the chosen branch is then
+// decoded. Returns ok=false on malformed bytes.
+func DAGAlternatePorts(s *Segment, ports *[MaxAlternates]uint8) (int, bool) {
+	b := s.PortInfo
+	if len(b) < 6 || b[0] != dagMagic {
+		return 0, false
+	}
+	n := int(b[1])
+	if n == 0 || n > MaxAlternates {
+		return 0, false
+	}
+	rest := b[2 : len(b)-2]
+	for i := 0; i < n; i++ {
+		if len(rest) < 2 {
+			return 0, false
+		}
+		bl := int(binary.BigEndian.Uint16(rest[:2]))
+		rest = rest[2:]
+		if len(rest) < bl || bl < 4 {
+			return 0, false
+		}
+		ports[i] = rest[2] // fixed prefix: [pil][ptl][Port][flags|prio]
+		rest = rest[bl:]
+	}
+	return n, true
+}

@@ -1,0 +1,220 @@
+package viper
+
+import (
+	"bytes"
+	"testing"
+)
+
+func mkAlt(ports ...uint8) []Segment {
+	var alt []Segment
+	for i, p := range ports {
+		s := Segment{Port: p, Priority: 2, PortToken: []byte{p, p + 1}}
+		if i < len(ports)-1 {
+			s.Flags = FlagVNT
+		}
+		alt = append(alt, s)
+	}
+	return alt
+}
+
+func TestDAGRoundTrip(t *testing.T) {
+	primary := []byte{0xAA, 0xBB, 0xCC, 0x88, 0xB7}
+	alts := [][]Segment{mkAlt(3, 5, 0), mkAlt(7, 0)}
+	info, err := EncodeDAG(primary, alts)
+	if err != nil {
+		t.Fatalf("EncodeDAG: %v", err)
+	}
+	if !IsDAGInfo(info) {
+		t.Fatal("encoded blob not recognized as DAG info")
+	}
+	gotPrimary, gotAlts, err := DecodeDAG(info)
+	if err != nil {
+		t.Fatalf("DecodeDAG: %v", err)
+	}
+	if !bytes.Equal(gotPrimary, primary) {
+		t.Fatalf("primary info = %x, want %x", gotPrimary, primary)
+	}
+	if len(gotAlts) != len(alts) {
+		t.Fatalf("got %d alternates, want %d", len(gotAlts), len(alts))
+	}
+	for i := range alts {
+		if len(gotAlts[i]) != len(alts[i]) {
+			t.Fatalf("alt %d: got %d segments, want %d", i, len(gotAlts[i]), len(alts[i]))
+		}
+		for j := range alts[i] {
+			if !gotAlts[i][j].Equal(&alts[i][j]) {
+				t.Fatalf("alt %d seg %d: %v != %v", i, j, &gotAlts[i][j], &alts[i][j])
+			}
+		}
+	}
+}
+
+func TestDAGSegmentProperties(t *testing.T) {
+	seg, err := DAGSegment(4, 3, []byte("tok"), []byte{0x88, 0xB7}, [][]Segment{mkAlt(9, 0)})
+	if err != nil {
+		t.Fatalf("DAGSegment: %v", err)
+	}
+	if !IsDAGSegment(&seg) {
+		t.Fatal("not recognized as DAG segment")
+	}
+	if seg.Port != 4 || !seg.Flags.Has(FlagTRE) {
+		t.Fatalf("segment fixed fields wrong: %v", &seg)
+	}
+	// The DAG blob ends with EtherTypeRaw, so a DAG segment must not claim
+	// continuation on its own — SealRoute is responsible for VNT.
+	if seg.Continues() {
+		t.Fatal("DAG segment claims continuation without VNT")
+	}
+	// It must survive the generic segment codec.
+	b, err := AppendSegment(nil, &seg)
+	if err != nil {
+		t.Fatalf("AppendSegment: %v", err)
+	}
+	got, rest, err := DecodeSegment(b)
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("DecodeSegment: %v rest=%d", err, len(rest))
+	}
+	if !got.Equal(&seg) {
+		t.Fatalf("segment round trip: %v != %v", &got, &seg)
+	}
+}
+
+func TestDAGTreeMutualRejection(t *testing.T) {
+	dagInfo, err := EncodeDAG(nil, [][]Segment{mkAlt(2, 0)})
+	if err != nil {
+		t.Fatalf("EncodeDAG: %v", err)
+	}
+	if _, err := DecodeTree(dagInfo); err == nil {
+		t.Fatal("DecodeTree accepted DAG bytes")
+	}
+	treeInfo, err := EncodeTree([][]Segment{mkAlt(2, 0), mkAlt(3, 0)})
+	if err != nil {
+		t.Fatalf("EncodeTree: %v", err)
+	}
+	if IsDAGInfo(treeInfo) {
+		t.Fatal("tree bytes claim DAG magic")
+	}
+	if _, _, err := DecodeDAG(treeInfo); err == nil {
+		t.Fatal("DecodeDAG accepted tree bytes")
+	}
+}
+
+func TestDAGPrimaryInfo(t *testing.T) {
+	primary := []byte{1, 2, 3, 4}
+	seg, err := DAGSegment(4, 0, nil, primary, [][]Segment{mkAlt(9, 0), mkAlt(8, 1, 0)})
+	if err != nil {
+		t.Fatalf("DAGSegment: %v", err)
+	}
+	got, ok := DAGPrimaryInfo(&seg)
+	if !ok || !bytes.Equal(got, primary) {
+		t.Fatalf("DAGPrimaryInfo = %x ok=%v, want %x", got, ok, primary)
+	}
+	// Alias, not copy: cap-limited to the field.
+	if cap(got) != len(got) {
+		t.Fatalf("primary info alias not cap-limited: len=%d cap=%d", len(got), cap(got))
+	}
+	// Empty primary info decodes to ok with nil bytes.
+	seg2, err := DAGSegment(4, 0, nil, nil, [][]Segment{mkAlt(9, 0)})
+	if err != nil {
+		t.Fatalf("DAGSegment: %v", err)
+	}
+	got2, ok := DAGPrimaryInfo(&seg2)
+	if !ok || len(got2) != 0 {
+		t.Fatalf("empty primary info: %x ok=%v", got2, ok)
+	}
+}
+
+func TestDAGAlternatePortsAndDecode(t *testing.T) {
+	alts := [][]Segment{mkAlt(9, 0), mkAlt(8, 1, 0), mkAlt(7, 0)}
+	seg, err := DAGSegment(4, 0, nil, nil, alts)
+	if err != nil {
+		t.Fatalf("DAGSegment: %v", err)
+	}
+	var ports [MaxAlternates]uint8
+	n, ok := DAGAlternatePorts(&seg, &ports)
+	if !ok || n != 3 {
+		t.Fatalf("DAGAlternatePorts n=%d ok=%v", n, ok)
+	}
+	if ports != [MaxAlternates]uint8{9, 8, 7} {
+		t.Fatalf("alternate head ports = %v", ports)
+	}
+	for rank, want := range alts {
+		got, err := DAGAlternate(&seg, rank)
+		if err != nil {
+			t.Fatalf("DAGAlternate(%d): %v", rank, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("rank %d: %d segments, want %d", rank, len(got), len(want))
+		}
+		for j := range want {
+			if !got[j].Equal(&want[j]) {
+				t.Fatalf("rank %d seg %d mismatch", rank, j)
+			}
+		}
+	}
+	if _, err := DAGAlternate(&seg, 3); err == nil {
+		t.Fatal("out-of-range rank accepted")
+	}
+}
+
+func TestDAGErrors(t *testing.T) {
+	if _, err := EncodeDAG(nil, nil); err == nil {
+		t.Fatal("zero alternates accepted")
+	}
+	four := [][]Segment{mkAlt(1, 0), mkAlt(2, 0), mkAlt(3, 0), mkAlt(4, 0)}
+	if _, err := EncodeDAG(nil, four); err == nil {
+		t.Fatal("four alternates accepted")
+	}
+	if _, err := EncodeDAG(nil, [][]Segment{nil}); err == nil {
+		t.Fatal("empty alternate accepted")
+	}
+	good, err := EncodeDAG([]byte{1}, [][]Segment{mkAlt(2, 0)})
+	if err != nil {
+		t.Fatalf("EncodeDAG: %v", err)
+	}
+	bad := [][]byte{
+		nil,
+		{dagMagic},
+		good[:len(good)-1],                // truncated tag
+		append([]byte{0x00}, good[1:]...), // wrong magic
+	}
+	// Corrupt the alternate count.
+	overCount := append([]byte(nil), good...)
+	overCount[1] = MaxAlternates + 1
+	bad = append(bad, overCount)
+	zeroCount := append([]byte(nil), good...)
+	zeroCount[1] = 0
+	bad = append(bad, zeroCount)
+	// Trailing garbage between primary info and tag.
+	garbage := append(append([]byte(nil), good[:len(good)-2]...), 0xEE, 0x88, 0xB7)
+	bad = append(bad, garbage)
+	for i, b := range bad {
+		if _, _, err := DecodeDAG(b); err == nil {
+			t.Fatalf("bad blob %d accepted: %x", i, b)
+		}
+		if _, ok := DAGPrimaryInfo(&Segment{Flags: FlagTRE, PortInfo: b}); ok {
+			t.Fatalf("bad blob %d accepted by DAGPrimaryInfo: %x", i, b)
+		}
+	}
+}
+
+// TestDAGSealRoute pins that a mid-route DAG segment gets VNT from
+// SealRoute (its blob ends with the Raw tag, so continuation must come
+// from the flag) and a route ending in a DAG segment is rejected only if
+// it claims continuation.
+func TestDAGSealRoute(t *testing.T) {
+	dagSeg, err := DAGSegment(4, 0, nil, nil, [][]Segment{mkAlt(9, 0)})
+	if err != nil {
+		t.Fatalf("DAGSegment: %v", err)
+	}
+	route := []Segment{dagSeg, {Port: PortLocal}}
+	if err := SealRoute(route); err != nil {
+		t.Fatalf("SealRoute: %v", err)
+	}
+	if !route[0].Flags.Has(FlagVNT) {
+		t.Fatal("mid-route DAG segment did not get VNT")
+	}
+	if !route[0].Continues() || route[1].Continues() {
+		t.Fatal("continuation chain broken after seal")
+	}
+}

@@ -100,6 +100,88 @@ func FuzzDecodeSegmentMirrored(f *testing.F) {
 	})
 }
 
+func FuzzDecodeDAG(f *testing.F) {
+	if info, err := EncodeDAG(nil, [][]Segment{{{Port: 3}, {Port: PortLocal}}}); err == nil {
+		f.Add(info)
+	}
+	f.Add([]byte{dagMagic, 0, 0, 0, 0, 0})                         // zero alternates
+	f.Add([]byte{dagMagic, 1, 0, 4, 0, 0, 3, 0x12, 0, 0, 0, 0})    // bad trailing tag
+	f.Add([]byte{dagMagic, 2, 0, 4, 0, 0, 3, 0x12, 0, 9, 0, 0x5A}) // branch length overrun
+	f.Fuzz(func(t *testing.T, b []byte) {
+		// Real DAG blobs live inside a segment's PortInfo, so they are
+		// bounded by MaxFieldLen; beyond that re-encoding may rightly
+		// refuse what a lenient decode of oversized input accepted.
+		if len(b) > MaxFieldLen {
+			return
+		}
+		pinfo, alts, err := DecodeDAG(b)
+		if err != nil {
+			return
+		}
+		// Anything DecodeDAG accepts must re-encode canonically...
+		enc, err := EncodeDAG(pinfo, alts)
+		if err != nil {
+			t.Fatalf("decoded DAG blob fails to re-encode: %v", err)
+		}
+		// ...and the re-encoding must be a semantic fixpoint.
+		pinfo2, alts2, err := DecodeDAG(enc)
+		if err != nil {
+			t.Fatalf("re-encoding does not decode: %v", err)
+		}
+		if !bytes.Equal(pinfo2, pinfo) {
+			t.Fatalf("primary info changed: %x -> %x", pinfo, pinfo2)
+		}
+		if len(alts2) != len(alts) {
+			t.Fatalf("alternate count changed: %d -> %d", len(alts), len(alts2))
+		}
+		for r := range alts {
+			if len(alts2[r]) != len(alts[r]) {
+				t.Fatalf("rank %d segment count changed: %d -> %d", r, len(alts[r]), len(alts2[r]))
+			}
+			for i := range alts[r] {
+				if !alts2[r][i].Equal(&alts[r][i]) {
+					t.Fatalf("rank %d seg[%d] changed: %v -> %v", r, i, &alts[r][i], &alts2[r][i])
+				}
+			}
+		}
+		// The zero-alloc scanners the hop kernel uses must agree with the
+		// full decode on the canonical encoding.
+		seg := Segment{Port: 1, Flags: FlagTRE, PortInfo: enc}
+		if !IsDAGSegment(&seg) {
+			t.Fatal("canonical encoding not recognized as DAG segment")
+		}
+		pi, ok := DAGPrimaryInfo(&seg)
+		if !ok {
+			t.Fatal("DAGPrimaryInfo rejects what DecodeDAG accepted")
+		}
+		if !bytes.Equal(pi, pinfo) {
+			t.Fatalf("DAGPrimaryInfo = %x, DecodeDAG primary = %x", pi, pinfo)
+		}
+		var ports [MaxAlternates]uint8
+		n, ok := DAGAlternatePorts(&seg, &ports)
+		if !ok || n != len(alts) {
+			t.Fatalf("DAGAlternatePorts = (%d,%v), want (%d,true)", n, ok, len(alts))
+		}
+		for r := range alts {
+			if ports[r] != alts[r][0].Port {
+				t.Fatalf("rank %d head port scan = %d, decode = %d", r, ports[r], alts[r][0].Port)
+			}
+			branch, err := DAGAlternate(&seg, r)
+			if err != nil {
+				t.Fatalf("DAGAlternate(rank %d): %v", r, err)
+			}
+			if len(branch) != len(alts[r]) {
+				t.Fatalf("DAGAlternate(rank %d) has %d segments, want %d", r, len(branch), len(alts[r]))
+			}
+			for i := range branch {
+				if !branch[i].Equal(&alts[r][i]) {
+					t.Fatalf("DAGAlternate(rank %d)[%d] = %v, want %v", r, i, &branch[i], &alts[r][i])
+				}
+			}
+		}
+	})
+}
+
 func FuzzPacketRoundTrip(f *testing.F) {
 	// A couple of valid encodings as starting points; the richer corpus
 	// is in testdata/fuzz/FuzzPacketRoundTrip.
